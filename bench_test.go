@@ -1,0 +1,973 @@
+package repro
+
+// One benchmark per experiment of DESIGN.md's per-experiment index
+// (E1–E17). Each reproduces a table, figure, or worked example of the
+// EDBT 2017 tutorial; EXPERIMENTS.md records the measured shapes.
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/bitmapidx"
+	"repro/internal/btree"
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/evolution"
+	"repro/internal/exthash"
+	"repro/internal/graphstore"
+	"repro/internal/inverted"
+	"repro/internal/kvstore"
+	"repro/internal/mmindex"
+	"repro/internal/mmvalue"
+	"repro/internal/query"
+	"repro/internal/rdfstore"
+	"repro/internal/relstore"
+	"repro/internal/sinew"
+	"repro/internal/unibench"
+)
+
+func openDB(b *testing.B) *core.DB {
+	b.Helper()
+	db, err := core.Open(core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { db.Close() })
+	return db
+}
+
+func mustUpdate(b *testing.B, db *core.DB, fn func(tx *engine.Txn) error) {
+	b.Helper()
+	if err := db.Engine.Update(fn); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// seedPaper loads the slide-26 running example.
+func seedPaper(b *testing.B, db *core.DB) {
+	b.Helper()
+	mustUpdate(b, db, func(tx *engine.Txn) error {
+		if err := db.Rels.CreateTable(tx, "customers", relstore.TableSchema{
+			Columns: []relstore.Column{
+				{Name: "id", Type: relstore.TInt, NotNull: true},
+				{Name: "name", Type: relstore.TString},
+				{Name: "credit_limit", Type: relstore.TInt},
+			},
+			PrimaryKey: []string{"id"},
+		}); err != nil {
+			return err
+		}
+		for _, c := range []struct {
+			id     int64
+			name   string
+			credit int64
+		}{{1, "Mary", 5000}, {2, "John", 3000}, {3, "Anne", 2000}} {
+			if err := db.Rels.Insert(tx, "customers", mmvalue.Object(
+				mmvalue.F("id", mmvalue.Int(c.id)),
+				mmvalue.F("name", mmvalue.String(c.name)),
+				mmvalue.F("credit_limit", mmvalue.Int(c.credit)))); err != nil {
+				return err
+			}
+		}
+		if err := db.CreateGraph(tx, "social"); err != nil {
+			return err
+		}
+		for _, v := range []string{"1", "2", "3"} {
+			if err := db.Graphs.PutVertex(tx, "social", v, mmvalue.Object(
+				mmvalue.F("customer_id", mmvalue.String(v)))); err != nil {
+				return err
+			}
+		}
+		db.Graphs.Connect(tx, "social", "1", "2", "knows", mmvalue.Null)
+		db.Graphs.Connect(tx, "social", "3", "1", "knows", mmvalue.Null)
+		db.KV.Set(tx, "cart", "1", mmvalue.String("34e5e759"))
+		db.KV.Set(tx, "cart", "2", mmvalue.String("0c6df508"))
+		if err := db.Docs.CreateCollection(tx, "orders", catalog.Schemaless); err != nil {
+			return err
+		}
+		db.Docs.Put(tx, "orders", "0c6df508", mmvalue.MustParseJSON(`{
+			"Order_no":"0c6df508","Orderlines":[
+			{"Product_no":"2724f","Product_Name":"Toy","Price":66},
+			{"Product_no":"3424g","Product_Name":"Book","Price":40}]}`))
+		return db.Docs.Put(tx, "orders", "34e5e759", mmvalue.MustParseJSON(`{
+			"Order_no":"34e5e759","Orderlines":[
+			{"Product_no":"9999x","Product_Name":"Pen","Price":2}]}`))
+	})
+}
+
+// --- E1: the recommendation query, both front-ends ---
+
+func BenchmarkE1RecommendationQuery(b *testing.B) {
+	mmql := `
+		FOR c IN customers
+		  FILTER c.credit_limit > 3000
+		  FOR friend IN 1..1 OUTBOUND TO_STRING(c.id) social.knows
+		    LET order = DOCUMENT('orders', KV('cart', friend.customer_id))
+		    FOR line IN order.Orderlines
+		      RETURN line.Product_no`
+	msql := `
+		SELECT EXPAND(
+		  DOCUMENT('orders', KV('cart', OUT('social','knows', TO_STRING(c.id)).customer_id[0]))
+		    .Orderlines[*].Product_no)
+		FROM customers c WHERE credit_limit > 3000`
+	for _, fe := range []struct {
+		name string
+		run  func(db *core.DB) (*query.Result, error)
+	}{
+		{"MMQL", func(db *core.DB) (*query.Result, error) { return db.Query(mmql, nil) }},
+		{"MSQL", func(db *core.DB) (*query.Result, error) { return db.SQL(msql, nil) }},
+	} {
+		b.Run(fe.name, func(b *testing.B) {
+			db := openDB(b)
+			seedPaper(b, db)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := fe.run(db)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Values) != 2 {
+					b.Fatalf("result = %v", res.Values)
+				}
+			}
+		})
+	}
+}
+
+// --- E2: JSON inside relational rows (PostgreSQL JSONB row of the matrix) ---
+
+func BenchmarkE2JSONInRelational(b *testing.B) {
+	db := openDB(b)
+	const n = 2000
+	mustUpdate(b, db, func(tx *engine.Txn) error {
+		if err := db.Rels.CreateTable(tx, "customer", relstore.TableSchema{
+			Columns: []relstore.Column{
+				{Name: "id", Type: relstore.TInt, NotNull: true},
+				{Name: "orders", Type: relstore.TJSONB},
+			},
+			PrimaryKey: []string{"id"},
+		}); err != nil {
+			return err
+		}
+		for i := 0; i < n; i++ {
+			orders := mmvalue.MustParseJSON(fmt.Sprintf(
+				`{"Order_no":"ord%d","Orderlines":[{"Product_no":"p%d","Price":%d}]}`,
+				i, i%100, i%200))
+			if err := db.Rels.Insert(tx, "customer", mmvalue.Object(
+				mmvalue.F("id", mmvalue.Int(int64(i))),
+				mmvalue.F("orders", orders))); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	q := `SELECT id, orders->>'Order_no' AS o FROM customer c WHERE orders->>'Order_no' = 'ord500'`
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := db.SQL(q, nil)
+		if err != nil || len(res.Values) != 1 {
+			b.Fatalf("res = %v err = %v", res, err)
+		}
+	}
+}
+
+// --- E3: GIN jsonb_ops vs jsonb_path_ops vs no index ---
+
+func seedGINDocs(b *testing.B, db *core.DB, n int) mmvalue.Value {
+	b.Helper()
+	r := rand.New(rand.NewSource(3))
+	mustUpdate(b, db, func(tx *engine.Txn) error {
+		if err := db.Docs.CreateCollection(tx, "gdocs", catalog.Schemaless); err != nil {
+			return err
+		}
+		for i := 0; i < n; i++ {
+			doc := mmvalue.MustParseJSON(fmt.Sprintf(
+				`{"_key":"d%d","user":"u%d","tags":["t%d","t%d"],"addr":{"city":"c%d"}}`,
+				i, r.Intn(200), r.Intn(30), r.Intn(30), r.Intn(50)))
+			if _, err := db.Docs.Insert(tx, "gdocs", doc); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	return mmvalue.MustParseJSON(`{"tags":["t7"],"addr":{"city":"c3"}}`)
+}
+
+func BenchmarkE3GIN(b *testing.B) {
+	const n = 3000
+	cases := []struct {
+		name  string
+		setup func(db *core.DB)
+		opts  query.Options
+	}{
+		{"NoIndex", func(db *core.DB) {}, query.Options{DisableIndexes: true}},
+		{"JsonbOps", func(db *core.DB) {
+			if err := db.CreateGIN("gdocs", inverted.OpsMode); err != nil {
+				b.Fatal(err)
+			}
+		}, query.Options{}},
+		{"JsonbPathOps", func(db *core.DB) {
+			if err := db.CreateGIN("gdocs", inverted.PathOpsMode); err != nil {
+				b.Fatal(err)
+			}
+		}, query.Options{}},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			db := openDB(b)
+			pattern := seedGINDocs(b, db, n)
+			c.setup(db)
+			q := `FOR d IN gdocs FILTER d @> @p RETURN d._key`
+			params := map[string]mmvalue.Value{"p": pattern}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := db.QueryOpts(q, params, c.opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+			// After the loop: ResetTimer would clear extra metrics.
+			if items := db.GINItems("gdocs"); items > 0 {
+				b.ReportMetric(float64(items), "index-items")
+			}
+		})
+	}
+}
+
+// --- E4: B+tree vs extendible hashing (point lookup and range scan) ---
+
+func BenchmarkE4PointLookup(b *testing.B) {
+	const n = 100000
+	keys := make([][]byte, n)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("key%08d", i))
+	}
+	b.Run("BTree", func(b *testing.B) {
+		t := btree.New()
+		for i, k := range keys {
+			t.Put(k, keys[i])
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, ok := t.Get(keys[i%n]); !ok {
+				b.Fatal("missing")
+			}
+		}
+	})
+	b.Run("ExtHash", func(b *testing.B) {
+		h := exthash.New()
+		for i, k := range keys {
+			h.Put(k, keys[i])
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, ok := h.Get(keys[i%n]); !ok {
+				b.Fatal("missing")
+			}
+		}
+	})
+}
+
+func BenchmarkE4RangeScan(b *testing.B) {
+	const n = 100000
+	const window = 100
+	keys := make([][]byte, n)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("key%08d", i))
+	}
+	b.Run("BTree", func(b *testing.B) {
+		t := btree.New()
+		for i, k := range keys {
+			t.Put(k, keys[i])
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			count := 0
+			t.Scan(keys[i%(n-window)], nil, func(k, v []byte) bool {
+				count++
+				return count < window
+			})
+			if count != window {
+				b.Fatal("short scan")
+			}
+		}
+	})
+	// Hash indexes have no ordered scan: the only way to answer a range
+	// query is a full walk with a filter — the E4 punchline.
+	b.Run("ExtHashFullWalk", func(b *testing.B) {
+		h := exthash.New()
+		for i, k := range keys {
+			h.Put(k, keys[i])
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			lo := string(keys[i%(n-window)])
+			hi := string(keys[i%(n-window)+window])
+			count := 0
+			h.Range(func(k, v []byte) bool {
+				if s := string(k); s >= lo && s < hi {
+					count++
+				}
+				return true
+			})
+			if count != window {
+				b.Fatalf("count = %d", count)
+			}
+		}
+	})
+}
+
+// --- E5: bitslice aggregation vs row scan ---
+
+func BenchmarkE5Bitslice(b *testing.B) {
+	const n = 200000
+	r := rand.New(rand.NewSource(5))
+	values := make([]uint64, n)
+	region := make([]string, n)
+	regions := []string{"EU", "US", "APAC"}
+	for i := range values {
+		values[i] = uint64(r.Intn(10000))
+		region[i] = regions[r.Intn(3)]
+	}
+	bs := bitmapidx.NewBitslice()
+	bm := bitmapidx.NewBitmap()
+	for i, v := range values {
+		bs.Add(i, v)
+		bm.Add(region[i], i)
+	}
+	b.Run("BitsliceSum", func(b *testing.B) {
+		sel := bm.Eq("EU")
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			bs.Sum(sel)
+		}
+	})
+	b.Run("RowScanSum", func(b *testing.B) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var total uint64
+			for j, v := range values {
+				if region[j] == "EU" {
+					total += v
+				}
+			}
+			_ = total
+		}
+	})
+}
+
+// --- E6: Vertica flex tables — virtual vs materialized columns ---
+
+func BenchmarkE6FlexTable(b *testing.B) {
+	const n = 20000
+	build := func() *sinew.Relation {
+		rel := sinew.New()
+		r := rand.New(rand.NewSource(6))
+		for i := 0; i < n; i++ {
+			rel.Insert(mmvalue.MustParseJSON(fmt.Sprintf(
+				`{"user":"u%d","score":%d,"extra":{"a":%d,"b":"x%d"}}`,
+				r.Intn(500), r.Intn(100), i, i%7)))
+		}
+		return rel
+	}
+	b.Run("VirtualColumn", func(b *testing.B) {
+		rel := build()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rel.Select("score", sinew.Gt(mmvalue.Int(90)))
+		}
+	})
+	b.Run("MaterializedColumn", func(b *testing.B) {
+		rel := build()
+		if err := rel.Materialize("score"); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rel.Select("score", sinew.Gt(mmvalue.Int(90)))
+		}
+	})
+}
+
+// --- E7–E9: UniBench workloads ---
+
+func seedUnibench(b *testing.B, db *core.DB) unibench.Config {
+	b.Helper()
+	cfg := unibench.Config{
+		Customers: 500, Products: 200, OrdersPerCustomer: 3,
+		FriendsPerCustomer: 4, MaxLinesPerOrder: 4, Seed: 42,
+	}
+	if _, err := unibench.Generate(db, cfg); err != nil {
+		b.Fatal(err)
+	}
+	return cfg
+}
+
+func BenchmarkE7WorkloadA(b *testing.B) {
+	type op struct {
+		name string
+		run  func(db *core.DB, i int) error
+	}
+	setup := func(db *core.DB) {
+		mustUpdate(b, db, func(tx *engine.Txn) error {
+			if err := db.Docs.CreateCollection(tx, "wa", catalog.Schemaless); err != nil {
+				return err
+			}
+			if err := db.Rels.CreateTable(tx, "war", relstore.TableSchema{
+				Columns:    []relstore.Column{{Name: "id", Type: relstore.TInt, NotNull: true}},
+				PrimaryKey: []string{"id"},
+			}); err != nil {
+				return err
+			}
+			return db.CreateGraph(tx, "wag")
+		})
+	}
+	ops := []op{
+		{"KVInsert", func(db *core.DB, i int) error {
+			return db.Engine.Update(func(tx *engine.Txn) error {
+				return db.KV.Set(tx, "b", fmt.Sprintf("k%d", i), mmvalue.Int(int64(i)))
+			})
+		}},
+		{"DocInsert", func(db *core.DB, i int) error {
+			return db.Engine.Update(func(tx *engine.Txn) error {
+				_, err := db.Docs.Insert(tx, "wa", mmvalue.Object(
+					mmvalue.F("_key", mmvalue.String(fmt.Sprintf("d%d", i))),
+					mmvalue.F("n", mmvalue.Int(int64(i)))))
+				return err
+			})
+		}},
+		{"RelInsert", func(db *core.DB, i int) error {
+			return db.Engine.Update(func(tx *engine.Txn) error {
+				return db.Rels.Insert(tx, "war", mmvalue.Object(mmvalue.F("id", mmvalue.Int(int64(i)))))
+			})
+		}},
+		{"GraphInsert", func(db *core.DB, i int) error {
+			return db.Engine.Update(func(tx *engine.Txn) error {
+				return db.Graphs.PutVertex(tx, "wag", fmt.Sprintf("v%d", i), mmvalue.Object())
+			})
+		}},
+	}
+	for _, o := range ops {
+		b.Run(o.name, func(b *testing.B) {
+			db := openDB(b)
+			setup(db)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := o.run(db, i); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	b.Run("KVRead", func(b *testing.B) {
+		db := openDB(b)
+		setup(db)
+		mustUpdate(b, db, func(tx *engine.Txn) error {
+			for i := 0; i < 10000; i++ {
+				if err := db.KV.Set(tx, "b", fmt.Sprintf("k%d", i), mmvalue.Int(int64(i))); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			err := db.Engine.View(func(tx *engine.Txn) error {
+				_, _, err := db.KV.Get(tx, "b", fmt.Sprintf("k%d", i%10000))
+				return err
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkE8WorkloadB(b *testing.B) {
+	db := openDB(b)
+	cfg := seedUnibench(b, db)
+	_ = cfg
+	params := map[string]map[string]mmvalue.Value{
+		"Q1": {"minCredit": mmvalue.Int(8000), "anchors": mmvalue.Int(20)},
+		"Q2": {"country": mmvalue.String("FI")},
+		"Q3": nil,
+		"Q4": {"pattern": mmvalue.MustParseJSON(`{"Orderlines":[{"Product_no":"p1"}]}`)},
+		"Q5": {"start": mmvalue.String("c0")},
+	}
+	for _, name := range []string{"Q1", "Q2", "Q3", "Q4", "Q5"} {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := db.Query(unibench.QueryB[name], params[name]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkE9WorkloadC(b *testing.B) {
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("Workers%d", workers), func(b *testing.B) {
+			db := openDB(b)
+			cfg := seedUnibench(b, db)
+			perWorker := b.N/workers + 1
+			b.ResetTimer()
+			m, err := unibench.RunWorkloadC(db, cfg, workers, perWorker)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(m.Throughput(), "txn/s")
+			b.ReportMetric(float64(m.Aborted), "aborted")
+		})
+	}
+}
+
+// --- E10: Sinew universal relation over schemaless data ---
+
+func BenchmarkE10Sinew(b *testing.B) {
+	const n = 20000
+	rel := sinew.New()
+	r := rand.New(rand.NewSource(10))
+	shapes := []string{
+		`{"kind":"click","page":"p%d","ms":%d}`,
+		`{"kind":"buy","sku":"s%d","price":%d}`,
+		`{"kind":"view","page":"p%d","dwell":{"ms":%d}}`,
+	}
+	for i := 0; i < n; i++ {
+		rel.Insert(mmvalue.MustParseJSON(fmt.Sprintf(shapes[i%3], r.Intn(100), r.Intn(1000))))
+	}
+	b.Run("VirtualSelect", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			rel.Select("kind", sinew.Eq(mmvalue.String("buy")))
+		}
+	})
+	b.Run("AfterAutoMaterialize", func(b *testing.B) {
+		rel.AutoMaterialize(3)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rel.Select("kind", sinew.Eq(mmvalue.String("buy")))
+		}
+	})
+}
+
+// --- E11: model evolution throughput ---
+
+func BenchmarkE11Evolution(b *testing.B) {
+	db := openDB(b)
+	const n = 2000
+	mustUpdate(b, db, func(tx *engine.Txn) error {
+		if err := db.Rels.CreateTable(tx, "legacy", relstore.TableSchema{
+			Columns: []relstore.Column{
+				{Name: "id", Type: relstore.TInt, NotNull: true},
+				{Name: "v", Type: relstore.TString},
+			},
+			PrimaryKey: []string{"id"},
+		}); err != nil {
+			return err
+		}
+		for i := 0; i < n; i++ {
+			if err := db.Rels.Insert(tx, "legacy", mmvalue.Object(
+				mmvalue.F("id", mmvalue.Int(int64(i))),
+				mmvalue.F("v", mmvalue.String("x")))); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	m := &evolution.Migrator{Docs: db.Docs, Rels: db.Rels, Graphs: db.Graphs, RDF: db.RDF}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		coll := fmt.Sprintf("mig%d", i)
+		err := db.Engine.Update(func(tx *engine.Txn) error {
+			_, err := m.TableToCollection(tx, "legacy", coll)
+			return err
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		mustUpdate(b, db, func(tx *engine.Txn) error { return db.Docs.DropCollection(tx, coll) })
+		b.StartTimer()
+	}
+	b.ReportMetric(float64(n), "rows/op")
+}
+
+// --- E12: hybrid consistency — STRONG primary reads vs EVENTUAL replica ---
+
+func BenchmarkE12Consistency(b *testing.B) {
+	db := openDB(b)
+	mustUpdate(b, db, func(tx *engine.Txn) error {
+		for i := 0; i < 10000; i++ {
+			if err := db.KV.Set(tx, "b", fmt.Sprintf("k%d", i), mmvalue.Int(int64(i))); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	replica := db.Engine.NewReplica(0)
+	b.Run("StrongPrimary", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			err := db.Engine.View(func(tx *engine.Txn) error {
+				_, _, err := db.KV.Get(tx, "b", fmt.Sprintf("k%d", i%10000))
+				return err
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("EventualReplica", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, ok := replica.Get("kv:b", []byte(fmt.Sprintf("k%d", i%10000))); !ok {
+				b.Fatal("missing")
+			}
+		}
+	})
+}
+
+// --- E13: multi-model join index vs on-the-fly cross-model join ---
+
+func BenchmarkE13MultiModelIndex(b *testing.B) {
+	db := openDB(b)
+	const customers = 1000
+	mustUpdate(b, db, func(tx *engine.Txn) error {
+		if err := db.CreateGraph(tx, "social"); err != nil {
+			return err
+		}
+		for i := 0; i < customers; i++ {
+			key := fmt.Sprintf("c%d", i)
+			if err := db.Graphs.PutVertex(tx, "social", key, mmvalue.Object()); err != nil {
+				return err
+			}
+			if err := db.KV.Set(tx, "cart", key, mmvalue.String(fmt.Sprintf("o%d", i))); err != nil {
+				return err
+			}
+			if err := db.KV.Set(tx, "ordertotals", fmt.Sprintf("o%d", i), mmvalue.Int(int64(i))); err != nil {
+				return err
+			}
+		}
+		r := rand.New(rand.NewSource(13))
+		for i := 0; i < customers; i++ {
+			for f := 0; f < 4; f++ {
+				other := r.Intn(customers)
+				if other == i {
+					continue
+				}
+				if _, err := db.Graphs.Connect(tx, "social",
+					fmt.Sprintf("c%d", i), fmt.Sprintf("c%d", other), "knows", mmvalue.Null); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+	hops := []mmindex.Hop{
+		{
+			Name:      "friends",
+			Keyspaces: []string{graphstore.OutKeyspace("social")},
+			Follow: func(tx *engine.Txn, in mmvalue.Value) ([]mmvalue.Value, error) {
+				ns, err := db.Graphs.Neighbors(tx, "social", in.AsString(), graphstore.Outbound, "knows")
+				if err != nil {
+					return nil, err
+				}
+				out := make([]mmvalue.Value, len(ns))
+				for i, n := range ns {
+					out[i] = mmvalue.String(n.VertexKey)
+				}
+				return out, nil
+			},
+		},
+		{
+			Name:      "cart",
+			Keyspaces: []string{kvstore.Keyspace("cart")},
+			Follow: func(tx *engine.Txn, in mmvalue.Value) ([]mmvalue.Value, error) {
+				v, ok, err := db.KV.Get(tx, "cart", in.AsString())
+				if err != nil || !ok {
+					return nil, err
+				}
+				return []mmvalue.Value{v}, nil
+			},
+		},
+		{
+			Name:      "total",
+			Keyspaces: []string{kvstore.Keyspace("ordertotals")},
+			Follow: func(tx *engine.Txn, in mmvalue.Value) ([]mmvalue.Value, error) {
+				v, ok, err := db.KV.Get(tx, "ordertotals", in.AsString())
+				if err != nil || !ok {
+					return nil, err
+				}
+				return []mmvalue.Value{v}, nil
+			},
+		},
+	}
+	joinOnTheFly := func(tx *engine.Txn, anchor string) (int64, error) {
+		var sum int64
+		ns, err := db.Graphs.Neighbors(tx, "social", anchor, graphstore.Outbound, "knows")
+		if err != nil {
+			return 0, err
+		}
+		for _, n := range ns {
+			orderNo, ok, err := db.KV.Get(tx, "cart", n.VertexKey)
+			if err != nil || !ok {
+				continue
+			}
+			total, ok, err := db.KV.Get(tx, "ordertotals", orderNo.AsString())
+			if err != nil || !ok {
+				continue
+			}
+			sum += total.AsInt()
+		}
+		return sum, nil
+	}
+	b.Run("OnTheFlyJoin", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			err := db.Engine.View(func(tx *engine.Txn) error {
+				_, err := joinOnTheFly(tx, fmt.Sprintf("c%d", i%customers))
+				return err
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("JoinIndex", func(b *testing.B) {
+		idx := mmindex.New(db.Engine, hops)
+		mustUpdate(b, db, func(tx *engine.Txn) error {
+			for i := 0; i < customers; i++ {
+				key := fmt.Sprintf("c%d", i)
+				if err := idx.Put(tx, key, mmvalue.String(key)); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			key := fmt.Sprintf("c%d", i%customers)
+			err := db.Engine.View(func(tx *engine.Txn) error {
+				vals, ok, err := idx.Lookup(tx, key, mmvalue.String(key))
+				if err != nil || !ok {
+					return fmt.Errorf("lookup %s: %v %v", key, ok, err)
+				}
+				var sum int64
+				for _, v := range vals {
+					sum += v.AsInt()
+				}
+				return nil
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// --- E14: XPath with path range index vs tree walk ---
+
+func BenchmarkE14XPath(b *testing.B) {
+	db := openDB(b)
+	var sb strings.Builder
+	sb.WriteString("<catalog>")
+	for i := 0; i < 2000; i++ {
+		fmt.Fprintf(&sb, `<product no="p%d"><name>item %d</name><price>%d</price></product>`, i, i, i%300)
+	}
+	sb.WriteString("</catalog>")
+	mustUpdate(b, db, func(tx *engine.Txn) error {
+		return db.XML.LoadXML(tx, "catalog", []byte(sb.String()))
+	})
+	b.Run("TreeWalkXPath", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			err := db.Engine.View(func(tx *engine.Txn) error {
+				nodes, err := db.XML.XPath(tx, "catalog", `/catalog/product[@no='p777']/name`)
+				if err != nil || len(nodes) != 1 {
+					return fmt.Errorf("nodes = %d, %v", len(nodes), err)
+				}
+				return nil
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("PathRangeIndex", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			err := db.Engine.View(func(tx *engine.Txn) error {
+				labels, err := db.XML.PathLookup(tx, "catalog", "/catalog/product/@no", mmvalue.String("p777"))
+				if err != nil || len(labels) != 1 {
+					return fmt.Errorf("labels = %d, %v", len(labels), err)
+				}
+				return nil
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// --- E15: full-text index vs naive CONTAINS scan ---
+
+func BenchmarkE15FullText(b *testing.B) {
+	db := openDB(b)
+	const n = 5000
+	r := rand.New(rand.NewSource(15))
+	words := []string{"graph", "database", "query", "index", "model", "json", "xml", "fast", "toy", "book"}
+	mustUpdate(b, db, func(tx *engine.Txn) error {
+		if err := db.Docs.CreateCollection(tx, "texts", catalog.Schemaless); err != nil {
+			return err
+		}
+		for i := 0; i < n; i++ {
+			var t []string
+			for w := 0; w < 8; w++ {
+				t = append(t, words[r.Intn(len(words))])
+			}
+			doc := mmvalue.Object(
+				mmvalue.F("_key", mmvalue.String(fmt.Sprintf("t%d", i))),
+				mmvalue.F("body", mmvalue.String(strings.Join(t, " "))))
+			if _, err := db.Docs.Insert(tx, "texts", doc); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	b.Run("NaiveScanContains", func(b *testing.B) {
+		q := `FOR t IN texts FILTER CONTAINS(t.body, 'graph') AND CONTAINS(t.body, 'xml') RETURN t._key`
+		for i := 0; i < b.N; i++ {
+			if _, err := db.Query(q, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("InvertedIndex", func(b *testing.B) {
+		if err := db.CreateFullText("texts"); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if ids := db.FullTextSearch("texts", "graph xml"); len(ids) == 0 {
+				b.Fatal("no hits")
+			}
+		}
+	})
+}
+
+// --- E16: RDF permutation indexes ---
+
+func BenchmarkE16RDF(b *testing.B) {
+	db := openDB(b)
+	const n = 20000
+	r := rand.New(rand.NewSource(16))
+	mustUpdate(b, db, func(tx *engine.Txn) error {
+		for i := 0; i < n; i++ {
+			if err := db.RDF.Insert(tx, "kg", rdfstore.Triple{
+				S: fmt.Sprintf("<s%d>", r.Intn(2000)),
+				P: fmt.Sprintf("<p%d>", r.Intn(20)),
+				O: fmt.Sprintf("<o%d>", r.Intn(2000)),
+			}); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	patterns := map[string]rdfstore.Pattern{
+		"SBound_DirectPrimary":  {S: "<s42>"},
+		"OBound_ReversePrimary": {O: "<o42>"},
+		"PBound_POS":            {P: "<p3>"},
+	}
+	for name, pat := range patterns {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				err := db.Engine.View(func(tx *engine.Txn) error {
+					_, err := db.RDF.Match(tx, "kg", pat)
+					return err
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	b.Run("BGPJoin", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			err := db.Engine.View(func(tx *engine.Txn) error {
+				_, err := db.RDF.MatchBGP(tx, "kg", []rdfstore.BGPPattern{
+					{S: "<s42>", P: "?p", O: "?x"},
+					{S: "?x", P: "?p2", O: "?y"},
+				})
+				return err
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// --- E17: two front-ends, one algebra — parse+plan+run cost ---
+
+func BenchmarkE17FrontEnds(b *testing.B) {
+	db := openDB(b)
+	seedPaper(b, db)
+	mm := `FOR c IN customers FILTER c.credit_limit >= 3000 SORT c.name RETURN c.name`
+	ms := `SELECT name FROM customers c WHERE credit_limit >= 3000 ORDER BY name`
+	b.Run("MMQL", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := db.Query(mm, nil)
+			if err != nil || len(res.Values) != 2 {
+				b.Fatalf("res = %v err = %v", res, err)
+			}
+		}
+	})
+	b.Run("MSQL", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := db.SQL(ms, nil)
+			if err != nil || len(res.Values) != 2 {
+				b.Fatalf("res = %v err = %v", res, err)
+			}
+		}
+	})
+}
+
+// --- E7 ablation: insert throughput vs durability level ---
+// DESIGN.md decision #2: memory-first storage with WAL durability. This
+// measures what each durability level costs on the document-insert path.
+
+func BenchmarkE7WALDurability(b *testing.B) {
+	for _, lvl := range []struct {
+		name string
+		d    engine.Durability
+	}{
+		{"Ephemeral", engine.Ephemeral},
+		{"BufferedWAL", engine.Buffered},
+		{"SyncedWAL", engine.Synced},
+	} {
+		b.Run(lvl.name, func(b *testing.B) {
+			dir := ""
+			if lvl.d != engine.Ephemeral {
+				dir = b.TempDir()
+			}
+			db, err := core.Open(core.Options{Dir: dir, Durability: lvl.d})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer db.Close()
+			mustUpdate(b, db, func(tx *engine.Txn) error {
+				return db.Docs.CreateCollection(tx, "w", catalog.Schemaless)
+			})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				err := db.Engine.Update(func(tx *engine.Txn) error {
+					_, err := db.Docs.Insert(tx, "w", mmvalue.Object(
+						mmvalue.F("_key", mmvalue.String(fmt.Sprintf("d%d", i))),
+						mmvalue.F("n", mmvalue.Int(int64(i)))))
+					return err
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,78 @@
+// Command unibench generates the UniBench multi-model dataset and runs the
+// three workloads of the paper (A: insertion/reading, B: cross-model
+// queries, C: cross-model transactions), printing the result tables that
+// EXPERIMENTS.md records for E7–E9.
+//
+// Usage:
+//
+//	unibench [-customers 2000] [-products 500] [-workers 4] [-txns 100] [-n 5000]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/unibench"
+)
+
+func main() {
+	customers := flag.Int("customers", 2000, "number of customers")
+	products := flag.Int("products", 500, "number of products")
+	workers := flag.Int("workers", 4, "workload C concurrency")
+	txns := flag.Int("txns", 100, "workload C transactions per worker")
+	n := flag.Int("n", 5000, "workload A operations per model")
+	flag.Parse()
+
+	cfg := unibench.DefaultConfig()
+	cfg.Customers = *customers
+	cfg.Products = *products
+
+	db, err := core.Open(core.Options{})
+	if err != nil {
+		fail(err)
+	}
+	defer db.Close()
+
+	fmt.Println("== UniBench (Lu, CIDR 2017) — unidb reproduction ==")
+	start := time.Now()
+	ds, err := unibench.Generate(db, cfg)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("dataset: %d customers, %d products, %d orders, %d friendships, %d cart entries, %d feedback triples (%.1fs)\n\n",
+		ds.Customers, ds.Products, ds.Orders, ds.Friends, ds.CartItems, ds.Feedback,
+		time.Since(start).Seconds())
+
+	fmt.Printf("-- Workload A: insertion and reading (%d ops per model) --\n", *n)
+	a, err := unibench.RunWorkloadA(db, *n)
+	if err != nil {
+		fail(err)
+	}
+	for _, m := range a {
+		fmt.Println("  " + m.String())
+	}
+
+	fmt.Println("\n-- Workload B: cross-model queries --")
+	b, err := unibench.RunWorkloadB(db, cfg)
+	if err != nil {
+		fail(err)
+	}
+	for _, m := range b {
+		fmt.Printf("  %-40s %12s\n", m.Name, m.Elapsed.Round(time.Microsecond))
+	}
+
+	fmt.Printf("\n-- Workload C: cross-model transactions (%d workers x %d txns) --\n", *workers, *txns)
+	c, err := unibench.RunWorkloadC(db, cfg, *workers, *txns)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Println("  " + c.String())
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "unibench:", err)
+	os.Exit(1)
+}

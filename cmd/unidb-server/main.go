@@ -1,0 +1,42 @@
+// Command unidb-server serves a unidb database over HTTP.
+//
+// Usage:
+//
+//	unidb-server [-addr :8529] [-dir data]
+//
+// See internal/server for the endpoint list.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8529", "listen address")
+	dir := flag.String("dir", "", "data directory (empty = in-memory)")
+	flag.Parse()
+
+	opts := core.Options{Dir: *dir}
+	if *dir != "" {
+		opts.Durability = engine.Buffered
+	}
+	db, err := core.Open(opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "open:", err)
+		os.Exit(1)
+	}
+	defer db.Close()
+
+	fmt.Printf("unidb-server listening on %s (dir=%q)\n", *addr, *dir)
+	if err := http.ListenAndServe(*addr, server.New(db)); err != nil {
+		fmt.Fprintln(os.Stderr, "serve:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,103 @@
+// Command unidb is an interactive shell for the unidb multi-model database.
+//
+// Usage:
+//
+//	unidb [-dir data] [-sql]
+//
+// Lines are MMQL by default (or MSQL with -sql / after ".sql"). Meta
+// commands: .help, .mmql, .sql, .keyspaces, .checkpoint, .quit.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/unidb"
+)
+
+func main() {
+	dir := flag.String("dir", "", "data directory (empty = in-memory)")
+	useSQL := flag.Bool("sql", false, "start in MSQL mode")
+	flag.Parse()
+
+	opts := unidb.Options{Dir: *dir}
+	if *dir != "" {
+		opts.Durability = unidb.Buffered
+	}
+	db, err := unidb.Open(opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "open:", err)
+		os.Exit(1)
+	}
+	defer db.Close()
+
+	mode := "mmql"
+	if *useSQL {
+		mode = "msql"
+	}
+	fmt.Println("unidb shell — multi-model database (EDBT'17 tutorial reproduction)")
+	fmt.Println(`type ".help" for help, ".quit" to exit`)
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for {
+		fmt.Printf("%s> ", mode)
+		if !sc.Scan() {
+			fmt.Println()
+			return
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		switch {
+		case line == ".quit" || line == ".exit":
+			return
+		case line == ".help":
+			fmt.Println(`meta commands:
+  .mmql        switch to MMQL (FOR/FILTER/RETURN)
+  .sql         switch to MSQL (SELECT/FROM/WHERE)
+  .checkpoint  snapshot + truncate WAL (durable databases)
+  .quit        exit
+  .keyspaces   list engine keyspaces and sizes
+anything else runs as a query in the current language`)
+		case line == ".mmql":
+			mode = "mmql"
+		case line == ".sql":
+			mode = "msql"
+		case line == ".keyspaces":
+			for _, ks := range db.Core().Engine.Keyspaces() {
+				fmt.Printf("  %-40s %d keys\n", ks, db.Core().Engine.KeyspaceLen(ks))
+			}
+		case line == ".checkpoint":
+			if err := db.Checkpoint(); err != nil {
+				fmt.Println("error:", err)
+			} else {
+				fmt.Println("checkpointed")
+			}
+		default:
+			run(db, mode, line)
+		}
+	}
+}
+
+func run(db *unidb.Database, mode, text string) {
+	var res *unidb.Result
+	var err error
+	if mode == "msql" {
+		res, err = db.SQL(text, nil)
+	} else {
+		res, err = db.Query(text, nil)
+	}
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	for _, v := range res.Values {
+		fmt.Println(v)
+	}
+	fmt.Printf("-- %d result(s); scans: %d full, %d indexed\n",
+		len(res.Values), res.Stats.FullScans, res.Stats.IndexScans)
+}

@@ -1,0 +1,7 @@
+// Package repro is the root of the unidb reproduction of Lu & Holubová,
+// "Multi-model Data Management: What's New and What's Next?" (EDBT 2017).
+//
+// The public API lives in repro/unidb; the per-experiment benchmark harness
+// lives in bench_test.go next to this file (one benchmark per table/figure,
+// indexed in DESIGN.md and recorded in EXPERIMENTS.md).
+package repro

@@ -1,0 +1,71 @@
+// Quickstart: open an in-memory multi-model database, store documents,
+// rows, key/value pairs, and graph edges, and query them together.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/unidb"
+)
+
+func main() {
+	db, err := unidb.Open(unidb.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	// Create a collection and insert documents through MMQL DML.
+	err = db.Update(func(tx *unidb.Txn) error {
+		return tx.CreateCollection("products")
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, doc := range []string{
+		`{_key: "p1", name: "Toy", price: 66, tags: ["kids"]}`,
+		`{_key: "p2", name: "Book", price: 40, tags: ["read"]}`,
+		`{_key: "p3", name: "Computer", price: 34, tags: ["tech", "kids"]}`,
+	} {
+		if _, err := db.Execute(`INSERT `+doc+` INTO products`, nil); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// MMQL: AQL-flavored.
+	res, err := db.Query(`
+		FOR p IN products
+		  FILTER p.price > 35
+		  SORT p.price DESC
+		  RETURN CONCAT(p.name, ' ($', TO_STRING(p.price), ')')`, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("MMQL results:")
+	for _, v := range res.Values {
+		fmt.Println("  ", v.AsString())
+	}
+
+	// MSQL: SQL-flavored, same engine.
+	res, err = db.SQL(`SELECT name, price FROM products WHERE p @> {tags: ['kids']} ORDER BY price`, nil)
+	if err != nil {
+		// The alias defaults to the source name; rewrite with alias p.
+		res, err = db.SQL(`SELECT name, price FROM products p WHERE p @> {tags: ['kids']} ORDER BY price`, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Println("MSQL results:")
+	for _, v := range res.Values {
+		fmt.Printf("  %s: %d\n", v.GetOr("name").AsString(), v.GetOr("price").AsInt())
+	}
+
+	// A parameterized query.
+	res, err = db.Query(`FOR p IN products FILTER p.price < @max RETURN p.name`,
+		map[string]unidb.Value{"max": unidb.MustParseJSON(`50`)})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("under 50:", unidb.Strings(res))
+}

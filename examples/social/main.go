@@ -1,0 +1,102 @@
+// Social demonstrates graph analytics mixed with document filters: a small
+// social network where vertices are rich documents, traversed and
+// aggregated with the unified query language.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/unidb"
+)
+
+func main() {
+	db, err := unidb.Open(unidb.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	if err := seed(db); err != nil {
+		log.Fatal(err)
+	}
+
+	// Friends-of-friends (depth 2), excluding direct friends.
+	res, err := db.Query(`
+		FOR v IN 2..2 OUTBOUND 'alice' net.follows
+		  RETURN v.name`, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("alice's friends-of-friends:", unidb.Strings(res))
+
+	// Shortest path through the network.
+	err = db.View(func(tx *unidb.Txn) error {
+		path, err := tx.ShortestPath("net", "alice", "erin")
+		if err != nil {
+			return err
+		}
+		fmt.Println("shortest path alice -> erin:", path)
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Mixed graph + document predicate: reachable people who like Go,
+	// grouped by city.
+	res, err = db.Query(`
+		FOR v IN 1..3 OUTBOUND 'alice' net.follows
+		  FILTER 'go' IN v.interests
+		  COLLECT city = v.city INTO g
+		  SORT city
+		  RETURN {city: city, people: g[*].v.name}`, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("go fans reachable from alice, by city:")
+	for _, v := range res.Values {
+		fmt.Printf("  %s: %v\n", v.GetOr("city").AsString(), v.GetOr("people"))
+	}
+
+	// Degree statistics via MSQL over the vertex set.
+	res, err = db.SQL(`
+		SELECT city, COUNT(*) AS n FROM net v GROUP BY v.city ORDER BY n DESC, city`, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("population by city (MSQL):")
+	for _, v := range res.Values {
+		fmt.Printf("  %-10s %d\n", v.GetOr("city").AsString(), v.GetOr("n").AsInt())
+	}
+}
+
+func seed(db *unidb.Database) error {
+	people := map[string]string{
+		"alice": `{"name":"Alice","city":"Helsinki","interests":["go","graphs"]}`,
+		"bob":   `{"name":"Bob","city":"Prague","interests":["sql"]}`,
+		"carol": `{"name":"Carol","city":"Prague","interests":["go"]}`,
+		"dave":  `{"name":"Dave","city":"Helsinki","interests":["go","xml"]}`,
+		"erin":  `{"name":"Erin","city":"Berlin","interests":["rdf"]}`,
+	}
+	follows := [][2]string{
+		{"alice", "bob"}, {"alice", "carol"},
+		{"bob", "dave"}, {"carol", "dave"}, {"dave", "erin"},
+	}
+	return db.Update(func(tx *unidb.Txn) error {
+		if err := tx.CreateGraph("net"); err != nil {
+			return err
+		}
+		for key, doc := range people {
+			if err := tx.PutVertex("net", key, unidb.MustParseJSON(doc)); err != nil {
+				return err
+			}
+		}
+		for _, e := range follows {
+			if _, err := tx.Connect("net", e[0], e[1], "follows"); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}

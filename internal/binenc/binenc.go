@@ -1,0 +1,181 @@
+// Package binenc implements the compact binary record encoding used to
+// persist mmvalue Values in keyspaces and in the write-ahead log. Unlike
+// keyenc it is not order-preserving; it optimizes for size and decode speed
+// (a tag byte plus varint-framed payloads, in the spirit of BSON/VelocyPack).
+package binenc
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/mmvalue"
+)
+
+const (
+	tNull   = 0x00
+	tFalse  = 0x01
+	tTrue   = 0x02
+	tInt    = 0x03 // zigzag varint
+	tFloat  = 0x04 // 8-byte little-endian IEEE754
+	tString = 0x05 // varint length + bytes
+	tBytes  = 0x06 // varint length + bytes
+	tArray  = 0x07 // varint count + elements
+	tObject = 0x08 // varint count + (string name, value)*
+)
+
+// Append encodes v onto dst and returns the extended slice.
+func Append(dst []byte, v mmvalue.Value) []byte {
+	switch v.Kind() {
+	case mmvalue.KindNull:
+		return append(dst, tNull)
+	case mmvalue.KindBool:
+		if v.AsBool() {
+			return append(dst, tTrue)
+		}
+		return append(dst, tFalse)
+	case mmvalue.KindInt:
+		dst = append(dst, tInt)
+		return binary.AppendVarint(dst, v.AsInt())
+	case mmvalue.KindFloat:
+		dst = append(dst, tFloat)
+		return binary.LittleEndian.AppendUint64(dst, math.Float64bits(v.AsFloat()))
+	case mmvalue.KindString:
+		dst = append(dst, tString)
+		dst = binary.AppendUvarint(dst, uint64(len(v.AsString())))
+		return append(dst, v.AsString()...)
+	case mmvalue.KindBytes:
+		dst = append(dst, tBytes)
+		dst = binary.AppendUvarint(dst, uint64(len(v.AsBytes())))
+		return append(dst, v.AsBytes()...)
+	case mmvalue.KindArray:
+		dst = append(dst, tArray)
+		dst = binary.AppendUvarint(dst, uint64(v.Len()))
+		for _, e := range v.AsArray() {
+			dst = Append(dst, e)
+		}
+		return dst
+	case mmvalue.KindObject:
+		dst = append(dst, tObject)
+		dst = binary.AppendUvarint(dst, uint64(v.Len()))
+		for _, f := range v.Fields() {
+			dst = binary.AppendUvarint(dst, uint64(len(f.Name)))
+			dst = append(dst, f.Name...)
+			dst = Append(dst, f.Value)
+		}
+		return dst
+	}
+	panic(fmt.Sprintf("binenc: unknown kind %v", v.Kind()))
+}
+
+// Encode encodes v into a fresh buffer.
+func Encode(v mmvalue.Value) []byte { return Append(nil, v) }
+
+// Decode decodes a single value from data, requiring exactly one value with
+// no trailing bytes.
+func Decode(data []byte) (mmvalue.Value, error) {
+	v, n, err := decodeOne(data)
+	if err != nil {
+		return mmvalue.Null, err
+	}
+	if n != len(data) {
+		return mmvalue.Null, fmt.Errorf("binenc: %d trailing bytes", len(data)-n)
+	}
+	return v, nil
+}
+
+// MustDecode is Decode that panics on error; for internal store reads where
+// corruption indicates a bug rather than bad input.
+func MustDecode(data []byte) mmvalue.Value {
+	v, err := Decode(data)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+func decodeOne(b []byte) (mmvalue.Value, int, error) {
+	if len(b) == 0 {
+		return mmvalue.Null, 0, fmt.Errorf("binenc: empty input")
+	}
+	switch b[0] {
+	case tNull:
+		return mmvalue.Null, 1, nil
+	case tFalse:
+		return mmvalue.False, 1, nil
+	case tTrue:
+		return mmvalue.True, 1, nil
+	case tInt:
+		i, n := binary.Varint(b[1:])
+		if n <= 0 {
+			return mmvalue.Null, 0, fmt.Errorf("binenc: bad varint")
+		}
+		return mmvalue.Int(i), 1 + n, nil
+	case tFloat:
+		if len(b) < 9 {
+			return mmvalue.Null, 0, fmt.Errorf("binenc: short float")
+		}
+		return mmvalue.Float(math.Float64frombits(binary.LittleEndian.Uint64(b[1:9]))), 9, nil
+	case tString, tBytes:
+		ln, n := binary.Uvarint(b[1:])
+		if n <= 0 {
+			return mmvalue.Null, 0, fmt.Errorf("binenc: bad length")
+		}
+		start := 1 + n
+		end := start + int(ln)
+		if end > len(b) || end < start {
+			return mmvalue.Null, 0, fmt.Errorf("binenc: short payload")
+		}
+		if b[0] == tString {
+			return mmvalue.String(string(b[start:end])), end, nil
+		}
+		out := make([]byte, ln)
+		copy(out, b[start:end])
+		return mmvalue.Bytes(out), end, nil
+	case tArray:
+		count, n := binary.Uvarint(b[1:])
+		if n <= 0 {
+			return mmvalue.Null, 0, fmt.Errorf("binenc: bad count")
+		}
+		off := 1 + n
+		elems := make([]mmvalue.Value, 0, count)
+		for i := uint64(0); i < count; i++ {
+			v, m, err := decodeOne(b[off:])
+			if err != nil {
+				return mmvalue.Null, 0, err
+			}
+			elems = append(elems, v)
+			off += m
+		}
+		return mmvalue.ArrayOf(elems), off, nil
+	case tObject:
+		count, n := binary.Uvarint(b[1:])
+		if n <= 0 {
+			return mmvalue.Null, 0, fmt.Errorf("binenc: bad count")
+		}
+		off := 1 + n
+		fields := make([]mmvalue.Field, 0, count)
+		for i := uint64(0); i < count; i++ {
+			ln, m := binary.Uvarint(b[off:])
+			if m <= 0 {
+				return mmvalue.Null, 0, fmt.Errorf("binenc: bad name length")
+			}
+			off += m
+			end := off + int(ln)
+			if end > len(b) || end < off {
+				return mmvalue.Null, 0, fmt.Errorf("binenc: short name")
+			}
+			name := string(b[off:end])
+			off = end
+			v, m2, err := decodeOne(b[off:])
+			if err != nil {
+				return mmvalue.Null, 0, err
+			}
+			fields = append(fields, mmvalue.F(name, v))
+			off += m2
+		}
+		return mmvalue.ObjectOf(fields), off, nil
+	default:
+		return mmvalue.Null, 0, fmt.Errorf("binenc: unknown tag %#x", b[0])
+	}
+}

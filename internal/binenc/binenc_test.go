@@ -1,0 +1,172 @@
+package binenc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mmvalue"
+)
+
+func genValue(r *rand.Rand, depth int) mmvalue.Value {
+	k := r.Intn(8)
+	if depth <= 0 && k >= 6 {
+		k = r.Intn(6)
+	}
+	switch k {
+	case 0:
+		return mmvalue.Null
+	case 1:
+		return mmvalue.Bool(r.Intn(2) == 0)
+	case 2:
+		return mmvalue.Int(r.Int63() - (1 << 62))
+	case 3:
+		return mmvalue.Float(r.NormFloat64() * 1e6)
+	case 4:
+		n := r.Intn(12)
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = byte(r.Intn(256))
+		}
+		return mmvalue.String(string(b))
+	case 5:
+		b := make([]byte, r.Intn(12))
+		r.Read(b)
+		return mmvalue.Bytes(b)
+	case 6:
+		n := r.Intn(5)
+		arr := make([]mmvalue.Value, n)
+		for i := range arr {
+			arr[i] = genValue(r, depth-1)
+		}
+		return mmvalue.ArrayOf(arr)
+	default:
+		n := r.Intn(5)
+		fields := make([]mmvalue.Field, 0, n)
+		for i := 0; i < n; i++ {
+			fields = append(fields, mmvalue.F(randKey(r), genValue(r, depth-1)))
+		}
+		return mmvalue.ObjectOf(fields)
+	}
+}
+
+func randKey(r *rand.Rand) string {
+	n := 1 + r.Intn(6)
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte('a' + r.Intn(26))
+	}
+	return string(b)
+}
+
+func TestRoundTripBasics(t *testing.T) {
+	values := []mmvalue.Value{
+		mmvalue.Null, mmvalue.True, mmvalue.False,
+		mmvalue.Int(0), mmvalue.Int(-1), mmvalue.Int(math.MaxInt64), mmvalue.Int(math.MinInt64),
+		mmvalue.Float(0), mmvalue.Float(-2.25), mmvalue.Float(math.Inf(1)), mmvalue.Float(1e-300),
+		mmvalue.String(""), mmvalue.String("héllo \x00 wörld"),
+		mmvalue.Bytes(nil), mmvalue.Bytes([]byte{0, 255, 0}),
+		mmvalue.Array(),
+		mmvalue.Object(),
+		mmvalue.MustParseJSON(`{"Order_no":"0c6df508","Orderlines":[{"Product_no":"2724f","Price":66}]}`),
+	}
+	for _, v := range values {
+		back, err := Decode(Encode(v))
+		if err != nil {
+			t.Fatalf("Decode(Encode(%v)): %v", v, err)
+		}
+		if !mmvalue.Equal(back, v) || back.Kind() != v.Kind() {
+			t.Errorf("round trip %v -> %v", v, back)
+		}
+	}
+}
+
+func TestNaNRoundTrip(t *testing.T) {
+	back, err := Decode(Encode(mmvalue.Float(math.NaN())))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(back.AsFloat()) {
+		t.Fatalf("NaN round trip = %v", back)
+	}
+}
+
+func TestPropertyRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		v := genValue(r, 4)
+		back, err := Decode(Encode(v))
+		return err == nil && mmvalue.Equal(back, v) && back.Kind() == v.Kind()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeTrailingBytes(t *testing.T) {
+	data := append(Encode(mmvalue.Int(1)), 0x00)
+	if _, err := Decode(data); err == nil {
+		t.Fatal("trailing bytes should fail")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	bad := [][]byte{
+		{},                 // empty
+		{0x04, 1, 2},       // short float
+		{0x05, 0x05, 'a'},  // short string payload
+		{0x07, 0x02, 0x03}, // array element error propagates
+		{0x08, 0x01, 0x05}, // object name error
+		{0x99},             // unknown tag
+	}
+	for _, b := range bad {
+		if _, err := Decode(b); err == nil {
+			t.Errorf("Decode(%x) should fail", b)
+		}
+	}
+}
+
+func TestDecodedBytesDoNotAlias(t *testing.T) {
+	src := Encode(mmvalue.Bytes([]byte{1, 2, 3}))
+	v, err := Decode(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src[len(src)-1] = 99
+	if v.AsBytes()[2] == 99 {
+		t.Fatal("decoded bytes alias the input buffer")
+	}
+}
+
+func TestMustDecodePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustDecode should panic on bad input")
+		}
+	}()
+	MustDecode([]byte{0x99})
+}
+
+func BenchmarkEncodeOrderDoc(b *testing.B) {
+	doc := mmvalue.MustParseJSON(`{"Order_no":"0c6df508","Orderlines":[
+		{"Product_no":"2724f","Product_Name":"Toy","Price":66},
+		{"Product_no":"3424g","Product_Name":"Book","Price":40}]}`)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Encode(doc)
+	}
+}
+
+func BenchmarkDecodeOrderDoc(b *testing.B) {
+	doc := mmvalue.MustParseJSON(`{"Order_no":"0c6df508","Orderlines":[
+		{"Product_no":"2724f","Product_Name":"Toy","Price":66},
+		{"Product_no":"3424g","Product_Name":"Book","Price":40}]}`)
+	data := Encode(doc)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

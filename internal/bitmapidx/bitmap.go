@@ -1,0 +1,243 @@
+// Package bitmapidx implements bitmap and bitslice indexes, the InterSystems
+// Caché row of the tutorial's index classification: "a series of highly
+// compressed bitstrings to represent the set of object IDs … extended with a
+// bitslice index for numeric data fields used for a SUM, COUNT, or AVG".
+//
+// A Bitmap index keeps one bitset per distinct value of a low-cardinality
+// column; predicates become bitwise AND/OR/NOT. A Bitslice index keeps one
+// bitset per bit of the binary representation of a numeric column, answering
+// SUM/COUNT/AVG without touching rows: SUM = Σ_i 2^i · popcount(slice_i).
+package bitmapidx
+
+import "math/bits"
+
+// Bitset is a dense bitset over row ordinals.
+type Bitset struct {
+	words []uint64
+}
+
+// NewBitset returns an empty bitset.
+func NewBitset() *Bitset { return &Bitset{} }
+
+// Set marks row i.
+func (b *Bitset) Set(i int) {
+	w := i >> 6
+	for len(b.words) <= w {
+		b.words = append(b.words, 0)
+	}
+	b.words[w] |= 1 << (uint(i) & 63)
+}
+
+// Clear unmarks row i.
+func (b *Bitset) Clear(i int) {
+	w := i >> 6
+	if w < len(b.words) {
+		b.words[w] &^= 1 << (uint(i) & 63)
+	}
+}
+
+// Has reports whether row i is marked.
+func (b *Bitset) Has(i int) bool {
+	w := i >> 6
+	return w < len(b.words) && b.words[w]&(1<<(uint(i)&63)) != 0
+}
+
+// Count returns the number of marked rows (popcount).
+func (b *Bitset) Count() int {
+	n := 0
+	for _, w := range b.words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// And returns the intersection of b and other.
+func (b *Bitset) And(other *Bitset) *Bitset {
+	n := len(b.words)
+	if len(other.words) < n {
+		n = len(other.words)
+	}
+	out := &Bitset{words: make([]uint64, n)}
+	for i := 0; i < n; i++ {
+		out.words[i] = b.words[i] & other.words[i]
+	}
+	return out
+}
+
+// Or returns the union of b and other.
+func (b *Bitset) Or(other *Bitset) *Bitset {
+	long, short := b.words, other.words
+	if len(short) > len(long) {
+		long, short = short, long
+	}
+	out := &Bitset{words: make([]uint64, len(long))}
+	copy(out.words, long)
+	for i, w := range short {
+		out.words[i] |= w
+	}
+	return out
+}
+
+// AndNot returns rows in b but not in other.
+func (b *Bitset) AndNot(other *Bitset) *Bitset {
+	out := &Bitset{words: make([]uint64, len(b.words))}
+	copy(out.words, b.words)
+	for i := 0; i < len(out.words) && i < len(other.words); i++ {
+		out.words[i] &^= other.words[i]
+	}
+	return out
+}
+
+// ForEach calls fn with each marked row ordinal in ascending order.
+func (b *Bitset) ForEach(fn func(i int) bool) {
+	for wi, w := range b.words {
+		for w != 0 {
+			bit := bits.TrailingZeros64(w)
+			if !fn(wi<<6 + bit) {
+				return
+			}
+			w &^= 1 << uint(bit)
+		}
+	}
+}
+
+// Bitmap is a bitmap index: distinct value -> bitset of row ordinals.
+// Values are pre-rendered to strings by the caller (the relational layer
+// uses the canonical text of the column value).
+type Bitmap struct {
+	sets map[string]*Bitset
+	all  *Bitset
+}
+
+// NewBitmap returns an empty bitmap index.
+func NewBitmap() *Bitmap {
+	return &Bitmap{sets: map[string]*Bitset{}, all: NewBitset()}
+}
+
+// Add marks row i as having the given value.
+func (m *Bitmap) Add(value string, i int) {
+	s := m.sets[value]
+	if s == nil {
+		s = NewBitset()
+		m.sets[value] = s
+	}
+	s.Set(i)
+	m.all.Set(i)
+}
+
+// Remove unmarks row i for the given value.
+func (m *Bitmap) Remove(value string, i int) {
+	if s := m.sets[value]; s != nil {
+		s.Clear(i)
+		if s.Count() == 0 {
+			delete(m.sets, value)
+		}
+	}
+	m.all.Clear(i)
+}
+
+// Eq returns the bitset of rows whose value equals v (never nil).
+func (m *Bitmap) Eq(v string) *Bitset {
+	if s := m.sets[v]; s != nil {
+		return s
+	}
+	return NewBitset()
+}
+
+// In returns the union bitset over several values.
+func (m *Bitmap) In(vs ...string) *Bitset {
+	out := NewBitset()
+	for _, v := range vs {
+		out = out.Or(m.Eq(v))
+	}
+	return out
+}
+
+// Not returns rows indexed under any value other than v.
+func (m *Bitmap) Not(v string) *Bitset { return m.all.AndNot(m.Eq(v)) }
+
+// All returns the bitset of every indexed row.
+func (m *Bitmap) All() *Bitset { return m.all }
+
+// Cardinality returns the number of distinct values.
+func (m *Bitmap) Cardinality() int { return len(m.sets) }
+
+// Bitslice is a bitslice index over a non-negative integer column: slice i
+// holds the rows whose value has bit i set. SUM, COUNT, and AVG over any row
+// selection are computed from popcounts alone.
+type Bitslice struct {
+	slices [64]*Bitset
+	rows   *Bitset
+}
+
+// NewBitslice returns an empty bitslice index.
+func NewBitslice() *Bitslice {
+	bs := &Bitslice{rows: NewBitset()}
+	for i := range bs.slices {
+		bs.slices[i] = NewBitset()
+	}
+	return bs
+}
+
+// Add records value for row i. Values must be non-negative (the relational
+// layer offsets signed columns before indexing).
+func (bs *Bitslice) Add(i int, value uint64) {
+	bs.rows.Set(i)
+	for b := 0; b < 64; b++ {
+		if value&(1<<uint(b)) != 0 {
+			bs.slices[b].Set(i)
+		}
+	}
+}
+
+// Remove forgets row i (the caller supplies the value it held).
+func (bs *Bitslice) Remove(i int, value uint64) {
+	bs.rows.Clear(i)
+	for b := 0; b < 64; b++ {
+		if value&(1<<uint(b)) != 0 {
+			bs.slices[b].Clear(i)
+		}
+	}
+}
+
+// Sum returns Σ value(row) over rows in sel, using only popcounts of masked
+// words — no per-slice allocation. A nil sel sums every indexed row.
+func (bs *Bitslice) Sum(sel *Bitset) uint64 {
+	var total uint64
+	for b := 0; b < 64; b++ {
+		words := bs.slices[b].words
+		var count int
+		if sel == nil {
+			for _, w := range words {
+				count += bits.OnesCount64(w)
+			}
+		} else {
+			n := len(words)
+			if len(sel.words) < n {
+				n = len(sel.words)
+			}
+			for i := 0; i < n; i++ {
+				count += bits.OnesCount64(words[i] & sel.words[i])
+			}
+		}
+		total += uint64(count) << uint(b)
+	}
+	return total
+}
+
+// Count returns the number of indexed rows in sel (or all rows).
+func (bs *Bitslice) Count(sel *Bitset) int {
+	if sel == nil {
+		return bs.rows.Count()
+	}
+	return bs.rows.And(sel).Count()
+}
+
+// Avg returns the mean value over sel and whether any row matched.
+func (bs *Bitslice) Avg(sel *Bitset) (float64, bool) {
+	n := bs.Count(sel)
+	if n == 0 {
+		return 0, false
+	}
+	return float64(bs.Sum(sel)) / float64(n), true
+}

@@ -1,0 +1,231 @@
+package bitmapidx
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBitsetBasics(t *testing.T) {
+	b := NewBitset()
+	if b.Count() != 0 || b.Has(0) {
+		t.Fatal("empty bitset wrong")
+	}
+	b.Set(0)
+	b.Set(63)
+	b.Set(64)
+	b.Set(1000)
+	if b.Count() != 4 {
+		t.Fatalf("Count = %d", b.Count())
+	}
+	for _, i := range []int{0, 63, 64, 1000} {
+		if !b.Has(i) {
+			t.Fatalf("Has(%d) = false", i)
+		}
+	}
+	if b.Has(1) || b.Has(999) {
+		t.Fatal("spurious bits")
+	}
+	b.Clear(63)
+	if b.Has(63) || b.Count() != 3 {
+		t.Fatal("Clear failed")
+	}
+	b.Clear(99999) // clear beyond words is a no-op
+	// Set is idempotent.
+	b.Set(0)
+	if b.Count() != 3 {
+		t.Fatal("double Set changed count")
+	}
+}
+
+func TestBitsetOps(t *testing.T) {
+	a, b := NewBitset(), NewBitset()
+	for _, i := range []int{1, 2, 3, 200} {
+		a.Set(i)
+	}
+	for _, i := range []int{2, 3, 4} {
+		b.Set(i)
+	}
+	and := a.And(b)
+	if and.Count() != 2 || !and.Has(2) || !and.Has(3) {
+		t.Fatalf("And wrong: count=%d", and.Count())
+	}
+	or := a.Or(b)
+	if or.Count() != 5 || !or.Has(200) || !or.Has(4) {
+		t.Fatalf("Or wrong: count=%d", or.Count())
+	}
+	diff := a.AndNot(b)
+	if diff.Count() != 2 || !diff.Has(1) || !diff.Has(200) {
+		t.Fatalf("AndNot wrong: count=%d", diff.Count())
+	}
+}
+
+func TestBitsetForEach(t *testing.T) {
+	b := NewBitset()
+	want := []int{3, 64, 65, 500}
+	for _, i := range want {
+		b.Set(i)
+	}
+	var got []int
+	b.ForEach(func(i int) bool { got = append(got, i); return true })
+	if len(got) != len(want) {
+		t.Fatalf("ForEach = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ForEach order = %v", got)
+		}
+	}
+	// Early stop.
+	n := 0
+	b.ForEach(func(i int) bool { n++; return false })
+	if n != 1 {
+		t.Fatalf("early stop visited %d", n)
+	}
+}
+
+func TestBitmapIndex(t *testing.T) {
+	m := NewBitmap()
+	// Rows: country of each customer.
+	countries := []string{"CZ", "FI", "CZ", "DE", "FI", "CZ"}
+	for i, c := range countries {
+		m.Add(c, i)
+	}
+	if m.Cardinality() != 3 {
+		t.Fatalf("Cardinality = %d", m.Cardinality())
+	}
+	if got := m.Eq("CZ").Count(); got != 3 {
+		t.Fatalf("Eq(CZ) = %d", got)
+	}
+	if got := m.Eq("XX").Count(); got != 0 {
+		t.Fatalf("Eq(XX) = %d", got)
+	}
+	if got := m.In("CZ", "DE").Count(); got != 4 {
+		t.Fatalf("In = %d", got)
+	}
+	if got := m.Not("CZ").Count(); got != 3 {
+		t.Fatalf("Not(CZ) = %d", got)
+	}
+	m.Remove("CZ", 0)
+	if got := m.Eq("CZ").Count(); got != 2 {
+		t.Fatalf("after Remove Eq(CZ) = %d", got)
+	}
+	if m.All().Count() != 5 {
+		t.Fatalf("All after remove = %d", m.All().Count())
+	}
+}
+
+func TestBitsliceAggregates(t *testing.T) {
+	bs := NewBitslice()
+	values := []uint64{66, 40, 34, 5000, 0, 127}
+	var wantSum uint64
+	for i, v := range values {
+		bs.Add(i, v)
+		wantSum += v
+	}
+	if got := bs.Sum(nil); got != wantSum {
+		t.Fatalf("Sum = %d, want %d", got, wantSum)
+	}
+	if got := bs.Count(nil); got != len(values) {
+		t.Fatalf("Count = %d", got)
+	}
+	avg, ok := bs.Avg(nil)
+	if !ok || avg != float64(wantSum)/float64(len(values)) {
+		t.Fatalf("Avg = %v, %v", avg, ok)
+	}
+	// Selection: rows 0 and 3 only.
+	sel := NewBitset()
+	sel.Set(0)
+	sel.Set(3)
+	if got := bs.Sum(sel); got != 66+5000 {
+		t.Fatalf("Sum(sel) = %d", got)
+	}
+	if got := bs.Count(sel); got != 2 {
+		t.Fatalf("Count(sel) = %d", got)
+	}
+	// Remove a row.
+	bs.Remove(3, 5000)
+	if got := bs.Sum(nil); got != wantSum-5000 {
+		t.Fatalf("Sum after remove = %d", got)
+	}
+	// Empty selection average.
+	if _, ok := bs.Avg(NewBitset()); ok {
+		t.Fatal("Avg over empty selection should report not-ok")
+	}
+}
+
+func TestPropertyBitsliceSumMatchesLoop(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		bs := NewBitslice()
+		n := 1 + r.Intn(200)
+		vals := make([]uint64, n)
+		for i := range vals {
+			vals[i] = uint64(r.Intn(1 << 20))
+			bs.Add(i, vals[i])
+		}
+		sel := NewBitset()
+		var want uint64
+		count := 0
+		for i := range vals {
+			if r.Intn(2) == 0 {
+				sel.Set(i)
+				want += vals[i]
+				count++
+			}
+		}
+		return bs.Sum(sel) == want && bs.Count(sel) == count
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyBitsetAlgebra(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := NewBitset(), NewBitset()
+		ref := map[int][2]bool{}
+		for i := 0; i < 100; i++ {
+			row := r.Intn(300)
+			e := ref[row]
+			if r.Intn(2) == 0 {
+				a.Set(row)
+				e[0] = true
+			} else {
+				b.Set(row)
+				e[1] = true
+			}
+			ref[row] = e
+		}
+		and, or, diff := a.And(b), a.Or(b), a.AndNot(b)
+		for row, e := range ref {
+			if and.Has(row) != (e[0] && e[1]) {
+				return false
+			}
+			if or.Has(row) != (e[0] || e[1]) {
+				return false
+			}
+			if diff.Has(row) != (e[0] && !e[1]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkBitsliceSum(b *testing.B) {
+	bs := NewBitslice()
+	r := rand.New(rand.NewSource(1))
+	const n = 100000
+	for i := 0; i < n; i++ {
+		bs.Add(i, uint64(r.Intn(10000)))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bs.Sum(nil)
+	}
+}

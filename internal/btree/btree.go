@@ -1,0 +1,408 @@
+// Package btree implements an in-memory B+tree over []byte keys compared
+// with bytes.Compare. It is the ordered heart of unidb's integrated backend:
+// every keyspace — and therefore every collection, table, bucket, graph edge
+// index, XML node store, and RDF permutation — is a tree from this package.
+//
+// Values live only in leaves; interior nodes hold separator keys. Leaves are
+// linked for fast ascending range scans. The tree is not internally
+// synchronized; the engine layer serializes access.
+package btree
+
+import (
+	"bytes"
+	"fmt"
+)
+
+// degree is the maximum number of keys in a node before it splits. 32 keeps
+// nodes within a couple of cache lines of pointers while staying shallow.
+const degree = 32
+
+// Tree is a B+tree mapping []byte keys to []byte values. The zero value is
+// not usable; call New.
+type Tree struct {
+	root *node
+	size int
+}
+
+type node struct {
+	leaf     bool
+	keys     [][]byte
+	vals     [][]byte // leaf only, parallel to keys
+	children []*node  // interior only, len(children) == len(keys)+1
+	next     *node    // leaf chain
+	prev     *node
+}
+
+// New returns an empty tree.
+func New() *Tree {
+	return &Tree{root: &node{leaf: true}}
+}
+
+// Len returns the number of stored pairs.
+func (t *Tree) Len() int { return t.size }
+
+// Get returns the value stored under key.
+func (t *Tree) Get(key []byte) ([]byte, bool) {
+	n := t.root
+	for !n.leaf {
+		n = n.children[childIndex(n.keys, key)]
+	}
+	i, found := search(n.keys, key)
+	if !found {
+		return nil, false
+	}
+	return n.vals[i], true
+}
+
+// Put stores value under key, replacing any previous value. Key and value
+// are retained; callers must not mutate them afterwards.
+func (t *Tree) Put(key, value []byte) {
+	replaced := t.root.insert(key, value)
+	if !replaced {
+		t.size++
+	}
+	if len(t.root.keys) > degree {
+		left := t.root
+		mid, right := left.split()
+		t.root = &node{
+			keys:     [][]byte{mid},
+			children: []*node{left, right},
+		}
+	}
+}
+
+// Delete removes key, reporting whether it was present. Underflowed nodes
+// are merged lazily: interior nodes with a single child collapse; empty
+// leaves are unlinked from the chain. This keeps deletes O(log n) without
+// full rebalancing, at the cost of a looser lower bound on node fill — an
+// acceptable trade for an in-memory tree whose nodes are cheap to walk.
+func (t *Tree) Delete(key []byte) bool {
+	deleted := t.root.remove(key)
+	if deleted {
+		t.size--
+	}
+	for !t.root.leaf && len(t.root.children) == 1 {
+		t.root = t.root.children[0]
+	}
+	return deleted
+}
+
+// search returns the position of key in keys and whether it was found.
+func search(keys [][]byte, key []byte) (int, bool) {
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		switch bytes.Compare(keys[mid], key) {
+		case -1:
+			lo = mid + 1
+		case 1:
+			hi = mid
+		default:
+			return mid, true
+		}
+	}
+	return lo, false
+}
+
+// childIndex returns which child of an interior node covers key. Separator
+// keys[i] is the smallest key in children[i+1].
+func childIndex(keys [][]byte, key []byte) int {
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if bytes.Compare(keys[mid], key) <= 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+func (n *node) insert(key, value []byte) (replaced bool) {
+	if n.leaf {
+		i, found := search(n.keys, key)
+		if found {
+			n.vals[i] = value
+			return true
+		}
+		n.keys = insertAt(n.keys, i, key)
+		n.vals = insertAt(n.vals, i, value)
+		return false
+	}
+	ci := childIndex(n.keys, key)
+	child := n.children[ci]
+	replaced = child.insert(key, value)
+	if len(child.keys) > degree {
+		mid, right := child.split()
+		n.keys = insertAt(n.keys, ci, mid)
+		n.children = insertChildAt(n.children, ci+1, right)
+	}
+	return replaced
+}
+
+// split divides an over-full node in two, returning the separator key and
+// the new right sibling.
+func (n *node) split() ([]byte, *node) {
+	half := len(n.keys) / 2
+	right := &node{leaf: n.leaf}
+	if n.leaf {
+		right.keys = append(right.keys, n.keys[half:]...)
+		right.vals = append(right.vals, n.vals[half:]...)
+		n.keys = n.keys[:half:half]
+		n.vals = n.vals[:half:half]
+		right.next = n.next
+		if right.next != nil {
+			right.next.prev = right
+		}
+		right.prev = n
+		n.next = right
+		return right.keys[0], right
+	}
+	// Interior: the middle key moves up, it does not stay in either half.
+	mid := n.keys[half]
+	right.keys = append(right.keys, n.keys[half+1:]...)
+	right.children = append(right.children, n.children[half+1:]...)
+	n.keys = n.keys[:half:half]
+	n.children = n.children[: half+1 : half+1]
+	return mid, right
+}
+
+func (n *node) remove(key []byte) bool {
+	if n.leaf {
+		i, found := search(n.keys, key)
+		if !found {
+			return false
+		}
+		n.keys = append(n.keys[:i], n.keys[i+1:]...)
+		n.vals = append(n.vals[:i], n.vals[i+1:]...)
+		return true
+	}
+	ci := childIndex(n.keys, key)
+	child := n.children[ci]
+	deleted := child.remove(key)
+	if deleted && len(child.keys) == 0 && child.leaf {
+		// Unlink the empty leaf from the chain and drop it, unless it
+		// is the only child (the root collapse handles that case).
+		if len(n.children) > 1 {
+			if child.prev != nil {
+				child.prev.next = child.next
+			}
+			if child.next != nil {
+				child.next.prev = child.prev
+			}
+			n.children = append(n.children[:ci], n.children[ci+1:]...)
+			if ci == 0 {
+				n.keys = n.keys[1:]
+			} else {
+				n.keys = append(n.keys[:ci-1], n.keys[ci:]...)
+			}
+		}
+	}
+	if deleted && !child.leaf && len(child.children) == 1 {
+		n.children[ci] = child.children[0]
+	}
+	return deleted
+}
+
+func insertAt(s [][]byte, i int, v []byte) [][]byte {
+	s = append(s, nil)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}
+
+func insertChildAt(s []*node, i int, v *node) []*node {
+	s = append(s, nil)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}
+
+// Iterator walks pairs in ascending key order.
+type Iterator struct {
+	leaf *node
+	idx  int
+	hi   []byte // exclusive upper bound; nil = unbounded
+}
+
+// Seek returns an iterator positioned at the first key >= lo. A nil lo
+// starts at the smallest key. hi, when non-nil, is an exclusive upper bound.
+func (t *Tree) Seek(lo, hi []byte) *Iterator {
+	n := t.root
+	for !n.leaf {
+		if lo == nil {
+			n = n.children[0]
+		} else {
+			n = n.children[childIndex(n.keys, lo)]
+		}
+	}
+	idx := 0
+	if lo != nil {
+		idx, _ = search(n.keys, lo)
+	}
+	it := &Iterator{leaf: n, idx: idx, hi: hi}
+	it.skipEmpty()
+	return it
+}
+
+// Scan iterates pairs with lo <= key < hi (nil bounds are open) and calls fn
+// for each; fn returning false stops the scan.
+func (t *Tree) Scan(lo, hi []byte, fn func(key, value []byte) bool) {
+	for it := t.Seek(lo, hi); it.Valid(); it.Next() {
+		if !fn(it.Key(), it.Value()) {
+			return
+		}
+	}
+}
+
+// Valid reports whether the iterator is positioned on a pair.
+func (it *Iterator) Valid() bool {
+	if it.leaf == nil || it.idx >= len(it.leaf.keys) {
+		return false
+	}
+	if it.hi != nil && bytes.Compare(it.leaf.keys[it.idx], it.hi) >= 0 {
+		return false
+	}
+	return true
+}
+
+// Key returns the current key. Valid must be true.
+func (it *Iterator) Key() []byte { return it.leaf.keys[it.idx] }
+
+// Value returns the current value. Valid must be true.
+func (it *Iterator) Value() []byte { return it.leaf.vals[it.idx] }
+
+// Next advances to the following pair.
+func (it *Iterator) Next() {
+	it.idx++
+	it.skipEmpty()
+}
+
+func (it *Iterator) skipEmpty() {
+	for it.leaf != nil && it.idx >= len(it.leaf.keys) {
+		it.leaf = it.leaf.next
+		it.idx = 0
+	}
+}
+
+// Min returns the smallest key and its value.
+func (t *Tree) Min() ([]byte, []byte, bool) {
+	n := t.root
+	for !n.leaf {
+		n = n.children[0]
+	}
+	for n != nil && len(n.keys) == 0 {
+		n = n.next
+	}
+	if n == nil {
+		return nil, nil, false
+	}
+	return n.keys[0], n.vals[0], true
+}
+
+// Max returns the largest key and its value.
+func (t *Tree) Max() ([]byte, []byte, bool) {
+	n := t.root
+	for !n.leaf {
+		n = n.children[len(n.children)-1]
+	}
+	for n != nil && len(n.keys) == 0 {
+		n = n.prev
+	}
+	if n == nil {
+		return nil, nil, false
+	}
+	return n.keys[len(n.keys)-1], n.vals[len(n.vals)-1], true
+}
+
+// ScanReverse iterates pairs in descending order with lo <= key < hi.
+func (t *Tree) ScanReverse(lo, hi []byte, fn func(key, value []byte) bool) {
+	// Locate the leaf containing the last key < hi.
+	n := t.root
+	for !n.leaf {
+		if hi == nil {
+			n = n.children[len(n.children)-1]
+		} else {
+			n = n.children[childIndex(n.keys, hi)]
+		}
+	}
+	idx := len(n.keys) - 1
+	if hi != nil {
+		i, _ := search(n.keys, hi)
+		idx = i - 1
+	}
+	for n != nil {
+		for idx >= 0 && idx < len(n.keys) {
+			k := n.keys[idx]
+			if lo != nil && bytes.Compare(k, lo) < 0 {
+				return
+			}
+			if !fn(k, n.vals[idx]) {
+				return
+			}
+			idx--
+		}
+		n = n.prev
+		if n != nil {
+			idx = len(n.keys) - 1
+		}
+	}
+}
+
+// Clone returns a structural deep copy of the tree. Key and value slices are
+// shared (they are treated as immutable); node structure is copied. Used by
+// the engine to snapshot keyspaces at checkpoints.
+func (t *Tree) Clone() *Tree {
+	out := New()
+	t.Scan(nil, nil, func(k, v []byte) bool {
+		out.Put(k, v)
+		return true
+	})
+	return out
+}
+
+// check validates tree invariants; used by tests.
+func (t *Tree) check() error {
+	var prev []byte
+	count := 0
+	var walk func(n *node, depth int) (int, error)
+	walk = func(n *node, depth int) (int, error) {
+		if n.leaf {
+			for i, k := range n.keys {
+				if prev != nil && bytes.Compare(prev, k) >= 0 {
+					return 0, fmt.Errorf("btree: keys out of order at leaf idx %d", i)
+				}
+				prev = k
+				count++
+			}
+			if len(n.vals) != len(n.keys) {
+				return 0, fmt.Errorf("btree: leaf vals/keys mismatch")
+			}
+			return depth, nil
+		}
+		if len(n.children) != len(n.keys)+1 {
+			return 0, fmt.Errorf("btree: interior children/keys mismatch: %d vs %d", len(n.children), len(n.keys))
+		}
+		d0 := -1
+		for _, c := range n.children {
+			d, err := walk(c, depth+1)
+			if err != nil {
+				return 0, err
+			}
+			if d0 == -1 {
+				d0 = d
+			} else if d != d0 {
+				return 0, fmt.Errorf("btree: uneven leaf depth")
+			}
+		}
+		return d0, nil
+	}
+	if _, err := walk(t.root, 0); err != nil {
+		return err
+	}
+	if count != t.size {
+		return fmt.Errorf("btree: size %d but %d reachable keys", t.size, count)
+	}
+	return nil
+}

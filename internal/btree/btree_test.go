@@ -1,0 +1,359 @@
+package btree
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func key(i int) []byte   { return []byte(fmt.Sprintf("key%08d", i)) }
+func value(i int) []byte { return []byte(fmt.Sprintf("val%d", i)) }
+
+func TestEmptyTree(t *testing.T) {
+	tr := New()
+	if tr.Len() != 0 {
+		t.Fatal("empty tree should have Len 0")
+	}
+	if _, ok := tr.Get([]byte("x")); ok {
+		t.Fatal("Get on empty tree should fail")
+	}
+	if tr.Delete([]byte("x")) {
+		t.Fatal("Delete on empty tree should report false")
+	}
+	if _, _, ok := tr.Min(); ok {
+		t.Fatal("Min on empty tree should fail")
+	}
+	if _, _, ok := tr.Max(); ok {
+		t.Fatal("Max on empty tree should fail")
+	}
+	n := 0
+	tr.Scan(nil, nil, func(k, v []byte) bool { n++; return true })
+	if n != 0 {
+		t.Fatal("Scan on empty tree should visit nothing")
+	}
+}
+
+func TestPutGetSequential(t *testing.T) {
+	tr := New()
+	const n = 5000
+	for i := 0; i < n; i++ {
+		tr.Put(key(i), value(i))
+	}
+	if tr.Len() != n {
+		t.Fatalf("Len = %d, want %d", tr.Len(), n)
+	}
+	if err := tr.check(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		v, ok := tr.Get(key(i))
+		if !ok || !bytes.Equal(v, value(i)) {
+			t.Fatalf("Get(%s) = %s, %v", key(i), v, ok)
+		}
+	}
+}
+
+func TestPutReplace(t *testing.T) {
+	tr := New()
+	tr.Put([]byte("k"), []byte("v1"))
+	tr.Put([]byte("k"), []byte("v2"))
+	if tr.Len() != 1 {
+		t.Fatalf("Len after replace = %d", tr.Len())
+	}
+	v, _ := tr.Get([]byte("k"))
+	if string(v) != "v2" {
+		t.Fatalf("Get = %s", v)
+	}
+}
+
+func TestPutGetRandomOrder(t *testing.T) {
+	tr := New()
+	r := rand.New(rand.NewSource(7))
+	perm := r.Perm(3000)
+	for _, i := range perm {
+		tr.Put(key(i), value(i))
+	}
+	if err := tr.check(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3000; i++ {
+		if v, ok := tr.Get(key(i)); !ok || !bytes.Equal(v, value(i)) {
+			t.Fatalf("Get(%s) failed after random inserts", key(i))
+		}
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tr := New()
+	const n = 2000
+	for i := 0; i < n; i++ {
+		tr.Put(key(i), value(i))
+	}
+	// Delete odd keys.
+	for i := 1; i < n; i += 2 {
+		if !tr.Delete(key(i)) {
+			t.Fatalf("Delete(%s) reported missing", key(i))
+		}
+	}
+	if tr.Len() != n/2 {
+		t.Fatalf("Len = %d, want %d", tr.Len(), n/2)
+	}
+	if err := tr.check(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		_, ok := tr.Get(key(i))
+		if want := i%2 == 0; ok != want {
+			t.Fatalf("Get(%s) = %v, want %v", key(i), ok, want)
+		}
+	}
+	// Double delete reports false.
+	if tr.Delete(key(1)) {
+		t.Fatal("second Delete should report false")
+	}
+}
+
+func TestDeleteAll(t *testing.T) {
+	tr := New()
+	const n = 1000
+	for i := 0; i < n; i++ {
+		tr.Put(key(i), value(i))
+	}
+	r := rand.New(rand.NewSource(3))
+	for _, i := range r.Perm(n) {
+		if !tr.Delete(key(i)) {
+			t.Fatalf("Delete(%s) failed", key(i))
+		}
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d after deleting everything", tr.Len())
+	}
+	if err := tr.check(); err != nil {
+		t.Fatal(err)
+	}
+	// Tree stays usable.
+	tr.Put([]byte("again"), []byte("yes"))
+	if v, ok := tr.Get([]byte("again")); !ok || string(v) != "yes" {
+		t.Fatal("tree unusable after full drain")
+	}
+}
+
+func TestScanRange(t *testing.T) {
+	tr := New()
+	for i := 0; i < 100; i++ {
+		tr.Put(key(i), value(i))
+	}
+	var got []string
+	tr.Scan(key(10), key(20), func(k, v []byte) bool {
+		got = append(got, string(k))
+		return true
+	})
+	if len(got) != 10 || got[0] != string(key(10)) || got[9] != string(key(19)) {
+		t.Fatalf("Scan range = %v", got)
+	}
+	// Unbounded scan returns sorted order.
+	var all []string
+	tr.Scan(nil, nil, func(k, v []byte) bool {
+		all = append(all, string(k))
+		return true
+	})
+	if len(all) != 100 || !sort.StringsAreSorted(all) {
+		t.Fatalf("full scan wrong: %d items, sorted=%v", len(all), sort.StringsAreSorted(all))
+	}
+	// Early stop.
+	count := 0
+	tr.Scan(nil, nil, func(k, v []byte) bool {
+		count++
+		return count < 5
+	})
+	if count != 5 {
+		t.Fatalf("early stop visited %d", count)
+	}
+}
+
+func TestScanReverse(t *testing.T) {
+	tr := New()
+	for i := 0; i < 100; i++ {
+		tr.Put(key(i), value(i))
+	}
+	var got []string
+	tr.ScanReverse(key(10), key(20), func(k, v []byte) bool {
+		got = append(got, string(k))
+		return true
+	})
+	if len(got) != 10 || got[0] != string(key(19)) || got[9] != string(key(10)) {
+		t.Fatalf("reverse range = %v", got)
+	}
+	var all []string
+	tr.ScanReverse(nil, nil, func(k, v []byte) bool {
+		all = append(all, string(k))
+		return true
+	})
+	if len(all) != 100 || all[0] != string(key(99)) || all[99] != string(key(0)) {
+		t.Fatalf("full reverse scan wrong: %d items", len(all))
+	}
+}
+
+func TestScanAfterDeletes(t *testing.T) {
+	tr := New()
+	for i := 0; i < 500; i++ {
+		tr.Put(key(i), value(i))
+	}
+	for i := 0; i < 500; i += 3 {
+		tr.Delete(key(i))
+	}
+	var got []string
+	tr.Scan(nil, nil, func(k, v []byte) bool {
+		got = append(got, string(k))
+		return true
+	})
+	if !sort.StringsAreSorted(got) {
+		t.Fatal("scan after deletes out of order")
+	}
+	if len(got) != tr.Len() {
+		t.Fatalf("scan saw %d, Len() = %d", len(got), tr.Len())
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	tr := New()
+	for i := 50; i < 150; i++ {
+		tr.Put(key(i), value(i))
+	}
+	if k, _, _ := tr.Min(); !bytes.Equal(k, key(50)) {
+		t.Fatalf("Min = %s", k)
+	}
+	if k, _, _ := tr.Max(); !bytes.Equal(k, key(149)) {
+		t.Fatalf("Max = %s", k)
+	}
+}
+
+func TestSeekIterator(t *testing.T) {
+	tr := New()
+	for i := 0; i < 100; i += 2 { // even keys only
+		tr.Put(key(i), value(i))
+	}
+	// Seek to a missing key lands on the next present key.
+	it := tr.Seek(key(11), nil)
+	if !it.Valid() || !bytes.Equal(it.Key(), key(12)) {
+		t.Fatalf("Seek(11) = %s valid=%v", it.Key(), it.Valid())
+	}
+	it.Next()
+	if !bytes.Equal(it.Key(), key(14)) {
+		t.Fatalf("Next = %s", it.Key())
+	}
+	// Seek past the end.
+	it = tr.Seek(key(99), nil)
+	if it.Valid() {
+		t.Fatal("Seek past end should be invalid")
+	}
+}
+
+func TestClone(t *testing.T) {
+	tr := New()
+	for i := 0; i < 200; i++ {
+		tr.Put(key(i), value(i))
+	}
+	cl := tr.Clone()
+	tr.Put(key(999), value(999))
+	tr.Delete(key(0))
+	if cl.Len() != 200 {
+		t.Fatalf("clone Len = %d", cl.Len())
+	}
+	if _, ok := cl.Get(key(0)); !ok {
+		t.Fatal("clone lost key deleted from original")
+	}
+	if _, ok := cl.Get(key(999)); ok {
+		t.Fatal("clone saw key added to original")
+	}
+}
+
+// TestPropertyMatchesMap drives the tree against a reference map with a
+// random operation sequence and checks full agreement.
+func TestPropertyMatchesMap(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tr := New()
+		ref := map[string]string{}
+		for op := 0; op < 400; op++ {
+			k := fmt.Sprintf("k%03d", r.Intn(120))
+			switch r.Intn(3) {
+			case 0, 1:
+				v := fmt.Sprintf("v%d", op)
+				tr.Put([]byte(k), []byte(v))
+				ref[k] = v
+			case 2:
+				_, inRef := ref[k]
+				if tr.Delete([]byte(k)) != inRef {
+					return false
+				}
+				delete(ref, k)
+			}
+		}
+		if tr.Len() != len(ref) {
+			return false
+		}
+		for k, v := range ref {
+			got, ok := tr.Get([]byte(k))
+			if !ok || string(got) != v {
+				return false
+			}
+		}
+		// Scan agrees with sorted reference keys.
+		var keys []string
+		tr.Scan(nil, nil, func(k, v []byte) bool {
+			keys = append(keys, string(k))
+			return true
+		})
+		if len(keys) != len(ref) || !sort.StringsAreSorted(keys) {
+			return false
+		}
+		return tr.check() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkPut(b *testing.B) {
+	tr := New()
+	keys := make([][]byte, b.N)
+	for i := range keys {
+		keys[i] = key(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Put(keys[i], keys[i])
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	tr := New()
+	const n = 100000
+	for i := 0; i < n; i++ {
+		tr.Put(key(i), value(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Get(key(i % n))
+	}
+}
+
+func BenchmarkScan100(b *testing.B) {
+	tr := New()
+	const n = 100000
+	for i := 0; i < n; i++ {
+		tr.Put(key(i), value(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		count := 0
+		tr.Scan(key(i%(n-200)), nil, func(k, v []byte) bool {
+			count++
+			return count < 100
+		})
+	}
+}

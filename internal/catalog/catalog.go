@@ -1,0 +1,249 @@
+// Package catalog is unidb's schema registry: one keyspace holding a
+// metadata document per named object (collection, table, graph, bucket,
+// index, XML document, RDF graph). It also implements the paper's
+// "flexible schema" axis — the three OrientDB schema modes (schema-less,
+// schema-full, schema-hybrid) and AsterixDB's open/closed datatypes — as a
+// validation policy applied by the stores.
+package catalog
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/binenc"
+	"repro/internal/engine"
+	"repro/internal/mmvalue"
+)
+
+const keyspace = "__catalog"
+
+// ErrExists is returned when creating an object that is already registered.
+var ErrExists = errors.New("catalog: object already exists")
+
+// ErrNotFound is returned for missing catalog objects.
+var ErrNotFound = errors.New("catalog: object not found")
+
+// SchemaMode is the validation discipline of a collection.
+type SchemaMode string
+
+// Schema modes (OrientDB terminology from the paper).
+const (
+	// SchemaLess accepts any object.
+	SchemaLess SchemaMode = "schemaless"
+	// SchemaFull requires every declared field and, with Open false,
+	// rejects undeclared fields (AsterixDB "closed" type).
+	SchemaFull SchemaMode = "full"
+	// SchemaHybrid validates declared fields when present but requires
+	// nothing and accepts anything extra.
+	SchemaHybrid SchemaMode = "hybrid"
+)
+
+// FieldDef declares one field of a schema.
+type FieldDef struct {
+	Name     string
+	Type     mmvalue.Kind
+	Required bool
+}
+
+// Schema is a collection-level validation policy.
+type Schema struct {
+	Mode SchemaMode
+	// Open controls whether undeclared fields are allowed in SchemaFull
+	// mode (the AsterixDB open/closed datatype distinction).
+	Open   bool
+	Fields []FieldDef
+}
+
+// Schemaless is the default schema.
+var Schemaless = Schema{Mode: SchemaLess}
+
+// Validate checks doc against the schema.
+func (s Schema) Validate(doc mmvalue.Value) error {
+	if s.Mode == SchemaLess || s.Mode == "" {
+		return nil
+	}
+	if doc.Kind() != mmvalue.KindObject {
+		return fmt.Errorf("catalog: document must be an object, got %v", doc.Kind())
+	}
+	declared := map[string]FieldDef{}
+	for _, f := range s.Fields {
+		declared[f.Name] = f
+		v, present := doc.Get(f.Name)
+		if !present {
+			if s.Mode == SchemaFull && f.Required {
+				return fmt.Errorf("catalog: missing required field %q", f.Name)
+			}
+			continue
+		}
+		if !kindMatches(f.Type, v) {
+			return fmt.Errorf("catalog: field %q has kind %v, want %v", f.Name, v.Kind(), f.Type)
+		}
+	}
+	if s.Mode == SchemaFull && !s.Open {
+		for _, f := range doc.Fields() {
+			if _, ok := declared[f.Name]; !ok {
+				return fmt.Errorf("catalog: undeclared field %q in closed type", f.Name)
+			}
+		}
+	}
+	return nil
+}
+
+// kindMatches allows int where float is declared (numeric promotion) and
+// null anywhere (SQL-style nullable fields; Required covers presence).
+func kindMatches(want mmvalue.Kind, v mmvalue.Value) bool {
+	if v.IsNull() {
+		return true
+	}
+	if v.Kind() == want {
+		return true
+	}
+	return want == mmvalue.KindFloat && v.Kind() == mmvalue.KindInt
+}
+
+// schemaToValue serializes a Schema into a metadata document.
+func schemaToValue(s Schema) mmvalue.Value {
+	fields := make([]mmvalue.Value, len(s.Fields))
+	for i, f := range s.Fields {
+		fields[i] = mmvalue.Object(
+			mmvalue.F("name", mmvalue.String(f.Name)),
+			mmvalue.F("type", mmvalue.Int(int64(f.Type))),
+			mmvalue.F("required", mmvalue.Bool(f.Required)),
+		)
+	}
+	return mmvalue.Object(
+		mmvalue.F("mode", mmvalue.String(string(s.Mode))),
+		mmvalue.F("open", mmvalue.Bool(s.Open)),
+		mmvalue.F("fields", mmvalue.ArrayOf(fields)),
+	)
+}
+
+// SchemaFromValue deserializes a metadata document into a Schema.
+func SchemaFromValue(v mmvalue.Value) Schema {
+	s := Schema{
+		Mode: SchemaMode(v.GetOr("mode").AsString()),
+		Open: v.GetOr("open").AsBool(),
+	}
+	for _, f := range v.GetOr("fields").AsArray() {
+		s.Fields = append(s.Fields, FieldDef{
+			Name:     f.GetOr("name").AsString(),
+			Type:     mmvalue.Kind(f.GetOr("type").AsInt()),
+			Required: f.GetOr("required").AsBool(),
+		})
+	}
+	return s
+}
+
+// Catalog reads and writes object metadata within transactions.
+type Catalog struct {
+	e *engine.Engine
+}
+
+// New returns a catalog over the engine.
+func New(e *engine.Engine) *Catalog { return &Catalog{e: e} }
+
+func objKey(kind, name string) []byte { return []byte(kind + "\x00" + name) }
+
+// Entry is a catalog record: the object kind ("collection", "table",
+// "graph", …), its name, and arbitrary metadata (including the schema).
+type Entry struct {
+	Kind string
+	Name string
+	Meta mmvalue.Value
+}
+
+// Create registers an object, failing if it exists.
+func (c *Catalog) Create(tx *engine.Txn, kind, name string, meta mmvalue.Value) error {
+	k := objKey(kind, name)
+	if _, ok, err := tx.Get(keyspace, k); err != nil {
+		return err
+	} else if ok {
+		return fmt.Errorf("%w: %s %q", ErrExists, kind, name)
+	}
+	return tx.Put(keyspace, k, binenc.Encode(meta))
+}
+
+// Put registers or replaces an object's metadata.
+func (c *Catalog) Put(tx *engine.Txn, kind, name string, meta mmvalue.Value) error {
+	return tx.Put(keyspace, objKey(kind, name), binenc.Encode(meta))
+}
+
+// Get fetches an object's metadata.
+func (c *Catalog) Get(tx *engine.Txn, kind, name string) (mmvalue.Value, error) {
+	raw, ok, err := tx.Get(keyspace, objKey(kind, name))
+	if err != nil {
+		return mmvalue.Null, err
+	}
+	if !ok {
+		return mmvalue.Null, fmt.Errorf("%w: %s %q", ErrNotFound, kind, name)
+	}
+	return binenc.Decode(raw)
+}
+
+// Exists reports whether the object is registered.
+func (c *Catalog) Exists(tx *engine.Txn, kind, name string) (bool, error) {
+	_, ok, err := tx.Get(keyspace, objKey(kind, name))
+	return ok, err
+}
+
+// Delete unregisters an object.
+func (c *Catalog) Delete(tx *engine.Txn, kind, name string) error {
+	return tx.Delete(keyspace, objKey(kind, name))
+}
+
+// List returns all entries of a kind in name order; empty kind lists
+// everything.
+func (c *Catalog) List(tx *engine.Txn, kind string) ([]Entry, error) {
+	var out []Entry
+	var decodeErr error
+	err := tx.Scan(keyspace, nil, nil, func(k, v []byte) bool {
+		parts := string(k)
+		sep := -1
+		for i := 0; i < len(parts); i++ {
+			if parts[i] == 0 {
+				sep = i
+				break
+			}
+		}
+		if sep < 0 {
+			return true
+		}
+		ekind, ename := parts[:sep], parts[sep+1:]
+		if kind != "" && ekind != kind {
+			return true
+		}
+		meta, err := binenc.Decode(v)
+		if err != nil {
+			decodeErr = err
+			return false
+		}
+		out = append(out, Entry{Kind: ekind, Name: ename, Meta: meta})
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, decodeErr
+}
+
+// CreateWithSchema registers an object whose metadata is (only) a schema.
+func (c *Catalog) CreateWithSchema(tx *engine.Txn, kind, name string, schema Schema) error {
+	return c.Create(tx, kind, name, schemaToValue(schema))
+}
+
+// GetSchema fetches a schema stored by CreateWithSchema, or the schema
+// under the "schema" field of a larger metadata document.
+func (c *Catalog) GetSchema(tx *engine.Txn, kind, name string) (Schema, error) {
+	meta, err := c.Get(tx, kind, name)
+	if err != nil {
+		return Schema{}, err
+	}
+	if sub, ok := meta.Get("schema"); ok {
+		return SchemaFromValue(sub), nil
+	}
+	return SchemaFromValue(meta), nil
+}
+
+// SchemaValue exposes schema serialization for stores embedding schemas in
+// larger metadata documents.
+func SchemaValue(s Schema) mmvalue.Value { return schemaToValue(s) }

@@ -1,0 +1,176 @@
+package catalog
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/mmvalue"
+)
+
+func setup(t *testing.T) (*engine.Engine, *Catalog) {
+	t.Helper()
+	e, err := engine.Open(engine.Options{Durability: engine.Ephemeral})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { e.Close() })
+	return e, New(e)
+}
+
+func TestCreateGetDelete(t *testing.T) {
+	e, c := setup(t)
+	meta := mmvalue.MustParseJSON(`{"kind":"demo"}`)
+	err := e.Update(func(tx *engine.Txn) error {
+		return c.Create(tx, "collection", "orders", meta)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.View(func(tx *engine.Txn) error {
+		got, err := c.Get(tx, "collection", "orders")
+		if err != nil || !mmvalue.Equal(got, meta) {
+			t.Fatalf("Get = %v, %v", got, err)
+		}
+		ok, _ := c.Exists(tx, "collection", "orders")
+		if !ok {
+			t.Fatal("Exists = false")
+		}
+		return nil
+	})
+	// Duplicate create fails.
+	err = e.Update(func(tx *engine.Txn) error {
+		return c.Create(tx, "collection", "orders", meta)
+	})
+	if !errors.Is(err, ErrExists) {
+		t.Fatalf("duplicate create = %v", err)
+	}
+	// Missing object.
+	e.View(func(tx *engine.Txn) error {
+		if _, err := c.Get(tx, "collection", "nope"); !errors.Is(err, ErrNotFound) {
+			t.Fatalf("missing Get = %v", err)
+		}
+		return nil
+	})
+	e.Update(func(tx *engine.Txn) error { return c.Delete(tx, "collection", "orders") })
+	e.View(func(tx *engine.Txn) error {
+		ok, _ := c.Exists(tx, "collection", "orders")
+		if ok {
+			t.Fatal("survived delete")
+		}
+		return nil
+	})
+}
+
+func TestListByKind(t *testing.T) {
+	e, c := setup(t)
+	e.Update(func(tx *engine.Txn) error {
+		c.Create(tx, "table", "customers", mmvalue.Object())
+		c.Create(tx, "collection", "orders", mmvalue.Object())
+		c.Create(tx, "table", "products", mmvalue.Object())
+		return nil
+	})
+	e.View(func(tx *engine.Txn) error {
+		tables, err := c.List(tx, "table")
+		if err != nil || len(tables) != 2 {
+			t.Fatalf("List(table) = %v, %v", tables, err)
+		}
+		if tables[0].Name != "customers" || tables[1].Name != "products" {
+			t.Fatalf("List order = %v", tables)
+		}
+		all, _ := c.List(tx, "")
+		if len(all) != 3 {
+			t.Fatalf("List(all) = %d", len(all))
+		}
+		return nil
+	})
+}
+
+func TestSchemaValidationModes(t *testing.T) {
+	declared := []FieldDef{
+		{Name: "name", Type: mmvalue.KindString, Required: true},
+		{Name: "credit", Type: mmvalue.KindInt},
+	}
+	full := Schema{Mode: SchemaFull, Fields: declared}
+	fullOpen := Schema{Mode: SchemaFull, Open: true, Fields: declared}
+	hybrid := Schema{Mode: SchemaHybrid, Fields: declared}
+	less := Schemaless
+
+	okDoc := mmvalue.MustParseJSON(`{"name":"Mary","credit":5000}`)
+	extraDoc := mmvalue.MustParseJSON(`{"name":"Mary","credit":5000,"extra":1}`)
+	missingDoc := mmvalue.MustParseJSON(`{"credit":5000}`)
+	wrongType := mmvalue.MustParseJSON(`{"name":42}`)
+
+	cases := []struct {
+		name   string
+		schema Schema
+		doc    mmvalue.Value
+		ok     bool
+	}{
+		{"full ok", full, okDoc, true},
+		{"full extra closed", full, extraDoc, false},
+		{"full missing required", full, missingDoc, false},
+		{"full wrong type", full, wrongType, false},
+		{"full open extra", fullOpen, extraDoc, true},
+		{"hybrid extra", hybrid, extraDoc, true},
+		{"hybrid missing", hybrid, missingDoc, true},
+		{"hybrid wrong type", hybrid, wrongType, false},
+		{"schemaless anything", less, wrongType, true},
+	}
+	for _, c := range cases {
+		err := c.schema.Validate(c.doc)
+		if (err == nil) != c.ok {
+			t.Errorf("%s: Validate = %v, want ok=%v", c.name, err, c.ok)
+		}
+	}
+}
+
+func TestSchemaNumericPromotionAndNull(t *testing.T) {
+	s := Schema{Mode: SchemaHybrid, Fields: []FieldDef{{Name: "price", Type: mmvalue.KindFloat}}}
+	if err := s.Validate(mmvalue.MustParseJSON(`{"price":66}`)); err != nil {
+		t.Fatalf("int into float column: %v", err)
+	}
+	if err := s.Validate(mmvalue.MustParseJSON(`{"price":null}`)); err != nil {
+		t.Fatalf("null into column: %v", err)
+	}
+}
+
+func TestSchemaRoundTrip(t *testing.T) {
+	s := Schema{
+		Mode: SchemaFull,
+		Open: true,
+		Fields: []FieldDef{
+			{Name: "a", Type: mmvalue.KindString, Required: true},
+			{Name: "b", Type: mmvalue.KindArray},
+		},
+	}
+	back := SchemaFromValue(SchemaValue(s))
+	if back.Mode != s.Mode || back.Open != s.Open || len(back.Fields) != 2 {
+		t.Fatalf("round trip = %+v", back)
+	}
+	if back.Fields[0] != s.Fields[0] || back.Fields[1] != s.Fields[1] {
+		t.Fatalf("fields = %+v", back.Fields)
+	}
+}
+
+func TestCreateWithSchemaAndGetSchema(t *testing.T) {
+	e, c := setup(t)
+	s := Schema{Mode: SchemaHybrid, Fields: []FieldDef{{Name: "x", Type: mmvalue.KindInt}}}
+	e.Update(func(tx *engine.Txn) error {
+		return c.CreateWithSchema(tx, "collection", "xs", s)
+	})
+	e.View(func(tx *engine.Txn) error {
+		got, err := c.GetSchema(tx, "collection", "xs")
+		if err != nil || got.Mode != SchemaHybrid || len(got.Fields) != 1 {
+			t.Fatalf("GetSchema = %+v, %v", got, err)
+		}
+		return nil
+	})
+}
+
+func TestValidateNonObject(t *testing.T) {
+	s := Schema{Mode: SchemaFull}
+	if err := s.Validate(mmvalue.Int(5)); err == nil {
+		t.Fatal("scalar should fail schema-full validation")
+	}
+}

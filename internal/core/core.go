@@ -1,0 +1,372 @@
+// Package core assembles unidb: one engine, seven model layers, a unified
+// catalog, cross-model transactions, auxiliary index views, and the two
+// query front-ends. It is the paper's "multi-model database … multiple data
+// models against a single, integrated backend" as a concrete object.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/catalog"
+	"repro/internal/colstore"
+	"repro/internal/docstore"
+	"repro/internal/engine"
+	"repro/internal/graphstore"
+	"repro/internal/inverted"
+	"repro/internal/kvstore"
+	"repro/internal/mmvalue"
+	"repro/internal/query"
+	"repro/internal/rdfstore"
+	"repro/internal/relstore"
+	"repro/internal/wal"
+	"repro/internal/xmlstore"
+)
+
+// Options configures Open.
+type Options struct {
+	// Dir is the data directory; empty means a purely in-memory database.
+	Dir string
+	// Durability is forwarded to the engine (ignored when Dir is empty).
+	Durability engine.Durability
+}
+
+// DB is a multi-model database instance.
+type DB struct {
+	Engine *engine.Engine
+	Cat    *catalog.Catalog
+	Docs   *docstore.Store
+	Rels   *relstore.Store
+	KV     *kvstore.Store
+	Graphs *graphstore.Store
+	Cols   *colstore.Store
+	XML    *xmlstore.Store
+	RDF    *rdfstore.Store
+
+	// Auxiliary index views (the paper's OctopusDB "storage views over a
+	// central log"): maintained by a WAL subscriber at commit time and
+	// always rechecked by the query layer.
+	viewMu sync.RWMutex
+	gins   map[string]*inverted.GIN      // collection -> GIN
+	fts    map[string]*inverted.FullText // collection -> full-text
+
+	sources *query.Sources
+}
+
+// Open creates or recovers a database.
+func Open(opts Options) (*DB, error) {
+	durability := opts.Durability
+	if opts.Dir == "" {
+		durability = engine.Ephemeral
+	}
+	e, err := engine.Open(engine.Options{Dir: opts.Dir, Durability: durability})
+	if err != nil {
+		return nil, err
+	}
+	cat := catalog.New(e)
+	db := &DB{
+		Engine: e,
+		Cat:    cat,
+		Docs:   docstore.New(e, cat),
+		Rels:   relstore.New(e, cat),
+		KV:     kvstore.New(e),
+		Graphs: graphstore.New(e),
+		Cols:   colstore.New(e),
+		XML:    xmlstore.New(e, cat),
+		RDF:    rdfstore.New(e),
+		gins:   map[string]*inverted.GIN{},
+		fts:    map[string]*inverted.FullText{},
+	}
+	db.sources = &query.Sources{
+		Engine: e,
+		Cols:   db.Cols,
+		Docs:   db.Docs,
+		Rels:   db.Rels,
+		KV:     db.KV,
+		Graphs: db.Graphs,
+		XML:    db.XML,
+		RDF:    db.RDF,
+		GINLookup: func(coll string, pattern mmvalue.Value) ([]string, bool) {
+			db.viewMu.RLock()
+			defer db.viewMu.RUnlock()
+			g, ok := db.gins[coll]
+			if !ok {
+				return nil, false
+			}
+			return g.CandidatesContains(pattern), true
+		},
+		FullText: func(coll, terms string) []string {
+			db.viewMu.RLock()
+			defer db.viewMu.RUnlock()
+			ft, ok := db.fts[coll]
+			if !ok {
+				return nil
+			}
+			return ft.SearchAll(inverted.Tokenize(terms))
+		},
+		Resolve: db.resolve,
+	}
+	e.Subscribe(db.applyToViews)
+	return db, nil
+}
+
+// Close shuts the database down.
+func (db *DB) Close() error { return db.Engine.Close() }
+
+// resolve classifies a name for the query layer.
+func (db *DB) resolve(tx *engine.Txn, name string) string {
+	for _, kind := range []string{"collection", "table", "graph", "coltable"} {
+		ok, err := db.Cat.Exists(tx, kind, name)
+		if err == nil && ok {
+			return kind
+		}
+	}
+	if db.Engine.KeyspaceLen(kvstore.Keyspace(name)) > 0 {
+		return "bucket"
+	}
+	return ""
+}
+
+// CreateGraph registers a named graph in the catalog so queries can resolve
+// it as a FOR source.
+func (db *DB) CreateGraph(tx *engine.Txn, name string) error {
+	return db.Cat.Create(tx, "graph", name, mmvalue.Object())
+}
+
+// CreateColTable registers a wide-column table (Cassandra/DynamoDB model)
+// so queries can resolve it as a FOR source.
+func (db *DB) CreateColTable(tx *engine.Txn, name string) error {
+	return db.Cat.Create(tx, "coltable", name, mmvalue.Object())
+}
+
+// --- Auxiliary index views ---
+
+// CreateGIN builds a GIN index over a collection in the given mode and
+// keeps it maintained from the commit log.
+func (db *DB) CreateGIN(coll string, mode inverted.Mode) error {
+	g := inverted.NewGIN(mode)
+	err := db.Engine.View(func(tx *engine.Txn) error {
+		return db.Docs.Scan(tx, coll, func(key string, doc mmvalue.Value) bool {
+			g.Add(key, doc)
+			return true
+		})
+	})
+	if err != nil {
+		return err
+	}
+	db.viewMu.Lock()
+	db.gins[coll] = g
+	db.viewMu.Unlock()
+	return nil
+}
+
+// DropGIN removes the GIN view of a collection.
+func (db *DB) DropGIN(coll string) {
+	db.viewMu.Lock()
+	delete(db.gins, coll)
+	db.viewMu.Unlock()
+}
+
+// GINItems reports the index size (for E3).
+func (db *DB) GINItems(coll string) int {
+	db.viewMu.RLock()
+	defer db.viewMu.RUnlock()
+	if g, ok := db.gins[coll]; ok {
+		return g.Items()
+	}
+	return 0
+}
+
+// CreateFullText builds a full-text view over a collection: every string
+// leaf of every document is tokenized into one posting space per document.
+func (db *DB) CreateFullText(coll string) error {
+	ft := inverted.NewFullText()
+	err := db.Engine.View(func(tx *engine.Txn) error {
+		return db.Docs.Scan(tx, coll, func(key string, doc mmvalue.Value) bool {
+			ft.Add(key, docText(doc))
+			return true
+		})
+	})
+	if err != nil {
+		return err
+	}
+	db.viewMu.Lock()
+	db.fts[coll] = ft
+	db.viewMu.Unlock()
+	return nil
+}
+
+// FullTextSearch runs a boolean-AND term query against a collection's
+// full-text view, returning matching document keys.
+func (db *DB) FullTextSearch(coll, terms string) []string {
+	return db.sources.FullText(coll, terms)
+}
+
+// FullTextPhrase runs an exact phrase query.
+func (db *DB) FullTextPhrase(coll, phrase string) []string {
+	db.viewMu.RLock()
+	defer db.viewMu.RUnlock()
+	if ft, ok := db.fts[coll]; ok {
+		return ft.SearchPhrase(phrase)
+	}
+	return nil
+}
+
+// docText concatenates every string leaf of a document.
+func docText(doc mmvalue.Value) string {
+	var sb strings.Builder
+	for _, e := range mmvalue.FlattenPaths(doc) {
+		if e.Leaf.Kind() == mmvalue.KindString {
+			sb.WriteString(e.Leaf.AsString())
+			sb.WriteByte(' ')
+		}
+	}
+	return sb.String()
+}
+
+// applyToViews is the commit-log subscriber maintaining auxiliary views.
+func (db *DB) applyToViews(batch []wal.Record) {
+	db.viewMu.Lock()
+	defer db.viewMu.Unlock()
+	if len(db.gins) == 0 && len(db.fts) == 0 {
+		return
+	}
+	for _, rec := range batch {
+		coll, ok := strings.CutPrefix(rec.Keyspace, "doc:")
+		if !ok {
+			continue
+		}
+		g := db.gins[coll]
+		ft := db.fts[coll]
+		if g == nil && ft == nil {
+			continue
+		}
+		switch rec.Op {
+		case wal.OpSet:
+			key, doc, err := docstore.DecodeRecord(rec.Key, rec.Value)
+			if err != nil {
+				continue
+			}
+			if g != nil {
+				g.Add(key, doc)
+			}
+			if ft != nil {
+				ft.Add(key, docText(doc))
+			}
+		case wal.OpDelete:
+			key, _, err := docstore.DecodeRecord(rec.Key, nil)
+			if err != nil {
+				continue
+			}
+			if g != nil {
+				g.Remove(key)
+			}
+			if ft != nil {
+				ft.Remove(key)
+			}
+		case wal.OpDropKeyspace:
+			if g != nil {
+				db.gins[coll] = inverted.NewGIN(g.Mode())
+			}
+			if ft != nil {
+				db.fts[coll] = inverted.NewFullText()
+			}
+		}
+	}
+}
+
+// --- Query entry points ---
+
+// Query parses and runs an MMQL query in its own transaction (committed on
+// success so DML sticks).
+func (db *DB) Query(mmql string, params map[string]mmvalue.Value) (*query.Result, error) {
+	return db.queryAuto(mmql, params, query.ParseMMQL, query.Options{})
+}
+
+// SQL parses and runs an MSQL query in its own transaction.
+func (db *DB) SQL(msql string, params map[string]mmvalue.Value) (*query.Result, error) {
+	return db.queryAuto(msql, params, query.ParseMSQL, query.Options{})
+}
+
+// QueryOpts runs MMQL with explicit executor options (e.g. index ablation).
+func (db *DB) QueryOpts(mmql string, params map[string]mmvalue.Value, opts query.Options) (*query.Result, error) {
+	opts.Params = params
+	return db.queryAuto(mmql, params, query.ParseMMQL, opts)
+}
+
+// SQLOpts runs MSQL with explicit executor options.
+func (db *DB) SQLOpts(msql string, params map[string]mmvalue.Value, opts query.Options) (*query.Result, error) {
+	opts.Params = params
+	return db.queryAuto(msql, params, query.ParseMSQL, opts)
+}
+
+func (db *DB) queryAuto(text string, params map[string]mmvalue.Value,
+	parse func(string) (*query.Pipeline, error), opts query.Options) (*query.Result, error) {
+	pipe, err := parse(text)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Params == nil {
+		opts.Params = params
+	}
+	var res *query.Result
+	err = db.Engine.Update(func(tx *engine.Txn) error {
+		var qerr error
+		res, qerr = query.Execute(tx, db.sources, pipe, opts)
+		return qerr
+	})
+	return res, err
+}
+
+// QueryTx runs MMQL inside an existing transaction (for cross-model
+// transactions mixing queries and store calls).
+func (db *DB) QueryTx(tx *engine.Txn, mmql string, params map[string]mmvalue.Value) (*query.Result, error) {
+	pipe, err := query.ParseMMQL(mmql)
+	if err != nil {
+		return nil, err
+	}
+	return query.Execute(tx, db.sources, pipe, query.Options{Params: params})
+}
+
+// SQLTx runs MSQL inside an existing transaction.
+func (db *DB) SQLTx(tx *engine.Txn, msql string, params map[string]mmvalue.Value) (*query.Result, error) {
+	pipe, err := query.ParseMSQL(msql)
+	if err != nil {
+		return nil, err
+	}
+	return query.Execute(tx, db.sources, pipe, query.Options{Params: params})
+}
+
+// Sources exposes the query wiring (used by benches and the server).
+func (db *DB) Sources() *query.Sources { return db.sources }
+
+// ErrNotFound aliases the common not-found sentinel for the public facade.
+var ErrNotFound = errors.New("unidb: not found")
+
+// Strings extracts a []string from a result of string values (helper for
+// examples and tests).
+func Strings(res *query.Result) []string {
+	out := make([]string, 0, len(res.Values))
+	for _, v := range res.Values {
+		out = append(out, valueString(v))
+	}
+	return out
+}
+
+func valueString(v mmvalue.Value) string {
+	if v.Kind() == mmvalue.KindString {
+		return v.AsString()
+	}
+	return v.String()
+}
+
+// MustQuery is Query that panics on error (examples and benches).
+func (db *DB) MustQuery(mmql string) *query.Result {
+	res, err := db.Query(mmql, nil)
+	if err != nil {
+		panic(fmt.Errorf("MustQuery(%s): %w", mmql, err))
+	}
+	return res
+}

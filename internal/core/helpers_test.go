@@ -1,0 +1,13 @@
+package core_test
+
+import (
+	"repro/internal/catalog"
+	"repro/internal/query"
+	"repro/internal/rdfstore"
+)
+
+func catalogSchemaless() catalog.Schema { return catalog.Schemaless }
+
+func queryOptsNoIndex() query.Options { return query.Options{DisableIndexes: true} }
+
+func tripleOf(s, p, o string) rdfstore.Triple { return rdfstore.Triple{S: s, P: p, O: o} }

@@ -1,0 +1,207 @@
+package core_test
+
+// This file reproduces the paper's running example end to end (E1):
+// a customer relation, a social-network graph, shopping-cart key/value
+// pairs, and order JSON documents — and the recommendation query
+// ("return all product_no ordered by a friend of a customer whose
+// credit_limit > 3000") in BOTH front-ends, checking the paper's published
+// answer ["2724f", "3424g"].
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/mmvalue"
+	"repro/internal/relstore"
+)
+
+// seedPaperExample loads the exact data of slides 26–27.
+func seedPaperExample(t testing.TB, db *core.DB) {
+	t.Helper()
+	err := db.Engine.Update(func(tx *engine.Txn) error {
+		// Customer relation: Customer_ID, Name, Credit_limit.
+		if err := db.Rels.CreateTable(tx, "customers", relstore.TableSchema{
+			Columns: []relstore.Column{
+				{Name: "id", Type: relstore.TInt, NotNull: true},
+				{Name: "name", Type: relstore.TString, NotNull: true},
+				{Name: "credit_limit", Type: relstore.TInt},
+			},
+			PrimaryKey: []string{"id"},
+		}); err != nil {
+			return err
+		}
+		for _, c := range []struct {
+			id     int64
+			name   string
+			credit int64
+		}{{1, "Mary", 5000}, {2, "John", 3000}, {3, "Anne", 2000}} {
+			if err := db.Rels.Insert(tx, "customers", mmvalue.Object(
+				mmvalue.F("id", mmvalue.Int(c.id)),
+				mmvalue.F("name", mmvalue.String(c.name)),
+				mmvalue.F("credit_limit", mmvalue.Int(c.credit)),
+			)); err != nil {
+				return err
+			}
+		}
+		// Social network graph: Mary knows John; Anne knows Mary.
+		if err := db.CreateGraph(tx, "social"); err != nil {
+			return err
+		}
+		for _, v := range []string{"1", "2", "3"} {
+			if err := db.Graphs.PutVertex(tx, "social", v, mmvalue.Object(
+				mmvalue.F("customer_id", mmvalue.String(v)))); err != nil {
+				return err
+			}
+		}
+		if _, err := db.Graphs.Connect(tx, "social", "1", "2", "knows", mmvalue.Null); err != nil {
+			return err
+		}
+		if _, err := db.Graphs.Connect(tx, "social", "3", "1", "knows", mmvalue.Null); err != nil {
+			return err
+		}
+		// Shopping-cart key/value pairs: Customer_ID -> Order_no.
+		if err := db.KV.Set(tx, "cart", "1", mmvalue.String("34e5e759")); err != nil {
+			return err
+		}
+		if err := db.KV.Set(tx, "cart", "2", mmvalue.String("0c6df508")); err != nil {
+			return err
+		}
+		// Order JSON documents.
+		if err := db.Docs.CreateCollection(tx, "orders", catalogSchemaless()); err != nil {
+			return err
+		}
+		if err := db.Docs.Put(tx, "orders", "0c6df508", mmvalue.MustParseJSON(`{
+			"Order_no": "0c6df508",
+			"Orderlines": [
+				{"Product_no": "2724f", "Product_Name": "Toy", "Price": 66},
+				{"Product_no": "3424g", "Product_Name": "Book", "Price": 40}
+			]}`)); err != nil {
+			return err
+		}
+		return db.Docs.Put(tx, "orders", "34e5e759", mmvalue.MustParseJSON(`{
+			"Order_no": "34e5e759",
+			"Orderlines": [
+				{"Product_no": "9999x", "Product_Name": "Pen", "Price": 2}
+			]}`))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func openDB(t testing.TB) *core.DB {
+	t.Helper()
+	db, err := core.Open(core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db
+}
+
+// recommendationMMQL is the AQL-form query of slide 28, in MMQL. The
+// tabular-graph join, graph-key/value join, and key/value-JSON join of the
+// figure appear as the three FOR/LET hops.
+const recommendationMMQL = `
+	FOR c IN customers
+	  FILTER c.credit_limit > 3000
+	  FOR friend IN 1..1 OUTBOUND TO_STRING(c.id) social.knows
+	    LET order_no = KV('cart', friend.customer_id)
+	    LET order = DOCUMENT('orders', order_no)
+	    FOR line IN order.Orderlines
+	      RETURN line.Product_no`
+
+// recommendationMSQL is the OrientDB-form query of slide 30, in MSQL.
+const recommendationMSQL = `
+	SELECT EXPAND(
+	  DOCUMENT('orders', KV('cart', OUT('social','knows', TO_STRING(c.id)).customer_id[0]))
+	    .Orderlines[*].Product_no)
+	FROM customers c
+	WHERE credit_limit > 3000`
+
+func TestRecommendationQueryMMQL(t *testing.T) {
+	db := openDB(t)
+	seedPaperExample(t, db)
+	res, err := db.Query(recommendationMMQL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := core.Strings(res)
+	want := []string{"2724f", "3424g"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("recommendation query = %v, want %v (the paper's published answer)", got, want)
+	}
+}
+
+func TestRecommendationQueryMSQL(t *testing.T) {
+	db := openDB(t)
+	seedPaperExample(t, db)
+	res, err := db.SQL(recommendationMSQL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := core.Strings(res)
+	want := []string{"2724f", "3424g"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("recommendation query = %v, want %v", got, want)
+	}
+}
+
+// TestFrontEndEquivalence is E17: the two surface languages produce the
+// same answer for the same logical query.
+func TestFrontEndEquivalence(t *testing.T) {
+	db := openDB(t)
+	seedPaperExample(t, db)
+	a, err := db.Query(recommendationMMQL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := db.SQL(recommendationMSQL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	as, bs := core.Strings(a), core.Strings(b)
+	sort.Strings(as)
+	sort.Strings(bs)
+	if !reflect.DeepEqual(as, bs) {
+		t.Fatalf("front-ends disagree: MMQL %v vs MSQL %v", as, bs)
+	}
+}
+
+// TestRecommendationWithIndex checks the optimizer: with a secondary index
+// on credit_limit the customers access is an index scan, without it a full
+// scan — same answer either way.
+func TestRecommendationWithIndex(t *testing.T) {
+	db := openDB(t)
+	seedPaperExample(t, db)
+	err := db.Engine.Update(func(tx *engine.Txn) error {
+		return db.Rels.CreateIndex(tx, "customers", "by_credit", "credit_limit")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Query(recommendationMMQL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.IndexScans == 0 {
+		t.Fatalf("expected an index scan, stats = %+v", res.Stats)
+	}
+	if got := core.Strings(res); !reflect.DeepEqual(got, []string{"2724f", "3424g"}) {
+		t.Fatalf("indexed query = %v", got)
+	}
+	// Ablation: disable indexes, same answer, full scan.
+	res2, err := db.QueryOpts(recommendationMMQL, nil, queryOptsNoIndex())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Stats.IndexScans != 0 || res2.Stats.FullScans == 0 {
+		t.Fatalf("ablation stats = %+v", res2.Stats)
+	}
+	if got := core.Strings(res2); !reflect.DeepEqual(got, []string{"2724f", "3424g"}) {
+		t.Fatalf("unindexed query = %v", got)
+	}
+}

@@ -1,0 +1,777 @@
+// Package engine implements unidb's single integrated backend: named
+// keyspaces (ordered key/value maps on B+trees) with ACID transactions,
+// write-ahead logging, checkpoint/recovery, and WAL-shipping replicas.
+//
+// Every data model in unidb — relational tables, document collections,
+// key/value buckets, graphs, XML trees, RDF triples — is a thin mapping onto
+// keyspaces, so a single transaction here is automatically a *cross-model*
+// transaction, the capability the paper lists among its six open challenges.
+//
+// Concurrency control is strict two-phase locking with multiple-granularity
+// locks (IS/IX on keyspaces, S/X on keys, S/X on whole keyspaces for scans
+// and drops) and waits-for-graph deadlock detection. Durability is
+// WAL-before-commit with periodic snapshot checkpoints; recovery replays the
+// committed suffix of the log over the latest snapshot.
+package engine
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/btree"
+	"repro/internal/wal"
+)
+
+// Durability selects how eagerly commits reach disk.
+type Durability int
+
+// Durability levels.
+const (
+	// Ephemeral keeps everything in memory: no WAL, no recovery.
+	Ephemeral Durability = iota
+	// Buffered writes the WAL through a buffer flushed at commit but does
+	// not fsync; a process crash preserves committed work, an OS crash may
+	// lose a recent suffix.
+	Buffered
+	// Synced fsyncs the WAL at every commit.
+	Synced
+)
+
+// Options configures Open.
+type Options struct {
+	// Dir is the data directory; required unless Durability is Ephemeral.
+	Dir string
+	// Durability selects the commit protocol.
+	Durability Durability
+}
+
+// ErrClosed is returned by operations on a closed engine.
+var ErrClosed = errors.New("engine: closed")
+
+// ErrTxnDone is returned by operations on a committed or aborted Txn.
+var ErrTxnDone = errors.New("engine: transaction finished")
+
+// Engine is the multi-model storage engine.
+type Engine struct {
+	mu        sync.Mutex // guards keyspaces and tree mutation
+	keyspaces map[string]*btree.Tree
+
+	locks  *lockManager
+	log    *wal.Log
+	dir    string
+	txnSeq atomic.Uint64
+
+	// Checkpoint coordination: Begin blocks while checkpointing is set,
+	// Checkpoint waits for active to drain.
+	stateMu       sync.Mutex
+	stateCond     *sync.Cond
+	active        int
+	checkpointing bool
+	closed        bool
+
+	subMu     sync.Mutex
+	subs      []*Replica
+	listeners []func([]wal.Record)
+}
+
+// Subscribe registers fn to be called synchronously with the redo batch of
+// every committed transaction, in commit order. This is the paper's
+// OctopusDB idea ("storage views defined over a central log") put to work:
+// replicas, secondary index views, and materialized views are all just log
+// subscribers.
+func (e *Engine) Subscribe(fn func(batch []wal.Record)) {
+	e.subMu.Lock()
+	e.listeners = append(e.listeners, fn)
+	e.subMu.Unlock()
+}
+
+// Open creates or recovers an engine per opts.
+func Open(opts Options) (*Engine, error) {
+	e := &Engine{
+		keyspaces: map[string]*btree.Tree{},
+		locks:     newLockManager(),
+		dir:       opts.Dir,
+	}
+	e.stateCond = sync.NewCond(&e.stateMu)
+	if opts.Durability == Ephemeral {
+		return e, nil
+	}
+	if opts.Dir == "" {
+		return nil, errors.New("engine: durable mode requires Options.Dir")
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("engine: mkdir: %w", err)
+	}
+	// Recover: snapshot first, then committed WAL suffix.
+	if err := e.loadSnapshot(wal.SnapshotPath(opts.Dir)); err != nil {
+		return nil, err
+	}
+	recs, err := wal.ReadAll(wal.LogPath(opts.Dir))
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range wal.CommittedSets(recs) {
+		e.applyRecord(r)
+	}
+	log, err := wal.Open(wal.LogPath(opts.Dir), opts.Durability == Synced)
+	if err != nil {
+		return nil, err
+	}
+	e.log = log
+	return e, nil
+}
+
+// applyRecord applies a redo record to the in-memory trees (recovery and
+// replicas share this).
+func (e *Engine) applyRecord(r wal.Record) {
+	switch r.Op {
+	case wal.OpSet:
+		e.tree(r.Keyspace).Put(r.Key, r.Value)
+	case wal.OpDelete:
+		e.tree(r.Keyspace).Delete(r.Key)
+	case wal.OpDropKeyspace:
+		delete(e.keyspaces, r.Keyspace)
+	}
+}
+
+// tree returns (creating if needed) the named keyspace. Caller holds e.mu or
+// is in single-threaded recovery.
+func (e *Engine) tree(ks string) *btree.Tree {
+	t := e.keyspaces[ks]
+	if t == nil {
+		t = btree.New()
+		e.keyspaces[ks] = t
+	}
+	return t
+}
+
+// Close flushes and closes the engine. In-flight transactions must be
+// finished first; Close does not wait for them.
+func (e *Engine) Close() error {
+	e.stateMu.Lock()
+	e.closed = true
+	e.stateCond.Broadcast()
+	e.stateMu.Unlock()
+	if e.log != nil {
+		return e.log.Close()
+	}
+	return nil
+}
+
+// Keyspaces returns the sorted names of existing keyspaces.
+func (e *Engine) Keyspaces() []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]string, 0, len(e.keyspaces))
+	for ks := range e.keyspaces {
+		out = append(out, ks)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// KeyspaceLen returns the number of pairs in a keyspace (0 when absent);
+// the optimizer's cardinality estimate.
+func (e *Engine) KeyspaceLen(ks string) int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if t := e.keyspaces[ks]; t != nil {
+		return t.Len()
+	}
+	return 0
+}
+
+type undoEntry struct {
+	ks      string
+	key     []byte
+	value   []byte // previous value; nil with had=false means key was absent
+	had     bool
+	dropped *btree.Tree // for DropKeyspace undo
+}
+
+// Txn is a serializable transaction over any number of keyspaces (and
+// therefore any number of data models).
+type Txn struct {
+	e    *Engine
+	id   uint64
+	undo []undoEntry
+	recs []wal.Record // redo batch for WAL + replica shipping
+	done bool
+}
+
+// Begin starts a transaction. It blocks while a checkpoint is in progress.
+func (e *Engine) Begin() (*Txn, error) {
+	e.stateMu.Lock()
+	for e.checkpointing && !e.closed {
+		e.stateCond.Wait()
+	}
+	if e.closed {
+		e.stateMu.Unlock()
+		return nil, ErrClosed
+	}
+	e.active++
+	e.stateMu.Unlock()
+	return &Txn{e: e, id: e.txnSeq.Add(1)}, nil
+}
+
+// ID returns the transaction id.
+func (t *Txn) ID() uint64 { return t.id }
+
+func (t *Txn) finish() {
+	t.e.locks.releaseAll(t.id)
+	t.e.stateMu.Lock()
+	t.e.active--
+	t.e.stateCond.Broadcast()
+	t.e.stateMu.Unlock()
+	t.done = true
+}
+
+// Get returns the value under key in keyspace ks.
+func (t *Txn) Get(ks string, key []byte) ([]byte, bool, error) {
+	if t.done {
+		return nil, false, ErrTxnDone
+	}
+	if err := t.e.locks.acquire(t.id, ksLockName(ks), LockIS); err != nil {
+		return nil, false, err
+	}
+	if err := t.e.locks.acquire(t.id, keyLockName(ks, key), LockS); err != nil {
+		return nil, false, err
+	}
+	t.e.mu.Lock()
+	defer t.e.mu.Unlock()
+	tree := t.e.keyspaces[ks]
+	if tree == nil {
+		return nil, false, nil
+	}
+	v, ok := tree.Get(key)
+	return v, ok, nil
+}
+
+// Put stores value under key in keyspace ks, creating the keyspace if
+// needed.
+func (t *Txn) Put(ks string, key, value []byte) error {
+	if t.done {
+		return ErrTxnDone
+	}
+	if err := t.e.locks.acquire(t.id, ksLockName(ks), LockIX); err != nil {
+		return err
+	}
+	if err := t.e.locks.acquire(t.id, keyLockName(ks, key), LockX); err != nil {
+		return err
+	}
+	t.e.mu.Lock()
+	defer t.e.mu.Unlock()
+	tree := t.e.tree(ks)
+	prev, had := tree.Get(key)
+	t.undo = append(t.undo, undoEntry{ks: ks, key: key, value: prev, had: had})
+	tree.Put(key, value)
+	t.recs = append(t.recs, wal.Record{Txn: t.id, Op: wal.OpSet, Keyspace: ks, Key: key, Value: value})
+	return nil
+}
+
+// Delete removes key from keyspace ks.
+func (t *Txn) Delete(ks string, key []byte) error {
+	if t.done {
+		return ErrTxnDone
+	}
+	if err := t.e.locks.acquire(t.id, ksLockName(ks), LockIX); err != nil {
+		return err
+	}
+	if err := t.e.locks.acquire(t.id, keyLockName(ks, key), LockX); err != nil {
+		return err
+	}
+	t.e.mu.Lock()
+	defer t.e.mu.Unlock()
+	tree := t.e.keyspaces[ks]
+	if tree == nil {
+		return nil
+	}
+	prev, had := tree.Get(key)
+	if !had {
+		return nil
+	}
+	t.undo = append(t.undo, undoEntry{ks: ks, key: key, value: prev, had: true})
+	tree.Delete(key)
+	t.recs = append(t.recs, wal.Record{Txn: t.id, Op: wal.OpDelete, Keyspace: ks, Key: key})
+	return nil
+}
+
+// Scan iterates pairs with lo <= key < hi (nil bounds are open) in ks,
+// calling fn for each; fn returning false stops early. The scan takes a
+// shared lock on the whole keyspace, which also prevents phantoms. The
+// pair list is materialized before fn runs, so callbacks may freely issue
+// further operations on this transaction (including writes to the scanned
+// keyspace — they do not affect the in-flight iteration). Callers must not
+// mutate the key/value slices.
+func (t *Txn) Scan(ks string, lo, hi []byte, fn func(key, value []byte) bool) error {
+	pairs, err := t.collect(ks, lo, hi, false)
+	if err != nil {
+		return err
+	}
+	for _, p := range pairs {
+		if !fn(p[0], p[1]) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// ScanReverse is Scan in descending key order.
+func (t *Txn) ScanReverse(ks string, lo, hi []byte, fn func(key, value []byte) bool) error {
+	pairs, err := t.collect(ks, lo, hi, true)
+	if err != nil {
+		return err
+	}
+	for _, p := range pairs {
+		if !fn(p[0], p[1]) {
+			return nil
+		}
+	}
+	return nil
+}
+
+func (t *Txn) collect(ks string, lo, hi []byte, reverse bool) ([][2][]byte, error) {
+	if t.done {
+		return nil, ErrTxnDone
+	}
+	if err := t.e.locks.acquire(t.id, ksLockName(ks), LockS); err != nil {
+		return nil, err
+	}
+	t.e.mu.Lock()
+	defer t.e.mu.Unlock()
+	tree := t.e.keyspaces[ks]
+	if tree == nil {
+		return nil, nil
+	}
+	pairs := make([][2][]byte, 0, tree.Len())
+	add := func(k, v []byte) bool {
+		pairs = append(pairs, [2][]byte{k, v})
+		return true
+	}
+	if reverse {
+		tree.ScanReverse(lo, hi, add)
+	} else {
+		tree.Scan(lo, hi, add)
+	}
+	return pairs, nil
+}
+
+// DropKeyspace removes an entire keyspace.
+func (t *Txn) DropKeyspace(ks string) error {
+	if t.done {
+		return ErrTxnDone
+	}
+	if err := t.e.locks.acquire(t.id, ksLockName(ks), LockX); err != nil {
+		return err
+	}
+	t.e.mu.Lock()
+	defer t.e.mu.Unlock()
+	tree := t.e.keyspaces[ks]
+	if tree == nil {
+		return nil
+	}
+	t.undo = append(t.undo, undoEntry{ks: ks, dropped: tree})
+	delete(t.e.keyspaces, ks)
+	t.recs = append(t.recs, wal.Record{Txn: t.id, Op: wal.OpDropKeyspace, Keyspace: ks})
+	return nil
+}
+
+// Commit makes the transaction durable (per the engine's durability level)
+// and visible, ships it to replicas, and releases all locks.
+func (t *Txn) Commit() error {
+	if t.done {
+		return ErrTxnDone
+	}
+	if t.e.log != nil && len(t.recs) > 0 {
+		for i := range t.recs {
+			if _, err := t.e.log.Append(t.recs[i]); err != nil {
+				// WAL failure: the safe exit is to roll back.
+				t.rollbackLocked()
+				t.finish()
+				return fmt.Errorf("engine: commit: %w", err)
+			}
+		}
+		if _, err := t.e.log.Append(wal.Record{Txn: t.id, Op: wal.OpCommit}); err != nil {
+			t.rollbackLocked()
+			t.finish()
+			return fmt.Errorf("engine: commit: %w", err)
+		}
+	}
+	if len(t.recs) > 0 {
+		t.e.ship(t.recs)
+	}
+	t.finish()
+	return nil
+}
+
+// Abort rolls the transaction back and releases all locks. Safe to call on
+// a finished transaction.
+func (t *Txn) Abort() {
+	if t.done {
+		return
+	}
+	t.rollbackLocked()
+	if t.e.log != nil && len(t.recs) > 0 {
+		// Abort record is informative only; recovery ignores uncommitted
+		// transactions either way.
+		t.e.log.Append(wal.Record{Txn: t.id, Op: wal.OpAbort}) //nolint:errcheck
+	}
+	t.finish()
+}
+
+func (t *Txn) rollbackLocked() {
+	t.e.mu.Lock()
+	defer t.e.mu.Unlock()
+	for i := len(t.undo) - 1; i >= 0; i-- {
+		u := t.undo[i]
+		if u.dropped != nil {
+			t.e.keyspaces[u.ks] = u.dropped
+			continue
+		}
+		tree := t.e.tree(u.ks)
+		if u.had {
+			tree.Put(u.key, u.value)
+		} else {
+			tree.Delete(u.key)
+		}
+	}
+	t.undo = nil
+}
+
+// Update runs fn in a transaction, committing on nil and aborting on error,
+// with bounded automatic retry on deadlock.
+func (e *Engine) Update(fn func(*Txn) error) error {
+	const maxRetries = 8
+	var lastErr error
+	for attempt := 0; attempt < maxRetries; attempt++ {
+		t, err := e.Begin()
+		if err != nil {
+			return err
+		}
+		err = fn(t)
+		if err == nil {
+			return t.Commit()
+		}
+		t.Abort()
+		if !errors.Is(err, ErrDeadlock) {
+			return err
+		}
+		lastErr = err
+	}
+	return lastErr
+}
+
+// View runs fn in a read-only usage pattern (fn may technically write; the
+// transaction aborts either way, rolling any writes back).
+func (e *Engine) View(fn func(*Txn) error) error {
+	t, err := e.Begin()
+	if err != nil {
+		return err
+	}
+	defer t.Abort()
+	return fn(t)
+}
+
+// --- Checkpoint and snapshots ---
+
+const snapMagic = "UNIDBSNAP1"
+
+// Checkpoint writes a consistent snapshot of all keyspaces and truncates
+// the WAL. It waits for in-flight transactions to finish and blocks new
+// ones while the snapshot is cut.
+func (e *Engine) Checkpoint() error {
+	if e.log == nil {
+		return errors.New("engine: checkpoint requires a durable engine")
+	}
+	e.stateMu.Lock()
+	for e.checkpointing && !e.closed {
+		e.stateCond.Wait()
+	}
+	if e.closed {
+		e.stateMu.Unlock()
+		return ErrClosed
+	}
+	e.checkpointing = true
+	for e.active > 0 {
+		e.stateCond.Wait()
+	}
+	e.stateMu.Unlock()
+	defer func() {
+		e.stateMu.Lock()
+		e.checkpointing = false
+		e.stateCond.Broadcast()
+		e.stateMu.Unlock()
+	}()
+
+	if err := e.writeSnapshot(wal.SnapshotPath(e.dir)); err != nil {
+		return err
+	}
+	return e.log.Truncate(1)
+}
+
+// writeSnapshot serializes all keyspaces to a temp file and renames it into
+// place.
+func (e *Engine) writeSnapshot(path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("engine: snapshot: %w", err)
+	}
+	crc := crc32.NewIEEE()
+	w := bufio.NewWriter(io.MultiWriter(f, crc))
+
+	e.mu.Lock()
+	names := make([]string, 0, len(e.keyspaces))
+	for ks := range e.keyspaces {
+		names = append(names, ks)
+	}
+	sort.Strings(names)
+	write := func(b []byte) {
+		w.Write(b) //nolint:errcheck — error captured by Flush below
+	}
+	writeUvarint := func(x uint64) { write(binary.AppendUvarint(nil, x)) }
+	write([]byte(snapMagic))
+	writeUvarint(uint64(len(names)))
+	for _, ks := range names {
+		tree := e.keyspaces[ks]
+		writeUvarint(uint64(len(ks)))
+		write([]byte(ks))
+		writeUvarint(uint64(tree.Len()))
+		tree.Scan(nil, nil, func(k, v []byte) bool {
+			writeUvarint(uint64(len(k)))
+			write(k)
+			writeUvarint(uint64(len(v)))
+			write(v)
+			return true
+		})
+	}
+	e.mu.Unlock()
+
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return fmt.Errorf("engine: snapshot flush: %w", err)
+	}
+	var sum [4]byte
+	binary.LittleEndian.PutUint32(sum[:], crc.Sum32())
+	if _, err := f.Write(sum[:]); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// loadSnapshot restores keyspaces from a snapshot file; a missing file is
+// fine (fresh database).
+func (e *Engine) loadSnapshot(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil
+		}
+		return fmt.Errorf("engine: load snapshot: %w", err)
+	}
+	if len(data) < len(snapMagic)+4 {
+		return errors.New("engine: snapshot too short")
+	}
+	body, sum := data[:len(data)-4], binary.LittleEndian.Uint32(data[len(data)-4:])
+	if crc32.ChecksumIEEE(body) != sum {
+		return errors.New("engine: snapshot checksum mismatch")
+	}
+	if string(body[:len(snapMagic)]) != snapMagic {
+		return errors.New("engine: bad snapshot magic")
+	}
+	rest := body[len(snapMagic):]
+	readUvarint := func() (uint64, error) {
+		x, n := binary.Uvarint(rest)
+		if n <= 0 {
+			return 0, errors.New("engine: snapshot truncated")
+		}
+		rest = rest[n:]
+		return x, nil
+	}
+	readBytes := func() ([]byte, error) {
+		ln, err := readUvarint()
+		if err != nil {
+			return nil, err
+		}
+		if uint64(len(rest)) < ln {
+			return nil, errors.New("engine: snapshot truncated")
+		}
+		out := make([]byte, ln)
+		copy(out, rest[:ln])
+		rest = rest[ln:]
+		return out, nil
+	}
+	nks, err := readUvarint()
+	if err != nil {
+		return err
+	}
+	for i := uint64(0); i < nks; i++ {
+		name, err := readBytes()
+		if err != nil {
+			return err
+		}
+		count, err := readUvarint()
+		if err != nil {
+			return err
+		}
+		tree := btree.New()
+		for j := uint64(0); j < count; j++ {
+			k, err := readBytes()
+			if err != nil {
+				return err
+			}
+			v, err := readBytes()
+			if err != nil {
+				return err
+			}
+			tree.Put(k, v)
+		}
+		e.keyspaces[string(name)] = tree
+	}
+	return nil
+}
+
+// --- Replication (hybrid consistency substrate) ---
+
+// Replica is a read-only copy of the engine fed by shipped commit batches,
+// with a configurable replication lag measured in transactions. Reading
+// from a Replica is unidb's EVENTUAL consistency level; reading from the
+// primary under locks is STRONG. (E12.)
+type Replica struct {
+	mu         sync.Mutex
+	keyspaces  map[string]*btree.Tree
+	pending    [][]wal.Record
+	lagTxns    int
+	appliedTxn uint64 // count of applied transactions
+}
+
+// NewReplica attaches a replica that lags the primary by lagTxns committed
+// transactions (0 = apply immediately on commit). The replica starts from
+// the engine's current state.
+func (e *Engine) NewReplica(lagTxns int) *Replica {
+	r := &Replica{keyspaces: map[string]*btree.Tree{}, lagTxns: lagTxns}
+	e.mu.Lock()
+	for ks, tree := range e.keyspaces {
+		r.keyspaces[ks] = tree.Clone()
+	}
+	e.mu.Unlock()
+	e.subMu.Lock()
+	e.subs = append(e.subs, r)
+	e.subMu.Unlock()
+	return r
+}
+
+// ship delivers a committed batch to every replica (synchronously, so tests
+// are deterministic; the lag model is logical, not wall-clock).
+func (e *Engine) ship(batch []wal.Record) {
+	e.subMu.Lock()
+	subs := make([]*Replica, len(e.subs))
+	copy(subs, e.subs)
+	listeners := make([]func([]wal.Record), len(e.listeners))
+	copy(listeners, e.listeners)
+	e.subMu.Unlock()
+	for _, r := range subs {
+		r.enqueue(batch)
+	}
+	for _, fn := range listeners {
+		fn(batch)
+	}
+}
+
+func (r *Replica) enqueue(batch []wal.Record) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cp := make([]wal.Record, len(batch))
+	copy(cp, batch)
+	r.pending = append(r.pending, cp)
+	for len(r.pending) > r.lagTxns {
+		r.applyFront()
+	}
+}
+
+// applyFront applies the oldest pending batch. Caller holds r.mu.
+func (r *Replica) applyFront() {
+	batch := r.pending[0]
+	r.pending = r.pending[1:]
+	for _, rec := range batch {
+		switch rec.Op {
+		case wal.OpSet:
+			t := r.keyspaces[rec.Keyspace]
+			if t == nil {
+				t = btree.New()
+				r.keyspaces[rec.Keyspace] = t
+			}
+			t.Put(rec.Key, rec.Value)
+		case wal.OpDelete:
+			if t := r.keyspaces[rec.Keyspace]; t != nil {
+				t.Delete(rec.Key)
+			}
+		case wal.OpDropKeyspace:
+			delete(r.keyspaces, rec.Keyspace)
+		}
+	}
+	r.appliedTxn++
+}
+
+// CatchUp applies every pending batch, bringing the replica fully current.
+func (r *Replica) CatchUp() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for len(r.pending) > 0 {
+		r.applyFront()
+	}
+}
+
+// Lag returns the number of committed-but-unapplied transactions.
+func (r *Replica) Lag() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.pending)
+}
+
+// AppliedTxns returns how many transactions the replica has applied.
+func (r *Replica) AppliedTxns() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.appliedTxn
+}
+
+// Get reads from the replica (eventually consistent, lock-free).
+func (r *Replica) Get(ks string, key []byte) ([]byte, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t := r.keyspaces[ks]
+	if t == nil {
+		return nil, false
+	}
+	return t.Get(key)
+}
+
+// Scan iterates the replica's view of a keyspace.
+func (r *Replica) Scan(ks string, lo, hi []byte, fn func(key, value []byte) bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if t := r.keyspaces[ks]; t != nil {
+		t.Scan(lo, hi, fn)
+	}
+}
+
+// dataDir returns the engine directory (for tools).
+func (e *Engine) DataDir() string { return e.dir }

@@ -1,0 +1,525 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func ephemeral(t *testing.T) *Engine {
+	t.Helper()
+	e, err := Open(Options{Durability: Ephemeral})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func durable(t *testing.T, dir string) *Engine {
+	t.Helper()
+	e, err := Open(Options{Dir: dir, Durability: Buffered})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestBasicPutGetCommit(t *testing.T) {
+	e := ephemeral(t)
+	defer e.Close()
+	err := e.Update(func(tx *Txn) error {
+		return tx.Put("docs", []byte("k"), []byte("v"))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = e.View(func(tx *Txn) error {
+		v, ok, err := tx.Get("docs", []byte("k"))
+		if err != nil || !ok || string(v) != "v" {
+			t.Fatalf("Get = %s, %v, %v", v, ok, err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAbortRollsBack(t *testing.T) {
+	e := ephemeral(t)
+	defer e.Close()
+	e.Update(func(tx *Txn) error {
+		return tx.Put("docs", []byte("k"), []byte("v1"))
+	})
+	tx, _ := e.Begin()
+	tx.Put("docs", []byte("k"), []byte("v2"))
+	tx.Put("docs", []byte("k2"), []byte("new"))
+	tx.Delete("docs", []byte("k"))
+	tx.Abort()
+	e.View(func(tx *Txn) error {
+		v, ok, _ := tx.Get("docs", []byte("k"))
+		if !ok || string(v) != "v1" {
+			t.Fatalf("k after abort = %s, %v", v, ok)
+		}
+		if _, ok, _ := tx.Get("docs", []byte("k2")); ok {
+			t.Fatal("k2 should not survive abort")
+		}
+		return nil
+	})
+}
+
+func TestCrossKeyspaceTransactionAtomicity(t *testing.T) {
+	// One transaction touching four "models" (keyspaces) aborts atomically.
+	e := ephemeral(t)
+	defer e.Close()
+	tx, _ := e.Begin()
+	tx.Put("rel:customers", []byte("1"), []byte("Mary"))
+	tx.Put("doc:orders", []byte("o1"), []byte("{...}"))
+	tx.Put("kv:cart", []byte("1"), []byte("o1"))
+	tx.Put("graph:knows", []byte("1->2"), []byte(""))
+	tx.Abort()
+	for _, ks := range []string{"rel:customers", "doc:orders", "kv:cart", "graph:knows"} {
+		if e.KeyspaceLen(ks) != 0 {
+			t.Fatalf("keyspace %s leaked data after abort", ks)
+		}
+	}
+	// And commits atomically.
+	tx2, _ := e.Begin()
+	tx2.Put("rel:customers", []byte("1"), []byte("Mary"))
+	tx2.Put("doc:orders", []byte("o1"), []byte("{...}"))
+	if err := tx2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if e.KeyspaceLen("rel:customers") != 1 || e.KeyspaceLen("doc:orders") != 1 {
+		t.Fatal("commit did not persist both keyspaces")
+	}
+}
+
+func TestDeleteUndo(t *testing.T) {
+	e := ephemeral(t)
+	defer e.Close()
+	e.Update(func(tx *Txn) error { return tx.Put("a", []byte("k"), []byte("v")) })
+	tx, _ := e.Begin()
+	tx.Delete("a", []byte("k"))
+	if _, ok, _ := tx.Get("a", []byte("k")); ok {
+		t.Fatal("delete not visible inside txn")
+	}
+	tx.Abort()
+	e.View(func(tx *Txn) error {
+		if _, ok, _ := tx.Get("a", []byte("k")); !ok {
+			t.Fatal("delete survived abort")
+		}
+		return nil
+	})
+}
+
+func TestScan(t *testing.T) {
+	e := ephemeral(t)
+	defer e.Close()
+	e.Update(func(tx *Txn) error {
+		for i := 0; i < 10; i++ {
+			if err := tx.Put("s", []byte(fmt.Sprintf("k%02d", i)), []byte{byte(i)}); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	var keys []string
+	e.View(func(tx *Txn) error {
+		return tx.Scan("s", []byte("k03"), []byte("k07"), func(k, v []byte) bool {
+			keys = append(keys, string(k))
+			return true
+		})
+	})
+	if len(keys) != 4 || keys[0] != "k03" || keys[3] != "k06" {
+		t.Fatalf("scan = %v", keys)
+	}
+	var rev []string
+	e.View(func(tx *Txn) error {
+		return tx.ScanReverse("s", nil, nil, func(k, v []byte) bool {
+			rev = append(rev, string(k))
+			return len(rev) < 3
+		})
+	})
+	if len(rev) != 3 || rev[0] != "k09" {
+		t.Fatalf("reverse scan = %v", rev)
+	}
+}
+
+func TestTxnSeesOwnWrites(t *testing.T) {
+	e := ephemeral(t)
+	defer e.Close()
+	tx, _ := e.Begin()
+	tx.Put("a", []byte("k"), []byte("v"))
+	v, ok, _ := tx.Get("a", []byte("k"))
+	if !ok || string(v) != "v" {
+		t.Fatal("txn cannot see its own write")
+	}
+	tx.Commit()
+}
+
+func TestIsolationNoDirtyReads(t *testing.T) {
+	e := ephemeral(t)
+	defer e.Close()
+	e.Update(func(tx *Txn) error { return tx.Put("a", []byte("k"), []byte("old")) })
+
+	writer, _ := e.Begin()
+	if err := writer.Put("a", []byte("k"), []byte("new")); err != nil {
+		t.Fatal(err)
+	}
+	// A concurrent reader must block until the writer finishes, then see
+	// the committed value.
+	got := make(chan string, 1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		e.View(func(tx *Txn) error {
+			v, _, err := tx.Get("a", []byte("k"))
+			if err != nil {
+				got <- "err:" + err.Error()
+				return nil
+			}
+			got <- string(v)
+			return nil
+		})
+	}()
+	// Give the reader a chance to block, then commit.
+	writer.Commit()
+	wg.Wait()
+	if v := <-got; v != "new" {
+		t.Fatalf("reader saw %q, want committed value \"new\"", v)
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	e := ephemeral(t)
+	defer e.Close()
+	e.Update(func(tx *Txn) error {
+		tx.Put("a", []byte("x"), []byte("1"))
+		return tx.Put("a", []byte("y"), []byte("1"))
+	})
+
+	t1, _ := e.Begin()
+	t2, _ := e.Begin()
+	if err := t1.Put("a", []byte("x"), []byte("t1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.Put("a", []byte("y"), []byte("t2")); err != nil {
+		t.Fatal(err)
+	}
+	errCh := make(chan error, 2)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		err := t1.Put("a", []byte("y"), []byte("t1"))
+		errCh <- err
+		if err != nil {
+			t1.Abort()
+		} else {
+			t1.Commit()
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		err := t2.Put("a", []byte("x"), []byte("t2"))
+		errCh <- err
+		if err != nil {
+			t2.Abort()
+		} else {
+			t2.Commit()
+		}
+	}()
+	wg.Wait()
+	close(errCh)
+	deadlocks := 0
+	for err := range errCh {
+		if errors.Is(err, ErrDeadlock) {
+			deadlocks++
+		} else if err != nil {
+			t.Fatalf("unexpected error: %v", err)
+		}
+	}
+	if deadlocks == 0 {
+		t.Fatal("no deadlock detected in a classic cross-lock scenario")
+	}
+}
+
+func TestUpdateRetriesDeadlock(t *testing.T) {
+	// Update should absorb transient deadlocks via retry: run many
+	// conflicting increments concurrently and verify the final count.
+	e := ephemeral(t)
+	defer e.Close()
+	e.Update(func(tx *Txn) error {
+		tx.Put("c", []byte("a"), []byte{0})
+		return tx.Put("c", []byte("b"), []byte{0})
+	})
+	const workers = 8
+	const iters = 20
+	var wg sync.WaitGroup
+	var failed sync.Map
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			keys := [][]byte{[]byte("a"), []byte("b")}
+			for i := 0; i < iters; i++ {
+				k1, k2 := keys[w%2], keys[(w+1)%2]
+				err := e.Update(func(tx *Txn) error {
+					v1, _, err := tx.Get("c", k1)
+					if err != nil {
+						return err
+					}
+					if err := tx.Put("c", k1, []byte{v1[0] + 1}); err != nil {
+						return err
+					}
+					v2, _, err := tx.Get("c", k2)
+					if err != nil {
+						return err
+					}
+					return tx.Put("c", k2, []byte{v2[0] + 1})
+				})
+				if err != nil {
+					failed.Store(fmt.Sprintf("%d-%d", w, i), err)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	failures := 0
+	failed.Range(func(k, v any) bool { failures++; return true })
+	if failures > 0 {
+		t.Fatalf("%d updates failed even with retry", failures)
+	}
+	e.View(func(tx *Txn) error {
+		va, _, _ := tx.Get("c", []byte("a"))
+		vb, _, _ := tx.Get("c", []byte("b"))
+		if int(va[0]) != workers*iters || int(vb[0]) != workers*iters {
+			t.Fatalf("counters = %d, %d; want %d", va[0], vb[0], workers*iters)
+		}
+		return nil
+	})
+}
+
+func TestDropKeyspace(t *testing.T) {
+	e := ephemeral(t)
+	defer e.Close()
+	e.Update(func(tx *Txn) error { return tx.Put("tmp", []byte("k"), []byte("v")) })
+	// Abort restores the dropped keyspace.
+	tx, _ := e.Begin()
+	tx.DropKeyspace("tmp")
+	tx.Abort()
+	if e.KeyspaceLen("tmp") != 1 {
+		t.Fatal("dropped keyspace not restored on abort")
+	}
+	// Commit drops it for real.
+	e.Update(func(tx *Txn) error { return tx.DropKeyspace("tmp") })
+	if e.KeyspaceLen("tmp") != 0 {
+		t.Fatal("keyspace survived committed drop")
+	}
+}
+
+func TestUseAfterFinish(t *testing.T) {
+	e := ephemeral(t)
+	defer e.Close()
+	tx, _ := e.Begin()
+	tx.Commit()
+	if err := tx.Put("a", []byte("k"), []byte("v")); !errors.Is(err, ErrTxnDone) {
+		t.Fatalf("Put after commit = %v", err)
+	}
+	if _, _, err := tx.Get("a", []byte("k")); !errors.Is(err, ErrTxnDone) {
+		t.Fatalf("Get after commit = %v", err)
+	}
+	if err := tx.Commit(); !errors.Is(err, ErrTxnDone) {
+		t.Fatalf("double Commit = %v", err)
+	}
+	tx.Abort() // no-op, must not panic
+}
+
+func TestRecoveryAfterRestart(t *testing.T) {
+	dir := t.TempDir()
+	e := durable(t, dir)
+	e.Update(func(tx *Txn) error {
+		tx.Put("docs", []byte("k1"), []byte("v1"))
+		return tx.Put("rel", []byte("r1"), []byte("row1"))
+	})
+	e.Update(func(tx *Txn) error { return tx.Delete("docs", []byte("k1")) })
+	// Leave an uncommitted transaction hanging: its writes must not
+	// survive recovery.
+	tx, _ := e.Begin()
+	tx.Put("docs", []byte("uncommitted"), []byte("x"))
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	e2 := durable(t, dir)
+	defer e2.Close()
+	e2.View(func(tx *Txn) error {
+		if _, ok, _ := tx.Get("docs", []byte("k1")); ok {
+			t.Fatal("deleted key resurrected by recovery")
+		}
+		v, ok, _ := tx.Get("rel", []byte("r1"))
+		if !ok || string(v) != "row1" {
+			t.Fatal("committed row lost in recovery")
+		}
+		if _, ok, _ := tx.Get("docs", []byte("uncommitted")); ok {
+			t.Fatal("uncommitted write survived recovery")
+		}
+		return nil
+	})
+}
+
+func TestCheckpointAndRecovery(t *testing.T) {
+	dir := t.TempDir()
+	e := durable(t, dir)
+	for i := 0; i < 100; i++ {
+		e.Update(func(tx *Txn) error {
+			return tx.Put("data", []byte(fmt.Sprintf("k%03d", i)), []byte("v"))
+		})
+	}
+	if err := e.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// Post-checkpoint writes land in the fresh WAL.
+	e.Update(func(tx *Txn) error { return tx.Put("data", []byte("after"), []byte("cp")) })
+	e.Close()
+
+	e2 := durable(t, dir)
+	defer e2.Close()
+	if e2.KeyspaceLen("data") != 101 {
+		t.Fatalf("recovered %d keys, want 101", e2.KeyspaceLen("data"))
+	}
+	e2.View(func(tx *Txn) error {
+		if _, ok, _ := tx.Get("data", []byte("after")); !ok {
+			t.Fatal("post-checkpoint write lost")
+		}
+		if _, ok, _ := tx.Get("data", []byte("k050")); !ok {
+			t.Fatal("pre-checkpoint write lost")
+		}
+		return nil
+	})
+}
+
+func TestReplicaImmediateApply(t *testing.T) {
+	e := ephemeral(t)
+	defer e.Close()
+	r := e.NewReplica(0)
+	e.Update(func(tx *Txn) error { return tx.Put("a", []byte("k"), []byte("v")) })
+	v, ok := r.Get("a", []byte("k"))
+	if !ok || string(v) != "v" {
+		t.Fatalf("replica(lag=0) Get = %s, %v", v, ok)
+	}
+}
+
+func TestReplicaLagAndCatchUp(t *testing.T) {
+	e := ephemeral(t)
+	defer e.Close()
+	r := e.NewReplica(2) // lags two transactions behind
+	for i := 1; i <= 3; i++ {
+		e.Update(func(tx *Txn) error {
+			return tx.Put("a", []byte(fmt.Sprintf("k%d", i)), []byte("v"))
+		})
+	}
+	// Replica has applied only txn 1 (3 committed, lag 2).
+	if _, ok := r.Get("a", []byte("k1")); !ok {
+		t.Fatal("replica should have applied txn 1")
+	}
+	if _, ok := r.Get("a", []byte("k3")); ok {
+		t.Fatal("replica applied txn 3 despite lag — stale read expected")
+	}
+	if r.Lag() != 2 {
+		t.Fatalf("Lag = %d", r.Lag())
+	}
+	r.CatchUp()
+	if _, ok := r.Get("a", []byte("k3")); !ok {
+		t.Fatal("CatchUp did not apply pending transactions")
+	}
+	if r.Lag() != 0 {
+		t.Fatalf("Lag after CatchUp = %d", r.Lag())
+	}
+}
+
+func TestReplicaStartsFromCurrentState(t *testing.T) {
+	e := ephemeral(t)
+	defer e.Close()
+	e.Update(func(tx *Txn) error { return tx.Put("a", []byte("pre"), []byte("x")) })
+	r := e.NewReplica(0)
+	if _, ok := r.Get("a", []byte("pre")); !ok {
+		t.Fatal("replica missing pre-attach state")
+	}
+}
+
+func TestReplicaScanAndDelete(t *testing.T) {
+	e := ephemeral(t)
+	defer e.Close()
+	r := e.NewReplica(0)
+	e.Update(func(tx *Txn) error {
+		tx.Put("a", []byte("k1"), []byte("v1"))
+		tx.Put("a", []byte("k2"), []byte("v2"))
+		return nil
+	})
+	e.Update(func(tx *Txn) error { return tx.Delete("a", []byte("k1")) })
+	var keys []string
+	r.Scan("a", nil, nil, func(k, v []byte) bool {
+		keys = append(keys, string(k))
+		return true
+	})
+	if len(keys) != 1 || keys[0] != "k2" {
+		t.Fatalf("replica scan = %v", keys)
+	}
+}
+
+func TestAbortedTxnNotShippedToReplica(t *testing.T) {
+	e := ephemeral(t)
+	defer e.Close()
+	r := e.NewReplica(0)
+	tx, _ := e.Begin()
+	tx.Put("a", []byte("k"), []byte("v"))
+	tx.Abort()
+	if _, ok := r.Get("a", []byte("k")); ok {
+		t.Fatal("aborted transaction reached the replica")
+	}
+}
+
+func TestConcurrentDisjointWriters(t *testing.T) {
+	e := ephemeral(t)
+	defer e.Close()
+	const workers = 8
+	const perWorker = 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				err := e.Update(func(tx *Txn) error {
+					return tx.Put("bulk", []byte(fmt.Sprintf("w%d-k%04d", w, i)), []byte("v"))
+				})
+				if err != nil {
+					t.Errorf("worker %d: %v", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if e.KeyspaceLen("bulk") != workers*perWorker {
+		t.Fatalf("bulk keyspace has %d keys, want %d", e.KeyspaceLen("bulk"), workers*perWorker)
+	}
+}
+
+func TestDurableRequiresDir(t *testing.T) {
+	if _, err := Open(Options{Durability: Buffered}); err == nil {
+		t.Fatal("durable open without dir should fail")
+	}
+}
+
+func TestBeginAfterClose(t *testing.T) {
+	e := ephemeral(t)
+	e.Close()
+	if _, err := e.Begin(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Begin after Close = %v", err)
+	}
+}

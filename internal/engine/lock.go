@@ -1,0 +1,252 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrDeadlock is returned to a transaction whose lock request would close a
+// cycle in the waits-for graph. The victim should abort and may retry.
+var ErrDeadlock = errors.New("engine: deadlock detected")
+
+// LockMode is a multiple-granularity lock mode.
+type LockMode uint8
+
+// Lock modes, weakest to strongest. IS/IX are intention modes taken on a
+// keyspace before S/X on individual keys; S on a keyspace covers a scan, X
+// on a keyspace covers drop/bulk operations.
+const (
+	LockNone LockMode = iota
+	LockIS
+	LockIX
+	LockS
+	LockX
+)
+
+func (m LockMode) String() string {
+	switch m {
+	case LockIS:
+		return "IS"
+	case LockIX:
+		return "IX"
+	case LockS:
+		return "S"
+	case LockX:
+		return "X"
+	default:
+		return "none"
+	}
+}
+
+// compatible reports whether a lock held in mode a coexists with a request
+// for mode b (the standard multiple-granularity compatibility matrix).
+func compatible(a, b LockMode) bool {
+	switch a {
+	case LockIS:
+		return b != LockX
+	case LockIX:
+		return b == LockIS || b == LockIX
+	case LockS:
+		return b == LockIS || b == LockS
+	case LockX:
+		return false
+	}
+	return true
+}
+
+// supersedes reports whether holding mode a already satisfies a request for
+// mode b.
+func supersedes(a, b LockMode) bool {
+	if a == b {
+		return true
+	}
+	switch a {
+	case LockX:
+		return true
+	case LockS:
+		return b == LockIS
+	case LockIX:
+		return b == LockIS
+	}
+	return false
+}
+
+// upgraded returns the mode that grants both a and b.
+func upgraded(a, b LockMode) LockMode {
+	if supersedes(a, b) {
+		return a
+	}
+	if supersedes(b, a) {
+		return b
+	}
+	// S+IX (and any other mix reaching here) requires X; SIX is collapsed
+	// into X for simplicity — correct, slightly conservative.
+	return LockX
+}
+
+type lockState struct {
+	holders map[uint64]LockMode // txn id -> granted mode
+	waiters []*lockWaiter
+}
+
+type lockWaiter struct {
+	txn  uint64
+	mode LockMode
+	cond *sync.Cond
+	done bool // granted or aborted
+	err  error
+}
+
+// lockManager implements strict two-phase locking with blocking waits and
+// waits-for-graph deadlock detection (the requester that would close a cycle
+// is chosen as the victim).
+type lockManager struct {
+	mu       sync.Mutex
+	locks    map[string]*lockState
+	waitsFor map[uint64]map[uint64]struct{} // waiting txn -> blocking txns
+	held     map[uint64][]string            // txn -> lock names (release order)
+}
+
+func newLockManager() *lockManager {
+	return &lockManager{
+		locks:    map[string]*lockState{},
+		waitsFor: map[uint64]map[uint64]struct{}{},
+		held:     map[uint64][]string{},
+	}
+}
+
+// acquire blocks until txn holds name in at least mode, or returns
+// ErrDeadlock.
+func (lm *lockManager) acquire(txn uint64, name string, mode LockMode) error {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+
+	for {
+		// Re-fetch each iteration: releaseAll may delete an emptied
+		// state while this transaction was waiting, and another
+		// transaction may have re-created it.
+		st := lm.locks[name]
+		if st == nil {
+			st = &lockState{holders: map[uint64]LockMode{}}
+			lm.locks[name] = st
+		}
+		if cur, ok := st.holders[txn]; ok {
+			if supersedes(cur, mode) {
+				return nil
+			}
+			mode = upgraded(cur, mode)
+		}
+		if lm.grantable(st, txn, mode) {
+			if _, had := st.holders[txn]; !had {
+				lm.held[txn] = append(lm.held[txn], name)
+			}
+			st.holders[txn] = mode
+			return nil
+		}
+		// Record waits-for edges and check for a cycle before blocking.
+		blockers := map[uint64]struct{}{}
+		for holder, hm := range st.holders {
+			if holder != txn && !compatible(hm, mode) {
+				blockers[holder] = struct{}{}
+			}
+		}
+		lm.waitsFor[txn] = blockers
+		if lm.cycleFrom(txn) {
+			delete(lm.waitsFor, txn)
+			return fmt.Errorf("%w: txn %d on %q (%s)", ErrDeadlock, txn, name, mode)
+		}
+		w := &lockWaiter{txn: txn, mode: mode, cond: sync.NewCond(&lm.mu)}
+		st.waiters = append(st.waiters, w)
+		for !w.done {
+			w.cond.Wait()
+		}
+		delete(lm.waitsFor, txn)
+		if w.err != nil {
+			return w.err
+		}
+		// Re-evaluate: st.holders may have changed; loop and retry grant.
+	}
+}
+
+// grantable reports whether txn can take mode on st right now. A waiter
+// queue exists for fairness, but compatibility with current holders is the
+// binding constraint; upgrades by existing holders bypass the queue to avoid
+// self-blocking.
+func (lm *lockManager) grantable(st *lockState, txn uint64, mode LockMode) bool {
+	for holder, hm := range st.holders {
+		if holder == txn {
+			continue
+		}
+		if !compatible(hm, mode) {
+			return false
+		}
+	}
+	return true
+}
+
+// cycleFrom reports whether the waits-for graph has a cycle reachable from
+// start.
+func (lm *lockManager) cycleFrom(start uint64) bool {
+	seen := map[uint64]bool{}
+	var dfs func(t uint64) bool
+	dfs = func(t uint64) bool {
+		if t == start && len(seen) > 0 {
+			return true
+		}
+		if seen[t] {
+			return false
+		}
+		seen[t] = true
+		for next := range lm.waitsFor[t] {
+			if dfs(next) {
+				return true
+			}
+		}
+		return false
+	}
+	for next := range lm.waitsFor[start] {
+		if next == start {
+			return true
+		}
+		seen = map[uint64]bool{start: true}
+		if dfs(next) {
+			return true
+		}
+	}
+	return false
+}
+
+// releaseAll drops every lock held by txn and wakes compatible waiters
+// (strict 2PL: called only at commit or abort).
+func (lm *lockManager) releaseAll(txn uint64) {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	for _, name := range lm.held[txn] {
+		st := lm.locks[name]
+		if st == nil {
+			continue
+		}
+		delete(st.holders, txn)
+		// Wake every waiter; each re-checks grantability itself.
+		for _, w := range st.waiters {
+			if !w.done {
+				w.done = true
+				w.cond.Signal()
+			}
+		}
+		st.waiters = st.waiters[:0]
+		if len(st.holders) == 0 && len(st.waiters) == 0 {
+			delete(lm.locks, name)
+		}
+	}
+	delete(lm.held, txn)
+	delete(lm.waitsFor, txn)
+}
+
+// lock name helpers: keyspace locks and key locks live in one namespace.
+func ksLockName(ks string) string { return "ks\x00" + ks }
+
+func keyLockName(ks string, key []byte) string {
+	return "k\x00" + ks + "\x00" + string(key)
+}

@@ -1,0 +1,215 @@
+package engine
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCompatibilityMatrix(t *testing.T) {
+	// Rows: held mode; columns: requested mode (the standard MGL matrix).
+	cases := []struct {
+		held, req LockMode
+		want      bool
+	}{
+		{LockIS, LockIS, true}, {LockIS, LockIX, true}, {LockIS, LockS, true}, {LockIS, LockX, false},
+		{LockIX, LockIS, true}, {LockIX, LockIX, true}, {LockIX, LockS, false}, {LockIX, LockX, false},
+		{LockS, LockIS, true}, {LockS, LockIX, false}, {LockS, LockS, true}, {LockS, LockX, false},
+		{LockX, LockIS, false}, {LockX, LockIX, false}, {LockX, LockS, false}, {LockX, LockX, false},
+	}
+	for _, c := range cases {
+		if got := compatible(c.held, c.req); got != c.want {
+			t.Errorf("compatible(%v, %v) = %v, want %v", c.held, c.req, got, c.want)
+		}
+	}
+}
+
+func TestSupersedesAndUpgrade(t *testing.T) {
+	if !supersedes(LockX, LockS) || !supersedes(LockX, LockIX) {
+		t.Error("X should supersede everything")
+	}
+	if !supersedes(LockS, LockIS) || supersedes(LockS, LockIX) {
+		t.Error("S supersedes IS only")
+	}
+	if got := upgraded(LockS, LockIX); got != LockX {
+		t.Errorf("S+IX should upgrade to X, got %v", got)
+	}
+	if got := upgraded(LockIS, LockIX); got != LockIX {
+		t.Errorf("IS+IX = %v", got)
+	}
+	if got := upgraded(LockS, LockS); got != LockS {
+		t.Errorf("S+S = %v", got)
+	}
+}
+
+func TestLockManagerSharedConcurrency(t *testing.T) {
+	lm := newLockManager()
+	// Many transactions hold S simultaneously.
+	for txn := uint64(1); txn <= 5; txn++ {
+		if err := lm.acquire(txn, "k", LockS); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// X must wait; grant after all release.
+	done := make(chan error, 1)
+	go func() { done <- lm.acquire(99, "k", LockX) }()
+	select {
+	case <-done:
+		t.Fatal("X granted while S held")
+	case <-time.After(20 * time.Millisecond):
+	}
+	for txn := uint64(1); txn <= 5; txn++ {
+		lm.releaseAll(txn)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	lm.releaseAll(99)
+}
+
+func TestLockManagerReentrantAndUpgrade(t *testing.T) {
+	lm := newLockManager()
+	if err := lm.acquire(1, "k", LockS); err != nil {
+		t.Fatal(err)
+	}
+	// Re-acquiring a weaker/equal mode is a no-op.
+	if err := lm.acquire(1, "k", LockS); err != nil {
+		t.Fatal(err)
+	}
+	if err := lm.acquire(1, "k", LockIS); err != nil {
+		t.Fatal(err)
+	}
+	// Sole holder upgrades S -> X without blocking.
+	if err := lm.acquire(1, "k", LockX); err != nil {
+		t.Fatal(err)
+	}
+	lm.releaseAll(1)
+	// The lock is gone; someone else can take X immediately.
+	if err := lm.acquire(2, "k", LockX); err != nil {
+		t.Fatal(err)
+	}
+	lm.releaseAll(2)
+}
+
+func TestLockManagerUpgradeDeadlock(t *testing.T) {
+	// Two transactions hold S and both try to upgrade to X: a classic
+	// upgrade deadlock — one must be chosen as victim.
+	lm := newLockManager()
+	if err := lm.acquire(1, "k", LockS); err != nil {
+		t.Fatal(err)
+	}
+	if err := lm.acquire(2, "k", LockS); err != nil {
+		t.Fatal(err)
+	}
+	errs := make(chan error, 2)
+	var wg sync.WaitGroup
+	for _, txn := range []uint64{1, 2} {
+		wg.Add(1)
+		go func(txn uint64) {
+			defer wg.Done()
+			err := lm.acquire(txn, "k", LockX)
+			errs <- err
+			if err != nil {
+				lm.releaseAll(txn)
+			}
+		}(txn)
+	}
+	wg.Wait()
+	close(errs)
+	deadlocks := 0
+	for err := range errs {
+		if err != nil {
+			deadlocks++
+		}
+	}
+	if deadlocks == 0 {
+		t.Fatal("upgrade deadlock not detected")
+	}
+	lm.releaseAll(1)
+	lm.releaseAll(2)
+}
+
+func TestThreeWayDeadlockCycle(t *testing.T) {
+	// 1 holds a, wants b; 2 holds b, wants c; 3 holds c, wants a.
+	lm := newLockManager()
+	lm.acquire(1, "a", LockX)
+	lm.acquire(2, "b", LockX)
+	lm.acquire(3, "c", LockX)
+	results := make(chan error, 3)
+	var wg sync.WaitGroup
+	wants := map[uint64]string{1: "b", 2: "c", 3: "a"}
+	for txn, lock := range wants {
+		wg.Add(1)
+		go func(txn uint64, lock string) {
+			defer wg.Done()
+			err := lm.acquire(txn, lock, LockX)
+			results <- err
+			// Both victims and winners release, so the remaining waiters
+			// can make progress (strict 2PL end-of-transaction).
+			lm.releaseAll(txn)
+		}(txn, lock)
+	}
+	wg.Wait()
+	close(results)
+	deadlocks := 0
+	for err := range results {
+		if err != nil {
+			deadlocks++
+		}
+	}
+	if deadlocks == 0 {
+		t.Fatal("three-way cycle not detected")
+	}
+	for txn := uint64(1); txn <= 3; txn++ {
+		lm.releaseAll(txn)
+	}
+}
+
+func TestIntentionLocksAllowDisjointKeyWrites(t *testing.T) {
+	// Two writers on different keys of the same keyspace coexist (IX+IX).
+	lm := newLockManager()
+	if err := lm.acquire(1, ksLockName("t"), LockIX); err != nil {
+		t.Fatal(err)
+	}
+	if err := lm.acquire(2, ksLockName("t"), LockIX); err != nil {
+		t.Fatal(err)
+	}
+	if err := lm.acquire(1, keyLockName("t", []byte("a")), LockX); err != nil {
+		t.Fatal(err)
+	}
+	if err := lm.acquire(2, keyLockName("t", []byte("b")), LockX); err != nil {
+		t.Fatal(err)
+	}
+	lm.releaseAll(1)
+	lm.releaseAll(2)
+}
+
+func TestScanBlocksWriterOnKeyspace(t *testing.T) {
+	// S on the keyspace (a scan) is incompatible with a writer's IX.
+	lm := newLockManager()
+	if err := lm.acquire(1, ksLockName("t"), LockS); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- lm.acquire(2, ksLockName("t"), LockIX) }()
+	select {
+	case <-done:
+		t.Fatal("IX granted alongside S")
+	case <-time.After(20 * time.Millisecond):
+	}
+	lm.releaseAll(1)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	lm.releaseAll(2)
+}
+
+func TestLockModeString(t *testing.T) {
+	for m, want := range map[LockMode]string{
+		LockIS: "IS", LockIX: "IX", LockS: "S", LockX: "X", LockNone: "none",
+	} {
+		if m.String() != want {
+			t.Errorf("%d.String() = %s", m, m.String())
+		}
+	}
+}

@@ -1,0 +1,325 @@
+// Package evolution implements the paper's challenge #3, schema and model
+// evolution: "model mapping among different models of data" (slide 94's
+// relational-table-to-JSON-document figure). It provides lossless mappings
+// between the model layers — relational rows ↔ documents, documents →
+// graph, documents → RDF triples — plus versioned schema migration with
+// lazy per-record upgrades.
+package evolution
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/catalog"
+	"repro/internal/docstore"
+	"repro/internal/engine"
+	"repro/internal/graphstore"
+	"repro/internal/mmvalue"
+	"repro/internal/rdfstore"
+	"repro/internal/relstore"
+)
+
+// Migrator performs model mappings within transactions.
+type Migrator struct {
+	Docs   *docstore.Store
+	Rels   *relstore.Store
+	Graphs *graphstore.Store
+	RDF    *rdfstore.Store
+}
+
+// TableToCollection maps every row of a relational table to a document in a
+// (new) collection — the paper's "relational table (legacy data) → JSON
+// document (new data)" arrow. The primary key becomes _key (joined with
+// '/' for composite keys).
+func (m *Migrator) TableToCollection(tx *engine.Txn, table, coll string) (int, error) {
+	schema, err := m.Rels.Schema(tx, table)
+	if err != nil {
+		return 0, err
+	}
+	if err := m.Docs.CreateCollection(tx, coll, catalog.Schemaless); err != nil {
+		return 0, err
+	}
+	n := 0
+	var convErr error
+	err = m.Rels.Scan(tx, table, func(row mmvalue.Value) bool {
+		key := ""
+		for i, pk := range schema.PrimaryKey {
+			if i > 0 {
+				key += "/"
+			}
+			key += stringifyKey(row.GetOr(pk))
+		}
+		if err := m.Docs.Put(tx, coll, key, row); err != nil {
+			convErr = err
+			return false
+		}
+		n++
+		return true
+	})
+	if err != nil {
+		return n, err
+	}
+	return n, convErr
+}
+
+func stringifyKey(v mmvalue.Value) string {
+	if v.Kind() == mmvalue.KindString {
+		return v.AsString()
+	}
+	return v.String()
+}
+
+// CollectionToTable maps documents to rows of a (new) relational table,
+// Sinew-style: the table schema is inferred as the union of top-level keys;
+// nested values land in JSONB columns. The _key becomes a `_key` string
+// primary-key column.
+func (m *Migrator) CollectionToTable(tx *engine.Txn, coll, table string) (int, error) {
+	// Pass 1: infer schema from the union of top-level keys.
+	colKinds := map[string]map[mmvalue.Kind]int{}
+	var order []string
+	err := m.Docs.Scan(tx, coll, func(_ string, doc mmvalue.Value) bool {
+		for _, f := range doc.Fields() {
+			if f.Name == docstore.KeyField {
+				continue
+			}
+			k := colKinds[f.Name]
+			if k == nil {
+				k = map[mmvalue.Kind]int{}
+				colKinds[f.Name] = k
+				order = append(order, f.Name)
+			}
+			k[f.Value.Kind()]++
+		}
+		return true
+	})
+	if err != nil {
+		return 0, err
+	}
+	schema := relstore.TableSchema{
+		Columns:    []relstore.Column{{Name: docstore.KeyField, Type: relstore.TString, NotNull: true}},
+		PrimaryKey: []string{docstore.KeyField},
+	}
+	for _, name := range order {
+		schema.Columns = append(schema.Columns, relstore.Column{
+			Name: name,
+			Type: inferColType(colKinds[name]),
+		})
+	}
+	if err := m.Rels.CreateTable(tx, table, schema); err != nil {
+		return 0, err
+	}
+	// Pass 2: copy.
+	n := 0
+	var convErr error
+	err = m.Docs.Scan(tx, coll, func(key string, doc mmvalue.Value) bool {
+		row := doc.Set(docstore.KeyField, mmvalue.String(key))
+		if err := m.Rels.Insert(tx, table, row); err != nil {
+			convErr = err
+			return false
+		}
+		n++
+		return true
+	})
+	if err != nil {
+		return n, err
+	}
+	return n, convErr
+}
+
+// inferColType maps an observed kind tally to a column type: a single
+// scalar kind maps to its typed column; anything mixed or nested maps to
+// JSONB (the universal-relation escape hatch).
+func inferColType(kinds map[mmvalue.Kind]int) relstore.ColType {
+	if len(kinds) == 2 {
+		// Int+Float promotes to Float.
+		if kinds[mmvalue.KindInt] > 0 && kinds[mmvalue.KindFloat] > 0 {
+			return relstore.TFloat
+		}
+	}
+	if len(kinds) != 1 {
+		return relstore.TJSONB
+	}
+	for k := range kinds {
+		switch k {
+		case mmvalue.KindInt:
+			return relstore.TInt
+		case mmvalue.KindFloat:
+			return relstore.TFloat
+		case mmvalue.KindString:
+			return relstore.TString
+		case mmvalue.KindBool:
+			return relstore.TBool
+		case mmvalue.KindBytes:
+			return relstore.TBytes
+		default:
+			return relstore.TJSONB
+		}
+	}
+	return relstore.TJSONB
+}
+
+// CollectionToGraph maps each document to a vertex and each document
+// reference (a field whose value is the _key of another document, declared
+// via refField) to a labeled edge — document data becoming graph data.
+func (m *Migrator) CollectionToGraph(tx *engine.Txn, coll, graph, refField, label string) (vertices, edges int, err error) {
+	type ref struct{ from, to string }
+	var refs []ref
+	err = m.Docs.Scan(tx, coll, func(key string, doc mmvalue.Value) bool {
+		if _, err2 := m.Graphs.AddVertex(tx, graph, doc); err2 != nil {
+			err = err2
+			return false
+		}
+		vertices++
+		target := doc.GetOr(refField)
+		switch target.Kind() {
+		case mmvalue.KindString:
+			refs = append(refs, ref{key, target.AsString()})
+		case mmvalue.KindArray:
+			for _, t := range target.AsArray() {
+				if t.Kind() == mmvalue.KindString {
+					refs = append(refs, ref{key, t.AsString()})
+				}
+			}
+		}
+		return true
+	})
+	if err != nil {
+		return vertices, edges, err
+	}
+	for _, r := range refs {
+		if _, ok, err2 := m.Graphs.Vertex(tx, graph, r.to); err2 != nil || !ok {
+			continue // dangling reference: skip, do not fail the migration
+		}
+		if _, err2 := m.Graphs.Connect(tx, graph, r.from, r.to, label, mmvalue.Null); err2 != nil {
+			return vertices, edges, err2
+		}
+		edges++
+	}
+	return vertices, edges, nil
+}
+
+// CollectionToTriples maps every document to RDF triples (subject = the
+// document key under a prefix, predicate = flattened path, object = leaf).
+func (m *Migrator) CollectionToTriples(tx *engine.Txn, coll, graph, subjectPrefix string) (int, error) {
+	n := 0
+	var convErr error
+	err := m.Docs.Scan(tx, coll, func(key string, doc mmvalue.Value) bool {
+		subject := "<" + subjectPrefix + key + ">"
+		if err := m.RDF.FromValue(tx, graph, subject, doc.Delete(docstore.KeyField)); err != nil {
+			convErr = err
+			return false
+		}
+		n++
+		return true
+	})
+	if err != nil {
+		return n, err
+	}
+	return n, convErr
+}
+
+// --- Versioned schema migration (lazy, per record) ---
+
+// ErrNoMigration is returned when a document's version has no registered
+// upgrade path.
+var ErrNoMigration = errors.New("evolution: no migration path")
+
+// VersionField is the reserved schema-version attribute.
+const VersionField = "_schema_version"
+
+// Migration upgrades a document from version From to From+1.
+type Migration struct {
+	From    int
+	Upgrade func(doc mmvalue.Value) mmvalue.Value
+}
+
+// Versioned wraps a collection with a target schema version and lazy
+// migration: reads upgrade old documents on access (and persist the
+// upgraded form), so the collection migrates incrementally — the paper's
+// "query data with varied schemas" requirement.
+type Versioned struct {
+	Docs       *docstore.Store
+	Coll       string
+	Target     int
+	Migrations []Migration
+}
+
+// version reads a document's schema version (0 when absent).
+func version(doc mmvalue.Value) int {
+	return int(doc.GetOr(VersionField).AsInt())
+}
+
+// upgrade applies migrations until the document reaches target.
+func (v *Versioned) upgrade(doc mmvalue.Value) (mmvalue.Value, bool, error) {
+	cur := version(doc)
+	changed := false
+	for cur < v.Target {
+		var m *Migration
+		for i := range v.Migrations {
+			if v.Migrations[i].From == cur {
+				m = &v.Migrations[i]
+				break
+			}
+		}
+		if m == nil {
+			return doc, changed, fmt.Errorf("%w: from version %d", ErrNoMigration, cur)
+		}
+		doc = m.Upgrade(doc).Set(VersionField, mmvalue.Int(int64(cur+1)))
+		cur++
+		changed = true
+	}
+	return doc, changed, nil
+}
+
+// Get reads a document, lazily upgrading (and persisting) it if it predates
+// the target version.
+func (v *Versioned) Get(tx *engine.Txn, key string) (mmvalue.Value, bool, error) {
+	doc, ok, err := v.Docs.Get(tx, v.Coll, key)
+	if err != nil || !ok {
+		return mmvalue.Null, ok, err
+	}
+	doc, changed, err := v.upgrade(doc)
+	if err != nil {
+		return mmvalue.Null, false, err
+	}
+	if changed {
+		if err := v.Docs.Put(tx, v.Coll, key, doc); err != nil {
+			return mmvalue.Null, false, err
+		}
+	}
+	return doc, true, nil
+}
+
+// Put writes a document stamped with the target version.
+func (v *Versioned) Put(tx *engine.Txn, key string, doc mmvalue.Value) error {
+	return v.Docs.Put(tx, v.Coll, key, doc.Set(VersionField, mmvalue.Int(int64(v.Target))))
+}
+
+// MigrateAll eagerly upgrades every document (the offline alternative to
+// lazy migration); returns how many were rewritten.
+func (v *Versioned) MigrateAll(tx *engine.Txn) (int, error) {
+	type pending struct {
+		key string
+		doc mmvalue.Value
+	}
+	var todo []pending
+	err := v.Docs.Scan(tx, v.Coll, func(key string, doc mmvalue.Value) bool {
+		if version(doc) < v.Target {
+			todo = append(todo, pending{key, doc})
+		}
+		return true
+	})
+	if err != nil {
+		return 0, err
+	}
+	for _, p := range todo {
+		doc, _, err := v.upgrade(p.doc)
+		if err != nil {
+			return 0, err
+		}
+		if err := v.Docs.Put(tx, v.Coll, p.key, doc); err != nil {
+			return 0, err
+		}
+	}
+	return len(todo), nil
+}

@@ -1,0 +1,319 @@
+package evolution
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/docstore"
+	"repro/internal/engine"
+	"repro/internal/graphstore"
+	"repro/internal/mmvalue"
+	"repro/internal/rdfstore"
+	"repro/internal/relstore"
+)
+
+func setup(t *testing.T) (*engine.Engine, *Migrator) {
+	t.Helper()
+	e, err := engine.Open(engine.Options{Durability: engine.Ephemeral})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { e.Close() })
+	cat := catalog.New(e)
+	return e, &Migrator{
+		Docs:   docstore.New(e, cat),
+		Rels:   relstore.New(e, cat),
+		Graphs: graphstore.New(e),
+		RDF:    rdfstore.New(e),
+	}
+}
+
+func seedTable(t *testing.T, e *engine.Engine, m *Migrator) {
+	t.Helper()
+	err := e.Update(func(tx *engine.Txn) error {
+		if err := m.Rels.CreateTable(tx, "legacy", relstore.TableSchema{
+			Columns: []relstore.Column{
+				{Name: "id", Type: relstore.TInt, NotNull: true},
+				{Name: "name", Type: relstore.TString},
+				{Name: "credit", Type: relstore.TInt},
+			},
+			PrimaryKey: []string{"id"},
+		}); err != nil {
+			return err
+		}
+		for i, name := range []string{"Mary", "John", "Anne"} {
+			if err := m.Rels.Insert(tx, "legacy", mmvalue.Object(
+				mmvalue.F("id", mmvalue.Int(int64(i+1))),
+				mmvalue.F("name", mmvalue.String(name)),
+				mmvalue.F("credit", mmvalue.Int(int64(1000*(i+1)))),
+			)); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTableToCollection is the paper's slide-94 arrow: relational legacy
+// data becomes JSON documents, queryable in the new model.
+func TestTableToCollection(t *testing.T) {
+	e, m := setup(t)
+	seedTable(t, e, m)
+	var n int
+	err := e.Update(func(tx *engine.Txn) error {
+		var err error
+		n, err = m.TableToCollection(tx, "legacy", "modern")
+		return err
+	})
+	if err != nil || n != 3 {
+		t.Fatalf("migrated %d, %v", n, err)
+	}
+	e.View(func(tx *engine.Txn) error {
+		doc, ok, _ := m.Docs.Get(tx, "modern", "2")
+		if !ok || doc.GetOr("name").AsString() != "John" || doc.GetOr("credit").AsInt() != 2000 {
+			t.Fatalf("migrated doc = %v", doc)
+		}
+		return nil
+	})
+}
+
+func TestCollectionToTableInference(t *testing.T) {
+	e, m := setup(t)
+	err := e.Update(func(tx *engine.Txn) error {
+		if err := m.Docs.CreateCollection(tx, "events", catalog.Schemaless); err != nil {
+			return err
+		}
+		m.Docs.Put(tx, "events", "e1", mmvalue.MustParseJSON(`{"kind":"click","count":3}`))
+		m.Docs.Put(tx, "events", "e2", mmvalue.MustParseJSON(`{"kind":"view","count":1.5,"meta":{"x":1}}`))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = e.Update(func(tx *engine.Txn) error {
+		n, err := m.CollectionToTable(tx, "events", "events_rel")
+		if n != 2 {
+			t.Fatalf("migrated %d", n)
+		}
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.View(func(tx *engine.Txn) error {
+		schema, err := m.Rels.Schema(tx, "events_rel")
+		if err != nil {
+			t.Fatal(err)
+		}
+		byName := map[string]relstore.ColType{}
+		for _, c := range schema.Columns {
+			byName[c.Name] = c.Type
+		}
+		if byName["kind"] != relstore.TString {
+			t.Fatalf("kind type = %v", byName["kind"])
+		}
+		if byName["count"] != relstore.TFloat { // int+float promotes
+			t.Fatalf("count type = %v", byName["count"])
+		}
+		if byName["meta"] != relstore.TJSONB { // nested escapes to jsonb
+			t.Fatalf("meta type = %v", byName["meta"])
+		}
+		row, ok, _ := m.Rels.Get(tx, "events_rel", mmvalue.String("e1"))
+		if !ok || row.GetOr("kind").AsString() != "click" {
+			t.Fatalf("row = %v", row)
+		}
+		return nil
+	})
+}
+
+func TestCollectionToGraph(t *testing.T) {
+	e, m := setup(t)
+	err := e.Update(func(tx *engine.Txn) error {
+		if err := m.Docs.CreateCollection(tx, "people", catalog.Schemaless); err != nil {
+			return err
+		}
+		m.Docs.Put(tx, "people", "mary", mmvalue.MustParseJSON(`{"manager":"john"}`))
+		m.Docs.Put(tx, "people", "john", mmvalue.MustParseJSON(`{"manager":null}`))
+		m.Docs.Put(tx, "people", "anne", mmvalue.MustParseJSON(`{"manager":"ghost"}`))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = e.Update(func(tx *engine.Txn) error {
+		v, edges, err := m.CollectionToGraph(tx, "people", "org", "manager", "reports_to")
+		if v != 3 || edges != 1 { // anne's manager dangles and is skipped
+			t.Fatalf("vertices=%d edges=%d", v, edges)
+		}
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.View(func(tx *engine.Txn) error {
+		ns, _ := m.Graphs.Neighbors(tx, "org", "mary", graphstore.Outbound, "reports_to")
+		if len(ns) != 1 || ns[0].VertexKey != "john" {
+			t.Fatalf("neighbors = %v", ns)
+		}
+		return nil
+	})
+}
+
+func TestCollectionToTriples(t *testing.T) {
+	e, m := setup(t)
+	err := e.Update(func(tx *engine.Txn) error {
+		if err := m.Docs.CreateCollection(tx, "items", catalog.Schemaless); err != nil {
+			return err
+		}
+		return m.Docs.Put(tx, "items", "i1", mmvalue.MustParseJSON(`{"color":"red","dims":{"w":3}}`))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Update(func(tx *engine.Txn) error {
+		n, err := m.CollectionToTriples(tx, "items", "kg", "item:")
+		if n != 1 || err != nil {
+			t.Fatalf("n=%d err=%v", n, err)
+		}
+		return nil
+	})
+	e.View(func(tx *engine.Txn) error {
+		got, _ := m.RDF.Match(tx, "kg", rdfstore.Pattern{S: "<item:i1>"})
+		if len(got) != 2 {
+			t.Fatalf("triples = %v", got)
+		}
+		got, _ = m.RDF.Match(tx, "kg", rdfstore.Pattern{S: "<item:i1>", P: "dims.w"})
+		if len(got) != 1 || got[0].O != "3" {
+			t.Fatalf("dims triple = %v", got)
+		}
+		return nil
+	})
+}
+
+func TestVersionedLazyMigration(t *testing.T) {
+	e, m := setup(t)
+	err := e.Update(func(tx *engine.Txn) error {
+		if err := m.Docs.CreateCollection(tx, "users", catalog.Schemaless); err != nil {
+			return err
+		}
+		// Version-0 document: single "name" field.
+		return m.Docs.Put(tx, "users", "u1", mmvalue.MustParseJSON(`{"name":"Mary Smith"}`))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := &Versioned{
+		Docs:   m.Docs,
+		Coll:   "users",
+		Target: 2,
+		Migrations: []Migration{
+			{From: 0, Upgrade: func(doc mmvalue.Value) mmvalue.Value {
+				// v1 splits name into first/last.
+				name := doc.GetOr("name").AsString()
+				first, last := name, ""
+				for i := 0; i < len(name); i++ {
+					if name[i] == ' ' {
+						first, last = name[:i], name[i+1:]
+						break
+					}
+				}
+				return doc.Delete("name").
+					Set("first", mmvalue.String(first)).
+					Set("last", mmvalue.String(last))
+			}},
+			{From: 1, Upgrade: func(doc mmvalue.Value) mmvalue.Value {
+				// v2 adds a default country.
+				return doc.Set("country", mmvalue.String("unknown"))
+			}},
+		},
+	}
+	err = e.Update(func(tx *engine.Txn) error {
+		doc, ok, err := v.Get(tx, "u1")
+		if err != nil || !ok {
+			t.Fatalf("Get = %v, %v", ok, err)
+		}
+		if doc.GetOr("first").AsString() != "Mary" || doc.GetOr("last").AsString() != "Smith" {
+			t.Fatalf("migrated = %v", doc)
+		}
+		if doc.GetOr("country").AsString() != "unknown" {
+			t.Fatalf("v2 migration missing: %v", doc)
+		}
+		if doc.GetOr(VersionField).AsInt() != 2 {
+			t.Fatalf("version = %v", doc.GetOr(VersionField))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The upgrade persisted: raw read shows version 2.
+	e.View(func(tx *engine.Txn) error {
+		raw, _, _ := m.Docs.Get(tx, "users", "u1")
+		if raw.GetOr(VersionField).AsInt() != 2 {
+			t.Fatalf("lazy upgrade not persisted: %v", raw)
+		}
+		return nil
+	})
+}
+
+func TestVersionedMissingMigrationPath(t *testing.T) {
+	e, m := setup(t)
+	e.Update(func(tx *engine.Txn) error {
+		m.Docs.CreateCollection(tx, "users", catalog.Schemaless)
+		return m.Docs.Put(tx, "users", "u1", mmvalue.MustParseJSON(`{"x":1}`))
+	})
+	v := &Versioned{Docs: m.Docs, Coll: "users", Target: 1} // no migrations
+	err := e.Update(func(tx *engine.Txn) error {
+		_, _, err := v.Get(tx, "u1")
+		return err
+	})
+	if !errors.Is(err, ErrNoMigration) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestVersionedMigrateAllAndPut(t *testing.T) {
+	e, m := setup(t)
+	e.Update(func(tx *engine.Txn) error {
+		m.Docs.CreateCollection(tx, "users", catalog.Schemaless)
+		for _, k := range []string{"a", "b", "c"} {
+			m.Docs.Put(tx, "users", k, mmvalue.MustParseJSON(`{"n":1}`))
+		}
+		return nil
+	})
+	v := &Versioned{
+		Docs: m.Docs, Coll: "users", Target: 1,
+		Migrations: []Migration{{From: 0, Upgrade: func(d mmvalue.Value) mmvalue.Value {
+			return d.Set("n", mmvalue.Int(d.GetOr("n").AsInt()*10))
+		}}},
+	}
+	e.Update(func(tx *engine.Txn) error {
+		// New writes are already at the target version.
+		return v.Put(tx, "d", mmvalue.MustParseJSON(`{"n":5}`))
+	})
+	err := e.Update(func(tx *engine.Txn) error {
+		n, err := v.MigrateAll(tx)
+		if n != 3 { // d is already current
+			t.Fatalf("rewrote %d", n)
+		}
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.View(func(tx *engine.Txn) error {
+		doc, _, _ := m.Docs.Get(tx, "users", "a")
+		if doc.GetOr("n").AsInt() != 10 {
+			t.Fatalf("a = %v", doc)
+		}
+		doc, _, _ = m.Docs.Get(tx, "users", "d")
+		if doc.GetOr("n").AsInt() != 5 {
+			t.Fatalf("d = %v (must not double-migrate)", doc)
+		}
+		return nil
+	})
+}

@@ -1,0 +1,156 @@
+// Package exthash implements an extendible hashing directory, the hash index
+// family the tutorial attributes to OrientDB ("extendible hashing —
+// significantly faster") and ArangoDB (hash primary and edge indexes).
+//
+// A directory of 2^globalDepth slots points at buckets; each bucket carries
+// a local depth. On overflow a bucket splits and, when its local depth
+// exceeds the global depth, the directory doubles. Point operations are
+// O(1); the structure intentionally offers no range scans — exactly the
+// trade the paper's index-classification section describes (E4).
+package exthash
+
+import "bytes"
+
+const bucketCapacity = 16
+
+// Table is an extendible hash table mapping []byte keys to []byte values.
+type Table struct {
+	globalDepth uint
+	dir         []*bucket
+	size        int
+}
+
+type bucket struct {
+	localDepth uint
+	keys       [][]byte
+	vals       [][]byte
+}
+
+// New returns an empty table.
+func New() *Table {
+	b := &bucket{}
+	return &Table{globalDepth: 0, dir: []*bucket{b}}
+}
+
+// Len returns the number of stored pairs.
+func (t *Table) Len() int { return t.size }
+
+// fnv64a hashes a key.
+func fnv64a(key []byte) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for _, b := range key {
+		h = (h ^ uint64(b)) * prime
+	}
+	return h
+}
+
+func (t *Table) slot(key []byte) uint64 {
+	if t.globalDepth == 0 {
+		return 0
+	}
+	return fnv64a(key) & ((1 << t.globalDepth) - 1)
+}
+
+// Get returns the value stored under key.
+func (t *Table) Get(key []byte) ([]byte, bool) {
+	b := t.dir[t.slot(key)]
+	for i, k := range b.keys {
+		if bytes.Equal(k, key) {
+			return b.vals[i], true
+		}
+	}
+	return nil, false
+}
+
+// Put stores value under key, replacing any previous value.
+func (t *Table) Put(key, value []byte) {
+	for {
+		b := t.dir[t.slot(key)]
+		for i, k := range b.keys {
+			if bytes.Equal(k, key) {
+				b.vals[i] = value
+				return
+			}
+		}
+		if len(b.keys) < bucketCapacity {
+			b.keys = append(b.keys, key)
+			b.vals = append(b.vals, value)
+			t.size++
+			return
+		}
+		t.split(b)
+	}
+}
+
+// split divides an over-full bucket, doubling the directory if needed.
+func (t *Table) split(b *bucket) {
+	if b.localDepth == t.globalDepth {
+		// Double the directory: each new slot aliases its low-bits twin.
+		newDir := make([]*bucket, len(t.dir)*2)
+		copy(newDir, t.dir)
+		copy(newDir[len(t.dir):], t.dir)
+		t.dir = newDir
+		t.globalDepth++
+	}
+	b.localDepth++
+	twin := &bucket{localDepth: b.localDepth}
+	// Re-point every directory slot whose hash bit at the new depth selects
+	// the twin.
+	bit := uint64(1) << (b.localDepth - 1)
+	for i, cur := range t.dir {
+		if cur == b && uint64(i)&bit != 0 {
+			t.dir[i] = twin
+		}
+	}
+	// Redistribute entries between b and twin.
+	keys, vals := b.keys, b.vals
+	b.keys, b.vals = nil, nil
+	for i, k := range keys {
+		target := b
+		if fnv64a(k)&bit != 0 {
+			target = twin
+		}
+		target.keys = append(target.keys, k)
+		target.vals = append(target.vals, vals[i])
+	}
+}
+
+// Delete removes key, reporting whether it was present. Buckets are not
+// merged back; directories only grow (standard extendible hashing).
+func (t *Table) Delete(key []byte) bool {
+	b := t.dir[t.slot(key)]
+	for i, k := range b.keys {
+		if bytes.Equal(k, key) {
+			b.keys = append(b.keys[:i], b.keys[i+1:]...)
+			b.vals = append(b.vals[:i], b.vals[i+1:]...)
+			t.size--
+			return true
+		}
+	}
+	return false
+}
+
+// Range calls fn for every stored pair in unspecified order; fn returning
+// false stops the walk. Provided for rebuilds and diagnostics, not queries:
+// hash indexes do not support ordered scans (this is the E4 ablation point).
+func (t *Table) Range(fn func(key, value []byte) bool) {
+	seen := map[*bucket]struct{}{}
+	for _, b := range t.dir {
+		if _, dup := seen[b]; dup {
+			continue
+		}
+		seen[b] = struct{}{}
+		for i, k := range b.keys {
+			if !fn(k, b.vals[i]) {
+				return
+			}
+		}
+	}
+}
+
+// Depth returns the current global depth (for tests and stats).
+func (t *Table) Depth() uint { return t.globalDepth }

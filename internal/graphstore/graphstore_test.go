@@ -1,0 +1,311 @@
+package graphstore
+
+import (
+	"errors"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/mmvalue"
+)
+
+func setup(t *testing.T) (*engine.Engine, *Store) {
+	t.Helper()
+	e, err := engine.Open(engine.Options{Durability: engine.Ephemeral})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { e.Close() })
+	return e, New(e)
+}
+
+// seedSocial builds the paper's social network: Mary knows John, Anne knows
+// Mary (slide 26).
+func seedSocial(t *testing.T, e *engine.Engine, s *Store) {
+	t.Helper()
+	err := e.Update(func(tx *engine.Txn) error {
+		for _, name := range []string{"mary", "john", "anne"} {
+			if err := s.PutVertex(tx, "social", name, mmvalue.Object(
+				mmvalue.F("name", mmvalue.String(name)))); err != nil {
+				return err
+			}
+		}
+		if _, err := s.Connect(tx, "social", "mary", "john", "knows", mmvalue.Null); err != nil {
+			return err
+		}
+		_, err := s.Connect(tx, "social", "anne", "mary", "knows", mmvalue.Null)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVertexCRUD(t *testing.T) {
+	e, s := setup(t)
+	var key string
+	e.Update(func(tx *engine.Txn) error {
+		var err error
+		key, err = s.AddVertex(tx, "g", mmvalue.MustParseJSON(`{"name":"Mary"}`))
+		return err
+	})
+	if key == "" {
+		t.Fatal("no vertex key")
+	}
+	e.View(func(tx *engine.Txn) error {
+		v, ok, _ := s.Vertex(tx, "g", key)
+		if !ok || v.GetOr("name").AsString() != "Mary" {
+			t.Fatalf("Vertex = %v, %v", v, ok)
+		}
+		return nil
+	})
+	// Duplicate explicit key fails.
+	err := e.Update(func(tx *engine.Txn) error {
+		_, err := s.AddVertex(tx, "g", mmvalue.Object(mmvalue.F(KeyField, mmvalue.String(key))))
+		return err
+	})
+	if !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("duplicate vertex = %v", err)
+	}
+	// Non-object payload is wrapped.
+	e.Update(func(tx *engine.Txn) error {
+		k, err := s.AddVertex(tx, "g", mmvalue.Int(42))
+		if err != nil {
+			return err
+		}
+		v, _, _ := s.Vertex(tx, "g", k)
+		if v.GetOr("value").AsInt() != 42 {
+			t.Fatalf("wrapped scalar = %v", v)
+		}
+		return nil
+	})
+}
+
+func TestEdgeRequiresEndpoints(t *testing.T) {
+	e, s := setup(t)
+	e.Update(func(tx *engine.Txn) error {
+		_, err := s.AddVertex(tx, "g", mmvalue.Object(mmvalue.F(KeyField, mmvalue.String("a"))))
+		return err
+	})
+	err := e.Update(func(tx *engine.Txn) error {
+		_, err := s.Connect(tx, "g", "a", "ghost", "", mmvalue.Null)
+		return err
+	})
+	if !errors.Is(err, ErrNotFound) {
+		t.Fatalf("edge to missing vertex = %v", err)
+	}
+	err = e.Update(func(tx *engine.Txn) error {
+		_, err := s.AddEdge(tx, "g", mmvalue.Object()) // no _from/_to
+		return err
+	})
+	if !errors.Is(err, ErrBadEdge) {
+		t.Fatalf("edge without endpoints = %v", err)
+	}
+}
+
+func TestNeighborsAndDirections(t *testing.T) {
+	e, s := setup(t)
+	seedSocial(t, e, s)
+	e.View(func(tx *engine.Txn) error {
+		out, err := s.Neighbors(tx, "social", "mary", Outbound, "knows")
+		if err != nil || len(out) != 1 || out[0].VertexKey != "john" {
+			t.Fatalf("Outbound = %v, %v", out, err)
+		}
+		in, _ := s.Neighbors(tx, "social", "mary", Inbound, "knows")
+		if len(in) != 1 || in[0].VertexKey != "anne" {
+			t.Fatalf("Inbound = %v", in)
+		}
+		both, _ := s.Neighbors(tx, "social", "mary", Any, "knows")
+		keys := []string{both[0].VertexKey, both[1].VertexKey}
+		sort.Strings(keys)
+		if !reflect.DeepEqual(keys, []string{"anne", "john"}) {
+			t.Fatalf("Any = %v", keys)
+		}
+		// Label filtering.
+		none, _ := s.Neighbors(tx, "social", "mary", Outbound, "likes")
+		if len(none) != 0 {
+			t.Fatalf("label filter leaked: %v", none)
+		}
+		return nil
+	})
+}
+
+func TestTraverseDepthRange(t *testing.T) {
+	e, s := setup(t)
+	// Chain a -> b -> c -> d.
+	e.Update(func(tx *engine.Txn) error {
+		for _, v := range []string{"a", "b", "c", "d"} {
+			s.PutVertex(tx, "chain", v, mmvalue.Object())
+		}
+		s.Connect(tx, "chain", "a", "b", "", mmvalue.Null)
+		s.Connect(tx, "chain", "b", "c", "", mmvalue.Null)
+		s.Connect(tx, "chain", "c", "d", "", mmvalue.Null)
+		return nil
+	})
+	e.View(func(tx *engine.Txn) error {
+		got, err := s.Traverse(tx, "chain", "a", 1, 1, Outbound, "")
+		if err != nil || !reflect.DeepEqual(got, []string{"b"}) {
+			t.Fatalf("1..1 = %v, %v", got, err)
+		}
+		got, _ = s.Traverse(tx, "chain", "a", 1, 3, Outbound, "")
+		if !reflect.DeepEqual(got, []string{"b", "c", "d"}) {
+			t.Fatalf("1..3 = %v", got)
+		}
+		got, _ = s.Traverse(tx, "chain", "a", 2, 3, Outbound, "")
+		if !reflect.DeepEqual(got, []string{"c", "d"}) {
+			t.Fatalf("2..3 = %v", got)
+		}
+		got, _ = s.Traverse(tx, "chain", "a", 0, 1, Outbound, "")
+		if !reflect.DeepEqual(got, []string{"a", "b"}) {
+			t.Fatalf("0..1 = %v", got)
+		}
+		if _, err := s.Traverse(tx, "chain", "a", -1, 2, Outbound, ""); err == nil {
+			t.Fatal("negative min accepted")
+		}
+		return nil
+	})
+}
+
+func TestTraverseCycleTerminates(t *testing.T) {
+	e, s := setup(t)
+	e.Update(func(tx *engine.Txn) error {
+		s.PutVertex(tx, "cyc", "x", mmvalue.Object())
+		s.PutVertex(tx, "cyc", "y", mmvalue.Object())
+		s.Connect(tx, "cyc", "x", "y", "", mmvalue.Null)
+		s.Connect(tx, "cyc", "y", "x", "", mmvalue.Null)
+		return nil
+	})
+	e.View(func(tx *engine.Txn) error {
+		got, err := s.Traverse(tx, "cyc", "x", 1, 100, Outbound, "")
+		if err != nil || !reflect.DeepEqual(got, []string{"y"}) {
+			t.Fatalf("cycle traverse = %v, %v", got, err)
+		}
+		return nil
+	})
+}
+
+func TestShortestPath(t *testing.T) {
+	e, s := setup(t)
+	// Diamond with a long way around: a->b->d, a->c->e->d.
+	e.Update(func(tx *engine.Txn) error {
+		for _, v := range []string{"a", "b", "c", "d", "e"} {
+			s.PutVertex(tx, "g", v, mmvalue.Object())
+		}
+		s.Connect(tx, "g", "a", "b", "", mmvalue.Null)
+		s.Connect(tx, "g", "b", "d", "", mmvalue.Null)
+		s.Connect(tx, "g", "a", "c", "", mmvalue.Null)
+		s.Connect(tx, "g", "c", "e", "", mmvalue.Null)
+		s.Connect(tx, "g", "e", "d", "", mmvalue.Null)
+		return nil
+	})
+	e.View(func(tx *engine.Txn) error {
+		path, err := s.ShortestPath(tx, "g", "a", "d", Outbound, "")
+		if err != nil || !reflect.DeepEqual(path, []string{"a", "b", "d"}) {
+			t.Fatalf("ShortestPath = %v, %v", path, err)
+		}
+		// Same vertex.
+		path, _ = s.ShortestPath(tx, "g", "a", "a", Outbound, "")
+		if !reflect.DeepEqual(path, []string{"a"}) {
+			t.Fatalf("self path = %v", path)
+		}
+		// Unreachable (wrong direction).
+		if _, err := s.ShortestPath(tx, "g", "d", "a", Outbound, ""); !errors.Is(err, ErrNoSuchPath) {
+			t.Fatalf("unreachable = %v", err)
+		}
+		return nil
+	})
+}
+
+func TestRemoveEdgeAndVertex(t *testing.T) {
+	e, s := setup(t)
+	seedSocial(t, e, s)
+	// Removing a vertex removes incident edges in both directions.
+	e.Update(func(tx *engine.Txn) error { return s.RemoveVertex(tx, "social", "mary") })
+	e.View(func(tx *engine.Txn) error {
+		if _, ok, _ := s.Vertex(tx, "social", "mary"); ok {
+			t.Fatal("vertex survived removal")
+		}
+		n, _ := s.Neighbors(tx, "social", "anne", Outbound, "")
+		if len(n) != 0 {
+			t.Fatalf("dangling edge from anne: %v", n)
+		}
+		n, _ = s.Neighbors(tx, "social", "john", Inbound, "")
+		if len(n) != 0 {
+			t.Fatalf("dangling edge into john: %v", n)
+		}
+		return nil
+	})
+	if s.EdgeCount("social") != 0 {
+		t.Fatalf("EdgeCount = %d", s.EdgeCount("social"))
+	}
+}
+
+func TestEdgePropertiesAndDegree(t *testing.T) {
+	e, s := setup(t)
+	e.Update(func(tx *engine.Txn) error {
+		s.PutVertex(tx, "g", "a", mmvalue.Object())
+		s.PutVertex(tx, "g", "b", mmvalue.Object())
+		_, err := s.Connect(tx, "g", "a", "b", "rated",
+			mmvalue.Object(mmvalue.F("stars", mmvalue.Int(5))))
+		return err
+	})
+	e.View(func(tx *engine.Txn) error {
+		ns, _ := s.Neighbors(tx, "g", "a", Outbound, "rated")
+		if len(ns) != 1 || ns[0].Edge.GetOr("stars").AsInt() != 5 {
+			t.Fatalf("edge props = %v", ns)
+		}
+		dOut, _ := s.Degree(tx, "g", "a", Outbound)
+		dIn, _ := s.Degree(tx, "g", "a", Inbound)
+		dAny, _ := s.Degree(tx, "g", "a", Any)
+		if dOut != 1 || dIn != 0 || dAny != 1 {
+			t.Fatalf("degrees = %d %d %d", dOut, dIn, dAny)
+		}
+		return nil
+	})
+}
+
+func TestVerticesEdgesIteration(t *testing.T) {
+	e, s := setup(t)
+	seedSocial(t, e, s)
+	var vs, es []string
+	e.View(func(tx *engine.Txn) error {
+		s.Vertices(tx, "social", func(k string, d mmvalue.Value) bool {
+			vs = append(vs, k)
+			return true
+		})
+		s.Edges(tx, "social", func(k string, d mmvalue.Value) bool {
+			es = append(es, d.GetOr(FromField).AsString()+"->"+d.GetOr(ToField).AsString())
+			return true
+		})
+		return nil
+	})
+	if !reflect.DeepEqual(vs, []string{"anne", "john", "mary"}) {
+		t.Fatalf("vertices = %v", vs)
+	}
+	sort.Strings(es)
+	if !reflect.DeepEqual(es, []string{"anne->mary", "mary->john"}) {
+		t.Fatalf("edges = %v", es)
+	}
+	if s.VertexCount("social") != 3 || s.EdgeCount("social") != 2 {
+		t.Fatalf("counts = %d, %d", s.VertexCount("social"), s.EdgeCount("social"))
+	}
+}
+
+func TestParallelEdges(t *testing.T) {
+	e, s := setup(t)
+	e.Update(func(tx *engine.Txn) error {
+		s.PutVertex(tx, "g", "a", mmvalue.Object())
+		s.PutVertex(tx, "g", "b", mmvalue.Object())
+		s.Connect(tx, "g", "a", "b", "x", mmvalue.Null)
+		s.Connect(tx, "g", "a", "b", "y", mmvalue.Null)
+		return nil
+	})
+	e.View(func(tx *engine.Txn) error {
+		ns, _ := s.Neighbors(tx, "g", "a", Outbound, "")
+		if len(ns) != 2 {
+			t.Fatalf("parallel edges = %d", len(ns))
+		}
+		return nil
+	})
+}

@@ -1,0 +1,281 @@
+// Package keyenc implements an order-preserving binary encoding of typed
+// tuples (a "tuple layer"). Encoded keys compare with bytes.Compare in the
+// same order as the source tuples compare element-wise under the mmvalue
+// total order. Every index in unidb — primary keys, secondary B+tree
+// indexes, edge indexes, triple permutations — stores keys produced here,
+// which is what lets a single ordered keyspace substrate serve every data
+// model.
+//
+// Layout: each element is a one-byte type tag followed by a payload whose
+// byte order matches value order:
+//
+//	null:   0x02
+//	false:  0x03, true: 0x04
+//	number: 0x05 + 8-byte big-endian of the float64 bits with the sign bit
+//	        flipped for positives and all bits flipped for negatives (the
+//	        classic monotone double encoding); ints encode via their exact
+//	        float64 when possible, with a trailing disambiguator for the
+//	        int/float distinction that does not affect ordering of distinct
+//	        numbers
+//	string: 0x06 + escaped bytes + 0x00 0x01 terminator (0x00 in the payload
+//	        is escaped as 0x00 0xFF)
+//	bytes:  0x07 + same escaping
+//	array:  0x08 + encoded elements + 0x00 0x01
+//	object: 0x09 + (string key, value)* + 0x00 0x01
+package keyenc
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/mmvalue"
+)
+
+// Type tags. Gaps below 0x02 are reserved for scan bounds (0x00/0x01).
+const (
+	tagMin    = 0x00 // sorts before every value; usable as a scan bound
+	tagNull   = 0x02
+	tagFalse  = 0x03
+	tagTrue   = 0x04
+	tagNumber = 0x05
+	tagString = 0x06
+	tagBytes  = 0x07
+	tagArray  = 0x08
+	tagObject = 0x09
+	tagMax    = 0xFF // sorts after every value
+)
+
+const (
+	terminator0 = 0x00
+	terminator1 = 0x01
+	escape      = 0xFF
+)
+
+// Append encodes v and appends it to dst, returning the extended slice.
+func Append(dst []byte, v mmvalue.Value) []byte {
+	switch v.Kind() {
+	case mmvalue.KindNull:
+		return append(dst, tagNull)
+	case mmvalue.KindBool:
+		if v.AsBool() {
+			return append(dst, tagTrue)
+		}
+		return append(dst, tagFalse)
+	case mmvalue.KindInt:
+		dst = append(dst, tagNumber)
+		dst = appendMonotoneFloat(dst, float64(v.AsInt()))
+		// Disambiguator so Int(3) and Float(3.0) round-trip to their
+		// own kinds. 0x00 (int) sorts before 0x01 (float) only among
+		// numbers whose float64 images are identical, i.e. values
+		// that compare equal, so ordering of distinct values is
+		// unaffected.
+		return append(dst, 0x00)
+	case mmvalue.KindFloat:
+		dst = append(dst, tagNumber)
+		dst = appendMonotoneFloat(dst, v.AsFloat())
+		return append(dst, 0x01)
+	case mmvalue.KindString:
+		dst = append(dst, tagString)
+		dst = appendEscaped(dst, []byte(v.AsString()))
+		return append(dst, terminator0, terminator1)
+	case mmvalue.KindBytes:
+		dst = append(dst, tagBytes)
+		dst = appendEscaped(dst, v.AsBytes())
+		return append(dst, terminator0, terminator1)
+	case mmvalue.KindArray:
+		dst = append(dst, tagArray)
+		for _, e := range v.AsArray() {
+			dst = Append(dst, e)
+		}
+		return append(dst, terminator0, terminator1)
+	case mmvalue.KindObject:
+		dst = append(dst, tagObject)
+		for _, f := range v.Fields() {
+			dst = append(dst, tagString)
+			dst = appendEscaped(dst, []byte(f.Name))
+			dst = append(dst, terminator0, terminator1)
+			dst = Append(dst, f.Value)
+		}
+		return append(dst, terminator0, terminator1)
+	}
+	panic(fmt.Sprintf("keyenc: unknown kind %v", v.Kind()))
+}
+
+// Encode encodes a tuple of values into a single comparable key.
+func Encode(vs ...mmvalue.Value) []byte {
+	var dst []byte
+	for _, v := range vs {
+		dst = Append(dst, v)
+	}
+	return dst
+}
+
+// AppendString appends a string element without building a Value.
+func AppendString(dst []byte, s string) []byte {
+	dst = append(dst, tagString)
+	dst = appendEscaped(dst, []byte(s))
+	return append(dst, terminator0, terminator1)
+}
+
+// AppendInt appends an int element without building a Value.
+func AppendInt(dst []byte, i int64) []byte {
+	dst = append(dst, tagNumber)
+	dst = appendMonotoneFloat(dst, float64(i))
+	return append(dst, 0x00)
+}
+
+// AppendMin appends a sentinel that sorts before any encoded value; useful
+// as the low bound of a prefix scan.
+func AppendMin(dst []byte) []byte { return append(dst, tagMin) }
+
+// AppendMax appends a sentinel that sorts after any encoded value; useful as
+// the high bound of a prefix scan.
+func AppendMax(dst []byte) []byte { return append(dst, tagMax) }
+
+func appendMonotoneFloat(dst []byte, f float64) []byte {
+	bits := math.Float64bits(f)
+	if bits&(1<<63) != 0 {
+		bits = ^bits // negative: flip all bits
+	} else {
+		bits |= 1 << 63 // positive: flip sign bit
+	}
+	return append(dst,
+		byte(bits>>56), byte(bits>>48), byte(bits>>40), byte(bits>>32),
+		byte(bits>>24), byte(bits>>16), byte(bits>>8), byte(bits))
+}
+
+func appendEscaped(dst, payload []byte) []byte {
+	for _, b := range payload {
+		if b == terminator0 {
+			dst = append(dst, terminator0, escape)
+		} else {
+			dst = append(dst, b)
+		}
+	}
+	return dst
+}
+
+// Decode decodes all elements of an encoded key. It is the inverse of
+// Encode for values representable exactly (ints beyond 2^53 lose precision
+// through the float64 image and are rejected at Append time by design: unidb
+// primary keys are strings or small ints).
+func Decode(key []byte) ([]mmvalue.Value, error) {
+	var out []mmvalue.Value
+	rest := key
+	for len(rest) > 0 {
+		v, n, err := decodeOne(rest)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+		rest = rest[n:]
+	}
+	return out, nil
+}
+
+func decodeOne(b []byte) (mmvalue.Value, int, error) {
+	if len(b) == 0 {
+		return mmvalue.Null, 0, fmt.Errorf("keyenc: empty input")
+	}
+	switch b[0] {
+	case tagNull:
+		return mmvalue.Null, 1, nil
+	case tagFalse:
+		return mmvalue.False, 1, nil
+	case tagTrue:
+		return mmvalue.True, 1, nil
+	case tagNumber:
+		if len(b) < 10 {
+			return mmvalue.Null, 0, fmt.Errorf("keyenc: short number")
+		}
+		f := decodeMonotoneFloat(b[1:9])
+		switch b[9] {
+		case 0x00:
+			return mmvalue.Int(int64(f)), 10, nil
+		case 0x01:
+			return mmvalue.Float(f), 10, nil
+		default:
+			return mmvalue.Null, 0, fmt.Errorf("keyenc: bad number disambiguator %#x", b[9])
+		}
+	case tagString, tagBytes:
+		payload, n, err := decodeEscaped(b[1:])
+		if err != nil {
+			return mmvalue.Null, 0, err
+		}
+		if b[0] == tagString {
+			return mmvalue.String(string(payload)), 1 + n, nil
+		}
+		return mmvalue.Bytes(payload), 1 + n, nil
+	case tagArray:
+		var elems []mmvalue.Value
+		off := 1
+		for {
+			if off+1 < len(b) && b[off] == terminator0 && b[off+1] == terminator1 {
+				return mmvalue.ArrayOf(elems), off + 2, nil
+			}
+			v, n, err := decodeOne(b[off:])
+			if err != nil {
+				return mmvalue.Null, 0, err
+			}
+			elems = append(elems, v)
+			off += n
+		}
+	case tagObject:
+		var fields []mmvalue.Field
+		off := 1
+		for {
+			if off+1 < len(b) && b[off] == terminator0 && b[off+1] == terminator1 {
+				return mmvalue.ObjectOf(fields), off + 2, nil
+			}
+			k, n, err := decodeOne(b[off:])
+			if err != nil {
+				return mmvalue.Null, 0, err
+			}
+			off += n
+			v, n, err := decodeOne(b[off:])
+			if err != nil {
+				return mmvalue.Null, 0, err
+			}
+			off += n
+			fields = append(fields, mmvalue.F(k.AsString(), v))
+		}
+	default:
+		return mmvalue.Null, 0, fmt.Errorf("keyenc: unknown tag %#x", b[0])
+	}
+}
+
+func decodeMonotoneFloat(b []byte) float64 {
+	bits := uint64(b[0])<<56 | uint64(b[1])<<48 | uint64(b[2])<<40 | uint64(b[3])<<32 |
+		uint64(b[4])<<24 | uint64(b[5])<<16 | uint64(b[6])<<8 | uint64(b[7])
+	if bits&(1<<63) != 0 {
+		bits &^= 1 << 63
+	} else {
+		bits = ^bits
+	}
+	return math.Float64frombits(bits)
+}
+
+func decodeEscaped(b []byte) ([]byte, int, error) {
+	var payload []byte
+	i := 0
+	for i < len(b) {
+		if b[i] == terminator0 {
+			if i+1 >= len(b) {
+				return nil, 0, fmt.Errorf("keyenc: truncated escape")
+			}
+			switch b[i+1] {
+			case terminator1:
+				return payload, i + 2, nil
+			case escape:
+				payload = append(payload, terminator0)
+				i += 2
+			default:
+				return nil, 0, fmt.Errorf("keyenc: bad escape %#x", b[i+1])
+			}
+			continue
+		}
+		payload = append(payload, b[i])
+		i++
+	}
+	return nil, 0, fmt.Errorf("keyenc: unterminated string")
+}

@@ -1,0 +1,108 @@
+// Package kvstore implements the key/value data model (the Riak / Oracle
+// NoSQL DB row of the paper's classification): named buckets of string keys
+// mapped to arbitrary Values. It is the thinnest possible layer over the
+// integrated backend — one keyspace per bucket — which is exactly the
+// paper's observation that a document store "with no secondary indexes is a
+// simple key/value store".
+package kvstore
+
+import (
+	"fmt"
+
+	"repro/internal/binenc"
+	"repro/internal/engine"
+	"repro/internal/mmvalue"
+)
+
+// Store provides bucket operations within engine transactions.
+type Store struct {
+	e *engine.Engine
+}
+
+// New returns a key/value store over the engine.
+func New(e *engine.Engine) *Store { return &Store{e: e} }
+
+// Keyspace returns the engine keyspace backing a bucket; exported so the
+// unified query engine can scan buckets directly.
+func Keyspace(bucket string) string { return "kv:" + bucket }
+
+// Set stores value under key in bucket.
+func (s *Store) Set(tx *engine.Txn, bucket, key string, value mmvalue.Value) error {
+	return tx.Put(Keyspace(bucket), []byte(key), binenc.Encode(value))
+}
+
+// Get returns the value under key.
+func (s *Store) Get(tx *engine.Txn, bucket, key string) (mmvalue.Value, bool, error) {
+	raw, ok, err := tx.Get(Keyspace(bucket), []byte(key))
+	if err != nil || !ok {
+		return mmvalue.Null, false, err
+	}
+	v, err := binenc.Decode(raw)
+	if err != nil {
+		return mmvalue.Null, false, fmt.Errorf("kvstore: corrupt value under %s/%s: %w", bucket, key, err)
+	}
+	return v, true, nil
+}
+
+// Delete removes key from bucket, reporting whether it existed.
+func (s *Store) Delete(tx *engine.Txn, bucket, key string) (bool, error) {
+	_, ok, err := tx.Get(Keyspace(bucket), []byte(key))
+	if err != nil || !ok {
+		return false, err
+	}
+	return true, tx.Delete(Keyspace(bucket), []byte(key))
+}
+
+// Scan iterates all pairs of a bucket in key order.
+func (s *Store) Scan(tx *engine.Txn, bucket string, fn func(key string, value mmvalue.Value) bool) error {
+	var decodeErr error
+	err := tx.Scan(Keyspace(bucket), nil, nil, func(k, v []byte) bool {
+		val, err := binenc.Decode(v)
+		if err != nil {
+			decodeErr = fmt.Errorf("kvstore: corrupt value under %s/%s: %w", bucket, k, err)
+			return false
+		}
+		return fn(string(k), val)
+	})
+	if err != nil {
+		return err
+	}
+	return decodeErr
+}
+
+// ScanPrefix iterates pairs whose key starts with prefix.
+func (s *Store) ScanPrefix(tx *engine.Txn, bucket, prefix string, fn func(key string, value mmvalue.Value) bool) error {
+	lo := []byte(prefix)
+	hi := prefixEnd(lo)
+	var decodeErr error
+	err := tx.Scan(Keyspace(bucket), lo, hi, func(k, v []byte) bool {
+		val, err := binenc.Decode(v)
+		if err != nil {
+			decodeErr = err
+			return false
+		}
+		return fn(string(k), val)
+	})
+	if err != nil {
+		return err
+	}
+	return decodeErr
+}
+
+// Len returns the number of keys in a bucket (an engine-level statistic,
+// not transactional).
+func (s *Store) Len(bucket string) int { return s.e.KeyspaceLen(Keyspace(bucket)) }
+
+// prefixEnd returns the smallest key greater than every key with the given
+// prefix, or nil when the prefix is all 0xff.
+func prefixEnd(prefix []byte) []byte {
+	out := make([]byte, len(prefix))
+	copy(out, prefix)
+	for i := len(out) - 1; i >= 0; i-- {
+		if out[i] != 0xff {
+			out[i]++
+			return out[:i+1]
+		}
+	}
+	return nil
+}

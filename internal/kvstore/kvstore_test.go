@@ -1,0 +1,142 @@
+package kvstore
+
+import (
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/mmvalue"
+)
+
+func setup(t *testing.T) (*engine.Engine, *Store) {
+	t.Helper()
+	e, err := engine.Open(engine.Options{Durability: engine.Ephemeral})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { e.Close() })
+	return e, New(e)
+}
+
+func TestSetGetDelete(t *testing.T) {
+	e, s := setup(t)
+	err := e.Update(func(tx *engine.Txn) error {
+		return s.Set(tx, "cart", "1", mmvalue.String("34e5e759"))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.View(func(tx *engine.Txn) error {
+		v, ok, err := s.Get(tx, "cart", "1")
+		if err != nil || !ok || v.AsString() != "34e5e759" {
+			t.Fatalf("Get = %v, %v, %v", v, ok, err)
+		}
+		if _, ok, _ := s.Get(tx, "cart", "2"); ok {
+			t.Fatal("missing key should not be found")
+		}
+		return nil
+	})
+	e.Update(func(tx *engine.Txn) error {
+		existed, err := s.Delete(tx, "cart", "1")
+		if err != nil || !existed {
+			t.Fatalf("Delete = %v, %v", existed, err)
+		}
+		existed, err = s.Delete(tx, "cart", "1")
+		if err != nil || existed {
+			t.Fatalf("second Delete = %v, %v", existed, err)
+		}
+		return nil
+	})
+}
+
+func TestComplexValues(t *testing.T) {
+	e, s := setup(t)
+	doc := mmvalue.MustParseJSON(`{"items":[{"sku":"2724f","qty":2}],"total":132}`)
+	e.Update(func(tx *engine.Txn) error { return s.Set(tx, "carts", "c1", doc) })
+	e.View(func(tx *engine.Txn) error {
+		v, ok, _ := s.Get(tx, "carts", "c1")
+		if !ok || !mmvalue.Equal(v, doc) {
+			t.Fatalf("round trip = %v", v)
+		}
+		return nil
+	})
+}
+
+func TestScanAndPrefix(t *testing.T) {
+	e, s := setup(t)
+	e.Update(func(tx *engine.Txn) error {
+		s.Set(tx, "b", "user:1", mmvalue.Int(1))
+		s.Set(tx, "b", "user:2", mmvalue.Int(2))
+		s.Set(tx, "b", "order:1", mmvalue.Int(3))
+		return nil
+	})
+	var all []string
+	e.View(func(tx *engine.Txn) error {
+		return s.Scan(tx, "b", func(k string, v mmvalue.Value) bool {
+			all = append(all, k)
+			return true
+		})
+	})
+	if len(all) != 3 || all[0] != "order:1" {
+		t.Fatalf("Scan = %v", all)
+	}
+	var users []string
+	e.View(func(tx *engine.Txn) error {
+		return s.ScanPrefix(tx, "b", "user:", func(k string, v mmvalue.Value) bool {
+			users = append(users, k)
+			return true
+		})
+	})
+	if len(users) != 2 || users[0] != "user:1" || users[1] != "user:2" {
+		t.Fatalf("ScanPrefix = %v", users)
+	}
+	if s.Len("b") != 3 {
+		t.Fatalf("Len = %d", s.Len("b"))
+	}
+}
+
+func TestBucketsAreIsolated(t *testing.T) {
+	e, s := setup(t)
+	e.Update(func(tx *engine.Txn) error {
+		s.Set(tx, "b1", "k", mmvalue.Int(1))
+		return s.Set(tx, "b2", "k", mmvalue.Int(2))
+	})
+	e.View(func(tx *engine.Txn) error {
+		v1, _, _ := s.Get(tx, "b1", "k")
+		v2, _, _ := s.Get(tx, "b2", "k")
+		if v1.AsInt() != 1 || v2.AsInt() != 2 {
+			t.Fatalf("buckets bleed: %v, %v", v1, v2)
+		}
+		return nil
+	})
+}
+
+func TestTransactionalRollback(t *testing.T) {
+	e, s := setup(t)
+	tx, _ := e.Begin()
+	s.Set(tx, "b", "k", mmvalue.Int(1))
+	tx.Abort()
+	e.View(func(tx *engine.Txn) error {
+		if _, ok, _ := s.Get(tx, "b", "k"); ok {
+			t.Fatal("aborted write visible")
+		}
+		return nil
+	})
+}
+
+func TestPrefixEnd(t *testing.T) {
+	cases := []struct {
+		in   []byte
+		want []byte
+	}{
+		{[]byte("a"), []byte("b")},
+		{[]byte("az"), []byte("a{")},
+		{[]byte{0xff}, nil},
+		{[]byte{'a', 0xff}, []byte("b")},
+	}
+	for _, c := range cases {
+		got := prefixEnd(c.in)
+		if string(got) != string(c.want) {
+			t.Errorf("prefixEnd(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,210 @@
+package mmindex
+
+import (
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/graphstore"
+	"repro/internal/kvstore"
+	"repro/internal/mmvalue"
+)
+
+// buildFixture wires the paper's cross-model path: customer -> friends
+// (graph) -> cart entry (kv) -> order total (kv, standing in for the doc
+// hop to keep the fixture compact).
+func buildFixture(t *testing.T) (*engine.Engine, *graphstore.Store, *kvstore.Store, []Hop) {
+	t.Helper()
+	e, err := engine.Open(engine.Options{Durability: engine.Ephemeral})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { e.Close() })
+	g := graphstore.New(e)
+	kv := kvstore.New(e)
+	err = e.Update(func(tx *engine.Txn) error {
+		for _, v := range []string{"c1", "c2", "c3"} {
+			g.PutVertex(tx, "social", v, mmvalue.Object())
+		}
+		g.Connect(tx, "social", "c1", "c2", "knows", mmvalue.Null)
+		g.Connect(tx, "social", "c1", "c3", "knows", mmvalue.Null)
+		kv.Set(tx, "cart", "c2", mmvalue.String("o2"))
+		kv.Set(tx, "cart", "c3", mmvalue.String("o3"))
+		kv.Set(tx, "orders", "o2", mmvalue.Int(100))
+		kv.Set(tx, "orders", "o3", mmvalue.Int(50))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hops := []Hop{
+		{
+			Name:      "friends",
+			Keyspaces: []string{graphstore.OutKeyspace("social"), graphstore.EdgeKeyspace("social")},
+			Follow: func(tx *engine.Txn, in mmvalue.Value) ([]mmvalue.Value, error) {
+				ns, err := g.Neighbors(tx, "social", in.AsString(), graphstore.Outbound, "knows")
+				if err != nil {
+					return nil, err
+				}
+				out := make([]mmvalue.Value, len(ns))
+				for i, n := range ns {
+					out[i] = mmvalue.String(n.VertexKey)
+				}
+				return out, nil
+			},
+		},
+		{
+			Name:      "cart",
+			Keyspaces: []string{kvstore.Keyspace("cart")},
+			Follow: func(tx *engine.Txn, in mmvalue.Value) ([]mmvalue.Value, error) {
+				v, ok, err := kv.Get(tx, "cart", in.AsString())
+				if err != nil || !ok {
+					return nil, err
+				}
+				return []mmvalue.Value{v}, nil
+			},
+		},
+		{
+			Name:      "order-total",
+			Keyspaces: []string{kvstore.Keyspace("orders")},
+			Follow: func(tx *engine.Txn, in mmvalue.Value) ([]mmvalue.Value, error) {
+				v, ok, err := kv.Get(tx, "orders", in.AsString())
+				if err != nil || !ok {
+					return nil, err
+				}
+				return []mmvalue.Value{v}, nil
+			},
+		},
+	}
+	return e, g, kv, hops
+}
+
+func totals(vals []mmvalue.Value) []int64 {
+	out := make([]int64, len(vals))
+	for i, v := range vals {
+		out[i] = v.AsInt()
+	}
+	return out
+}
+
+func TestJoinIndexLookup(t *testing.T) {
+	e, _, _, hops := buildFixture(t)
+	idx := New(e, hops)
+	err := e.Update(func(tx *engine.Txn) error {
+		return idx.Put(tx, "c1", mmvalue.String("c1"))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.Len() != 1 {
+		t.Fatalf("Len = %d", idx.Len())
+	}
+	e.View(func(tx *engine.Txn) error {
+		vals, ok, err := idx.Lookup(tx, "c1", mmvalue.String("c1"))
+		if err != nil || !ok {
+			t.Fatalf("Lookup = %v, %v", ok, err)
+		}
+		got := totals(vals)
+		if len(got) != 2 || got[0]+got[1] != 150 {
+			t.Fatalf("endpoints = %v", got)
+		}
+		// Unindexed anchor.
+		if _, ok, _ := idx.Lookup(tx, "c9", mmvalue.String("c9")); ok {
+			t.Fatal("phantom anchor")
+		}
+		return nil
+	})
+}
+
+func TestJoinIndexInvalidationOnWrite(t *testing.T) {
+	e, _, kv, hops := buildFixture(t)
+	idx := New(e, hops)
+	e.Update(func(tx *engine.Txn) error { return idx.Put(tx, "c1", mmvalue.String("c1")) })
+	if idx.Stale() {
+		t.Fatal("fresh index reported stale")
+	}
+	// A committed write to a dependent keyspace dirties the index.
+	e.Update(func(tx *engine.Txn) error {
+		return kv.Set(tx, "orders", "o2", mmvalue.Int(999))
+	})
+	if !idx.Stale() {
+		t.Fatal("index not invalidated by dependent write")
+	}
+	// Lookup transparently recomputes.
+	e.Update(func(tx *engine.Txn) error {
+		vals, ok, err := idx.Lookup(tx, "c1", mmvalue.String("c1"))
+		if err != nil || !ok {
+			t.Fatalf("Lookup = %v, %v", ok, err)
+		}
+		got := totals(vals)
+		sum := got[0] + got[1]
+		if sum != 999+50 {
+			t.Fatalf("stale read after recompute: %v", got)
+		}
+		return nil
+	})
+}
+
+func TestJoinIndexUnrelatedWriteDoesNotInvalidate(t *testing.T) {
+	e, _, kv, hops := buildFixture(t)
+	idx := New(e, hops)
+	e.Update(func(tx *engine.Txn) error { return idx.Put(tx, "c1", mmvalue.String("c1")) })
+	e.Update(func(tx *engine.Txn) error {
+		return kv.Set(tx, "unrelated", "x", mmvalue.Int(1))
+	})
+	if idx.Stale() {
+		t.Fatal("unrelated write invalidated the index")
+	}
+}
+
+func TestJoinIndexRefresh(t *testing.T) {
+	e, _, kv, hops := buildFixture(t)
+	idx := New(e, hops)
+	anchors := func(fn func(key string, value mmvalue.Value) bool) error {
+		for _, a := range []string{"c1", "c2", "c3"} {
+			if !fn(a, mmvalue.String(a)) {
+				break
+			}
+		}
+		return nil
+	}
+	e.Update(func(tx *engine.Txn) error { return idx.Refresh(tx, anchors) })
+	if idx.Len() != 3 {
+		t.Fatalf("Len = %d", idx.Len())
+	}
+	// c2 has no outgoing friends: empty endpoints but indexed.
+	e.View(func(tx *engine.Txn) error {
+		vals, ok, err := idx.Lookup(tx, "c2", mmvalue.String("c2"))
+		if err != nil || !ok || len(vals) != 0 {
+			t.Fatalf("c2 = %v, %v, %v", vals, ok, err)
+		}
+		return nil
+	})
+	// Mutate and refresh again.
+	e.Update(func(tx *engine.Txn) error {
+		return kv.Set(tx, "cart", "c2", mmvalue.String("o3"))
+	})
+	if !idx.Stale() {
+		t.Fatal("not stale after cart write")
+	}
+	e.Update(func(tx *engine.Txn) error { return idx.Refresh(tx, anchors) })
+	if idx.Stale() {
+		t.Fatal("still stale after refresh")
+	}
+}
+
+func TestHopChainEmptyMidway(t *testing.T) {
+	e, g, _, hops := buildFixture(t)
+	idx := New(e, hops)
+	// A vertex with no friends short-circuits to zero endpoints.
+	e.Update(func(tx *engine.Txn) error {
+		g.PutVertex(tx, "social", "lonely", mmvalue.Object())
+		return idx.Put(tx, "lonely", mmvalue.String("lonely"))
+	})
+	e.Update(func(tx *engine.Txn) error {
+		vals, ok, err := idx.Lookup(tx, "lonely", mmvalue.String("lonely"))
+		if err != nil || !ok || len(vals) != 0 {
+			t.Fatalf("lonely = %v, %v, %v", vals, ok, err)
+		}
+		return nil
+	})
+}

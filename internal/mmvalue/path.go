@@ -1,0 +1,242 @@
+package mmvalue
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Step is one component of a Path: either a field name or an array index.
+// Wildcard steps (Star) expand over all elements of an array.
+type Step struct {
+	Field string
+	Index int
+	Kind  StepKind
+}
+
+// StepKind discriminates Path steps.
+type StepKind uint8
+
+// Step kinds.
+const (
+	StepField StepKind = iota // .name
+	StepIndex                 // [i]
+	StepStar                  // [*]
+)
+
+func (s Step) String() string {
+	switch s.Kind {
+	case StepField:
+		return s.Field
+	case StepIndex:
+		return "[" + strconv.Itoa(s.Index) + "]"
+	case StepStar:
+		return "[*]"
+	}
+	return "?"
+}
+
+// Path addresses a position inside a nested Value, e.g. "orders[0].price" or
+// "orderlines[*].product_no".
+type Path []Step
+
+// ParsePath parses a dotted path with optional [i] and [*] subscripts.
+// Examples: "a", "a.b", "a[0].b", "orderlines[*].product_no".
+func ParsePath(s string) (Path, error) {
+	if s == "" {
+		return nil, fmt.Errorf("mmvalue: empty path")
+	}
+	var p Path
+	i := 0
+	for i < len(s) {
+		switch {
+		case s[i] == '.':
+			if i == 0 || i == len(s)-1 {
+				return nil, fmt.Errorf("mmvalue: bad path %q: stray dot", s)
+			}
+			i++
+		case s[i] == '[':
+			j := strings.IndexByte(s[i:], ']')
+			if j < 0 {
+				return nil, fmt.Errorf("mmvalue: bad path %q: unclosed [", s)
+			}
+			inner := s[i+1 : i+j]
+			if inner == "*" {
+				p = append(p, Step{Kind: StepStar})
+			} else {
+				n, err := strconv.Atoi(inner)
+				if err != nil {
+					return nil, fmt.Errorf("mmvalue: bad path %q: index %q", s, inner)
+				}
+				p = append(p, Step{Kind: StepIndex, Index: n})
+			}
+			i += j + 1
+		default:
+			j := i
+			for j < len(s) && s[j] != '.' && s[j] != '[' {
+				j++
+			}
+			p = append(p, Step{Kind: StepField, Field: s[i:j]})
+			i = j
+		}
+	}
+	if len(p) == 0 {
+		return nil, fmt.Errorf("mmvalue: empty path %q", s)
+	}
+	return p, nil
+}
+
+// MustParsePath is ParsePath that panics on error.
+func MustParsePath(s string) Path {
+	p, err := ParsePath(s)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// String renders the path in its parseable form.
+func (p Path) String() string {
+	var sb strings.Builder
+	for i, st := range p {
+		if st.Kind == StepField && i > 0 {
+			sb.WriteByte('.')
+		}
+		sb.WriteString(st.String())
+	}
+	return sb.String()
+}
+
+// Extract returns the single value at path p inside v, or (Null, false) when
+// the path does not resolve. Star steps make extraction multi-valued; for
+// those use ExtractAll — Extract treats a star as "not found".
+func (p Path) Extract(v Value) (Value, bool) {
+	cur := v
+	for _, st := range p {
+		switch st.Kind {
+		case StepField:
+			next, ok := cur.Get(st.Field)
+			if !ok {
+				return Null, false
+			}
+			cur = next
+		case StepIndex:
+			next, ok := cur.Index(st.Index)
+			if !ok {
+				return Null, false
+			}
+			cur = next
+		case StepStar:
+			return Null, false
+		}
+	}
+	return cur, true
+}
+
+// ExtractAll returns every value reachable along p, expanding [*] steps over
+// array elements (AQL `a[*].b` semantics). A path with no stars yields at
+// most one value.
+func (p Path) ExtractAll(v Value) []Value {
+	out := []Value{}
+	var walk func(cur Value, rest Path)
+	walk = func(cur Value, rest Path) {
+		if len(rest) == 0 {
+			out = append(out, cur)
+			return
+		}
+		st := rest[0]
+		switch st.Kind {
+		case StepField:
+			if next, ok := cur.Get(st.Field); ok {
+				walk(next, rest[1:])
+			}
+		case StepIndex:
+			if next, ok := cur.Index(st.Index); ok {
+				walk(next, rest[1:])
+			}
+		case StepStar:
+			for _, e := range cur.AsArray() {
+				walk(e, rest[1:])
+			}
+		}
+	}
+	walk(v, p)
+	return out
+}
+
+// PathEntry pairs a concrete (star-free) path string with the leaf value at
+// that path; used by the GIN index and the Sinew universal relation.
+type PathEntry struct {
+	Path string
+	Leaf Value
+}
+
+// FlattenPaths enumerates every leaf of v with its concrete path. Array
+// positions appear as [i]; scalar and empty containers are leaves. The root
+// scalar flattens to path "".
+func FlattenPaths(v Value) []PathEntry {
+	var out []PathEntry
+	var walk func(prefix string, cur Value)
+	walk = func(prefix string, cur Value) {
+		switch cur.Kind() {
+		case KindObject:
+			if cur.Len() == 0 {
+				out = append(out, PathEntry{Path: prefix, Leaf: cur})
+				return
+			}
+			for _, f := range cur.Fields() {
+				p := f.Name
+				if prefix != "" {
+					p = prefix + "." + f.Name
+				}
+				walk(p, f.Value)
+			}
+		case KindArray:
+			if cur.Len() == 0 {
+				out = append(out, PathEntry{Path: prefix, Leaf: cur})
+				return
+			}
+			for i, e := range cur.AsArray() {
+				walk(prefix+"["+strconv.Itoa(i)+"]", e)
+			}
+		default:
+			out = append(out, PathEntry{Path: prefix, Leaf: cur})
+		}
+	}
+	walk("", v)
+	return out
+}
+
+// FlattenColumns is FlattenPaths with array indexes erased ([i] → [*]·less
+// dotted form): the Sinew "universal relation" column naming, where nested
+// data is flattened into separate columns and arrays contribute one column
+// per distinct interior path. Returns path→values multi-map in first-seen
+// order of paths.
+func FlattenColumns(v Value) ([]string, map[string][]Value) {
+	var order []string
+	cols := map[string][]Value{}
+	var walk func(prefix string, cur Value)
+	walk = func(prefix string, cur Value) {
+		switch cur.Kind() {
+		case KindObject:
+			for _, f := range cur.Fields() {
+				p := f.Name
+				if prefix != "" {
+					p = prefix + "." + f.Name
+				}
+				walk(p, f.Value)
+			}
+		case KindArray:
+			for _, e := range cur.AsArray() {
+				walk(prefix, e)
+			}
+		default:
+			if _, seen := cols[prefix]; !seen {
+				order = append(order, prefix)
+			}
+			cols[prefix] = append(cols[prefix], cur)
+		}
+	}
+	walk("", v)
+	return order, cols
+}

@@ -1,0 +1,112 @@
+package mmvalue
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParsePath(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string
+	}{
+		{"a", "a"},
+		{"a.b", "a.b"},
+		{"a[0]", "a[0]"},
+		{"a[0].b", "a[0].b"},
+		{"a[*].b", "a[*].b"},
+		{"a[-1]", "a[-1]"},
+	}
+	for _, c := range cases {
+		p, err := ParsePath(c.in)
+		if err != nil {
+			t.Fatalf("ParsePath(%q): %v", c.in, err)
+		}
+		if got := p.String(); got != c.want {
+			t.Errorf("ParsePath(%q).String() = %q, want %q", c.in, got, c.want)
+		}
+	}
+	for _, bad := range []string{"", "a[", "a[x]", ".a", "a."} {
+		if _, err := ParsePath(bad); err == nil {
+			t.Errorf("ParsePath(%q) should fail", bad)
+		}
+	}
+}
+
+func TestExtract(t *testing.T) {
+	doc := MustParseJSON(`{"Order_no":"0c6df508","Orderlines":[
+		{"Product_no":"2724f","Price":66},{"Product_no":"3424g","Price":40}]}`)
+	cases := []struct {
+		path string
+		want Value
+		ok   bool
+	}{
+		{"Order_no", String("0c6df508"), true},
+		{"Orderlines[0].Price", Int(66), true},
+		{"Orderlines[1].Product_no", String("3424g"), true},
+		{"Orderlines[-1].Price", Int(40), true},
+		{"Orderlines[2].Price", Null, false},
+		{"Missing", Null, false},
+		{"Order_no.x", Null, false},
+	}
+	for _, c := range cases {
+		got, ok := MustParsePath(c.path).Extract(doc)
+		if ok != c.ok || (ok && !Equal(got, c.want)) {
+			t.Errorf("Extract(%q) = %v, %v; want %v, %v", c.path, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestExtractAllStar(t *testing.T) {
+	doc := MustParseJSON(`{"Orderlines":[
+		{"Product_no":"2724f"},{"Product_no":"3424g"}]}`)
+	got := MustParsePath("Orderlines[*].Product_no").ExtractAll(doc)
+	want := []Value{String("2724f"), String("3424g")}
+	if len(got) != 2 || !Equal(got[0], want[0]) || !Equal(got[1], want[1]) {
+		t.Fatalf("ExtractAll = %v", got)
+	}
+	// Star on non-array yields nothing.
+	if got := MustParsePath("Order_no[*]").ExtractAll(doc); len(got) != 0 {
+		t.Fatalf("star on missing = %v", got)
+	}
+}
+
+func TestFlattenPaths(t *testing.T) {
+	doc := MustParseJSON(`{"a":{"b":1},"c":[2,{"d":3}],"e":[],"f":{}}`)
+	entries := FlattenPaths(doc)
+	got := map[string]string{}
+	for _, e := range entries {
+		got[e.Path] = e.Leaf.String()
+	}
+	want := map[string]string{
+		"a.b":    "1",
+		"c[0]":   "2",
+		"c[1].d": "3",
+		"e":      "[]",
+		"f":      "{}",
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("FlattenPaths = %v, want %v", got, want)
+	}
+}
+
+func TestFlattenPathsScalarRoot(t *testing.T) {
+	entries := FlattenPaths(Int(7))
+	if len(entries) != 1 || entries[0].Path != "" || entries[0].Leaf.AsInt() != 7 {
+		t.Fatalf("scalar root = %v", entries)
+	}
+}
+
+func TestFlattenColumns(t *testing.T) {
+	doc := MustParseJSON(`{"name":"Mary","orders":[{"price":66},{"price":40}]}`)
+	order, cols := FlattenColumns(doc)
+	if !reflect.DeepEqual(order, []string{"name", "orders.price"}) {
+		t.Fatalf("column order = %v", order)
+	}
+	if len(cols["orders.price"]) != 2 {
+		t.Fatalf("orders.price = %v", cols["orders.price"])
+	}
+	if cols["orders.price"][0].AsInt() != 66 || cols["orders.price"][1].AsInt() != 40 {
+		t.Fatalf("orders.price values = %v", cols["orders.price"])
+	}
+}

@@ -1,0 +1,223 @@
+// Package ordpath implements ORDPATH node labels (O'Neil et al., the
+// numbering scheme the paper attributes to Oracle's XMLIndex: "the position
+// of each node is preserved using a variant of the ORDPATHS numbering
+// schema").
+//
+// A label is a sequence of integer components: the root is [1], its children
+// [1 1], [1 3], [1 5], … — initial sibling components are odd. Inserting
+// between two siblings never relabels existing nodes: even "caret"
+// components extend the label ([1 2 1] sorts between [1 1] and [1 3]).
+//
+// Labels answer, by themselves, the three structural questions XML indexes
+// need: document order (lexicographic component comparison), ancestry
+// (label prefixing, where even components do not add depth), and depth.
+package ordpath
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/keyenc"
+	"repro/internal/mmvalue"
+)
+
+// Label is an ORDPATH node label. Labels are immutable; operations return
+// fresh slices.
+type Label []int64
+
+// Root returns the root label [1].
+func Root() Label { return Label{1} }
+
+// String renders the label in dotted form, e.g. "1.3.5".
+func (l Label) String() string {
+	parts := make([]string, len(l))
+	for i, c := range l {
+		parts[i] = strconv.FormatInt(c, 10)
+	}
+	return strings.Join(parts, ".")
+}
+
+// Parse reads a dotted label.
+func Parse(s string) (Label, error) {
+	if s == "" {
+		return nil, fmt.Errorf("ordpath: empty label")
+	}
+	parts := strings.Split(s, ".")
+	l := make(Label, len(parts))
+	for i, p := range parts {
+		c, err := strconv.ParseInt(p, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("ordpath: bad component %q: %w", p, err)
+		}
+		l[i] = c
+	}
+	return l, nil
+}
+
+// Compare orders labels in document order (component-wise, shorter prefix
+// first — an ancestor precedes its descendants).
+func Compare(a, b Label) int {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		switch {
+		case a[i] < b[i]:
+			return -1
+		case a[i] > b[i]:
+			return 1
+		}
+	}
+	switch {
+	case len(a) < len(b):
+		return -1
+	case len(a) > len(b):
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Equal reports label equality.
+func Equal(a, b Label) bool { return Compare(a, b) == 0 }
+
+// Clone returns an independent copy.
+func (l Label) Clone() Label {
+	out := make(Label, len(l))
+	copy(out, l)
+	return out
+}
+
+// FirstChild returns the label of a first child: parent + [1].
+func (l Label) FirstChild() Label {
+	return append(l.Clone(), 1)
+}
+
+// NextSibling returns the label following l at the same conceptual depth:
+// the last component + 2 (staying odd).
+func (l Label) NextSibling() Label {
+	out := l.Clone()
+	out[len(out)-1] += 2
+	return out
+}
+
+// Between returns a label strictly between a and b in document order, for
+// inserting a sibling without relabeling — the ORDPATH "careting" property.
+// Even caret components supply unbounded insertion room; the returned label
+// always ends in an odd component, so Depth and Parent remain exact. a must
+// precede b, and a must not be an ancestor of b (there is no position
+// between a node and its first descendant that is a sibling of either).
+func Between(a, b Label) (Label, error) {
+	if Compare(a, b) >= 0 {
+		return nil, fmt.Errorf("ordpath: Between requires a < b")
+	}
+	// Find the first differing component.
+	i := 0
+	for i < len(a) && i < len(b) && a[i] == b[i] {
+		i++
+	}
+	if i >= len(a) {
+		return nil, fmt.Errorf("ordpath: %v is an ancestor of %v", a, b)
+	}
+	var out Label
+	switch {
+	case b[i] >= a[i]+2:
+		// Room at this level: even caret a[i]+1 then ordinal 1.
+		out = append(a.prefix(i), a[i]+1, 1)
+	case i < len(b)-1:
+		// b[i] == a[i]+1 and b continues: descend along b and slot in
+		// just before its continuation.
+		out = append(b.prefix(i+1), lowBefore(b[i+1:])...)
+	default:
+		// b ends at i and a continues: caret just after a's final
+		// component.
+		out = append(a.prefix(len(a)-1), a[len(a)-1]+1, 1)
+	}
+	if Compare(a, out) >= 0 || Compare(out, b) >= 0 {
+		return nil, fmt.Errorf("ordpath: no room between %v and %v", a, b)
+	}
+	return out, nil
+}
+
+// lowBefore returns a component suffix that sorts before rest while ending
+// in an odd ordinal (preserving depth accounting).
+func lowBefore(rest Label) Label {
+	if rest[0]%2 != 0 {
+		return Label{rest[0] - 1, 1} // even caret, then ordinal 1
+	}
+	// Even (caret) head: keep it and descend.
+	return append(Label{rest[0]}, lowBefore(rest[1:])...)
+}
+
+// Clone of prefix helper for Between.
+func (l Label) prefix(n int) Label {
+	out := make(Label, n)
+	copy(out, l[:n])
+	return out
+}
+
+// IsAncestorOf reports whether l is a proper ancestor of other under
+// ORDPATH semantics: l's components prefix other's, ignoring trailing caret
+// structure (even components never terminate a real node label here because
+// Between always appends an odd component after the caret, so plain prefix
+// comparison is exact).
+func (l Label) IsAncestorOf(other Label) bool {
+	if len(other) <= len(l) {
+		return false
+	}
+	for i, c := range l {
+		if other[i] != c {
+			return false
+		}
+	}
+	return true
+}
+
+// Depth returns the conceptual tree depth of the label: the number of odd
+// components (even caret components add ordering room, not depth).
+func (l Label) Depth() int {
+	d := 0
+	for _, c := range l {
+		if c%2 != 0 {
+			d++
+		}
+	}
+	return d
+}
+
+// Parent returns the label of the conceptual parent: strip the final odd
+// component and any even caret components before it. Returns nil for the
+// root.
+func (l Label) Parent() Label {
+	if len(l) <= 1 {
+		return nil
+	}
+	i := len(l) - 1 // final component is odd for real nodes
+	i--             // skip it
+	for i >= 0 && l[i]%2 == 0 {
+		i--
+	}
+	return l.prefix(i + 1)
+}
+
+// Key encodes the label as an order-preserving byte key (via the keyenc
+// tuple layer), so ORDPATH order is byte order in the engine's keyspaces.
+func (l Label) Key() []byte {
+	arr := make([]mmvalue.Value, len(l))
+	for i, c := range l {
+		arr[i] = mmvalue.Int(c)
+	}
+	return keyenc.Encode(mmvalue.ArrayOf(arr))
+}
+
+// FromKey decodes a label from its keyenc form.
+func FromKey(key []byte) (Label, error) {
+	vals, err := keyenc.Decode(key)
+	if err != nil || len(vals) != 1 {
+		return nil, fmt.Errorf("ordpath: bad key: %w", err)
+	}
+	arr := vals[0].AsArray()
+	l := make(Label, len(arr))
+	for i, v := range arr {
+		l[i] = v.AsInt()
+	}
+	return l, nil
+}

@@ -1,0 +1,278 @@
+package ordpath
+
+import (
+	"bytes"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestRootAndChildren(t *testing.T) {
+	r := Root()
+	if r.String() != "1" {
+		t.Fatalf("Root = %s", r)
+	}
+	c1 := r.FirstChild()
+	if c1.String() != "1.1" {
+		t.Fatalf("FirstChild = %s", c1)
+	}
+	c2 := c1.NextSibling()
+	c3 := c2.NextSibling()
+	if c2.String() != "1.3" || c3.String() != "1.5" {
+		t.Fatalf("siblings = %s, %s", c2, c3)
+	}
+	if d := c3.Depth(); d != 2 {
+		t.Fatalf("Depth = %d", d)
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	for _, s := range []string{"1", "1.3.5", "1.2.1", "1.0.1"} {
+		l, err := Parse(s)
+		if err != nil {
+			t.Fatalf("Parse(%s): %v", s, err)
+		}
+		if l.String() != s {
+			t.Fatalf("round trip %s -> %s", s, l)
+		}
+	}
+	for _, bad := range []string{"", "1.", "a", "1..2"} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) should fail", bad)
+		}
+	}
+}
+
+func TestCompareDocumentOrder(t *testing.T) {
+	// Pre-order document order: parent before children, siblings in order.
+	ordered := []string{"1", "1.1", "1.1.1", "1.1.3", "1.2.1", "1.3", "1.5", "3"}
+	for i := 0; i+1 < len(ordered); i++ {
+		a, _ := Parse(ordered[i])
+		b, _ := Parse(ordered[i+1])
+		if Compare(a, b) >= 0 {
+			t.Errorf("Compare(%s, %s) should be < 0", a, b)
+		}
+		if Compare(b, a) <= 0 {
+			t.Errorf("Compare(%s, %s) should be > 0", b, a)
+		}
+	}
+	a, _ := Parse("1.3")
+	if Compare(a, a) != 0 || !Equal(a, a) {
+		t.Error("self compare != 0")
+	}
+}
+
+func TestAncestry(t *testing.T) {
+	root := Root()
+	child := root.FirstChild()
+	grand := child.FirstChild()
+	if !root.IsAncestorOf(child) || !root.IsAncestorOf(grand) || !child.IsAncestorOf(grand) {
+		t.Fatal("ancestry chain broken")
+	}
+	if child.IsAncestorOf(root) || child.IsAncestorOf(child) {
+		t.Fatal("bogus ancestry")
+	}
+	sib := child.NextSibling()
+	if child.IsAncestorOf(sib) || sib.IsAncestorOf(child) {
+		t.Fatal("siblings are not ancestors")
+	}
+}
+
+func TestParent(t *testing.T) {
+	root := Root()
+	if root.Parent() != nil {
+		t.Fatal("root has no parent")
+	}
+	c := root.FirstChild().NextSibling() // 1.3
+	if !Equal(c.Parent(), root) {
+		t.Fatalf("Parent(%s) = %s", c, c.Parent())
+	}
+	// Caret-inserted sibling keeps the same parent.
+	a := root.FirstChild()    // 1.1
+	b := a.NextSibling()      // 1.3
+	mid, err := Between(a, b) // 1.2.1
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(mid.Parent(), root) {
+		t.Fatalf("caret parent = %s, want %s", mid.Parent(), root)
+	}
+	if mid.Depth() != a.Depth() {
+		t.Fatalf("caret depth = %d, want %d", mid.Depth(), a.Depth())
+	}
+}
+
+func TestBetweenSimple(t *testing.T) {
+	a, _ := Parse("1.1")
+	b, _ := Parse("1.3")
+	mid, err := Between(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Compare(a, mid) >= 0 || Compare(mid, b) >= 0 {
+		t.Fatalf("Between(%s, %s) = %s not strictly between", a, b, mid)
+	}
+}
+
+func TestBetweenRepeatedInsertions(t *testing.T) {
+	// Repeatedly insert between the first two siblings; ORDPATH must never
+	// run out of room or relabel.
+	a, _ := Parse("1.1")
+	b, _ := Parse("1.3")
+	labels := []Label{a, b}
+	cur := b
+	for i := 0; i < 50; i++ {
+		mid, err := Between(a, cur)
+		if err != nil {
+			t.Fatalf("iteration %d: %v", i, err)
+		}
+		if Compare(a, mid) >= 0 || Compare(mid, cur) >= 0 {
+			t.Fatalf("iteration %d: %s not between %s and %s", i, mid, a, cur)
+		}
+		if mid.Depth() != 2 {
+			t.Fatalf("iteration %d: depth %d", i, mid.Depth())
+		}
+		labels = append(labels, mid)
+		cur = mid
+	}
+	// All labels distinct and totally ordered.
+	sort.Slice(labels, func(i, j int) bool { return Compare(labels[i], labels[j]) < 0 })
+	for i := 0; i+1 < len(labels); i++ {
+		if Compare(labels[i], labels[i+1]) >= 0 {
+			t.Fatal("duplicate or misordered labels after insertions")
+		}
+	}
+}
+
+func TestBetweenAlternatingSides(t *testing.T) {
+	a, _ := Parse("1.1")
+	b, _ := Parse("1.3")
+	lo, hi := a, b
+	for i := 0; i < 40; i++ {
+		mid, err := Between(lo, hi)
+		if err != nil {
+			t.Fatalf("iteration %d (%s, %s): %v", i, lo, hi, err)
+		}
+		if i%2 == 0 {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+}
+
+func TestBetweenErrors(t *testing.T) {
+	a, _ := Parse("1.3")
+	b, _ := Parse("1.1")
+	if _, err := Between(a, b); err == nil {
+		t.Fatal("Between with a >= b accepted")
+	}
+	if _, err := Between(b, b); err == nil {
+		t.Fatal("Between with equal labels accepted")
+	}
+	root := Root()
+	if _, err := Between(root, root.FirstChild()); err == nil {
+		t.Fatal("Between ancestor/descendant accepted")
+	}
+}
+
+func TestKeyEncodingPreservesOrder(t *testing.T) {
+	labels := []string{"1", "1.1", "1.1.1", "1.2.1", "1.3", "1.15", "3", "3.1"}
+	for i := 0; i+1 < len(labels); i++ {
+		a, _ := Parse(labels[i])
+		b, _ := Parse(labels[i+1])
+		if Compare(a, b) >= 0 {
+			t.Fatalf("test fixture misordered at %d", i)
+		}
+		if bytes.Compare(a.Key(), b.Key()) >= 0 {
+			t.Errorf("Key order broken: %s !< %s", a, b)
+		}
+	}
+}
+
+func TestKeyRoundTrip(t *testing.T) {
+	for _, s := range []string{"1", "1.3.5", "1.2.0.1"} {
+		l, _ := Parse(s)
+		back, err := FromKey(l.Key())
+		if err != nil || !Equal(back, l) {
+			t.Fatalf("key round trip %s -> %s (%v)", l, back, err)
+		}
+	}
+	if _, err := FromKey([]byte{0xde, 0xad}); err == nil {
+		t.Fatal("FromKey on garbage should fail")
+	}
+}
+
+func TestPropertyRandomTreeDocumentOrder(t *testing.T) {
+	// Build a random tree via FirstChild/NextSibling/Between; pre-order
+	// traversal order must equal label sort order.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		type node struct {
+			label    Label
+			children []*node
+		}
+		root := &node{label: Root()}
+		all := []*node{root}
+		for i := 0; i < 60; i++ {
+			p := all[r.Intn(len(all))]
+			var l Label
+			if len(p.children) == 0 {
+				l = p.label.FirstChild()
+			} else {
+				switch r.Intn(3) {
+				case 0:
+					l = p.children[len(p.children)-1].label.NextSibling()
+				case 1:
+					l = p.children[len(p.children)-1].label.NextSibling()
+				default:
+					if len(p.children) >= 2 {
+						m, err := Between(p.children[0].label, p.children[1].label)
+						if err != nil {
+							return false
+						}
+						l = m
+					} else {
+						l = p.children[len(p.children)-1].label.NextSibling()
+					}
+				}
+			}
+			n := &node{label: l}
+			p.children = append(p.children, n)
+			sort.Slice(p.children, func(i, j int) bool {
+				return Compare(p.children[i].label, p.children[j].label) < 0
+			})
+			all = append(all, n)
+		}
+		// Pre-order walk.
+		var pre []Label
+		var walk func(n *node)
+		walk = func(n *node) {
+			pre = append(pre, n.label)
+			for _, c := range n.children {
+				walk(c)
+			}
+		}
+		walk(root)
+		// Sorted labels must equal pre-order.
+		sorted := make([]Label, len(pre))
+		copy(sorted, pre)
+		sort.Slice(sorted, func(i, j int) bool { return Compare(sorted[i], sorted[j]) < 0 })
+		for i := range pre {
+			if !Equal(pre[i], sorted[i]) {
+				return false
+			}
+		}
+		// Byte keys agree with label order.
+		for i := 0; i+1 < len(sorted); i++ {
+			if bytes.Compare(sorted[i].Key(), sorted[i+1].Key()) >= 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,195 @@
+package query
+
+import (
+	"repro/internal/graphstore"
+	"repro/internal/mmvalue"
+)
+
+// Expr is an expression AST node.
+type Expr interface{ expr() }
+
+// Literal is a constant value.
+type Literal struct{ Value mmvalue.Value }
+
+// VarRef references a bound variable (loop variable, LET binding, alias) or
+// a bind parameter.
+type VarRef struct {
+	Name  string
+	Param bool // true for @name bind parameters
+}
+
+// FieldAccess is expr.name.
+type FieldAccess struct {
+	Base Expr
+	Name string
+}
+
+// IndexAccess is expr[index] where index is an expression, or expr[*] when
+// Star is set (AQL array expansion).
+type IndexAccess struct {
+	Base  Expr
+	Index Expr
+	Star  bool
+}
+
+// BinaryOp is a binary operator application. Op is normalized: "==", "!=",
+// "<", "<=", ">", ">=", "+", "-", "*", "/", "%", "AND", "OR", "IN", "LIKE",
+// "->", "->>", "#>", "@>", "<@", "?", "?|", "?&", "CONTAINSKEY".
+type BinaryOp struct {
+	Op   string
+	L, R Expr
+}
+
+// UnaryOp is "-", "NOT".
+type UnaryOp struct {
+	Op string
+	X  Expr
+}
+
+// FuncCall is a function application; Star marks COUNT(*).
+type FuncCall struct {
+	Name string // upper-cased
+	Args []Expr
+	Star bool
+}
+
+// ArrayExpr is [e1, e2, ...].
+type ArrayExpr struct{ Elems []Expr }
+
+// ObjectExpr is {k1: e1, ...}.
+type ObjectExpr struct {
+	Keys   []string
+	Values []Expr
+}
+
+// SubqueryExpr is a parenthesized MMQL pipeline used as an expression; it
+// evaluates to the array of returned values.
+type SubqueryExpr struct{ Pipeline *Pipeline }
+
+// TernaryExpr is cond ? a : b.
+type TernaryExpr struct{ Cond, Then, Else Expr }
+
+func (*Literal) expr()      {}
+func (*VarRef) expr()       {}
+func (*FieldAccess) expr()  {}
+func (*IndexAccess) expr()  {}
+func (*BinaryOp) expr()     {}
+func (*UnaryOp) expr()      {}
+func (*FuncCall) expr()     {}
+func (*ArrayExpr) expr()    {}
+func (*ObjectExpr) expr()   {}
+func (*SubqueryExpr) expr() {}
+func (*TernaryExpr) expr()  {}
+
+// Clause is one stage of the logical pipeline both front-ends compile to.
+type Clause interface{ clause() }
+
+// ForClause iterates a source, binding Var for each element.
+type ForClause struct {
+	Var    string
+	Source Source
+}
+
+// SourceKind discriminates FOR sources.
+type SourceKind int
+
+// Source kinds.
+const (
+	SourceName      SourceKind = iota // named collection/table/bucket/graph
+	SourceExpr                        // any expression yielding an array
+	SourceTraversal                   // graph traversal
+)
+
+// Source describes what a ForClause iterates.
+type Source struct {
+	Kind SourceKind
+	Name string // SourceName
+	Expr Expr   // SourceExpr
+	// Traversal fields.
+	Min, Max  int
+	Direction graphstore.Direction
+	Start     Expr   // start vertex key
+	Graph     string // graph name
+	Label     string // optional edge label filter
+}
+
+// LetClause binds Var to the value of Expr.
+type LetClause struct {
+	Var  string
+	Expr Expr
+}
+
+// FilterClause keeps rows where Expr is truthy.
+type FilterClause struct{ Expr Expr }
+
+// SortKey is one ORDER BY / SORT key.
+type SortKey struct {
+	Expr Expr
+	Desc bool
+}
+
+// SortClause orders rows.
+type SortClause struct{ Keys []SortKey }
+
+// LimitClause applies offset/count.
+type LimitClause struct{ Offset, Count Expr }
+
+// CollectClause groups rows by key expressions. Each output row binds the
+// key variables plus, when Into is set, an array of the grouped rows'
+// visible bindings. Aggregate FuncCalls downstream read the group.
+type CollectClause struct {
+	Vars []string
+	Keys []Expr
+	Into string // optional group variable
+}
+
+// ReturnClause produces the result value per row. expand (set by MSQL's
+// EXPAND) flattens array results into individual rows, OrientDB-style.
+type ReturnClause struct {
+	Distinct bool
+	Expr     Expr
+	expand   bool
+}
+
+// InsertClause inserts the evaluated document into a collection per row.
+type InsertClause struct {
+	Doc  Expr
+	Coll string
+}
+
+// UpdateClause merges Patch into the document with key KeyExpr.
+type UpdateClause struct {
+	KeyExpr Expr
+	Patch   Expr
+	Coll    string
+}
+
+// RemoveClause deletes the document with key KeyExpr.
+type RemoveClause struct {
+	KeyExpr Expr
+	Coll    string
+}
+
+// distinctRowsClause deduplicates rows by key expressions before sort and
+// limit — SQL's DISTINCT-before-ORDER BY/LIMIT ordering, which MMQL's
+// RETURN DISTINCT (applied last) cannot express.
+type distinctRowsClause struct{ keys []Expr }
+
+func (*distinctRowsClause) clause() {}
+
+func (*ForClause) clause()     {}
+func (*LetClause) clause()     {}
+func (*FilterClause) clause()  {}
+func (*SortClause) clause()    {}
+func (*LimitClause) clause()   {}
+func (*CollectClause) clause() {}
+func (*ReturnClause) clause()  {}
+func (*InsertClause) clause()  {}
+func (*UpdateClause) clause()  {}
+func (*RemoveClause) clause()  {}
+
+// Pipeline is a parsed query: a clause sequence ending in RETURN or a DML
+// clause.
+type Pipeline struct {
+	Clauses []Clause
+}

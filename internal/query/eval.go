@@ -1,0 +1,807 @@
+package query
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"repro/internal/graphstore"
+	"repro/internal/mmvalue"
+	"repro/internal/rdfstore"
+)
+
+// env is one row of bindings flowing through the pipeline.
+type env struct {
+	vars       map[string]mmvalue.Value
+	sourceVars []string // FROM/FOR variables, for bare-column fallback
+}
+
+func newEnv() *env {
+	return &env{vars: map[string]mmvalue.Value{}}
+}
+
+func (e *env) clone() *env {
+	out := &env{
+		vars:       make(map[string]mmvalue.Value, len(e.vars)+1),
+		sourceVars: e.sourceVars,
+	}
+	for k, v := range e.vars {
+		out.vars[k] = v
+	}
+	return out
+}
+
+func (e *env) bind(name string, v mmvalue.Value) *env {
+	out := e.clone()
+	out.vars[name] = v
+	return out
+}
+
+func (e *env) bindSource(name string, v mmvalue.Value) *env {
+	out := e.bind(name, v)
+	out.sourceVars = append(append([]string{}, e.sourceVars...), name)
+	return out
+}
+
+// lookup resolves a name: direct binding first, then bare-column fallback
+// through source variables (MSQL `credit_limit` meaning `c.credit_limit`).
+func (e *env) lookup(name string) (mmvalue.Value, bool) {
+	if v, ok := e.vars[name]; ok {
+		return v, true
+	}
+	for _, sv := range e.sourceVars {
+		if row, ok := e.vars[sv]; ok && row.Kind() == mmvalue.KindObject {
+			if v, ok := row.Get(name); ok {
+				return v, true
+			}
+		}
+	}
+	return mmvalue.Null, false
+}
+
+// this returns the first source row (OrientDB's @this) for OUT()/IN().
+func (e *env) this() (mmvalue.Value, bool) {
+	for i := len(e.sourceVars) - 1; i >= 0; i-- {
+		if v, ok := e.vars[e.sourceVars[i]]; ok {
+			return v, true
+		}
+	}
+	return mmvalue.Null, false
+}
+
+// eval evaluates an expression in an environment.
+func (c *execCtx) eval(e Expr, en *env) (mmvalue.Value, error) {
+	switch t := e.(type) {
+	case *Literal:
+		return t.Value, nil
+	case *VarRef:
+		if t.Param {
+			v, ok := c.opts.Params[t.Name]
+			if !ok {
+				return mmvalue.Null, fmt.Errorf("query: unbound parameter @%s", t.Name)
+			}
+			return v, nil
+		}
+		if v, ok := en.lookup(t.Name); ok {
+			return v, nil
+		}
+		return mmvalue.Null, fmt.Errorf("query: unknown variable %q", t.Name)
+	case *FieldAccess:
+		base, err := c.eval(t.Base, en)
+		if err != nil {
+			return mmvalue.Null, err
+		}
+		return navigateField(base, t.Name), nil
+	case *IndexAccess:
+		base, err := c.eval(t.Base, en)
+		if err != nil {
+			return mmvalue.Null, err
+		}
+		if t.Star {
+			if base.Kind() == mmvalue.KindArray {
+				return base, nil
+			}
+			return mmvalue.Array(), nil
+		}
+		idx, err := c.eval(t.Index, en)
+		if err != nil {
+			return mmvalue.Null, err
+		}
+		switch base.Kind() {
+		case mmvalue.KindArray:
+			v, _ := base.Index(int(idx.AsInt()))
+			return v, nil
+		case mmvalue.KindObject:
+			if idx.Kind() == mmvalue.KindString {
+				return base.GetOr(idx.AsString()), nil
+			}
+		}
+		return mmvalue.Null, nil
+	case *BinaryOp:
+		return c.evalBinary(t, en)
+	case *UnaryOp:
+		x, err := c.eval(t.X, en)
+		if err != nil {
+			return mmvalue.Null, err
+		}
+		switch t.Op {
+		case "NOT":
+			return mmvalue.Bool(!x.Truthy()), nil
+		case "-":
+			if x.Kind() == mmvalue.KindInt {
+				return mmvalue.Int(-x.AsInt()), nil
+			}
+			return mmvalue.Float(-x.AsFloat()), nil
+		}
+		return mmvalue.Null, fmt.Errorf("query: unknown unary %q", t.Op)
+	case *FuncCall:
+		return c.evalFunc(t, en)
+	case *ArrayExpr:
+		arr := make([]mmvalue.Value, len(t.Elems))
+		for i, el := range t.Elems {
+			v, err := c.eval(el, en)
+			if err != nil {
+				return mmvalue.Null, err
+			}
+			arr[i] = v
+		}
+		return mmvalue.ArrayOf(arr), nil
+	case *ObjectExpr:
+		fields := make([]mmvalue.Field, 0, len(t.Keys))
+		for i, k := range t.Keys {
+			v, err := c.eval(t.Values[i], en)
+			if err != nil {
+				return mmvalue.Null, err
+			}
+			fields = append(fields, mmvalue.F(k, v))
+		}
+		return mmvalue.ObjectOf(fields), nil
+	case *SubqueryExpr:
+		vals, err := c.runPipeline(t.Pipeline, en)
+		if err != nil {
+			return mmvalue.Null, err
+		}
+		return mmvalue.ArrayOf(vals), nil
+	case *TernaryExpr:
+		cond, err := c.eval(t.Cond, en)
+		if err != nil {
+			return mmvalue.Null, err
+		}
+		if cond.Truthy() {
+			return c.eval(t.Then, en)
+		}
+		return c.eval(t.Else, en)
+	}
+	return mmvalue.Null, fmt.Errorf("query: cannot evaluate %T", e)
+}
+
+// navigateField implements dot navigation: object field access, and
+// OrientDB-style mapping over arrays with one level of flattening.
+func navigateField(base mmvalue.Value, name string) mmvalue.Value {
+	switch base.Kind() {
+	case mmvalue.KindObject:
+		return base.GetOr(name)
+	case mmvalue.KindArray:
+		var out []mmvalue.Value
+		for _, el := range base.AsArray() {
+			v := navigateField(el, name)
+			if v.IsNull() {
+				continue
+			}
+			if v.Kind() == mmvalue.KindArray {
+				out = append(out, v.AsArray()...)
+			} else {
+				out = append(out, v)
+			}
+		}
+		return mmvalue.ArrayOf(out)
+	default:
+		return mmvalue.Null
+	}
+}
+
+func (c *execCtx) evalBinary(t *BinaryOp, en *env) (mmvalue.Value, error) {
+	// Short-circuit logic first.
+	switch t.Op {
+	case "AND":
+		l, err := c.eval(t.L, en)
+		if err != nil {
+			return mmvalue.Null, err
+		}
+		if !l.Truthy() {
+			return mmvalue.False, nil
+		}
+		r, err := c.eval(t.R, en)
+		if err != nil {
+			return mmvalue.Null, err
+		}
+		return mmvalue.Bool(r.Truthy()), nil
+	case "OR":
+		l, err := c.eval(t.L, en)
+		if err != nil {
+			return mmvalue.Null, err
+		}
+		if l.Truthy() {
+			return mmvalue.True, nil
+		}
+		r, err := c.eval(t.R, en)
+		if err != nil {
+			return mmvalue.Null, err
+		}
+		return mmvalue.Bool(r.Truthy()), nil
+	}
+	l, err := c.eval(t.L, en)
+	if err != nil {
+		return mmvalue.Null, err
+	}
+	r, err := c.eval(t.R, en)
+	if err != nil {
+		return mmvalue.Null, err
+	}
+	switch t.Op {
+	case "==":
+		return mmvalue.Bool(mmvalue.Compare(l, r) == 0), nil
+	case "!=":
+		return mmvalue.Bool(mmvalue.Compare(l, r) != 0), nil
+	case "<":
+		return mmvalue.Bool(mmvalue.Compare(l, r) < 0), nil
+	case "<=":
+		return mmvalue.Bool(mmvalue.Compare(l, r) <= 0), nil
+	case ">":
+		return mmvalue.Bool(mmvalue.Compare(l, r) > 0), nil
+	case ">=":
+		return mmvalue.Bool(mmvalue.Compare(l, r) >= 0), nil
+	case "+":
+		if l.Kind() == mmvalue.KindString || r.Kind() == mmvalue.KindString {
+			return mmvalue.String(stringify(l) + stringify(r)), nil
+		}
+		if l.Kind() == mmvalue.KindInt && r.Kind() == mmvalue.KindInt {
+			return mmvalue.Int(l.AsInt() + r.AsInt()), nil
+		}
+		return mmvalue.Float(l.AsFloat() + r.AsFloat()), nil
+	case "-":
+		if l.Kind() == mmvalue.KindInt && r.Kind() == mmvalue.KindInt {
+			return mmvalue.Int(l.AsInt() - r.AsInt()), nil
+		}
+		return mmvalue.Float(l.AsFloat() - r.AsFloat()), nil
+	case "*":
+		if l.Kind() == mmvalue.KindInt && r.Kind() == mmvalue.KindInt {
+			return mmvalue.Int(l.AsInt() * r.AsInt()), nil
+		}
+		return mmvalue.Float(l.AsFloat() * r.AsFloat()), nil
+	case "/":
+		if r.AsFloat() == 0 {
+			return mmvalue.Null, nil
+		}
+		return mmvalue.Float(l.AsFloat() / r.AsFloat()), nil
+	case "%":
+		if r.AsInt() == 0 {
+			return mmvalue.Null, nil
+		}
+		return mmvalue.Int(l.AsInt() % r.AsInt()), nil
+	case "IN":
+		if r.Kind() != mmvalue.KindArray {
+			return mmvalue.False, nil
+		}
+		for _, el := range r.AsArray() {
+			if mmvalue.Compare(l, el) == 0 {
+				return mmvalue.True, nil
+			}
+		}
+		return mmvalue.False, nil
+	case "LIKE":
+		return mmvalue.Bool(likeMatch(stringify(l), stringify(r))), nil
+	case "->":
+		return jsonArrow(l, r), nil
+	case "->>":
+		v := jsonArrow(l, r)
+		if v.IsNull() {
+			return mmvalue.Null, nil
+		}
+		return mmvalue.String(stringify(v)), nil
+	case "#>":
+		return jsonPathExtract(l, r), nil
+	case "@>":
+		return mmvalue.Bool(mmvalue.Contains(coerceJSON(l), coerceJSON(r))), nil
+	case "<@":
+		return mmvalue.Bool(mmvalue.Contains(coerceJSON(r), coerceJSON(l))), nil
+	case "?":
+		return mmvalue.Bool(mmvalue.HasKey(l, stringify(r))), nil
+	case "?|":
+		for _, k := range r.AsArray() {
+			if mmvalue.HasKey(l, stringify(k)) {
+				return mmvalue.True, nil
+			}
+		}
+		return mmvalue.False, nil
+	case "?&":
+		for _, k := range r.AsArray() {
+			if !mmvalue.HasKey(l, stringify(k)) {
+				return mmvalue.False, nil
+			}
+		}
+		return mmvalue.True, nil
+	}
+	return mmvalue.Null, fmt.Errorf("query: unknown operator %q", t.Op)
+}
+
+// jsonArrow implements the PostgreSQL -> operator: object field by string
+// key or array element by integer index.
+func jsonArrow(l, r mmvalue.Value) mmvalue.Value {
+	switch {
+	case r.Kind() == mmvalue.KindString:
+		return l.GetOr(r.AsString())
+	case r.IsNumber():
+		v, _ := l.Index(int(r.AsInt()))
+		return v
+	}
+	return mmvalue.Null
+}
+
+// jsonPathExtract implements #>: path as array of keys/indexes, PostgreSQL
+// '{Orderlines,1}' style (the MSQL text form is an array literal or a
+// brace-string).
+func jsonPathExtract(l, r mmvalue.Value) mmvalue.Value {
+	var steps []mmvalue.Value
+	switch r.Kind() {
+	case mmvalue.KindArray:
+		steps = r.AsArray()
+	case mmvalue.KindString:
+		s := strings.Trim(r.AsString(), "{}")
+		if s == "" {
+			return l
+		}
+		for _, part := range strings.Split(s, ",") {
+			part = strings.TrimSpace(part)
+			if n, err := strconv.ParseInt(part, 10, 64); err == nil {
+				steps = append(steps, mmvalue.Int(n))
+			} else {
+				steps = append(steps, mmvalue.String(part))
+			}
+		}
+	default:
+		return mmvalue.Null
+	}
+	cur := l
+	for _, st := range steps {
+		cur = jsonArrow(cur, st)
+		if cur.IsNull() {
+			return mmvalue.Null
+		}
+	}
+	return cur
+}
+
+// coerceJSON parses a string operand that looks like a JSON document, so
+// SQL-style `col @> '{"a":1}'` works like PostgreSQL's jsonb cast.
+func coerceJSON(v mmvalue.Value) mmvalue.Value {
+	if v.Kind() != mmvalue.KindString {
+		return v
+	}
+	s := strings.TrimSpace(v.AsString())
+	if len(s) == 0 || (s[0] != '{' && s[0] != '[') {
+		return v
+	}
+	if parsed, err := mmvalue.ParseJSON([]byte(s)); err == nil {
+		return parsed
+	}
+	return v
+}
+
+func stringify(v mmvalue.Value) string {
+	if v.Kind() == mmvalue.KindString {
+		return v.AsString()
+	}
+	return v.String()
+}
+
+// likeMatch implements SQL LIKE with % and _ wildcards.
+func likeMatch(s, pattern string) bool {
+	// Dynamic-programming match to avoid regexp.
+	n, m := len(s), len(pattern)
+	dp := make([]bool, n+1)
+	dp[0] = true
+	for j := 0; j < m; j++ {
+		p := pattern[j]
+		next := make([]bool, n+1)
+		switch p {
+		case '%':
+			// next[i] true if any dp[k] for k <= i.
+			any := false
+			for i := 0; i <= n; i++ {
+				if dp[i] {
+					any = true
+				}
+				next[i] = any
+			}
+		case '_':
+			for i := 1; i <= n; i++ {
+				next[i] = dp[i-1]
+			}
+		default:
+			for i := 1; i <= n; i++ {
+				next[i] = dp[i-1] && s[i-1] == p
+			}
+		}
+		dp = next
+	}
+	return dp[n]
+}
+
+// evalFunc dispatches built-in functions, including the cross-model access
+// functions that make one query touch every data model.
+func (c *execCtx) evalFunc(t *FuncCall, en *env) (mmvalue.Value, error) {
+	args := make([]mmvalue.Value, len(t.Args))
+	for i, a := range t.Args {
+		v, err := c.eval(a, en)
+		if err != nil {
+			return mmvalue.Null, err
+		}
+		args[i] = v
+	}
+	need := func(n int) error {
+		if len(args) != n {
+			return fmt.Errorf("query: %s expects %d arguments, got %d", t.Name, n, len(args))
+		}
+		return nil
+	}
+	switch t.Name {
+	case "LENGTH", "COUNT":
+		if t.Star {
+			return mmvalue.Null, fmt.Errorf("query: COUNT(*) outside GROUP BY context")
+		}
+		if err := need(1); err != nil {
+			return mmvalue.Null, err
+		}
+		return mmvalue.Int(int64(args[0].Len())), nil
+	case "SUM":
+		if err := need(1); err != nil {
+			return mmvalue.Null, err
+		}
+		return foldNumeric(args[0], func(acc, x float64) float64 { return acc + x }, 0), nil
+	case "AVG":
+		if err := need(1); err != nil {
+			return mmvalue.Null, err
+		}
+		arr := numericElems(args[0])
+		if len(arr) == 0 {
+			return mmvalue.Null, nil
+		}
+		sum := 0.0
+		for _, x := range arr {
+			sum += x
+		}
+		return mmvalue.Float(sum / float64(len(arr))), nil
+	case "MIN", "MAX":
+		if err := need(1); err != nil {
+			return mmvalue.Null, err
+		}
+		arr := args[0].AsArray()
+		if len(arr) == 0 {
+			return mmvalue.Null, nil
+		}
+		best := arr[0]
+		for _, x := range arr[1:] {
+			cmp := mmvalue.Compare(x, best)
+			if (t.Name == "MIN" && cmp < 0) || (t.Name == "MAX" && cmp > 0) {
+				best = x
+			}
+		}
+		return best, nil
+	case "CONCAT":
+		var sb strings.Builder
+		for _, a := range args {
+			sb.WriteString(stringify(a))
+		}
+		return mmvalue.String(sb.String()), nil
+	case "UPPER":
+		if err := need(1); err != nil {
+			return mmvalue.Null, err
+		}
+		return mmvalue.String(strings.ToUpper(stringify(args[0]))), nil
+	case "LOWER":
+		if err := need(1); err != nil {
+			return mmvalue.Null, err
+		}
+		return mmvalue.String(strings.ToLower(stringify(args[0]))), nil
+	case "CONTAINS":
+		if err := need(2); err != nil {
+			return mmvalue.Null, err
+		}
+		return mmvalue.Bool(strings.Contains(stringify(args[0]), stringify(args[1]))), nil
+	case "STARTS_WITH":
+		if err := need(2); err != nil {
+			return mmvalue.Null, err
+		}
+		return mmvalue.Bool(strings.HasPrefix(stringify(args[0]), stringify(args[1]))), nil
+	case "SUBSTRING":
+		if len(args) < 2 || len(args) > 3 {
+			return mmvalue.Null, fmt.Errorf("query: SUBSTRING expects 2 or 3 arguments")
+		}
+		s := stringify(args[0])
+		start := int(args[1].AsInt())
+		if start < 0 || start > len(s) {
+			return mmvalue.String(""), nil
+		}
+		end := len(s)
+		if len(args) == 3 {
+			end = start + int(args[2].AsInt())
+			if end > len(s) {
+				end = len(s)
+			}
+		}
+		return mmvalue.String(s[start:end]), nil
+	case "ABS":
+		if err := need(1); err != nil {
+			return mmvalue.Null, err
+		}
+		if args[0].Kind() == mmvalue.KindInt {
+			x := args[0].AsInt()
+			if x < 0 {
+				x = -x
+			}
+			return mmvalue.Int(x), nil
+		}
+		return mmvalue.Float(math.Abs(args[0].AsFloat())), nil
+	case "ROUND":
+		if err := need(1); err != nil {
+			return mmvalue.Null, err
+		}
+		return mmvalue.Int(int64(math.Round(args[0].AsFloat()))), nil
+	case "COALESCE", "NOT_NULL":
+		for _, a := range args {
+			if !a.IsNull() {
+				return a, nil
+			}
+		}
+		return mmvalue.Null, nil
+	case "TO_STRING":
+		if err := need(1); err != nil {
+			return mmvalue.Null, err
+		}
+		return mmvalue.String(stringify(args[0])), nil
+	case "TO_NUMBER":
+		if err := need(1); err != nil {
+			return mmvalue.Null, err
+		}
+		if args[0].IsNumber() {
+			return args[0], nil
+		}
+		if f, err := strconv.ParseFloat(stringify(args[0]), 64); err == nil {
+			if f == math.Trunc(f) {
+				return mmvalue.Int(int64(f)), nil
+			}
+			return mmvalue.Float(f), nil
+		}
+		return mmvalue.Null, nil
+	case "UNIQUE":
+		if err := need(1); err != nil {
+			return mmvalue.Null, err
+		}
+		var out []mmvalue.Value
+		for _, x := range args[0].AsArray() {
+			dup := false
+			for _, y := range out {
+				if mmvalue.Equal(x, y) {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				out = append(out, x)
+			}
+		}
+		return mmvalue.ArrayOf(out), nil
+	case "FLATTEN":
+		if err := need(1); err != nil {
+			return mmvalue.Null, err
+		}
+		var out []mmvalue.Value
+		for _, x := range args[0].AsArray() {
+			if x.Kind() == mmvalue.KindArray {
+				out = append(out, x.AsArray()...)
+			} else {
+				out = append(out, x)
+			}
+		}
+		return mmvalue.ArrayOf(out), nil
+	case "FIRST":
+		if err := need(1); err != nil {
+			return mmvalue.Null, err
+		}
+		v, _ := args[0].Index(0)
+		return v, nil
+	case "LAST":
+		if err := need(1); err != nil {
+			return mmvalue.Null, err
+		}
+		v, _ := args[0].Index(-1)
+		return v, nil
+	case "HAS":
+		if err := need(2); err != nil {
+			return mmvalue.Null, err
+		}
+		return mmvalue.Bool(mmvalue.HasKey(args[0], stringify(args[1]))), nil
+	case "KEYS":
+		if err := need(1); err != nil {
+			return mmvalue.Null, err
+		}
+		keys := args[0].Keys()
+		arr := make([]mmvalue.Value, len(keys))
+		for i, k := range keys {
+			arr[i] = mmvalue.String(k)
+		}
+		return mmvalue.ArrayOf(arr), nil
+	case "MERGE":
+		if err := need(2); err != nil {
+			return mmvalue.Null, err
+		}
+		return args[0].Merge(args[1]), nil
+	// --- Cross-model access functions ---
+	case "DOCUMENT":
+		if err := need(2); err != nil {
+			return mmvalue.Null, err
+		}
+		doc, ok, err := c.src.Docs.Get(c.tx, stringify(args[0]), stringify(args[1]))
+		if err != nil || !ok {
+			return mmvalue.Null, err
+		}
+		return doc, nil
+	case "KV":
+		if err := need(2); err != nil {
+			return mmvalue.Null, err
+		}
+		v, ok, err := c.src.KV.Get(c.tx, stringify(args[0]), stringify(args[1]))
+		if err != nil || !ok {
+			return mmvalue.Null, err
+		}
+		return v, nil
+	case "OUT", "IN", "INN", "BOTH":
+		return c.evalGraphNav(t.Name, args, en)
+	case "SHORTEST_PATH":
+		if err := need(3); err != nil {
+			return mmvalue.Null, err
+		}
+		path, err := c.src.Graphs.ShortestPath(c.tx, stringify(args[0]),
+			stringify(args[1]), stringify(args[2]), graphstore.Outbound, "")
+		if err != nil {
+			return mmvalue.Array(), nil //nolint:nilerr — no path is a value, not an error
+		}
+		arr := make([]mmvalue.Value, len(path))
+		for i, v := range path {
+			arr[i] = mmvalue.String(v)
+		}
+		return mmvalue.ArrayOf(arr), nil
+	case "XPATH":
+		if err := need(2); err != nil {
+			return mmvalue.Null, err
+		}
+		vals, err := c.src.XML.XPathValues(c.tx, stringify(args[0]), stringify(args[1]))
+		if err != nil {
+			return mmvalue.Null, err
+		}
+		return mmvalue.ArrayOf(vals), nil
+	case "TRIPLES":
+		if err := need(4); err != nil {
+			return mmvalue.Null, err
+		}
+		pat := rdfstore.Pattern{}
+		if !args[1].IsNull() {
+			pat.S = stringify(args[1])
+		}
+		if !args[2].IsNull() {
+			pat.P = stringify(args[2])
+		}
+		if !args[3].IsNull() {
+			pat.O = stringify(args[3])
+		}
+		triples, err := c.src.RDF.Match(c.tx, stringify(args[0]), pat)
+		if err != nil {
+			return mmvalue.Null, err
+		}
+		arr := make([]mmvalue.Value, len(triples))
+		for i, tr := range triples {
+			arr[i] = mmvalue.Object(
+				mmvalue.F("s", mmvalue.String(tr.S)),
+				mmvalue.F("p", mmvalue.String(tr.P)),
+				mmvalue.F("o", mmvalue.String(tr.O)),
+			)
+		}
+		return mmvalue.ArrayOf(arr), nil
+	case "FTSEARCH":
+		if err := need(2); err != nil {
+			return mmvalue.Null, err
+		}
+		if c.src.FullText == nil {
+			return mmvalue.Null, fmt.Errorf("query: no full-text index available")
+		}
+		ids := c.src.FullText(stringify(args[0]), stringify(args[1]))
+		arr := make([]mmvalue.Value, len(ids))
+		for i, id := range ids {
+			arr[i] = mmvalue.String(id)
+		}
+		return mmvalue.ArrayOf(arr), nil
+	case "EXPAND":
+		// EXPAND outside the single-item select position degrades to
+		// identity (the flattening happens in RETURN).
+		if err := need(1); err != nil {
+			return mmvalue.Null, err
+		}
+		return args[0], nil
+	}
+	return mmvalue.Null, fmt.Errorf("query: unknown function %s", t.Name)
+}
+
+// evalGraphNav implements OUT/IN/BOTH(graph, label [, startKey]); without a
+// start it navigates from @this._key. Returns the far vertex documents.
+func (c *execCtx) evalGraphNav(name string, args []mmvalue.Value, en *env) (mmvalue.Value, error) {
+	if len(args) < 2 || len(args) > 3 {
+		return mmvalue.Null, fmt.Errorf("query: %s expects (graph, label [, start])", name)
+	}
+	graph := stringify(args[0])
+	label := ""
+	if !args[1].IsNull() {
+		label = stringify(args[1])
+	}
+	var start string
+	if len(args) == 3 {
+		start = stringify(args[2])
+	} else {
+		this, ok := en.this()
+		if !ok {
+			return mmvalue.Null, fmt.Errorf("query: %s without a current row", name)
+		}
+		start = this.GetOr("_key").AsString()
+	}
+	dir := graphstore.Outbound
+	switch name {
+	case "IN", "INN":
+		dir = graphstore.Inbound
+	case "BOTH":
+		dir = graphstore.Any
+	}
+	ns, err := c.src.Graphs.Neighbors(c.tx, graph, start, dir, label)
+	if err != nil {
+		return mmvalue.Null, err
+	}
+	var out []mmvalue.Value
+	for _, n := range ns {
+		doc, ok, err := c.src.Graphs.Vertex(c.tx, graph, n.VertexKey)
+		if err != nil {
+			return mmvalue.Null, err
+		}
+		if ok {
+			out = append(out, doc)
+		}
+	}
+	return mmvalue.ArrayOf(out), nil
+}
+
+func numericElems(v mmvalue.Value) []float64 {
+	var out []float64
+	for _, x := range v.AsArray() {
+		if x.IsNumber() {
+			out = append(out, x.AsFloat())
+		}
+	}
+	return out
+}
+
+func foldNumeric(v mmvalue.Value, f func(acc, x float64) float64, init float64) mmvalue.Value {
+	acc := init
+	allInt := true
+	for _, x := range v.AsArray() {
+		if !x.IsNumber() {
+			continue
+		}
+		if x.Kind() != mmvalue.KindInt {
+			allInt = false
+		}
+		acc = f(acc, x.AsFloat())
+	}
+	if allInt && acc == math.Trunc(acc) {
+		return mmvalue.Int(int64(acc))
+	}
+	return mmvalue.Float(acc)
+}

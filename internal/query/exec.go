@@ -1,0 +1,514 @@
+package query
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/colstore"
+	"repro/internal/docstore"
+	"repro/internal/engine"
+	"repro/internal/graphstore"
+	"repro/internal/kvstore"
+	"repro/internal/mmvalue"
+	"repro/internal/rdfstore"
+	"repro/internal/relstore"
+	"repro/internal/xmlstore"
+)
+
+// Sources wires the query layer to every model store plus the auxiliary
+// (log-subscriber-maintained) indexes owned by core.
+type Sources struct {
+	Engine *engine.Engine
+	Cols   *colstore.Store
+	Docs   *docstore.Store
+	Rels   *relstore.Store
+	KV     *kvstore.Store
+	Graphs *graphstore.Store
+	XML    *xmlstore.Store
+	RDF    *rdfstore.Store
+
+	// GINLookup returns candidate document keys for a containment pattern
+	// on a collection, and whether a GIN index exists. Results must be
+	// rechecked (GIN is lossy).
+	GINLookup func(coll string, pattern mmvalue.Value) ([]string, bool)
+	// FullText returns document keys matching a full-text query (AND over
+	// terms), or nil when no index exists.
+	FullText func(coll, terms string) []string
+	// Resolve reports what kind of source a name is: "collection",
+	// "table", "graph", "bucket", or "" when unknown.
+	Resolve func(tx *engine.Txn, name string) string
+}
+
+// Options tunes one execution.
+type Options struct {
+	// Params binds @name parameters.
+	Params map[string]mmvalue.Value
+	// DisableIndexes forces full scans (the ablation switch for E2–E6).
+	DisableIndexes bool
+}
+
+// Stats reports what the optimizer did — benches assert on these.
+type Stats struct {
+	FullScans  int      // sources walked row by row
+	IndexScans int      // sources served by an index
+	IndexUsed  []string // descriptions of index accesses
+	RowsRead   int      // rows pulled from sources before filtering
+}
+
+// Result is a completed execution.
+type Result struct {
+	Values []mmvalue.Value
+	Stats  Stats
+}
+
+type execCtx struct {
+	tx    *engine.Txn
+	src   *Sources
+	opts  Options
+	stats Stats
+}
+
+// Execute runs a pipeline inside a transaction.
+func Execute(tx *engine.Txn, src *Sources, pipe *Pipeline, opts Options) (*Result, error) {
+	c := &execCtx{tx: tx, src: src, opts: opts}
+	vals, err := c.runPipeline(pipe, newEnv())
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Values: vals, Stats: c.stats}, nil
+}
+
+// runPipeline executes clauses over a starting environment, returning the
+// RETURN values (or per-row DML acknowledgements).
+func (c *execCtx) runPipeline(pipe *Pipeline, start *env) ([]mmvalue.Value, error) {
+	rows := []*env{start}
+	clauses := pipe.Clauses
+	for i := 0; i < len(clauses); i++ {
+		switch cl := clauses[i].(type) {
+		case *ForClause:
+			// Peek at immediately-following filters for index selection.
+			var filters []*FilterClause
+			for j := i + 1; j < len(clauses); j++ {
+				f, ok := clauses[j].(*FilterClause)
+				if !ok {
+					break
+				}
+				filters = append(filters, f)
+			}
+			next, err := c.execFor(cl, filters, rows)
+			if err != nil {
+				return nil, err
+			}
+			rows = next
+		case *LetClause:
+			next := make([]*env, len(rows))
+			for ri, r := range rows {
+				v, err := c.eval(cl.Expr, r)
+				if err != nil {
+					return nil, err
+				}
+				next[ri] = r.bind(cl.Var, v)
+			}
+			rows = next
+		case *FilterClause:
+			var next []*env
+			for _, r := range rows {
+				v, err := c.eval(cl.Expr, r)
+				if err != nil {
+					return nil, err
+				}
+				if v.Truthy() {
+					next = append(next, r)
+				}
+			}
+			rows = next
+		case *SortClause:
+			keys := make([][]mmvalue.Value, len(rows))
+			for ri, r := range rows {
+				ks := make([]mmvalue.Value, len(cl.Keys))
+				for ki, k := range cl.Keys {
+					v, err := c.eval(k.Expr, r)
+					if err != nil {
+						return nil, err
+					}
+					ks[ki] = v
+				}
+				keys[ri] = ks
+			}
+			idx := make([]int, len(rows))
+			for i := range idx {
+				idx[i] = i
+			}
+			sort.SliceStable(idx, func(a, b int) bool {
+				for ki := range cl.Keys {
+					cmp := mmvalue.Compare(keys[idx[a]][ki], keys[idx[b]][ki])
+					if cl.Keys[ki].Desc {
+						cmp = -cmp
+					}
+					if cmp != 0 {
+						return cmp < 0
+					}
+				}
+				return false
+			})
+			next := make([]*env, len(rows))
+			for i, j := range idx {
+				next[i] = rows[j]
+			}
+			rows = next
+		case *LimitClause:
+			offset := 0
+			if cl.Offset != nil {
+				v, err := c.eval(cl.Offset, rows0(rows))
+				if err != nil {
+					return nil, err
+				}
+				offset = int(v.AsInt())
+			}
+			count := len(rows)
+			if cl.Count != nil {
+				v, err := c.eval(cl.Count, rows0(rows))
+				if err != nil {
+					return nil, err
+				}
+				count = int(v.AsInt())
+			}
+			if offset > len(rows) {
+				offset = len(rows)
+			}
+			end := offset + count
+			if end > len(rows) {
+				end = len(rows)
+			}
+			rows = rows[offset:end]
+		case *CollectClause:
+			next, err := c.execCollect(cl, rows)
+			if err != nil {
+				return nil, err
+			}
+			rows = next
+		case *distinctRowsClause:
+			var next []*env
+			seen := map[uint64][]mmvalue.Value{}
+			for _, r := range rows {
+				keyVals := make([]mmvalue.Value, len(cl.keys))
+				for i, k := range cl.keys {
+					v, err := c.eval(k, r)
+					if err != nil {
+						return nil, err
+					}
+					keyVals[i] = v
+				}
+				key := mmvalue.ArrayOf(keyVals)
+				h := key.Hash()
+				dup := false
+				for _, prev := range seen[h] {
+					if mmvalue.Equal(prev, key) {
+						dup = true
+						break
+					}
+				}
+				if !dup {
+					seen[h] = append(seen[h], key)
+					next = append(next, r)
+				}
+			}
+			rows = next
+		case *ReturnClause:
+			return c.execReturn(cl, rows)
+		case *InsertClause:
+			var out []mmvalue.Value
+			for _, r := range rows {
+				doc, err := c.eval(cl.Doc, r)
+				if err != nil {
+					return nil, err
+				}
+				key, err := c.src.Docs.Insert(c.tx, cl.Coll, doc)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, mmvalue.String(key))
+			}
+			return out, nil
+		case *UpdateClause:
+			var out []mmvalue.Value
+			for _, r := range rows {
+				key, err := c.eval(cl.KeyExpr, r)
+				if err != nil {
+					return nil, err
+				}
+				patch, err := c.eval(cl.Patch, r)
+				if err != nil {
+					return nil, err
+				}
+				if err := c.src.Docs.Update(c.tx, cl.Coll, stringify(key), patch); err != nil {
+					return nil, err
+				}
+				out = append(out, key)
+			}
+			return out, nil
+		case *RemoveClause:
+			var out []mmvalue.Value
+			for _, r := range rows {
+				key, err := c.eval(cl.KeyExpr, r)
+				if err != nil {
+					return nil, err
+				}
+				if _, err := c.src.Docs.Delete(c.tx, cl.Coll, stringify(key)); err != nil {
+					return nil, err
+				}
+				out = append(out, key)
+			}
+			return out, nil
+		default:
+			return nil, fmt.Errorf("query: unhandled clause %T", cl)
+		}
+	}
+	return nil, errors.New("query: pipeline has no RETURN or DML clause")
+}
+
+func rows0(rows []*env) *env {
+	if len(rows) > 0 {
+		return rows[0]
+	}
+	return newEnv()
+}
+
+// execReturn materializes results, handling DISTINCT and EXPAND.
+func (c *execCtx) execReturn(cl *ReturnClause, rows []*env) ([]mmvalue.Value, error) {
+	var out []mmvalue.Value
+	for _, r := range rows {
+		v, err := c.eval(cl.Expr, r)
+		if err != nil {
+			return nil, err
+		}
+		if cl.expand {
+			if v.Kind() == mmvalue.KindArray {
+				out = append(out, v.AsArray()...)
+			} else if !v.IsNull() {
+				out = append(out, v)
+			}
+			continue
+		}
+		out = append(out, v)
+	}
+	if cl.Distinct {
+		var uniq []mmvalue.Value
+		seen := map[uint64][]mmvalue.Value{}
+		for _, v := range out {
+			h := v.Hash()
+			dup := false
+			for _, prev := range seen[h] {
+				if mmvalue.Equal(prev, v) {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				seen[h] = append(seen[h], v)
+				uniq = append(uniq, v)
+			}
+		}
+		out = uniq
+	}
+	return out, nil
+}
+
+// execCollect groups rows by key expressions. Output rows bind the key
+// variables, the Into variable (array of row-binding objects), and — for
+// MSQL's loose-grouping convenience — the bindings of the group's first row.
+func (c *execCtx) execCollect(cl *CollectClause, rows []*env) ([]*env, error) {
+	type group struct {
+		keyVals []mmvalue.Value
+		members []*env
+	}
+	var order []string
+	groups := map[string]*group{}
+	for _, r := range rows {
+		keyVals := make([]mmvalue.Value, len(cl.Keys))
+		var keyID string
+		for i, k := range cl.Keys {
+			v, err := c.eval(k, r)
+			if err != nil {
+				return nil, err
+			}
+			keyVals[i] = v
+			keyID += v.String() + "\x00"
+		}
+		g := groups[keyID]
+		if g == nil {
+			g = &group{keyVals: keyVals}
+			groups[keyID] = g
+			order = append(order, keyID)
+		}
+		g.members = append(g.members, r)
+	}
+	var out []*env
+	for _, id := range order {
+		g := groups[id]
+		// Start from the first member's bindings (loose grouping).
+		base := g.members[0].clone()
+		for i, v := range g.keyVals {
+			if i < len(cl.Vars) {
+				base.vars[cl.Vars[i]] = v
+			}
+		}
+		into := cl.Into
+		if into != "" {
+			members := make([]mmvalue.Value, len(g.members))
+			for mi, m := range g.members {
+				fields := make([]mmvalue.Field, 0, len(m.vars))
+				for k, v := range m.vars {
+					fields = append(fields, mmvalue.F(k, v))
+				}
+				members[mi] = mmvalue.ObjectOf(fields)
+			}
+			base.vars[into] = mmvalue.ArrayOf(members)
+		}
+		out = append(out, base)
+	}
+	// A keyless COLLECT over zero rows still yields one (empty) group so
+	// aggregates like COUNT(*) return 0.
+	if len(out) == 0 && len(cl.Keys) == 0 {
+		base := newEnv()
+		if cl.Into != "" {
+			base.vars[cl.Into] = mmvalue.Array()
+		}
+		out = append(out, base)
+	}
+	return out, nil
+}
+
+// execFor expands each input row by the source's elements, using an index
+// when the immediately-following filters allow it.
+func (c *execCtx) execFor(cl *ForClause, filters []*FilterClause, rows []*env) ([]*env, error) {
+	var out []*env
+	for _, r := range rows {
+		elems, err := c.sourceElems(cl, filters, r)
+		if err != nil {
+			return nil, err
+		}
+		for _, el := range elems {
+			out = append(out, r.bindSource(cl.Var, el))
+		}
+	}
+	return out, nil
+}
+
+// sourceElems yields the values a FOR source produces for one outer row.
+func (c *execCtx) sourceElems(cl *ForClause, filters []*FilterClause, r *env) ([]mmvalue.Value, error) {
+	s := cl.Source
+	switch s.Kind {
+	case SourceExpr:
+		v, err := c.eval(s.Expr, r)
+		if err != nil {
+			return nil, err
+		}
+		if v.Kind() != mmvalue.KindArray {
+			if v.IsNull() {
+				return nil, nil
+			}
+			return []mmvalue.Value{v}, nil
+		}
+		return v.AsArray(), nil
+	case SourceTraversal:
+		start, err := c.eval(s.Start, r)
+		if err != nil {
+			return nil, err
+		}
+		startKey := stringify(start)
+		if start.Kind() == mmvalue.KindObject {
+			startKey = start.GetOr("_key").AsString()
+		}
+		keys, err := c.src.Graphs.Traverse(c.tx, s.Graph, startKey, s.Min, s.Max, s.Direction, s.Label)
+		if err != nil {
+			return nil, err
+		}
+		var out []mmvalue.Value
+		for _, k := range keys {
+			doc, ok, err := c.src.Graphs.Vertex(c.tx, s.Graph, k)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				out = append(out, doc)
+			}
+		}
+		c.stats.RowsRead += len(out)
+		return out, nil
+	case SourceName:
+		return c.scanNamed(cl.Var, s.Name, filters, r)
+	}
+	return nil, fmt.Errorf("query: bad source")
+}
+
+// scanNamed resolves a named source and iterates it, consulting indexes
+// first (see optimize.go).
+func (c *execCtx) scanNamed(loopVar, name string, filters []*FilterClause, r *env) ([]mmvalue.Value, error) {
+	kind := ""
+	if c.src.Resolve != nil {
+		kind = c.src.Resolve(c.tx, name)
+	}
+	if kind == "" {
+		return nil, fmt.Errorf("query: unknown source %q", name)
+	}
+	if !c.opts.DisableIndexes {
+		if vals, ok, err := c.tryIndexAccess(loopVar, name, kind, filters, r); err != nil {
+			return nil, err
+		} else if ok {
+			return vals, nil
+		}
+	}
+	// Full scan.
+	c.stats.FullScans++
+	var out []mmvalue.Value
+	switch kind {
+	case "collection":
+		err := c.src.Docs.Scan(c.tx, name, func(_ string, doc mmvalue.Value) bool {
+			out = append(out, doc)
+			return true
+		})
+		if err != nil {
+			return nil, err
+		}
+	case "table":
+		err := c.src.Rels.Scan(c.tx, name, func(row mmvalue.Value) bool {
+			out = append(out, row)
+			return true
+		})
+		if err != nil {
+			return nil, err
+		}
+	case "graph":
+		err := c.src.Graphs.Vertices(c.tx, name, func(_ string, doc mmvalue.Value) bool {
+			out = append(out, doc)
+			return true
+		})
+		if err != nil {
+			return nil, err
+		}
+	case "bucket":
+		err := c.src.KV.Scan(c.tx, name, func(k string, v mmvalue.Value) bool {
+			out = append(out, mmvalue.Object(
+				mmvalue.F("_key", mmvalue.String(k)),
+				mmvalue.F("value", v)))
+			return true
+		})
+		if err != nil {
+			return nil, err
+		}
+	case "coltable":
+		err := c.src.Cols.ScanJSON(c.tx, name, func(doc mmvalue.Value) bool {
+			out = append(out, doc)
+			return true
+		})
+		if err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("query: unknown source kind %q for %q", kind, name)
+	}
+	c.stats.RowsRead += len(out)
+	return out, nil
+}

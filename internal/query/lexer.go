@@ -1,0 +1,198 @@
+// Package query implements unidb's unified multi-model query layer — the
+// paper's challenge #2 ("a new unified query language can query multi-model
+// data together") made concrete with *two* surface syntaxes over one
+// algebra, mirroring the tutorial's demonstration of the same
+// recommendation query in ArangoDB AQL and OrientDB SQL:
+//
+//   - MMQL: AQL-flavored FOR/FILTER/LET/COLLECT/SORT/LIMIT/RETURN with graph
+//     traversals (FOR v IN 1..k OUTBOUND start graph.label).
+//   - MSQL: SQL-flavored SELECT/FROM/WHERE/GROUP BY/ORDER BY/LIMIT with the
+//     PostgreSQL JSON operator family (->, ->>, #>, @>, ?) and
+//     OrientDB-style EXPAND(OUT(...)) navigation.
+//
+// Both parsers produce the same clause pipeline, which one optimizer
+// (predicate pushdown + index selection) and one executor evaluate.
+package query
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexer tokens.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokOp    // operators and punctuation
+	tokParam // @name bind parameter
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+// operators, longest first so the lexer prefers maximal munch.
+var operators = []string{
+	"->>", "#>>", "?|", "?&", "<->",
+	"==", "!=", "<=", ">=", "<>", "&&", "||", "..", "->", "#>", "@>", "<@",
+	"=~", "+", "-", "*", "/", "%", "<", ">", "=", "(", ")", "[", "]", "{", "}",
+	",", ".", ":", "?", "!",
+}
+
+// lex tokenizes an input string; errors carry byte positions.
+func lex(input string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(input) {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '/' && i+1 < len(input) && input[i+1] == '/':
+			for i < len(input) && input[i] != '\n' {
+				i++
+			}
+		case c == '-' && i+1 < len(input) && input[i+1] == '-':
+			for i < len(input) && input[i] != '\n' {
+				i++
+			}
+		case c == '\'' || c == '"' || c == '`':
+			s, n, err := lexString(input[i:])
+			if err != nil {
+				return nil, fmt.Errorf("query: at %d: %w", i, err)
+			}
+			kind := tokString
+			if c == '`' {
+				kind = tokIdent // backtick-quoted identifier
+			}
+			toks = append(toks, token{kind, s, i})
+			i += n
+		case c >= '0' && c <= '9':
+			j := i
+			seenDot := false
+			for j < len(input) {
+				d := input[j]
+				if d >= '0' && d <= '9' {
+					j++
+					continue
+				}
+				// Accept one dot followed by a digit (guards the ".."
+				// range operator).
+				if d == '.' && !seenDot && j+1 < len(input) && input[j+1] >= '0' && input[j+1] <= '9' {
+					seenDot = true
+					j++
+					continue
+				}
+				if d == 'e' || d == 'E' {
+					k := j + 1
+					if k < len(input) && (input[k] == '+' || input[k] == '-') {
+						k++
+					}
+					if k < len(input) && input[k] >= '0' && input[k] <= '9' {
+						j = k
+						continue
+					}
+				}
+				break
+			}
+			toks = append(toks, token{tokNumber, input[i:j], i})
+			i = j
+		case isIdentStart(rune(c)):
+			j := i
+			for j < len(input) && isIdentChar(rune(input[j])) {
+				j++
+			}
+			toks = append(toks, token{tokIdent, input[i:j], i})
+			i = j
+		case c == '@' && i+1 < len(input) && isIdentStart(rune(input[i+1])):
+			j := i + 1
+			for j < len(input) && isIdentChar(rune(input[j])) {
+				j++
+			}
+			toks = append(toks, token{tokParam, input[i+1 : j], i})
+			i = j
+		default:
+			matched := false
+			for _, op := range operators {
+				if strings.HasPrefix(input[i:], op) {
+					toks = append(toks, token{tokOp, op, i})
+					i += len(op)
+					matched = true
+					break
+				}
+			}
+			if !matched {
+				// "@>" is in the operator list but a lone '@' is not; report
+				// clearly.
+				return nil, fmt.Errorf("query: unexpected character %q at %d", c, i)
+			}
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, pos: len(input)})
+	return toks, nil
+}
+
+// lexString reads a quoted string with backslash escapes, returning the
+// unquoted text and the number of input bytes consumed.
+func lexString(s string) (string, int, error) {
+	quote := s[0]
+	var sb strings.Builder
+	i := 1
+	for i < len(s) {
+		c := s[i]
+		switch {
+		case c == quote:
+			// SQL-style doubled quote escape.
+			if i+1 < len(s) && s[i+1] == quote {
+				sb.WriteByte(quote)
+				i += 2
+				continue
+			}
+			return sb.String(), i + 1, nil
+		case c == '\\' && i+1 < len(s):
+			i++
+			switch s[i] {
+			case 'n':
+				sb.WriteByte('\n')
+			case 't':
+				sb.WriteByte('\t')
+			case 'r':
+				sb.WriteByte('\r')
+			default:
+				sb.WriteByte(s[i])
+			}
+			i++
+		default:
+			sb.WriteByte(c)
+			i++
+		}
+	}
+	return "", 0, fmt.Errorf("unterminated string")
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentChar(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+// keyword matching is case-insensitive for identifiers.
+func isKeyword(t token, kw string) bool {
+	return t.kind == tokIdent && strings.EqualFold(t.text, kw)
+}

@@ -1,0 +1,123 @@
+package query
+
+import (
+	"reflect"
+	"testing"
+)
+
+func kinds(toks []token) []tokenKind {
+	out := make([]tokenKind, len(toks))
+	for i, t := range toks {
+		out[i] = t.kind
+	}
+	return out
+}
+
+func texts(toks []token) []string {
+	out := make([]string, 0, len(toks))
+	for _, t := range toks {
+		if t.kind != tokEOF {
+			out = append(out, t.text)
+		}
+	}
+	return out
+}
+
+func TestLexBasics(t *testing.T) {
+	toks, err := lex(`FOR c IN customers FILTER c.credit > 3000 RETURN c`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"FOR", "c", "IN", "customers", "FILTER", "c", ".", "credit", ">", "3000", "RETURN", "c"}
+	if !reflect.DeepEqual(texts(toks), want) {
+		t.Fatalf("texts = %v", texts(toks))
+	}
+}
+
+func TestLexJSONOperators(t *testing.T) {
+	toks, err := lex(`orders->>'Order_no' #> '{a,1}' @> x ? 'k' ?| y ?& z`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ops []string
+	for _, tk := range toks {
+		if tk.kind == tokOp {
+			ops = append(ops, tk.text)
+		}
+	}
+	if !reflect.DeepEqual(ops, []string{"->>", "#>", "@>", "?", "?|", "?&"}) {
+		t.Fatalf("ops = %v", ops)
+	}
+}
+
+func TestLexNumbers(t *testing.T) {
+	toks, err := lex(`1 2.5 1e3 1.5e-2 1..3`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := texts(toks)
+	want := []string{"1", "2.5", "1e3", "1.5e-2", "1", "..", "3"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestLexStringsAndEscapes(t *testing.T) {
+	toks, err := lex(`'it''s' "a\"b" 'new\nline'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := texts(toks)
+	want := []string{"it's", `a"b`, "new\nline"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestLexBacktickIdent(t *testing.T) {
+	toks, err := lex("`weird name`")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].kind != tokIdent || toks[0].text != "weird name" {
+		t.Fatalf("tok = %+v", toks[0])
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	toks, err := lex("a // line comment\nb -- sql comment\nc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(texts(toks), []string{"a", "b", "c"}) {
+		t.Fatalf("got %v", texts(toks))
+	}
+}
+
+func TestLexParams(t *testing.T) {
+	toks, err := lex(`@minCredit`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].kind != tokParam || toks[0].text != "minCredit" {
+		t.Fatalf("tok = %+v", toks[0])
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, bad := range []string{`'unterminated`, "\x01"} {
+		if _, err := lex(bad); err == nil {
+			t.Errorf("lex(%q) should fail", bad)
+		}
+	}
+}
+
+func TestLexEOF(t *testing.T) {
+	toks, err := lex("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toks) != 1 || toks[0].kind != tokEOF {
+		t.Fatalf("kinds = %v", kinds(toks))
+	}
+}

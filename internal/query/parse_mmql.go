@@ -1,0 +1,791 @@
+package query
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/graphstore"
+	"repro/internal/mmvalue"
+)
+
+// ParseMMQL parses an AQL-flavored pipeline:
+//
+//	pipeline  := clause+
+//	clause    := FOR var IN source
+//	           | FOR var IN lo..hi (OUTBOUND|INBOUND|ANY) expr graph[.label]
+//	           | LET var = expr
+//	           | FILTER expr
+//	           | SORT expr [ASC|DESC] (, expr [ASC|DESC])*
+//	           | LIMIT [offset ,] count
+//	           | COLLECT var = expr (, var = expr)* [INTO var]
+//	           | RETURN [DISTINCT] expr
+//	           | INSERT expr INTO name
+//	           | UPDATE expr WITH expr IN name
+//	           | REMOVE expr IN name
+func ParseMMQL(input string) (*Pipeline, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, mode: modeMMQL}
+	pipe, err := p.parsePipeline(false)
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(tokEOF) {
+		return nil, p.errf("unexpected %s after query", p.cur())
+	}
+	return pipe, nil
+}
+
+type parserMode int
+
+const (
+	modeMMQL parserMode = iota
+	modeMSQL
+)
+
+type parser struct {
+	toks []token
+	pos  int
+	mode parserMode
+	// suppressIn disables the IN comparison operator while parsing
+	// positions where a following IN is clause syntax (UPDATE … IN coll).
+	suppressIn int
+}
+
+func (p *parser) cur() token { return p.toks[p.pos] }
+func (p *parser) peek() token {
+	if p.pos+1 < len(p.toks) {
+		return p.toks[p.pos+1]
+	}
+	return p.toks[len(p.toks)-1]
+}
+func (p *parser) next() token         { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) at(k tokenKind) bool { return p.cur().kind == k }
+
+func (p *parser) atKw(kw string) bool { return isKeyword(p.cur(), kw) }
+
+func (p *parser) acceptKw(kw string) bool {
+	if p.atKw(kw) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKw(kw string) error {
+	if !p.acceptKw(kw) {
+		return p.errf("expected %s, got %s", kw, p.cur())
+	}
+	return nil
+}
+
+func (p *parser) atOp(op string) bool {
+	return p.cur().kind == tokOp && p.cur().text == op
+}
+
+func (p *parser) acceptOp(op string) bool {
+	if p.atOp(op) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectOp(op string) error {
+	if !p.acceptOp(op) {
+		return p.errf("expected %q, got %s", op, p.cur())
+	}
+	return nil
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("query: at offset %d: %s", p.cur().pos, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) expectIdent() (string, error) {
+	if !p.at(tokIdent) {
+		return "", p.errf("expected identifier, got %s", p.cur())
+	}
+	return p.next().text, nil
+}
+
+// parsePipeline parses clauses until RETURN/DML (inclusive) or, when sub is
+// true, until a closing paren is plausible.
+func (p *parser) parsePipeline(sub bool) (*Pipeline, error) {
+	var clauses []Clause
+	for {
+		switch {
+		case p.atKw("FOR"):
+			c, err := p.parseFor()
+			if err != nil {
+				return nil, err
+			}
+			clauses = append(clauses, c)
+		case p.atKw("LET"):
+			p.next()
+			name, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			if !p.acceptOp("=") {
+				return nil, p.errf("expected = in LET")
+			}
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			clauses = append(clauses, &LetClause{Var: name, Expr: e})
+		case p.atKw("FILTER"):
+			p.next()
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			clauses = append(clauses, &FilterClause{Expr: e})
+		case p.atKw("SORT"):
+			p.next()
+			keys, err := p.parseSortKeys()
+			if err != nil {
+				return nil, err
+			}
+			clauses = append(clauses, &SortClause{Keys: keys})
+		case p.atKw("LIMIT"):
+			p.next()
+			first, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			lc := &LimitClause{Count: first}
+			if p.acceptOp(",") {
+				count, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				lc.Offset = first
+				lc.Count = count
+			}
+			clauses = append(clauses, lc)
+		case p.atKw("COLLECT"):
+			c, err := p.parseCollect()
+			if err != nil {
+				return nil, err
+			}
+			clauses = append(clauses, c)
+		case p.atKw("RETURN"):
+			p.next()
+			distinct := p.acceptKw("DISTINCT")
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			clauses = append(clauses, &ReturnClause{Distinct: distinct, Expr: e})
+			return &Pipeline{Clauses: clauses}, nil
+		case p.atKw("INSERT"):
+			p.next()
+			doc, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectKw("INTO"); err != nil {
+				return nil, err
+			}
+			coll, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			clauses = append(clauses, &InsertClause{Doc: doc, Coll: coll})
+			return &Pipeline{Clauses: clauses}, nil
+		case p.atKw("UPDATE"):
+			p.next()
+			key, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectKw("WITH"); err != nil {
+				return nil, err
+			}
+			p.suppressIn++
+			patch, err := p.parseExpr()
+			p.suppressIn--
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectKw("IN"); err != nil {
+				return nil, err
+			}
+			coll, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			clauses = append(clauses, &UpdateClause{KeyExpr: key, Patch: patch, Coll: coll})
+			return &Pipeline{Clauses: clauses}, nil
+		case p.atKw("REMOVE"):
+			p.next()
+			p.suppressIn++
+			key, err := p.parseExpr()
+			p.suppressIn--
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectKw("IN"); err != nil {
+				return nil, err
+			}
+			coll, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			clauses = append(clauses, &RemoveClause{KeyExpr: key, Coll: coll})
+			return &Pipeline{Clauses: clauses}, nil
+		default:
+			return nil, p.errf("expected clause keyword, got %s", p.cur())
+		}
+	}
+}
+
+func (p *parser) parseSortKeys() ([]SortKey, error) {
+	var keys []SortKey
+	for {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		k := SortKey{Expr: e}
+		if p.acceptKw("DESC") {
+			k.Desc = true
+		} else {
+			p.acceptKw("ASC")
+		}
+		keys = append(keys, k)
+		if !p.acceptOp(",") {
+			return keys, nil
+		}
+	}
+}
+
+func (p *parser) parseCollect() (Clause, error) {
+	p.next() // COLLECT
+	c := &CollectClause{}
+	for {
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if !p.acceptOp("=") {
+			return nil, p.errf("expected = in COLLECT")
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		c.Vars = append(c.Vars, name)
+		c.Keys = append(c.Keys, e)
+		if !p.acceptOp(",") {
+			break
+		}
+	}
+	if p.acceptKw("INTO") {
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		c.Into = name
+	}
+	return c, nil
+}
+
+// parseFor parses both collection iteration and graph traversal.
+func (p *parser) parseFor() (Clause, error) {
+	p.next() // FOR
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("IN"); err != nil {
+		return nil, err
+	}
+	// Traversal: number '..' number direction startExpr graph[.label]
+	if p.at(tokNumber) && p.peek().kind == tokOp && p.peek().text == ".." {
+		min, _ := strconv.Atoi(p.next().text)
+		p.next() // ..
+		if !p.at(tokNumber) {
+			return nil, p.errf("expected max depth, got %s", p.cur())
+		}
+		max, _ := strconv.Atoi(p.next().text)
+		var dir graphstore.Direction
+		switch {
+		case p.acceptKw("OUTBOUND"):
+			dir = graphstore.Outbound
+		case p.acceptKw("INBOUND"):
+			dir = graphstore.Inbound
+		case p.acceptKw("ANY"):
+			dir = graphstore.Any
+		default:
+			return nil, p.errf("expected OUTBOUND/INBOUND/ANY, got %s", p.cur())
+		}
+		start, err := p.parseUnary() // a primary-ish expression (not a full
+		// expr, so the following graph name isn't swallowed)
+		if err != nil {
+			return nil, err
+		}
+		graph, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		label := ""
+		if p.acceptOp(".") {
+			label, err = p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+		}
+		return &ForClause{Var: name, Source: Source{
+			Kind: SourceTraversal, Min: min, Max: max, Direction: dir,
+			Start: start, Graph: graph, Label: label,
+		}}, nil
+	}
+	// Named source or expression source. A bare identifier (possibly the
+	// start of an expression) is treated as a name only when it is not
+	// followed by expression continuation.
+	if p.at(tokIdent) && !p.isReserved(p.cur().text) && !p.continuesExpr(p.peek()) {
+		src := p.next().text
+		return &ForClause{Var: name, Source: Source{Kind: SourceName, Name: src}}, nil
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	return &ForClause{Var: name, Source: Source{Kind: SourceExpr, Expr: e}}, nil
+}
+
+// continuesExpr reports whether tok would extend an identifier into a larger
+// expression (member access, call, arithmetic, …).
+func (p *parser) continuesExpr(tok token) bool {
+	if tok.kind != tokOp {
+		return false
+	}
+	switch tok.text {
+	case ".", "[", "(", "+", "-", "*", "/", "%", "->", "->>", "#>", "@>":
+		return true
+	}
+	return false
+}
+
+var mmqlReserved = map[string]bool{
+	"FOR": true, "IN": true, "LET": true, "FILTER": true, "SORT": true,
+	"LIMIT": true, "COLLECT": true, "RETURN": true, "INSERT": true,
+	"UPDATE": true, "REMOVE": true, "INTO": true, "WITH": true,
+	"ASC": true, "DESC": true, "DISTINCT": true, "OUTBOUND": true,
+	"INBOUND": true, "ANY": true, "AND": true, "OR": true, "NOT": true,
+	"TRUE": true, "FALSE": true, "NULL": true, "LIKE": true,
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"HAVING": true, "ORDER": true, "OFFSET": true, "JOIN": true, "ON": true,
+	"AS": true,
+}
+
+func (p *parser) isReserved(word string) bool {
+	return mmqlReserved[strings.ToUpper(word)]
+}
+
+// --- Expressions (shared by both front-ends) ---
+
+// Precedence levels, low to high: ternary, OR, AND, NOT, comparison/IN/LIKE
+// and JSON operators, additive, multiplicative, unary, postfix, primary.
+func (p *parser) parseExpr() (Expr, error) {
+	return p.parseTernary()
+}
+
+func (p *parser) parseTernary() (Expr, error) {
+	cond, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atOp("?") {
+		return cond, nil
+	}
+	p.next() // ?
+	// Parse the branch at comparison level (AND/OR need parentheses inside
+	// ternary branches), then disambiguate: a following ':' makes this a
+	// ternary; otherwise a string branch is the jsonb key-exists operator.
+	then, err := p.parseComparison()
+	if err != nil {
+		return nil, err
+	}
+	if p.acceptOp(":") {
+		els, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &TernaryExpr{Cond: cond, Then: then, Else: els}, nil
+	}
+	if lit, ok := then.(*Literal); ok && lit.Value.Kind() == mmvalue.KindString {
+		return &BinaryOp{Op: "?", L: cond, R: lit}, nil
+	}
+	return nil, p.errf("expected : for ternary or string key for jsonb ?")
+}
+
+func (p *parser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKw("OR") || p.acceptOp("||") {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryOp{Op: "OR", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKw("AND") || p.acceptOp("&&") {
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryOp{Op: "AND", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseNot() (Expr, error) {
+	if p.acceptKw("NOT") || p.acceptOp("!") {
+		x, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryOp{Op: "NOT", X: x}, nil
+	}
+	return p.parseComparison()
+}
+
+func (p *parser) parseComparison() (Expr, error) {
+	l, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch {
+		case p.acceptOp("=="):
+			op = "=="
+		case p.acceptOp("!="):
+			op = "!="
+		case p.acceptOp("<>"):
+			op = "!="
+		case p.acceptOp("<="):
+			op = "<="
+		case p.acceptOp(">="):
+			op = ">="
+		case p.acceptOp("<"):
+			op = "<"
+		case p.acceptOp(">"):
+			op = ">"
+		case p.acceptOp("="):
+			op = "=="
+		case p.acceptOp("@>"):
+			op = "@>"
+		case p.acceptOp("<@"):
+			op = "<@"
+		case p.acceptOp("?|"):
+			op = "?|"
+		case p.acceptOp("?&"):
+			op = "?&"
+		case p.suppressIn == 0 && p.atKw("NOT") && isKeyword(p.peek(), "IN"):
+			p.next()
+			p.next()
+			r, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			l = &UnaryOp{Op: "NOT", X: &BinaryOp{Op: "IN", L: l, R: r}}
+			continue
+		case p.suppressIn == 0 && p.acceptKw("IN"):
+			op = "IN"
+		case p.acceptKw("LIKE"):
+			op = "LIKE"
+		default:
+			return l, nil
+		}
+		r, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryOp{Op: op, L: l, R: r}
+	}
+}
+
+func (p *parser) parseAdditive() (Expr, error) {
+	l, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.acceptOp("+"):
+			r, err := p.parseMultiplicative()
+			if err != nil {
+				return nil, err
+			}
+			l = &BinaryOp{Op: "+", L: l, R: r}
+		case p.acceptOp("-"):
+			r, err := p.parseMultiplicative()
+			if err != nil {
+				return nil, err
+			}
+			l = &BinaryOp{Op: "-", L: l, R: r}
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) parseMultiplicative() (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch {
+		case p.acceptOp("*"):
+			op = "*"
+		case p.acceptOp("/"):
+			op = "/"
+		case p.acceptOp("%"):
+			op = "%"
+		default:
+			return l, nil
+		}
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryOp{Op: op, L: l, R: r}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if p.acceptOp("-") {
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryOp{Op: "-", X: x}, nil
+	}
+	if p.acceptOp("+") {
+		return p.parseUnary()
+	}
+	return p.parsePostfix()
+}
+
+// parsePostfix handles member access, indexing, [*] expansion, and the
+// PostgreSQL JSON path operators (which bind tighter than comparison).
+func (p *parser) parsePostfix() (Expr, error) {
+	e, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.acceptOp("."):
+			name, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			e = &FieldAccess{Base: e, Name: name}
+		case p.acceptOp("["):
+			if p.acceptOp("*") {
+				if err := p.expectOp("]"); err != nil {
+					return nil, err
+				}
+				e = &IndexAccess{Base: e, Star: true}
+				continue
+			}
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectOp("]"); err != nil {
+				return nil, err
+			}
+			e = &IndexAccess{Base: e, Index: idx}
+		case p.acceptOp("->"):
+			r, err := p.parsePrimary()
+			if err != nil {
+				return nil, err
+			}
+			e = &BinaryOp{Op: "->", L: e, R: r}
+		case p.acceptOp("->>"):
+			r, err := p.parsePrimary()
+			if err != nil {
+				return nil, err
+			}
+			e = &BinaryOp{Op: "->>", L: e, R: r}
+		case p.acceptOp("#>"):
+			r, err := p.parsePrimary()
+			if err != nil {
+				return nil, err
+			}
+			e = &BinaryOp{Op: "#>", L: e, R: r}
+		default:
+			return e, nil
+		}
+	}
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tokNumber:
+		p.next()
+		if strings.ContainsAny(t.text, ".eE") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return nil, p.errf("bad number %q", t.text)
+			}
+			return &Literal{Value: mmvalue.Float(f)}, nil
+		}
+		i, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, p.errf("bad number %q", t.text)
+		}
+		return &Literal{Value: mmvalue.Int(i)}, nil
+	case t.kind == tokString:
+		p.next()
+		return &Literal{Value: mmvalue.String(t.text)}, nil
+	case t.kind == tokParam:
+		p.next()
+		return &VarRef{Name: t.text, Param: true}, nil
+	case isKeyword(t, "TRUE"):
+		p.next()
+		return &Literal{Value: mmvalue.True}, nil
+	case isKeyword(t, "FALSE"):
+		p.next()
+		return &Literal{Value: mmvalue.False}, nil
+	case isKeyword(t, "NULL"):
+		p.next()
+		return &Literal{Value: mmvalue.Null}, nil
+	case t.kind == tokIdent:
+		// Subquery in expression position.
+		if isKeyword(t, "FOR") {
+			return nil, p.errf("FOR subquery must be parenthesized")
+		}
+		p.next()
+		if p.atOp("(") {
+			return p.parseCall(t.text)
+		}
+		return &VarRef{Name: t.text}, nil
+	case p.atOp("("):
+		p.next()
+		// Parenthesized subquery: (FOR ... RETURN e).
+		if p.atKw("FOR") || p.atKw("RETURN") || p.atKw("LET") {
+			pipe, err := p.parsePipeline(true)
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			return &SubqueryExpr{Pipeline: pipe}, nil
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case p.atOp("["):
+		p.next()
+		arr := &ArrayExpr{}
+		if !p.acceptOp("]") {
+			for {
+				e, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				arr.Elems = append(arr.Elems, e)
+				if p.acceptOp("]") {
+					break
+				}
+				if err := p.expectOp(","); err != nil {
+					return nil, err
+				}
+			}
+		}
+		return arr, nil
+	case p.atOp("{"):
+		p.next()
+		obj := &ObjectExpr{}
+		if !p.acceptOp("}") {
+			for {
+				var key string
+				switch p.cur().kind {
+				case tokIdent, tokString:
+					key = p.next().text
+				default:
+					return nil, p.errf("expected object key, got %s", p.cur())
+				}
+				if err := p.expectOp(":"); err != nil {
+					return nil, err
+				}
+				v, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				obj.Keys = append(obj.Keys, key)
+				obj.Values = append(obj.Values, v)
+				if p.acceptOp("}") {
+					break
+				}
+				if err := p.expectOp(","); err != nil {
+					return nil, err
+				}
+			}
+		}
+		return obj, nil
+	default:
+		return nil, p.errf("unexpected %s in expression", t)
+	}
+}
+
+func (p *parser) parseCall(name string) (Expr, error) {
+	p.next() // (
+	call := &FuncCall{Name: strings.ToUpper(name)}
+	if p.acceptOp(")") {
+		return call, nil
+	}
+	if p.atOp("*") && call.Name == "COUNT" {
+		p.next()
+		call.Star = true
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		return call, nil
+	}
+	for {
+		// DISTINCT inside aggregates is accepted and ignored beyond COUNT.
+		p.acceptKw("DISTINCT")
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		call.Args = append(call.Args, e)
+		if p.acceptOp(")") {
+			return call, nil
+		}
+		if err := p.expectOp(","); err != nil {
+			return nil, err
+		}
+	}
+}

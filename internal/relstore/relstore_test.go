@@ -1,0 +1,361 @@
+package relstore
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/engine"
+	"repro/internal/mmvalue"
+)
+
+func customerSchema() TableSchema {
+	return TableSchema{
+		Columns: []Column{
+			{Name: "id", Type: TInt, NotNull: true},
+			{Name: "name", Type: TString, NotNull: true},
+			{Name: "credit_limit", Type: TInt},
+			{Name: "orders", Type: TJSONB},
+		},
+		PrimaryKey: []string{"id"},
+	}
+}
+
+func setup(t *testing.T) (*engine.Engine, *Store) {
+	t.Helper()
+	e, err := engine.Open(engine.Options{Durability: engine.Ephemeral})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { e.Close() })
+	s := New(e, catalog.New(e))
+	if err := e.Update(func(tx *engine.Txn) error {
+		return s.CreateTable(tx, "customers", customerSchema())
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return e, s
+}
+
+func row(id int64, name string, credit int64) mmvalue.Value {
+	return mmvalue.Object(
+		mmvalue.F("id", mmvalue.Int(id)),
+		mmvalue.F("name", mmvalue.String(name)),
+		mmvalue.F("credit_limit", mmvalue.Int(credit)),
+	)
+}
+
+func seed(t *testing.T, e *engine.Engine, s *Store) {
+	t.Helper()
+	if err := e.Update(func(tx *engine.Txn) error {
+		for _, r := range []mmvalue.Value{
+			row(1, "Mary", 5000), row(2, "John", 3000), row(3, "Anne", 2000),
+		} {
+			if err := s.Insert(tx, "customers", r); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCreateTableValidation(t *testing.T) {
+	e, s := setup(t)
+	err := e.Update(func(tx *engine.Txn) error {
+		return s.CreateTable(tx, "bad", TableSchema{Columns: []Column{{Name: "x", Type: TInt}}})
+	})
+	if err == nil {
+		t.Fatal("table without PK accepted")
+	}
+	err = e.Update(func(tx *engine.Txn) error {
+		return s.CreateTable(tx, "bad", TableSchema{
+			Columns:    []Column{{Name: "x", Type: TInt}},
+			PrimaryKey: []string{"nope"},
+		})
+	})
+	if err == nil {
+		t.Fatal("PK over undeclared column accepted")
+	}
+	// Duplicate table.
+	err = e.Update(func(tx *engine.Txn) error {
+		return s.CreateTable(tx, "customers", customerSchema())
+	})
+	if !errors.Is(err, catalog.ErrExists) {
+		t.Fatalf("duplicate table = %v", err)
+	}
+}
+
+func TestInsertGetTypes(t *testing.T) {
+	e, s := setup(t)
+	seed(t, e, s)
+	e.View(func(tx *engine.Txn) error {
+		r, ok, err := s.Get(tx, "customers", mmvalue.Int(1))
+		if err != nil || !ok || r.GetOr("name").AsString() != "Mary" {
+			t.Fatalf("Get = %v, %v, %v", r, ok, err)
+		}
+		if _, ok, _ := s.Get(tx, "customers", mmvalue.Int(99)); ok {
+			t.Fatal("phantom row")
+		}
+		return nil
+	})
+	// Type violations.
+	bad := []mmvalue.Value{
+		mmvalue.Object(mmvalue.F("id", mmvalue.String("x")), mmvalue.F("name", mmvalue.String("B"))),
+		mmvalue.Object(mmvalue.F("id", mmvalue.Int(9))), // missing NOT NULL name
+		mmvalue.Object(mmvalue.F("id", mmvalue.Int(9)), mmvalue.F("name", mmvalue.String("B")),
+			mmvalue.F("undeclared", mmvalue.Int(1))),
+	}
+	for i, b := range bad {
+		err := e.Update(func(tx *engine.Txn) error { return s.Insert(tx, "customers", b) })
+		if !errors.Is(err, ErrType) {
+			t.Errorf("bad row %d: err = %v", i, err)
+		}
+	}
+	// Duplicate PK.
+	err := e.Update(func(tx *engine.Txn) error { return s.Insert(tx, "customers", row(1, "Dup", 0)) })
+	if !errors.Is(err, ErrDuplicateKey) {
+		t.Fatalf("duplicate PK = %v", err)
+	}
+}
+
+func TestJSONBColumn(t *testing.T) {
+	e, s := setup(t)
+	orders := mmvalue.MustParseJSON(`{"Order_no":"0c6df508","Orderlines":[
+		{"Product_no":"2724f","Price":66},{"Product_no":"3424g","Price":40}]}`)
+	e.Update(func(tx *engine.Txn) error {
+		r := row(1, "Mary", 5000).Set("orders", orders)
+		return s.Insert(tx, "customers", r)
+	})
+	e.View(func(tx *engine.Txn) error {
+		r, _, _ := s.Get(tx, "customers", mmvalue.Int(1))
+		got := r.GetOr("orders")
+		if !mmvalue.Equal(got, orders) {
+			t.Fatalf("jsonb column = %v", got)
+		}
+		// Paper's PostgreSQL example: orders->>'Order_no'.
+		if got.GetOr("Order_no").AsString() != "0c6df508" {
+			t.Fatal("path into jsonb failed")
+		}
+		return nil
+	})
+}
+
+func TestUpdate(t *testing.T) {
+	e, s := setup(t)
+	seed(t, e, s)
+	e.Update(func(tx *engine.Txn) error {
+		return s.Update(tx, "customers", mmvalue.Object(mmvalue.F("credit_limit", mmvalue.Int(9999))), mmvalue.Int(2))
+	})
+	e.View(func(tx *engine.Txn) error {
+		r, _, _ := s.Get(tx, "customers", mmvalue.Int(2))
+		if r.GetOr("credit_limit").AsInt() != 9999 {
+			t.Fatalf("update lost: %v", r)
+		}
+		if r.GetOr("name").AsString() != "John" {
+			t.Fatal("update clobbered name")
+		}
+		return nil
+	})
+	// PK change rejected.
+	err := e.Update(func(tx *engine.Txn) error {
+		return s.Update(tx, "customers", mmvalue.Object(mmvalue.F("id", mmvalue.Int(77))), mmvalue.Int(2))
+	})
+	if err == nil {
+		t.Fatal("PK change accepted")
+	}
+	// Missing row.
+	err = e.Update(func(tx *engine.Txn) error {
+		return s.Update(tx, "customers", mmvalue.Object(), mmvalue.Int(50))
+	})
+	if !errors.Is(err, ErrNotFound) {
+		t.Fatalf("update missing = %v", err)
+	}
+}
+
+func TestDeleteAndScan(t *testing.T) {
+	e, s := setup(t)
+	seed(t, e, s)
+	e.Update(func(tx *engine.Txn) error {
+		existed, err := s.Delete(tx, "customers", mmvalue.Int(2))
+		if !existed || err != nil {
+			t.Fatalf("Delete = %v, %v", existed, err)
+		}
+		return nil
+	})
+	var names []string
+	e.View(func(tx *engine.Txn) error {
+		return s.Scan(tx, "customers", func(r mmvalue.Value) bool {
+			names = append(names, r.GetOr("name").AsString())
+			return true
+		})
+	})
+	if !reflect.DeepEqual(names, []string{"Mary", "Anne"}) {
+		t.Fatalf("scan after delete = %v", names)
+	}
+	if s.Count("customers") != 2 {
+		t.Fatalf("Count = %d", s.Count("customers"))
+	}
+}
+
+func TestSecondaryIndex(t *testing.T) {
+	e, s := setup(t)
+	seed(t, e, s)
+	e.Update(func(tx *engine.Txn) error {
+		return s.CreateIndex(tx, "customers", "by_credit", "credit_limit")
+	})
+	e.View(func(tx *engine.Txn) error {
+		rows, err := s.LookupEq(tx, "customers", "by_credit", mmvalue.Int(3000))
+		if err != nil || len(rows) != 1 || rows[0].GetOr("name").AsString() != "John" {
+			t.Fatalf("LookupEq = %v, %v", rows, err)
+		}
+		// Range scan credit_limit >= 3000 (hi open).
+		rows, err = s.LookupRange(tx, "customers", "by_credit", mmvalue.Int(3000), mmvalue.Null, false, true)
+		if err != nil || len(rows) != 2 {
+			t.Fatalf("LookupRange = %v, %v", rows, err)
+		}
+		return nil
+	})
+	// Index maintenance on update and delete.
+	e.Update(func(tx *engine.Txn) error {
+		s.Update(tx, "customers", mmvalue.Object(mmvalue.F("credit_limit", mmvalue.Int(1))), mmvalue.Int(2))
+		_, err := s.Delete(tx, "customers", mmvalue.Int(1))
+		return err
+	})
+	e.View(func(tx *engine.Txn) error {
+		rows, _ := s.LookupEq(tx, "customers", "by_credit", mmvalue.Int(3000))
+		if len(rows) != 0 {
+			t.Fatalf("stale index: %v", rows)
+		}
+		rows, _ = s.LookupEq(tx, "customers", "by_credit", mmvalue.Int(5000))
+		if len(rows) != 0 {
+			t.Fatalf("deleted row in index: %v", rows)
+		}
+		rows, _ = s.LookupEq(tx, "customers", "by_credit", mmvalue.Int(1))
+		if len(rows) != 1 {
+			t.Fatalf("updated entry missing: %v", rows)
+		}
+		return nil
+	})
+	e.View(func(tx *engine.Txn) error {
+		idx, _ := s.IndexedColumns(tx, "customers")
+		if idx["credit_limit"] != "by_credit" {
+			t.Fatalf("IndexedColumns = %v", idx)
+		}
+		return nil
+	})
+}
+
+func TestCompositePrimaryKey(t *testing.T) {
+	e, s := setup(t)
+	schema := TableSchema{
+		Columns: []Column{
+			{Name: "a", Type: TString, NotNull: true},
+			{Name: "b", Type: TInt, NotNull: true},
+			{Name: "v", Type: TAny},
+		},
+		PrimaryKey: []string{"a", "b"},
+	}
+	e.Update(func(tx *engine.Txn) error { return s.CreateTable(tx, "pairs", schema) })
+	e.Update(func(tx *engine.Txn) error {
+		for i := 0; i < 3; i++ {
+			r := mmvalue.Object(
+				mmvalue.F("a", mmvalue.String("x")),
+				mmvalue.F("b", mmvalue.Int(int64(i))),
+				mmvalue.F("v", mmvalue.Int(int64(i*i))),
+			)
+			if err := s.Insert(tx, "pairs", r); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	e.View(func(tx *engine.Txn) error {
+		r, ok, _ := s.Get(tx, "pairs", mmvalue.String("x"), mmvalue.Int(2))
+		if !ok || r.GetOr("v").AsInt() != 4 {
+			t.Fatalf("composite Get = %v, %v", r, ok)
+		}
+		return nil
+	})
+}
+
+func TestDropTable(t *testing.T) {
+	e, s := setup(t)
+	seed(t, e, s)
+	e.Update(func(tx *engine.Txn) error {
+		return s.CreateIndex(tx, "customers", "i", "name")
+	})
+	e.Update(func(tx *engine.Txn) error { return s.DropTable(tx, "customers") })
+	if s.Count("customers") != 0 {
+		t.Fatal("rows survived drop")
+	}
+	e.View(func(tx *engine.Txn) error {
+		tables, _ := s.Tables(tx)
+		if len(tables) != 0 {
+			t.Fatalf("tables = %v", tables)
+		}
+		return nil
+	})
+	err := e.Update(func(tx *engine.Txn) error { return s.Insert(tx, "customers", row(1, "x", 0)) })
+	if !errors.Is(err, ErrNoTable) {
+		t.Fatalf("insert into dropped table = %v", err)
+	}
+}
+
+func TestFloatColumnAcceptsInt(t *testing.T) {
+	e, s := setup(t)
+	schema := TableSchema{
+		Columns:    []Column{{Name: "id", Type: TInt, NotNull: true}, {Name: "price", Type: TFloat}},
+		PrimaryKey: []string{"id"},
+	}
+	e.Update(func(tx *engine.Txn) error { return s.CreateTable(tx, "prices", schema) })
+	err := e.Update(func(tx *engine.Txn) error {
+		return s.Insert(tx, "prices", mmvalue.Object(
+			mmvalue.F("id", mmvalue.Int(1)), mmvalue.F("price", mmvalue.Int(66))))
+	})
+	if err != nil {
+		t.Fatalf("int into float column: %v", err)
+	}
+}
+
+func TestSchemaRoundTrip(t *testing.T) {
+	e, s := setup(t)
+	e.View(func(tx *engine.Txn) error {
+		got, err := s.Schema(tx, "customers")
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := customerSchema()
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("schema = %+v, want %+v", got, want)
+		}
+		return nil
+	})
+}
+
+func TestManyRowsScanOrder(t *testing.T) {
+	e, s := setup(t)
+	e.Update(func(tx *engine.Txn) error {
+		for i := 50; i > 0; i-- {
+			if err := s.Insert(tx, "customers", row(int64(i), fmt.Sprintf("n%d", i), 0)); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	var ids []int64
+	e.View(func(tx *engine.Txn) error {
+		return s.Scan(tx, "customers", func(r mmvalue.Value) bool {
+			ids = append(ids, r.GetOr("id").AsInt())
+			return true
+		})
+	})
+	for i := 1; i < len(ids); i++ {
+		if ids[i] <= ids[i-1] {
+			t.Fatalf("scan not in PK order at %d: %v", i, ids[i-3:i+1])
+		}
+	}
+}

@@ -1,0 +1,265 @@
+// Package sinew implements the paper's Sinew row (Tahara, Diamond, Abadi,
+// SIGMOD 2014): "a new layer above a relational DBMS that enables SQL
+// queries over multi-structured data without having to define a schema".
+// The logical view is a *universal relation* — one column for each unique
+// key in the data set, nested data flattened into dotted columns — backed
+// physically by the raw documents plus a set of *materialized* columns.
+//
+// It also covers the HPE Vertica flex-table row: unmaterialized columns are
+// served by a per-row map lookup (Vertica's maplookup()), and "promoting
+// virtual columns to real columns improves query performance" is exactly
+// the Materialize operation measured in E6/E10.
+package sinew
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/mmvalue"
+)
+
+// ErrNoColumn is returned for lookups on unknown columns.
+var ErrNoColumn = errors.New("sinew: no such column")
+
+// Relation is a universal relation over schemaless documents.
+type Relation struct {
+	mu sync.RWMutex
+	// rows holds the raw documents (the physical "blob column").
+	rows []mmvalue.Value
+	// columns is the discovered logical schema: dotted path -> stats.
+	columns map[string]*ColumnInfo
+	// materialized maps a column to its extracted values (parallel to
+	// rows); nil entries mean the row lacks the column.
+	materialized map[string][]mmvalue.Value
+	colOrder     []string
+}
+
+// ColumnInfo describes one logical column of the universal relation.
+type ColumnInfo struct {
+	Name string
+	// Count is the number of rows with at least one value at the path.
+	Count int
+	// Kinds tallies the value kinds observed (multi-structured data can
+	// mix types in one column).
+	Kinds map[mmvalue.Kind]int
+	// Materialized reports whether the column has been promoted.
+	Materialized bool
+}
+
+// New returns an empty universal relation.
+func New() *Relation {
+	return &Relation{
+		columns:      map[string]*ColumnInfo{},
+		materialized: map[string][]mmvalue.Value{},
+	}
+}
+
+// Insert adds a document, growing the logical schema with any new keys.
+// Array elements contribute to the same dotted column (Sinew flattens
+// nested data into separate columns; arrays are multi-valued).
+func (r *Relation) Insert(doc mmvalue.Value) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	id := len(r.rows)
+	r.rows = append(r.rows, doc)
+	order, cols := mmvalue.FlattenColumns(doc)
+	for _, path := range order {
+		info := r.columns[path]
+		if info == nil {
+			info = &ColumnInfo{Name: path, Kinds: map[mmvalue.Kind]int{}}
+			r.columns[path] = info
+			r.colOrder = append(r.colOrder, path)
+		}
+		info.Count++
+		for _, v := range cols[path] {
+			info.Kinds[v.Kind()]++
+		}
+	}
+	// Keep materialized columns in sync.
+	for col, vals := range r.materialized {
+		r.materialized[col] = append(vals, extractColumn(doc, col))
+	}
+	return id
+}
+
+// extractColumn pulls a dotted column from a document: a single value, an
+// array for multi-valued paths, or Null when absent.
+func extractColumn(doc mmvalue.Value, col string) mmvalue.Value {
+	_, cols := mmvalue.FlattenColumns(doc)
+	vals := cols[col]
+	switch len(vals) {
+	case 0:
+		return mmvalue.Null
+	case 1:
+		return vals[0]
+	default:
+		return mmvalue.ArrayOf(vals)
+	}
+}
+
+// Len returns the row count.
+func (r *Relation) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.rows)
+}
+
+// Columns returns the logical schema in first-seen order.
+func (r *Relation) Columns() []ColumnInfo {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]ColumnInfo, 0, len(r.colOrder))
+	for _, name := range r.colOrder {
+		out = append(out, *r.columns[name])
+	}
+	return out
+}
+
+// Row returns the raw document at ordinal id.
+func (r *Relation) Row(id int) (mmvalue.Value, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if id < 0 || id >= len(r.rows) {
+		return mmvalue.Null, false
+	}
+	return r.rows[id], true
+}
+
+// Value returns the column value of one row: from the materialized column
+// when promoted (fast path), else by walking the document (Vertica's
+// maplookup()).
+func (r *Relation) Value(id int, col string) mmvalue.Value {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.valueLocked(id, col)
+}
+
+func (r *Relation) valueLocked(id int, col string) mmvalue.Value {
+	if vals, ok := r.materialized[col]; ok {
+		return vals[id]
+	}
+	return extractColumn(r.rows[id], col)
+}
+
+// Materialize promotes a virtual column to a real column, extracting its
+// value for every row once. Idempotent.
+func (r *Relation) Materialize(col string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	info := r.columns[col]
+	if info == nil {
+		return fmt.Errorf("%w: %q", ErrNoColumn, col)
+	}
+	if info.Materialized {
+		return nil
+	}
+	vals := make([]mmvalue.Value, len(r.rows))
+	for i, doc := range r.rows {
+		vals[i] = extractColumn(doc, col)
+	}
+	r.materialized[col] = vals
+	info.Materialized = true
+	return nil
+}
+
+// Dematerialize demotes a column back to virtual (for the E6 ablation).
+func (r *Relation) Dematerialize(col string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.materialized, col)
+	if info := r.columns[col]; info != nil {
+		info.Materialized = false
+	}
+}
+
+// Predicate tests one column value.
+type Predicate func(v mmvalue.Value) bool
+
+// Eq builds an equality predicate.
+func Eq(want mmvalue.Value) Predicate {
+	return func(v mmvalue.Value) bool {
+		if v.Kind() == mmvalue.KindArray {
+			for _, e := range v.AsArray() {
+				if mmvalue.Equal(e, want) {
+					return true
+				}
+			}
+			return false
+		}
+		return mmvalue.Equal(v, want)
+	}
+}
+
+// Gt builds a greater-than predicate.
+func Gt(bound mmvalue.Value) Predicate {
+	return func(v mmvalue.Value) bool { return mmvalue.Compare(v, bound) > 0 }
+}
+
+// Select returns the ordinals of rows whose column matches the predicate —
+// the SQL `WHERE col …` of the universal relation.
+func (r *Relation) Select(col string, pred Predicate) []int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var out []int
+	for i := range r.rows {
+		if pred(r.valueLocked(i, col)) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Project returns the values of several columns for the given rows — the
+// SQL `SELECT c1, c2` of the universal relation.
+func (r *Relation) Project(ids []int, cols []string) []map[string]mmvalue.Value {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]map[string]mmvalue.Value, len(ids))
+	for i, id := range ids {
+		row := make(map[string]mmvalue.Value, len(cols))
+		for _, c := range cols {
+			row[c] = r.valueLocked(id, c)
+		}
+		out[i] = row
+	}
+	return out
+}
+
+// HotColumns returns columns sorted by presence count (descending) — the
+// candidates Sinew's "column materializer" would promote first.
+func (r *Relation) HotColumns(n int) []string {
+	cols := r.Columns()
+	sort.SliceStable(cols, func(i, j int) bool { return cols[i].Count > cols[j].Count })
+	if n > len(cols) {
+		n = len(cols)
+	}
+	out := make([]string, n)
+	for i := 0; i < n; i++ {
+		out[i] = cols[i].Name
+	}
+	return out
+}
+
+// AutoMaterialize promotes the n hottest unmaterialized columns, returning
+// the promoted names (Sinew's background column materializer).
+func (r *Relation) AutoMaterialize(n int) []string {
+	var promoted []string
+	for _, col := range r.HotColumns(len(r.Columns())) {
+		if n == 0 {
+			break
+		}
+		r.mu.RLock()
+		done := r.columns[col].Materialized
+		r.mu.RUnlock()
+		if done {
+			continue
+		}
+		if err := r.Materialize(col); err == nil {
+			promoted = append(promoted, col)
+			n--
+		}
+	}
+	return promoted
+}

@@ -1,0 +1,154 @@
+package sinew
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/mmvalue"
+)
+
+func sample() *Relation {
+	r := New()
+	r.Insert(mmvalue.MustParseJSON(`{"name":"Mary","city":"Prague","orders":[{"price":66},{"price":40}]}`))
+	r.Insert(mmvalue.MustParseJSON(`{"name":"John","city":"Helsinki","vip":true}`))
+	r.Insert(mmvalue.MustParseJSON(`{"name":"Anne","orders":[{"price":12}]}`))
+	return r
+}
+
+func TestSchemaDiscovery(t *testing.T) {
+	r := sample()
+	cols := r.Columns()
+	names := make([]string, len(cols))
+	for i, c := range cols {
+		names[i] = c.Name
+	}
+	want := []string{"city", "name", "orders.price", "vip"}
+	// Order is first-seen; check as set plus counts.
+	if len(names) != len(want) {
+		t.Fatalf("columns = %v", names)
+	}
+	byName := map[string]ColumnInfo{}
+	for _, c := range cols {
+		byName[c.Name] = c
+	}
+	if byName["name"].Count != 3 || byName["city"].Count != 2 || byName["vip"].Count != 1 {
+		t.Fatalf("counts = %+v", byName)
+	}
+	if byName["orders.price"].Kinds[mmvalue.KindInt] != 3 {
+		t.Fatalf("orders.price kinds = %v", byName["orders.price"].Kinds)
+	}
+}
+
+func TestVirtualValueLookup(t *testing.T) {
+	r := sample()
+	if got := r.Value(0, "name"); got.AsString() != "Mary" {
+		t.Fatalf("Value(0,name) = %v", got)
+	}
+	// Multi-valued path returns an array.
+	got := r.Value(0, "orders.price")
+	if got.Kind() != mmvalue.KindArray || got.Len() != 2 {
+		t.Fatalf("Value(0,orders.price) = %v", got)
+	}
+	// Missing column on a row is null.
+	if got := r.Value(1, "orders.price"); !got.IsNull() {
+		t.Fatalf("missing = %v", got)
+	}
+	// Single-valued nested path.
+	if got := r.Value(2, "orders.price"); got.AsInt() != 12 {
+		t.Fatalf("Value(2) = %v", got)
+	}
+}
+
+func TestSelectProject(t *testing.T) {
+	r := sample()
+	ids := r.Select("city", Eq(mmvalue.String("Prague")))
+	if !reflect.DeepEqual(ids, []int{0}) {
+		t.Fatalf("Select = %v", ids)
+	}
+	// Eq over multi-valued column matches any element.
+	ids = r.Select("orders.price", Eq(mmvalue.Int(40)))
+	if !reflect.DeepEqual(ids, []int{0}) {
+		t.Fatalf("Select multi = %v", ids)
+	}
+	rows := r.Project(ids, []string{"name", "city"})
+	if len(rows) != 1 || rows[0]["name"].AsString() != "Mary" {
+		t.Fatalf("Project = %v", rows)
+	}
+}
+
+func TestMaterializeEquivalenceAndSync(t *testing.T) {
+	r := sample()
+	before := r.Select("name", Eq(mmvalue.String("John")))
+	if err := r.Materialize("name"); err != nil {
+		t.Fatal(err)
+	}
+	after := r.Select("name", Eq(mmvalue.String("John")))
+	if !reflect.DeepEqual(before, after) {
+		t.Fatalf("materialization changed results: %v vs %v", before, after)
+	}
+	// Inserts after materialization keep the column in sync.
+	r.Insert(mmvalue.MustParseJSON(`{"name":"Zoe"}`))
+	ids := r.Select("name", Eq(mmvalue.String("Zoe")))
+	if !reflect.DeepEqual(ids, []int{3}) {
+		t.Fatalf("post-insert select = %v", ids)
+	}
+	// Idempotent.
+	if err := r.Materialize("name"); err != nil {
+		t.Fatal(err)
+	}
+	// Unknown column errors.
+	if err := r.Materialize("nope"); err == nil {
+		t.Fatal("materializing unknown column should fail")
+	}
+	// Dematerialize keeps answers identical.
+	r.Dematerialize("name")
+	if got := r.Select("name", Eq(mmvalue.String("Zoe"))); !reflect.DeepEqual(got, []int{3}) {
+		t.Fatalf("after dematerialize = %v", got)
+	}
+}
+
+func TestHotColumnsAndAutoMaterialize(t *testing.T) {
+	r := sample()
+	hot := r.HotColumns(2)
+	if hot[0] != "name" {
+		t.Fatalf("hottest = %v", hot)
+	}
+	promoted := r.AutoMaterialize(2)
+	if len(promoted) != 2 || promoted[0] != "name" {
+		t.Fatalf("promoted = %v", promoted)
+	}
+	cols := r.Columns()
+	n := 0
+	for _, c := range cols {
+		if c.Materialized {
+			n++
+		}
+	}
+	if n != 2 {
+		t.Fatalf("materialized count = %d", n)
+	}
+}
+
+func TestGtPredicate(t *testing.T) {
+	r := New()
+	r.Insert(mmvalue.MustParseJSON(`{"v":5}`))
+	r.Insert(mmvalue.MustParseJSON(`{"v":15}`))
+	ids := r.Select("v", Gt(mmvalue.Int(10)))
+	if !reflect.DeepEqual(ids, []int{1}) {
+		t.Fatalf("Gt = %v", ids)
+	}
+}
+
+func TestRowAccess(t *testing.T) {
+	r := sample()
+	if _, ok := r.Row(99); ok {
+		t.Fatal("out of range row")
+	}
+	doc, ok := r.Row(1)
+	if !ok || doc.GetOr("name").AsString() != "John" {
+		t.Fatalf("Row(1) = %v", doc)
+	}
+	if r.Len() != 3 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+}

@@ -1,0 +1,595 @@
+// Package unibench reproduces UniBench (Lu, "Towards Benchmarking
+// Multi-Model Databases", CIDR 2017), the benchmark the tutorial presents:
+// an e-commerce application whose data spans the relational, document,
+// key/value, graph, and RDF models, with three workloads —
+//
+//	Workload A: data insertion and reading (per model)
+//	Workload B: cross-model queries
+//	Workload C: cross-model transactions
+//
+// The paper's dataset is LDBC-derived and downloadable; per the
+// substitution policy in DESIGN.md we generate a deterministic synthetic
+// dataset with the same entity types and relationships, which exercises the
+// same cross-model code paths.
+package unibench
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/docstore"
+	"repro/internal/engine"
+	"repro/internal/mmvalue"
+	"repro/internal/rdfstore"
+	"repro/internal/relstore"
+)
+
+// Config sizes the generated dataset. The zero value is unusable; use
+// DefaultConfig or SmallConfig.
+type Config struct {
+	Customers          int
+	Products           int
+	OrdersPerCustomer  int
+	FriendsPerCustomer int
+	MaxLinesPerOrder   int
+	Seed               int64
+}
+
+// DefaultConfig is a laptop-scale dataset (about 10k customers' worth of
+// multi-model data).
+func DefaultConfig() Config {
+	return Config{
+		Customers:          2000,
+		Products:           500,
+		OrdersPerCustomer:  3,
+		FriendsPerCustomer: 4,
+		MaxLinesPerOrder:   4,
+		Seed:               42,
+	}
+}
+
+// SmallConfig keeps unit tests fast.
+func SmallConfig() Config {
+	return Config{
+		Customers:          60,
+		Products:           30,
+		OrdersPerCustomer:  2,
+		FriendsPerCustomer: 3,
+		MaxLinesPerOrder:   3,
+		Seed:               7,
+	}
+}
+
+// Dataset summarizes what Generate built.
+type Dataset struct {
+	Customers int
+	Products  int
+	Orders    int
+	Friends   int
+	CartItems int
+	Feedback  int
+}
+
+var adjectives = []string{"Red", "Fast", "Tiny", "Grand", "Silent", "Lucky", "Solar", "Iron"}
+var nouns = []string{"Toy", "Book", "Computer", "Pen", "Lamp", "Chair", "Phone", "Camera"}
+var countries = []string{"FI", "CZ", "DE", "US", "JP", "BR"}
+
+func productName(r *rand.Rand) string {
+	return adjectives[r.Intn(len(adjectives))] + " " + nouns[r.Intn(len(nouns))]
+}
+
+func custKey(i int) string { return fmt.Sprintf("c%d", i) }
+func prodKey(i int) string { return fmt.Sprintf("p%d", i) }
+func orderKey(c, o int) string {
+	return fmt.Sprintf("o%d-%d", c, o)
+}
+
+// Generate loads the full multi-model dataset into db.
+func Generate(db *core.DB, cfg Config) (Dataset, error) {
+	r := rand.New(rand.NewSource(cfg.Seed))
+	var ds Dataset
+	err := db.Engine.Update(func(tx *engine.Txn) error {
+		// Relational: customers table.
+		if err := db.Rels.CreateTable(tx, "customers", relstore.TableSchema{
+			Columns: []relstore.Column{
+				{Name: "id", Type: relstore.TInt, NotNull: true},
+				{Name: "name", Type: relstore.TString, NotNull: true},
+				{Name: "credit_limit", Type: relstore.TInt},
+				{Name: "country", Type: relstore.TString},
+			},
+			PrimaryKey: []string{"id"},
+		}); err != nil {
+			return err
+		}
+		// Documents: products and orders.
+		if err := db.Docs.CreateCollection(tx, "products", catalog.Schemaless); err != nil {
+			return err
+		}
+		if err := db.Docs.CreateCollection(tx, "orders", catalog.Schemaless); err != nil {
+			return err
+		}
+		// Secondary index the Q2/Q-workloads exercise: the optimizer turns
+		// the correlated `o.customer_id == c.id` filter into index lookups.
+		if err := db.Docs.CreateIndex(tx, "orders", docstore.IndexDef{
+			Name: "by_customer", Path: "customer_id",
+		}); err != nil {
+			return err
+		}
+		// Graph: social network.
+		if err := db.CreateGraph(tx, "social"); err != nil {
+			return err
+		}
+		return nil
+	})
+	if err != nil {
+		return ds, err
+	}
+
+	// Products.
+	err = db.Engine.Update(func(tx *engine.Txn) error {
+		for p := 0; p < cfg.Products; p++ {
+			name := productName(r)
+			doc := mmvalue.Object(
+				mmvalue.F("_key", mmvalue.String(prodKey(p))),
+				mmvalue.F("name", mmvalue.String(name)),
+				mmvalue.F("price", mmvalue.Int(int64(1+r.Intn(200)))),
+				mmvalue.F("category", mmvalue.String(nouns[r.Intn(len(nouns))])),
+				mmvalue.F("description", mmvalue.String(
+					"The "+strings.ToLower(name)+" is a "+strings.ToLower(adjectives[r.Intn(len(adjectives))])+" product")),
+			)
+			if _, err := db.Docs.Insert(tx, "products", doc); err != nil {
+				return err
+			}
+		}
+		ds.Products = cfg.Products
+		return nil
+	})
+	if err != nil {
+		return ds, err
+	}
+
+	// Customers: relational row + graph vertex, batched.
+	const batch = 500
+	for lo := 0; lo < cfg.Customers; lo += batch {
+		hi := lo + batch
+		if hi > cfg.Customers {
+			hi = cfg.Customers
+		}
+		err = db.Engine.Update(func(tx *engine.Txn) error {
+			for c := lo; c < hi; c++ {
+				if err := db.Rels.Insert(tx, "customers", mmvalue.Object(
+					mmvalue.F("id", mmvalue.Int(int64(c))),
+					mmvalue.F("name", mmvalue.String(fmt.Sprintf("Customer %d", c))),
+					mmvalue.F("credit_limit", mmvalue.Int(int64(r.Intn(10000)))),
+					mmvalue.F("country", mmvalue.String(countries[r.Intn(len(countries))])),
+				)); err != nil {
+					return err
+				}
+				if err := db.Graphs.PutVertex(tx, "social", custKey(c), mmvalue.Object(
+					mmvalue.F("customer_id", mmvalue.Int(int64(c))),
+				)); err != nil {
+					return err
+				}
+				ds.Customers++
+			}
+			return nil
+		})
+		if err != nil {
+			return ds, err
+		}
+	}
+
+	// Friendships, orders, cart entries, feedback.
+	for lo := 0; lo < cfg.Customers; lo += batch {
+		hi := lo + batch
+		if hi > cfg.Customers {
+			hi = cfg.Customers
+		}
+		err = db.Engine.Update(func(tx *engine.Txn) error {
+			for c := lo; c < hi; c++ {
+				for f := 0; f < cfg.FriendsPerCustomer; f++ {
+					other := r.Intn(cfg.Customers)
+					if other == c {
+						continue
+					}
+					if _, err := db.Graphs.Connect(tx, "social", custKey(c), custKey(other), "knows", mmvalue.Null); err != nil {
+						return err
+					}
+					ds.Friends++
+				}
+				var lastOrder string
+				for o := 0; o < cfg.OrdersPerCustomer; o++ {
+					nLines := 1 + r.Intn(cfg.MaxLinesPerOrder)
+					lines := make([]mmvalue.Value, nLines)
+					total := int64(0)
+					for l := 0; l < nLines; l++ {
+						pid := r.Intn(cfg.Products)
+						price := int64(1 + r.Intn(200))
+						total += price
+						lines[l] = mmvalue.Object(
+							mmvalue.F("Product_no", mmvalue.String(prodKey(pid))),
+							mmvalue.F("Price", mmvalue.Int(price)),
+							mmvalue.F("Qty", mmvalue.Int(int64(1+r.Intn(3)))),
+						)
+					}
+					ok := orderKey(c, o)
+					doc := mmvalue.Object(
+						mmvalue.F("_key", mmvalue.String(ok)),
+						mmvalue.F("Order_no", mmvalue.String(ok)),
+						mmvalue.F("customer_id", mmvalue.Int(int64(c))),
+						mmvalue.F("total", mmvalue.Int(total)),
+						mmvalue.F("Orderlines", mmvalue.ArrayOf(lines)),
+					)
+					if _, err := db.Docs.Insert(tx, "orders", doc); err != nil {
+						return err
+					}
+					ds.Orders++
+					lastOrder = ok
+					// Feedback: RDF triples customer—rated→product.
+					if r.Intn(2) == 0 {
+						line, _ := mmvalue.ArrayOf(lines).Index(0)
+						if err := db.RDF.Insert(tx, "feedback", rdfstore.Triple{
+							S: "<" + custKey(c) + ">",
+							P: "<rated>",
+							O: "<" + line.GetOr("Product_no").AsString() + ">",
+						}); err != nil {
+							return err
+						}
+						ds.Feedback++
+					}
+				}
+				// Shopping cart: customer id -> most recent order.
+				if lastOrder != "" {
+					if err := db.KV.Set(tx, "cart", custKey(c), mmvalue.String(lastOrder)); err != nil {
+						return err
+					}
+					ds.CartItems++
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return ds, err
+		}
+	}
+	return ds, nil
+}
+
+// --- Workload A: insertion and reading per model ---
+
+// OpMetrics reports one operation class.
+type OpMetrics struct {
+	Name    string
+	Ops     int
+	Elapsed time.Duration
+}
+
+// Throughput returns operations per second.
+func (m OpMetrics) Throughput() float64 {
+	if m.Elapsed <= 0 {
+		return 0
+	}
+	return float64(m.Ops) / m.Elapsed.Seconds()
+}
+
+func (m OpMetrics) String() string {
+	return fmt.Sprintf("%-28s %8d ops  %10.0f ops/s", m.Name, m.Ops, m.Throughput())
+}
+
+// RunWorkloadA measures insert and point-read throughput for each model.
+func RunWorkloadA(db *core.DB, n int) ([]OpMetrics, error) {
+	var out []OpMetrics
+	run := func(name string, ops int, fn func() error) error {
+		start := time.Now()
+		if err := fn(); err != nil {
+			return fmt.Errorf("workload A %s: %w", name, err)
+		}
+		out = append(out, OpMetrics{Name: name, Ops: ops, Elapsed: time.Since(start)})
+		return nil
+	}
+	// KV inserts + reads.
+	if err := run("kv insert", n, func() error {
+		return db.Engine.Update(func(tx *engine.Txn) error {
+			for i := 0; i < n; i++ {
+				if err := db.KV.Set(tx, "wa_kv", fmt.Sprintf("k%d", i), mmvalue.Int(int64(i))); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	}); err != nil {
+		return nil, err
+	}
+	if err := run("kv read", n, func() error {
+		return db.Engine.View(func(tx *engine.Txn) error {
+			for i := 0; i < n; i++ {
+				if _, ok, err := db.KV.Get(tx, "wa_kv", fmt.Sprintf("k%d", i)); err != nil || !ok {
+					return fmt.Errorf("missing k%d: %v", i, err)
+				}
+			}
+			return nil
+		})
+	}); err != nil {
+		return nil, err
+	}
+	// Document inserts + reads.
+	if err := db.Engine.Update(func(tx *engine.Txn) error {
+		return db.Docs.CreateCollection(tx, "wa_docs", catalog.Schemaless)
+	}); err != nil {
+		return nil, err
+	}
+	if err := run("document insert", n, func() error {
+		return db.Engine.Update(func(tx *engine.Txn) error {
+			for i := 0; i < n; i++ {
+				doc := mmvalue.Object(
+					mmvalue.F("_key", mmvalue.String(fmt.Sprintf("d%d", i))),
+					mmvalue.F("n", mmvalue.Int(int64(i))),
+					mmvalue.F("tags", mmvalue.Array(mmvalue.String("a"), mmvalue.String("b"))),
+				)
+				if _, err := db.Docs.Insert(tx, "wa_docs", doc); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	}); err != nil {
+		return nil, err
+	}
+	if err := run("document read", n, func() error {
+		return db.Engine.View(func(tx *engine.Txn) error {
+			for i := 0; i < n; i++ {
+				if _, ok, err := db.Docs.Get(tx, "wa_docs", fmt.Sprintf("d%d", i)); err != nil || !ok {
+					return fmt.Errorf("missing d%d: %v", i, err)
+				}
+			}
+			return nil
+		})
+	}); err != nil {
+		return nil, err
+	}
+	// Relational inserts + reads.
+	if err := db.Engine.Update(func(tx *engine.Txn) error {
+		return db.Rels.CreateTable(tx, "wa_rows", relstore.TableSchema{
+			Columns: []relstore.Column{
+				{Name: "id", Type: relstore.TInt, NotNull: true},
+				{Name: "v", Type: relstore.TString},
+			},
+			PrimaryKey: []string{"id"},
+		})
+	}); err != nil {
+		return nil, err
+	}
+	if err := run("relational insert", n, func() error {
+		return db.Engine.Update(func(tx *engine.Txn) error {
+			for i := 0; i < n; i++ {
+				if err := db.Rels.Insert(tx, "wa_rows", mmvalue.Object(
+					mmvalue.F("id", mmvalue.Int(int64(i))),
+					mmvalue.F("v", mmvalue.String("x")),
+				)); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	}); err != nil {
+		return nil, err
+	}
+	if err := run("relational read", n, func() error {
+		return db.Engine.View(func(tx *engine.Txn) error {
+			for i := 0; i < n; i++ {
+				if _, ok, err := db.Rels.Get(tx, "wa_rows", mmvalue.Int(int64(i))); err != nil || !ok {
+					return fmt.Errorf("missing row %d: %v", i, err)
+				}
+			}
+			return nil
+		})
+	}); err != nil {
+		return nil, err
+	}
+	// Graph inserts + expansions.
+	if err := run("graph insert", n, func() error {
+		return db.Engine.Update(func(tx *engine.Txn) error {
+			if err := db.CreateGraph(tx, "wa_graph"); err != nil {
+				return err
+			}
+			for i := 0; i < n; i++ {
+				if err := db.Graphs.PutVertex(tx, "wa_graph", fmt.Sprintf("v%d", i), mmvalue.Object()); err != nil {
+					return err
+				}
+				if i > 0 {
+					if _, err := db.Graphs.Connect(tx, "wa_graph",
+						fmt.Sprintf("v%d", i-1), fmt.Sprintf("v%d", i), "next", mmvalue.Null); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		})
+	}); err != nil {
+		return nil, err
+	}
+	if err := run("graph expand", n-1, func() error {
+		return db.Engine.View(func(tx *engine.Txn) error {
+			for i := 0; i < n-1; i++ {
+				ns, err := db.Graphs.Neighbors(tx, "wa_graph", fmt.Sprintf("v%d", i), 0, "next")
+				if err != nil || len(ns) != 1 {
+					return fmt.Errorf("expand v%d: %d neighbors, %v", i, len(ns), err)
+				}
+			}
+			return nil
+		})
+	}); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// --- Workload B: cross-model queries ---
+
+// QueryB returns the named cross-model query (MMQL text) of Workload B.
+// Q1 is the paper's recommendation query.
+var QueryB = map[string]string{
+	// Q1 (slides 27–28): products ordered by friends of high-credit
+	// customers — relational ⋈ graph ⋈ key/value ⋈ document.
+	"Q1": `
+		FOR c IN customers
+		  FILTER c.credit_limit > @minCredit
+		  LIMIT @anchors
+		  FOR friend IN 1..1 OUTBOUND CONCAT('c', TO_STRING(c.id)) social.knows
+		    LET order_no = KV('cart', CONCAT('c', TO_STRING(friend.customer_id)))
+		    LET order = DOCUMENT('orders', order_no)
+		    FILTER order != null
+		    FOR line IN order.Orderlines
+		      RETURN DISTINCT line.Product_no`,
+	// Q2: customers from a country and the total spend of their orders —
+	// relational ⋈ document with aggregation.
+	"Q2": `
+		FOR c IN customers
+		  FILTER c.country == @country
+		  LET orders = (FOR o IN orders FILTER o.customer_id == c.id RETURN o.total)
+		  FILTER LENGTH(orders) > 0
+		  RETURN {customer: c.id, spend: SUM(orders)}`,
+	// Q3: top products by order-line revenue — document aggregation.
+	"Q3": `
+		FOR o IN orders
+		  FOR line IN o.Orderlines
+		    COLLECT product = line.Product_no INTO g
+		    LET revenue = SUM(g[*].line.Price)
+		    SORT revenue DESC
+		    LIMIT 10
+		    RETURN {product: product, revenue: revenue}`,
+	// Q4: containment — orders including a given product (GIN-accelerable).
+	"Q4": `
+		FOR o IN orders
+		  FILTER o @> @pattern
+		  RETURN o.Order_no`,
+	// Q5: ratings of products bought by a customer's friends — graph ⋈ RDF.
+	"Q5": `
+		FOR friend IN 1..1 OUTBOUND @start social.knows
+		  FOR t IN TRIPLES('feedback', CONCAT('<c', TO_STRING(friend.customer_id), '>'), '<rated>', null)
+		    RETURN DISTINCT t.o`,
+}
+
+// RunWorkloadB executes the B queries once and reports timings.
+func RunWorkloadB(db *core.DB, cfg Config) ([]OpMetrics, error) {
+	params := map[string]map[string]mmvalue.Value{
+		"Q1": {"minCredit": mmvalue.Int(8000), "anchors": mmvalue.Int(20)},
+		"Q2": {"country": mmvalue.String("FI")},
+		"Q3": nil,
+		"Q4": {"pattern": mmvalue.MustParseJSON(`{"Orderlines":[{"Product_no":"p1"}]}`)},
+		"Q5": {"start": mmvalue.String("c0")},
+	}
+	names := []string{"Q1", "Q2", "Q3", "Q4", "Q5"}
+	var out []OpMetrics
+	for _, name := range names {
+		start := time.Now()
+		res, err := db.Query(QueryB[name], params[name])
+		if err != nil {
+			return nil, fmt.Errorf("workload B %s: %w", name, err)
+		}
+		out = append(out, OpMetrics{
+			Name:    "query " + name + fmt.Sprintf(" (%d results)", len(res.Values)),
+			Ops:     1,
+			Elapsed: time.Since(start),
+		})
+	}
+	return out, nil
+}
+
+// --- Workload C: cross-model transactions ---
+
+// TxnMetrics reports transaction workload results.
+type TxnMetrics struct {
+	Committed int
+	Aborted   int
+	Elapsed   time.Duration
+}
+
+// Throughput returns committed transactions per second.
+func (m TxnMetrics) Throughput() float64 {
+	if m.Elapsed <= 0 {
+		return 0
+	}
+	return float64(m.Committed) / m.Elapsed.Seconds()
+}
+
+func (m TxnMetrics) String() string {
+	return fmt.Sprintf("committed %d, aborted %d, %10.0f txn/s",
+		m.Committed, m.Aborted, m.Throughput())
+}
+
+// RunWorkloadC runs the "new order" cross-model transaction concurrently:
+// each transaction inserts an order document, updates the customer's cart
+// (key/value), decrements the customer's credit (relational), and records a
+// feedback triple (RDF) — four models, one atomic commit.
+func RunWorkloadC(db *core.DB, cfg Config, workers, txnsPerWorker int) (TxnMetrics, error) {
+	var m TxnMetrics
+	var mu sync.Mutex
+	var firstErr error
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(cfg.Seed + int64(w)))
+			for i := 0; i < txnsPerWorker; i++ {
+				cust := r.Intn(cfg.Customers)
+				prod := prodKey(r.Intn(cfg.Products))
+				orderNo := fmt.Sprintf("wc-%d-%d", w, i)
+				price := int64(1 + r.Intn(100))
+				err := db.Engine.Update(func(tx *engine.Txn) error {
+					doc := mmvalue.Object(
+						mmvalue.F("_key", mmvalue.String(orderNo)),
+						mmvalue.F("Order_no", mmvalue.String(orderNo)),
+						mmvalue.F("customer_id", mmvalue.Int(int64(cust))),
+						mmvalue.F("total", mmvalue.Int(price)),
+						mmvalue.F("Orderlines", mmvalue.Array(mmvalue.Object(
+							mmvalue.F("Product_no", mmvalue.String(prod)),
+							mmvalue.F("Price", mmvalue.Int(price)),
+						))),
+					)
+					if _, err := db.Docs.Insert(tx, "orders", doc); err != nil {
+						return err
+					}
+					if err := db.KV.Set(tx, "cart", custKey(cust), mmvalue.String(orderNo)); err != nil {
+						return err
+					}
+					row, ok, err := db.Rels.Get(tx, "customers", mmvalue.Int(int64(cust)))
+					if err != nil || !ok {
+						return fmt.Errorf("customer %d missing: %v", cust, err)
+					}
+					newCredit := row.GetOr("credit_limit").AsInt() - price
+					if err := db.Rels.Update(tx, "customers",
+						mmvalue.Object(mmvalue.F("credit_limit", mmvalue.Int(newCredit))),
+						mmvalue.Int(int64(cust))); err != nil {
+						return err
+					}
+					return db.RDF.Insert(tx, "feedback", rdfstore.Triple{
+						S: "<" + custKey(cust) + ">", P: "<rated>", O: "<" + prod + ">",
+					})
+				})
+				mu.Lock()
+				if err != nil {
+					m.Aborted++
+					if firstErr == nil {
+						firstErr = err
+					}
+				} else {
+					m.Committed++
+				}
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	m.Elapsed = time.Since(start)
+	// Deadlock-retried transactions are absorbed by Update; only hard
+	// failures surface, and any hard failure fails the workload.
+	return m, firstErr
+}

@@ -1,0 +1,147 @@
+package unibench
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+func openSeeded(t *testing.T) (*core.DB, Config, Dataset) {
+	t.Helper()
+	db, err := core.Open(core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	cfg := SmallConfig()
+	ds, err := Generate(db, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db, cfg, ds
+}
+
+func TestGenerateCounts(t *testing.T) {
+	db, cfg, ds := openSeeded(t)
+	if ds.Customers != cfg.Customers || ds.Products != cfg.Products {
+		t.Fatalf("dataset = %+v", ds)
+	}
+	if ds.Orders != cfg.Customers*cfg.OrdersPerCustomer {
+		t.Fatalf("orders = %d", ds.Orders)
+	}
+	if ds.CartItems != cfg.Customers {
+		t.Fatalf("cart = %d", ds.CartItems)
+	}
+	if db.Rels.Count("customers") != cfg.Customers {
+		t.Fatalf("customers table = %d", db.Rels.Count("customers"))
+	}
+	if db.Docs.Count("orders") != ds.Orders {
+		t.Fatalf("orders coll = %d", db.Docs.Count("orders"))
+	}
+	if db.Graphs.VertexCount("social") != cfg.Customers {
+		t.Fatalf("vertices = %d", db.Graphs.VertexCount("social"))
+	}
+	if ds.Friends == 0 || db.Graphs.EdgeCount("social") != ds.Friends {
+		t.Fatalf("edges = %d vs %d", db.Graphs.EdgeCount("social"), ds.Friends)
+	}
+	if ds.Feedback == 0 || db.RDF.Count("feedback") > ds.Feedback {
+		// RDF inserts are idempotent: repeated (c,rated,p) triples collapse.
+		t.Fatalf("feedback = %d vs %d", db.RDF.Count("feedback"), ds.Feedback)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	_, _, ds1 := openSeeded(t)
+	_, _, ds2 := openSeeded(t)
+	if ds1 != ds2 {
+		t.Fatalf("same seed produced different datasets: %+v vs %+v", ds1, ds2)
+	}
+}
+
+func TestWorkloadA(t *testing.T) {
+	db, _, _ := openSeeded(t)
+	metrics, err := RunWorkloadA(db, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(metrics) != 8 {
+		t.Fatalf("metrics = %d entries", len(metrics))
+	}
+	for _, m := range metrics {
+		if m.Ops <= 0 || m.Throughput() <= 0 {
+			t.Fatalf("bad metric %+v", m)
+		}
+		if m.String() == "" {
+			t.Fatal("empty metric string")
+		}
+	}
+}
+
+func TestWorkloadB(t *testing.T) {
+	db, cfg, _ := openSeeded(t)
+	metrics, err := RunWorkloadB(db, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(metrics) != 5 {
+		t.Fatalf("metrics = %v", metrics)
+	}
+	// Q3 (top products) must return results on any non-trivial dataset.
+	if metrics[2].Name == "" {
+		t.Fatal("bad metric")
+	}
+	res, err := db.Query(QueryB["Q3"], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Values) == 0 {
+		t.Fatal("Q3 returned nothing")
+	}
+	// Revenues are sorted descending.
+	prev := int64(1 << 62)
+	for _, v := range res.Values {
+		rev := v.GetOr("revenue").AsInt()
+		if rev > prev {
+			t.Fatalf("Q3 not sorted: %v", res.Values)
+		}
+		prev = rev
+	}
+}
+
+func TestWorkloadC(t *testing.T) {
+	db, cfg, _ := openSeeded(t)
+	before := db.Docs.Count("orders")
+	m, err := RunWorkloadC(db, cfg, 4, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Committed != 40 || m.Aborted != 0 {
+		t.Fatalf("metrics = %+v", m)
+	}
+	if db.Docs.Count("orders") != before+40 {
+		t.Fatalf("orders after C = %d, want %d", db.Docs.Count("orders"), before+40)
+	}
+	if m.String() == "" || m.Throughput() <= 0 {
+		t.Fatal("bad metric rendering")
+	}
+}
+
+func TestWorkloadCAtomicity(t *testing.T) {
+	// Every committed new-order transaction must have updated all four
+	// models consistently: the cart points at an existing order.
+	db, cfg, _ := openSeeded(t)
+	if _, err := RunWorkloadC(db, cfg, 3, 5); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Query(`
+		FOR c IN cart
+		  LET order = DOCUMENT('orders', c.value)
+		  FILTER order == null
+		  RETURN c._key`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Values) != 0 {
+		t.Fatalf("dangling cart entries: %v", res.Values)
+	}
+}

@@ -1,0 +1,331 @@
+// Package wal implements the write-ahead log that gives unidb's in-memory
+// multi-model engine durability: every mutation of every keyspace — and
+// therefore of every data model — flows through one log, which is also what
+// the engine's replica ships to reproduce the paper's hybrid-consistency
+// experiments. (The design follows the paper's OctopusDB aside: "all insert
+// and update operations create logical log entries in that log".)
+//
+// Record framing on disk:
+//
+//	4 bytes  little-endian payload length
+//	4 bytes  CRC32 (IEEE) of the payload
+//	payload  (varint-framed fields)
+//
+// A torn or corrupt tail terminates replay cleanly — records after the first
+// bad frame are discarded, which matches the commit protocol: a transaction
+// is durable iff its commit record is fully on disk.
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Op identifies a log record type.
+type Op uint8
+
+// Record operations.
+const (
+	OpSet Op = iota + 1
+	OpDelete
+	OpCommit
+	OpAbort
+	OpDropKeyspace
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpSet:
+		return "set"
+	case OpDelete:
+		return "delete"
+	case OpCommit:
+		return "commit"
+	case OpAbort:
+		return "abort"
+	case OpDropKeyspace:
+		return "drop"
+	default:
+		return fmt.Sprintf("Op(%d)", uint8(o))
+	}
+}
+
+// Record is one logical log entry.
+type Record struct {
+	LSN      uint64
+	Txn      uint64
+	Op       Op
+	Keyspace string
+	Key      []byte
+	Value    []byte
+}
+
+// Log is an append-only write-ahead log backed by a single file.
+type Log struct {
+	mu      sync.Mutex
+	f       *os.File
+	w       *bufio.Writer
+	nextLSN uint64
+	sync    bool
+	path    string
+}
+
+// Open opens (creating if needed) the log file at path. When syncEveryCommit
+// is true, Append of a commit record fsyncs before returning. A torn or
+// corrupt tail left by a crash is truncated away so new records append
+// after the last intact one.
+func Open(path string, syncEveryCommit bool) (*Log, error) {
+	recs, validSize, err := scan(path)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: open: %w", err)
+	}
+	if info, err := f.Stat(); err == nil && info.Size() > validSize {
+		if err := f.Truncate(validSize); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("wal: truncate torn tail: %w", err)
+		}
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, err
+	}
+	next := uint64(1)
+	if n := len(recs); n > 0 {
+		next = recs[n-1].LSN + 1
+	}
+	return &Log{f: f, w: bufio.NewWriter(f), nextLSN: next, sync: syncEveryCommit, path: path}, nil
+}
+
+// Path returns the log file path.
+func (l *Log) Path() string { return l.path }
+
+// Append writes a record, assigning and returning its LSN. Commit and abort
+// records flush (and optionally sync) the log — the WAL rule.
+func (l *Log) Append(rec Record) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return 0, errors.New("wal: log closed")
+	}
+	rec.LSN = l.nextLSN
+	l.nextLSN++
+	payload := encodeRecord(rec)
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+	if _, err := l.w.Write(hdr[:]); err != nil {
+		return 0, fmt.Errorf("wal: write: %w", err)
+	}
+	if _, err := l.w.Write(payload); err != nil {
+		return 0, fmt.Errorf("wal: write: %w", err)
+	}
+	if rec.Op == OpCommit || rec.Op == OpAbort {
+		if err := l.w.Flush(); err != nil {
+			return 0, fmt.Errorf("wal: flush: %w", err)
+		}
+		if l.sync {
+			if err := l.f.Sync(); err != nil {
+				return 0, fmt.Errorf("wal: sync: %w", err)
+			}
+		}
+	}
+	return rec.LSN, nil
+}
+
+// Flush forces buffered records to the OS.
+func (l *Log) Flush() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil
+	}
+	return l.w.Flush()
+}
+
+// Close flushes and closes the log.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil
+	}
+	if err := l.w.Flush(); err != nil {
+		return err
+	}
+	err := l.f.Close()
+	l.f = nil
+	return err
+}
+
+// Truncate discards the log contents (after a checkpoint has made them
+// redundant) and resets the LSN counter to nextLSN.
+func (l *Log) Truncate(nextLSN uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return errors.New("wal: log closed")
+	}
+	if err := l.w.Flush(); err != nil {
+		return err
+	}
+	if err := l.f.Truncate(0); err != nil {
+		return fmt.Errorf("wal: truncate: %w", err)
+	}
+	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	l.w.Reset(l.f)
+	l.nextLSN = nextLSN
+	return nil
+}
+
+func encodeRecord(r Record) []byte {
+	buf := make([]byte, 0, 24+len(r.Keyspace)+len(r.Key)+len(r.Value))
+	buf = binary.AppendUvarint(buf, r.LSN)
+	buf = binary.AppendUvarint(buf, r.Txn)
+	buf = append(buf, byte(r.Op))
+	buf = binary.AppendUvarint(buf, uint64(len(r.Keyspace)))
+	buf = append(buf, r.Keyspace...)
+	buf = binary.AppendUvarint(buf, uint64(len(r.Key)))
+	buf = append(buf, r.Key...)
+	buf = binary.AppendUvarint(buf, uint64(len(r.Value)))
+	buf = append(buf, r.Value...)
+	return buf
+}
+
+func decodeRecord(payload []byte) (Record, error) {
+	var r Record
+	var n int
+	r.LSN, n = binary.Uvarint(payload)
+	if n <= 0 {
+		return r, errors.New("wal: bad lsn")
+	}
+	payload = payload[n:]
+	r.Txn, n = binary.Uvarint(payload)
+	if n <= 0 {
+		return r, errors.New("wal: bad txn")
+	}
+	payload = payload[n:]
+	if len(payload) < 1 {
+		return r, errors.New("wal: missing op")
+	}
+	r.Op = Op(payload[0])
+	payload = payload[1:]
+	ks, payload, err := takeBytes(payload)
+	if err != nil {
+		return r, err
+	}
+	r.Keyspace = string(ks)
+	r.Key, payload, err = takeBytes(payload)
+	if err != nil {
+		return r, err
+	}
+	r.Value, payload, err = takeBytes(payload)
+	if err != nil {
+		return r, err
+	}
+	if len(payload) != 0 {
+		return r, errors.New("wal: trailing bytes in record")
+	}
+	return r, nil
+}
+
+func takeBytes(b []byte) ([]byte, []byte, error) {
+	ln, n := binary.Uvarint(b)
+	if n <= 0 {
+		return nil, nil, errors.New("wal: bad length")
+	}
+	b = b[n:]
+	if uint64(len(b)) < ln {
+		return nil, nil, errors.New("wal: short field")
+	}
+	out := make([]byte, ln)
+	copy(out, b[:ln])
+	return out, b[ln:], nil
+}
+
+// ReadAll replays every intact record in the file at path. A torn or
+// corrupt tail ends the replay without error; real I/O failures are
+// returned. A missing file yields an empty slice.
+func ReadAll(path string) ([]Record, error) {
+	recs, _, err := scan(path)
+	return recs, err
+}
+
+// scan reads intact records and reports the byte offset where the valid
+// prefix ends (everything after is torn or corrupt).
+func scan(path string) ([]Record, int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, 0, nil
+		}
+		return nil, 0, fmt.Errorf("wal: read: %w", err)
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+	var recs []Record
+	var valid int64
+	for {
+		var hdr [8]byte
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			return recs, valid, nil // clean or torn end
+		}
+		ln := binary.LittleEndian.Uint32(hdr[0:4])
+		sum := binary.LittleEndian.Uint32(hdr[4:8])
+		if ln > 1<<30 {
+			return recs, valid, nil // corrupt length; stop
+		}
+		payload := make([]byte, ln)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return recs, valid, nil // torn record
+		}
+		if crc32.ChecksumIEEE(payload) != sum {
+			return recs, valid, nil // corrupt record
+		}
+		rec, err := decodeRecord(payload)
+		if err != nil {
+			return recs, valid, nil
+		}
+		recs = append(recs, rec)
+		valid += int64(8 + len(payload))
+	}
+}
+
+// CommittedSets filters records down to the Set/Delete/Drop operations of
+// committed transactions, in LSN order — exactly what recovery must replay.
+func CommittedSets(recs []Record) []Record {
+	committed := map[uint64]bool{}
+	for _, r := range recs {
+		if r.Op == OpCommit {
+			committed[r.Txn] = true
+		}
+	}
+	var out []Record
+	for _, r := range recs {
+		switch r.Op {
+		case OpSet, OpDelete, OpDropKeyspace:
+			if committed[r.Txn] {
+				out = append(out, r)
+			}
+		}
+	}
+	return out
+}
+
+// SnapshotPath returns the conventional snapshot file path next to a WAL.
+func SnapshotPath(dir string) string { return filepath.Join(dir, "snapshot.db") }
+
+// LogPath returns the conventional WAL file path in dir.
+func LogPath(dir string) string { return filepath.Join(dir, "wal.log") }

@@ -1,0 +1,191 @@
+package wal
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func tempLog(t *testing.T) string {
+	t.Helper()
+	return filepath.Join(t.TempDir(), "wal.log")
+}
+
+func TestAppendAndReadAll(t *testing.T) {
+	path := tempLog(t)
+	l, err := Open(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := []Record{
+		{Txn: 1, Op: OpSet, Keyspace: "docs", Key: []byte("k1"), Value: []byte("v1")},
+		{Txn: 1, Op: OpDelete, Keyspace: "docs", Key: []byte("k2")},
+		{Txn: 1, Op: OpCommit},
+	}
+	for _, r := range recs {
+		if _, err := l.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAll(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("read %d records", len(got))
+	}
+	if got[0].LSN != 1 || got[1].LSN != 2 || got[2].LSN != 3 {
+		t.Fatalf("LSNs = %d %d %d", got[0].LSN, got[1].LSN, got[2].LSN)
+	}
+	if got[0].Keyspace != "docs" || string(got[0].Key) != "k1" || string(got[0].Value) != "v1" {
+		t.Fatalf("record 0 = %+v", got[0])
+	}
+	if got[1].Op != OpDelete || got[2].Op != OpCommit {
+		t.Fatalf("ops = %v %v", got[1].Op, got[2].Op)
+	}
+}
+
+func TestReopenContinuesLSN(t *testing.T) {
+	path := tempLog(t)
+	l, _ := Open(path, false)
+	l.Append(Record{Txn: 1, Op: OpCommit})
+	l.Close()
+	l2, err := Open(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lsn, err := l2.Append(Record{Txn: 2, Op: OpCommit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn != 2 {
+		t.Fatalf("LSN after reopen = %d, want 2", lsn)
+	}
+	l2.Close()
+}
+
+func TestReadAllMissingFile(t *testing.T) {
+	recs, err := ReadAll(filepath.Join(t.TempDir(), "nope.log"))
+	if err != nil || recs != nil {
+		t.Fatalf("missing file: %v, %v", recs, err)
+	}
+}
+
+func TestTornTailIgnored(t *testing.T) {
+	path := tempLog(t)
+	l, _ := Open(path, false)
+	l.Append(Record{Txn: 1, Op: OpSet, Keyspace: "a", Key: []byte("k"), Value: []byte("v")})
+	l.Append(Record{Txn: 1, Op: OpCommit})
+	l.Close()
+	// Append garbage simulating a torn write.
+	f, _ := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	f.Write([]byte{9, 0, 0, 0, 1, 2, 3})
+	f.Close()
+	recs, err := ReadAll(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("torn tail: read %d records, want 2", len(recs))
+	}
+}
+
+func TestCorruptRecordStopsReplay(t *testing.T) {
+	path := tempLog(t)
+	l, _ := Open(path, false)
+	l.Append(Record{Txn: 1, Op: OpCommit})
+	l.Append(Record{Txn: 2, Op: OpCommit})
+	l.Close()
+	data, _ := os.ReadFile(path)
+	// Flip a byte in the second record's payload.
+	data[len(data)-1] ^= 0xff
+	os.WriteFile(path, data, 0o644)
+	recs, err := ReadAll(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("corrupt record: read %d, want 1", len(recs))
+	}
+}
+
+func TestCommittedSets(t *testing.T) {
+	recs := []Record{
+		{Txn: 1, Op: OpSet, Keyspace: "a", Key: []byte("x")},
+		{Txn: 2, Op: OpSet, Keyspace: "a", Key: []byte("y")},
+		{Txn: 1, Op: OpCommit},
+		{Txn: 3, Op: OpDelete, Keyspace: "a", Key: []byte("z")},
+		{Txn: 2, Op: OpAbort},
+		{Txn: 3, Op: OpCommit},
+		{Txn: 4, Op: OpSet, Keyspace: "a", Key: []byte("w")}, // in-flight at crash
+	}
+	got := CommittedSets(recs)
+	if len(got) != 2 {
+		t.Fatalf("CommittedSets = %d records", len(got))
+	}
+	if string(got[0].Key) != "x" || string(got[1].Key) != "z" {
+		t.Fatalf("CommittedSets keys = %s, %s", got[0].Key, got[1].Key)
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	path := tempLog(t)
+	l, _ := Open(path, false)
+	l.Append(Record{Txn: 1, Op: OpCommit})
+	if err := l.Truncate(1); err != nil {
+		t.Fatal(err)
+	}
+	lsn, _ := l.Append(Record{Txn: 2, Op: OpCommit})
+	if lsn != 1 {
+		t.Fatalf("LSN after truncate = %d", lsn)
+	}
+	l.Close()
+	recs, _ := ReadAll(path)
+	if len(recs) != 1 || recs[0].Txn != 2 {
+		t.Fatalf("after truncate: %+v", recs)
+	}
+}
+
+func TestAppendAfterClose(t *testing.T) {
+	path := tempLog(t)
+	l, _ := Open(path, false)
+	l.Close()
+	if _, err := l.Append(Record{Op: OpCommit}); err == nil {
+		t.Fatal("Append after Close should fail")
+	}
+}
+
+func TestSyncedMode(t *testing.T) {
+	path := tempLog(t)
+	l, err := Open(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(Record{Txn: 1, Op: OpSet, Keyspace: "a", Key: []byte("k"), Value: []byte("v")}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(Record{Txn: 1, Op: OpCommit}); err != nil {
+		t.Fatal(err)
+	}
+	// Without closing, the committed records must already be readable
+	// (commit flushed + synced them).
+	recs, err := ReadAll(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("synced commit not on disk: %d records", len(recs))
+	}
+	l.Close()
+}
+
+func TestOpString(t *testing.T) {
+	for op, want := range map[Op]string{OpSet: "set", OpDelete: "delete", OpCommit: "commit", OpAbort: "abort", OpDropKeyspace: "drop"} {
+		if op.String() != want {
+			t.Errorf("%d.String() = %s", op, op.String())
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package xmlstore
+
+import (
+	"strings"
+
+	"repro/internal/engine"
+	"repro/internal/inverted"
+	"repro/internal/mmvalue"
+	"repro/internal/ordpath"
+)
+
+// UniversalIndex is MarkLogic's "universal index" over a tree document: an
+// inverted index holding, for every node, its words (from text values), its
+// element name, and its attribute names — "an inverted index for each word
+// (or phrase), XML element and JSON property and their values", further
+// paired with the parent-child index that ORDPATH labels give for free.
+// Because XML and JSON share the node model, one index type serves both.
+type UniversalIndex struct {
+	ft *inverted.FullText // posting key = ordpath label string
+}
+
+// BuildUniversalIndex indexes every node of a stored document.
+func (s *Store) BuildUniversalIndex(tx *engine.Txn, doc string) (*UniversalIndex, error) {
+	nodes, err := s.Nodes(tx, doc)
+	if err != nil {
+		return nil, err
+	}
+	u := &UniversalIndex{ft: inverted.NewFullText()}
+	for _, n := range nodes {
+		var sb strings.Builder
+		switch n.Kind {
+		case KindElem:
+			sb.WriteString(elemTerm(n.Name))
+		case KindAttr:
+			sb.WriteString(attrTerm(n.Name))
+			sb.WriteByte(' ')
+			sb.WriteString(valueText(n.Value))
+		case KindText:
+			sb.WriteString(valueText(n.Value))
+		}
+		if sb.Len() > 0 {
+			u.ft.Add(n.Label.String(), sb.String())
+		}
+	}
+	return u, nil
+}
+
+// elemTerm and attrTerm build tokenizer-safe marker terms for structural
+// postings (the tokenizer splits on punctuation, so a plain prefix with a
+// digit keeps the marker a single term and out of natural word space).
+func elemTerm(name string) string { return "e0" + strings.ToLower(name) }
+
+func attrTerm(name string) string { return "a0" + strings.ToLower(name) }
+
+func valueText(v mmvalue.Value) string {
+	if v.Kind() == mmvalue.KindString {
+		return v.AsString()
+	}
+	return v.String()
+}
+
+// Words returns the labels of nodes containing every given word.
+func (u *UniversalIndex) Words(words ...string) []ordpath.Label {
+	return toLabels(u.ft.SearchAll(words))
+}
+
+// Phrase returns the labels of nodes containing the exact word sequence.
+func (u *UniversalIndex) Phrase(phrase string) []ordpath.Label {
+	return toLabels(u.ft.SearchPhrase(phrase))
+}
+
+// Elements returns the labels of elements with the given name.
+func (u *UniversalIndex) Elements(name string) []ordpath.Label {
+	return toLabels(u.ft.Search(elemTerm(name)))
+}
+
+// Attributes returns the labels of attributes with the given name.
+func (u *UniversalIndex) Attributes(name string) []ordpath.Label {
+	return toLabels(u.ft.Search(attrTerm(name)))
+}
+
+func toLabels(ids []string) []ordpath.Label {
+	out := make([]ordpath.Label, 0, len(ids))
+	for _, id := range ids {
+		if l, err := ordpath.Parse(id); err == nil {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// ElementsContainingWord intersects the element index with the word index
+// using ancestry: an element "contains" a word when a text node holding it
+// lies in the element's subtree — the parent-child relationship ORDPATH
+// answers without a separate index.
+func (u *UniversalIndex) ElementsContainingWord(name, word string) []ordpath.Label {
+	elems := u.Elements(name)
+	words := u.Words(word)
+	var out []ordpath.Label
+	for _, e := range elems {
+		for _, w := range words {
+			if e.IsAncestorOf(w) || ordpath.Equal(e, w) {
+				out = append(out, e)
+				break
+			}
+		}
+	}
+	return out
+}

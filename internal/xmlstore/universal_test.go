@@ -1,0 +1,84 @@
+package xmlstore
+
+import (
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/mmvalue"
+)
+
+func TestUniversalIndexOverXML(t *testing.T) {
+	e, s := setup(t)
+	load(t, e, s)
+	err := e.View(func(tx *engine.Txn) error {
+		u, err := s.BuildUniversalIndex(tx, "/myXML1.xml")
+		if err != nil {
+			return err
+		}
+		// Word search hits the text node holding "Speech".
+		if got := u.Words("speech"); len(got) != 1 {
+			t.Fatalf("Words(speech) = %v", got)
+		}
+		// Phrase search.
+		if got := u.Phrase("Mark Logue"); len(got) != 1 {
+			t.Fatalf("Phrase = %v", got)
+		}
+		if got := u.Phrase("Logue Mark"); len(got) != 0 {
+			t.Fatalf("reversed phrase matched: %v", got)
+		}
+		// Element and attribute name lookup.
+		if got := u.Elements("author"); len(got) != 2 {
+			t.Fatalf("Elements(author) = %v", got)
+		}
+		if got := u.Attributes("no"); len(got) != 1 {
+			t.Fatalf("Attributes(no) = %v", got)
+		}
+		// Containment via ORDPATH ancestry: which <author> contains
+		// "conradi"?
+		got := u.ElementsContainingWord("author", "conradi")
+		if len(got) != 1 {
+			t.Fatalf("ElementsContainingWord = %v", got)
+		}
+		text, _ := s.Text(tx, "/myXML1.xml", got[0])
+		if text != "Peter Conradi" {
+			t.Fatalf("contained element text = %q", text)
+		}
+		// The whole product element contains every word.
+		if got := u.ElementsContainingWord("product", "king"); len(got) != 1 {
+			t.Fatalf("product containing king = %v", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUniversalIndexOverJSON(t *testing.T) {
+	// The MarkLogic pitch: the same index type over JSON trees.
+	e, s := setup(t)
+	err := e.Update(func(tx *engine.Txn) error {
+		return s.LoadJSON(tx, "post", mmvalue.MustParseJSON(
+			`{"title":"multi model databases","comments":[{"by":"mary","text":"great survey"}]}`))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.View(func(tx *engine.Txn) error {
+		u, err := s.BuildUniversalIndex(tx, "post")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := u.Words("databases"); len(got) != 1 {
+			t.Fatalf("Words = %v", got)
+		}
+		// JSON property names behave like element names.
+		if got := u.Elements("comments"); len(got) != 1 {
+			t.Fatalf("Elements(comments) = %v", got)
+		}
+		if got := u.ElementsContainingWord("comments", "survey"); len(got) != 1 {
+			t.Fatalf("comments containing survey = %v", got)
+		}
+		return nil
+	})
+}

@@ -1,0 +1,482 @@
+package xmlstore
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/engine"
+	"repro/internal/mmvalue"
+	"repro/internal/ordpath"
+)
+
+// XPath evaluates an XPath-subset expression against a document and returns
+// the matching nodes in document order. Supported grammar:
+//
+//	path      := ('/' | '//') step (('/' | '//') step)*
+//	step      := name | '*' | '@' name | 'text()'
+//	step      := step predicate*
+//	predicate := '[' integer ']'                      — position (1-based)
+//	           | '[' relpath ']'                      — existence
+//	           | '[' relpath op literal ']'           — value comparison
+//	           | '[' '@'name  op literal ']'
+//	op        := '=' | '!=' | '<' | '<=' | '>' | '>='
+//	literal   := 'string' | "string" | number
+//
+// This covers the paper's MarkLogic examples (e.g.
+// /product/@no, //name, /root/Orderlines/Product_no) and the E14/E15
+// experiments.
+func (s *Store) XPath(tx *engine.Txn, doc, expr string) ([]Node, error) {
+	steps, err := parseXPath(expr)
+	if err != nil {
+		return nil, err
+	}
+	nodes, err := s.Nodes(tx, doc)
+	if err != nil {
+		return nil, err
+	}
+	t := buildTree(nodes)
+	if t == nil {
+		return nil, nil
+	}
+	current := []*treeNode{t}
+	for _, st := range steps {
+		var next []*treeNode
+		seen := map[string]bool{}
+		for _, n := range current {
+			var candidates []*treeNode
+			if st.descendant {
+				candidates = n.descendants()
+			} else {
+				candidates = n.children
+			}
+			for _, c := range candidates {
+				if st.matches(c) {
+					key := c.node.Label.String()
+					if !seen[key] {
+						seen[key] = true
+						next = append(next, c)
+					}
+				}
+			}
+		}
+		// Apply predicates; position predicates apply to the step's
+		// result list per parent, matching XPath semantics closely
+		// enough for the supported subset (positions are evaluated
+		// among same-parent siblings).
+		for _, pred := range st.predicates {
+			filtered, err := applyPredicate(next, pred)
+			if err != nil {
+				return nil, err
+			}
+			next = filtered
+		}
+		current = next
+	}
+	out := make([]Node, len(current))
+	for i, n := range current {
+		out[i] = n.node
+	}
+	return out, nil
+}
+
+// XPathValues evaluates an expression and returns the typed scalar value of
+// each result node.
+func (s *Store) XPathValues(tx *engine.Txn, doc, expr string) ([]mmvalue.Value, error) {
+	nodes, err := s.XPath(tx, doc, expr)
+	if err != nil {
+		return nil, err
+	}
+	t, err := s.Nodes(tx, doc)
+	if err != nil {
+		return nil, err
+	}
+	tree := buildTree(t)
+	byLabel := map[string]*treeNode{}
+	indexTree(tree, byLabel)
+	out := make([]mmvalue.Value, len(nodes))
+	for i, n := range nodes {
+		out[i] = nodeScalar(byLabel[n.Label.String()])
+	}
+	return out, nil
+}
+
+// --- In-memory tree reconstruction (query-time working form) ---
+
+type treeNode struct {
+	node     Node
+	parent   *treeNode
+	children []*treeNode
+}
+
+func buildTree(nodes []Node) *treeNode {
+	if len(nodes) == 0 {
+		return nil
+	}
+	root := &treeNode{node: nodes[0]}
+	stack := []*treeNode{root}
+	for _, n := range nodes[1:] {
+		for len(stack) > 0 && !stack[len(stack)-1].node.Label.IsAncestorOf(n.Label) {
+			stack = stack[:len(stack)-1]
+		}
+		parent := stack[len(stack)-1]
+		tn := &treeNode{node: n, parent: parent}
+		parent.children = append(parent.children, tn)
+		stack = append(stack, tn)
+	}
+	return root
+}
+
+func indexTree(t *treeNode, m map[string]*treeNode) {
+	if t == nil {
+		return
+	}
+	m[t.node.Label.String()] = t
+	for _, c := range t.children {
+		indexTree(c, m)
+	}
+}
+
+func (t *treeNode) descendants() []*treeNode {
+	var out []*treeNode
+	var walk func(n *treeNode)
+	walk = func(n *treeNode) {
+		for _, c := range n.children {
+			out = append(out, c)
+			walk(c)
+		}
+	}
+	walk(t)
+	return out
+}
+
+// text returns the concatenated text of the subtree.
+func (t *treeNode) text() string {
+	var sb strings.Builder
+	var walk func(n *treeNode)
+	walk = func(n *treeNode) {
+		if n.node.Kind == KindText {
+			if n.node.Value.Kind() == mmvalue.KindString {
+				sb.WriteString(n.node.Value.AsString())
+			} else {
+				sb.WriteString(n.node.Value.String())
+			}
+		}
+		for _, c := range n.children {
+			walk(c)
+		}
+	}
+	walk(t)
+	return sb.String()
+}
+
+// nodeScalar returns the typed value of a node: attribute/text values
+// directly, elements wrapping a single text node as that scalar, other
+// elements as their string value.
+func nodeScalar(t *treeNode) mmvalue.Value {
+	if t == nil {
+		return mmvalue.Null
+	}
+	switch t.node.Kind {
+	case KindAttr, KindText:
+		return t.node.Value
+	}
+	if len(t.children) == 1 && t.children[0].node.Kind == KindText {
+		return t.children[0].node.Value
+	}
+	return mmvalue.String(t.text())
+}
+
+// --- Parsing ---
+
+type xstep struct {
+	descendant bool // came via //
+	name       string
+	attr       bool
+	textTest   bool
+	wildcard   bool
+	predicates []xpred
+}
+
+func (st xstep) matches(t *treeNode) bool {
+	switch {
+	case st.textTest:
+		return t.node.Kind == KindText
+	case st.attr:
+		return t.node.Kind == KindAttr && (st.wildcard || t.node.Name == st.name)
+	default:
+		return t.node.Kind == KindElem && (st.wildcard || t.node.Name == st.name)
+	}
+}
+
+type xpred struct {
+	position int // 1-based; 0 = not positional
+	path     []xstep
+	op       string // "" = existence
+	literal  mmvalue.Value
+}
+
+func parseXPath(expr string) ([]xstep, error) {
+	expr = strings.TrimSpace(expr)
+	if expr == "" || expr[0] != '/' {
+		return nil, fmt.Errorf("xmlstore: xpath must start with / : %q", expr)
+	}
+	steps, rest, err := parseSteps(expr)
+	if err != nil {
+		return nil, err
+	}
+	if rest != "" {
+		return nil, fmt.Errorf("xmlstore: trailing input %q", rest)
+	}
+	return steps, nil
+}
+
+// parseSteps parses a path until it hits a character that cannot continue a
+// path (']', comparison op, end).
+func parseSteps(s string) ([]xstep, string, error) {
+	var steps []xstep
+	for {
+		desc := false
+		switch {
+		case strings.HasPrefix(s, "//"):
+			desc = true
+			s = s[2:]
+		case strings.HasPrefix(s, "/"):
+			s = s[1:]
+		default:
+			return steps, s, nil
+		}
+		st, rest, err := parseStep(s, desc)
+		if err != nil {
+			return nil, "", err
+		}
+		steps = append(steps, st)
+		s = rest
+	}
+}
+
+func parseStep(s string, desc bool) (xstep, string, error) {
+	st := xstep{descendant: desc}
+	if strings.HasPrefix(s, "@") {
+		st.attr = true
+		s = s[1:]
+	}
+	if strings.HasPrefix(s, "text()") {
+		st.textTest = true
+		s = s[len("text()"):]
+	} else if strings.HasPrefix(s, "*") {
+		st.wildcard = true
+		s = s[1:]
+	} else {
+		i := 0
+		for i < len(s) && isNameChar(s[i]) {
+			i++
+		}
+		if i == 0 {
+			return st, "", fmt.Errorf("xmlstore: expected step name at %q", s)
+		}
+		st.name = s[:i]
+		s = s[i:]
+	}
+	for strings.HasPrefix(s, "[") {
+		end, err := matchBracket(s)
+		if err != nil {
+			return st, "", err
+		}
+		pred, err := parsePredicate(s[1:end])
+		if err != nil {
+			return st, "", err
+		}
+		st.predicates = append(st.predicates, pred)
+		s = s[end+1:]
+	}
+	return st, s, nil
+}
+
+func matchBracket(s string) (int, error) {
+	depth := 0
+	inStr := byte(0)
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if inStr != 0 {
+			if c == inStr {
+				inStr = 0
+			}
+			continue
+		}
+		switch c {
+		case '\'', '"':
+			inStr = c
+		case '[':
+			depth++
+		case ']':
+			depth--
+			if depth == 0 {
+				return i, nil
+			}
+		}
+	}
+	return 0, fmt.Errorf("xmlstore: unbalanced [ in %q", s)
+}
+
+func parsePredicate(s string) (xpred, error) {
+	s = strings.TrimSpace(s)
+	// Positional predicate.
+	if n, err := strconv.Atoi(s); err == nil {
+		if n < 1 {
+			return xpred{}, fmt.Errorf("xmlstore: position %d out of range", n)
+		}
+		return xpred{position: n}, nil
+	}
+	// Relative path, optionally compared to a literal.
+	var p xpred
+	rel := s
+	if !strings.HasPrefix(rel, "/") && !strings.HasPrefix(rel, "@") {
+		rel = "/" + rel
+	} else if strings.HasPrefix(rel, "@") {
+		rel = "/" + rel
+	}
+	steps, rest, err := parseSteps(rel)
+	if err != nil {
+		return xpred{}, err
+	}
+	p.path = steps
+	rest = strings.TrimSpace(rest)
+	if rest == "" {
+		return p, nil
+	}
+	for _, op := range []string{"!=", "<=", ">=", "=", "<", ">"} {
+		if strings.HasPrefix(rest, op) {
+			p.op = op
+			rest = strings.TrimSpace(rest[len(op):])
+			break
+		}
+	}
+	if p.op == "" {
+		return xpred{}, fmt.Errorf("xmlstore: bad predicate %q", s)
+	}
+	lit, err := parseLiteral(rest)
+	if err != nil {
+		return xpred{}, err
+	}
+	p.literal = lit
+	return p, nil
+}
+
+func parseLiteral(s string) (mmvalue.Value, error) {
+	s = strings.TrimSpace(s)
+	if len(s) >= 2 && (s[0] == '\'' || s[0] == '"') && s[len(s)-1] == s[0] {
+		return mmvalue.String(s[1 : len(s)-1]), nil
+	}
+	if i, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return mmvalue.Int(i), nil
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return mmvalue.Float(f), nil
+	}
+	return mmvalue.Null, fmt.Errorf("xmlstore: bad literal %q", s)
+}
+
+func isNameChar(c byte) bool {
+	return c == '_' || c == '-' || c == '.' ||
+		(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+}
+
+// applyPredicate filters a step result set.
+func applyPredicate(nodes []*treeNode, pred xpred) ([]*treeNode, error) {
+	if pred.position > 0 {
+		// Position among same-parent groups.
+		counts := map[*treeNode]int{}
+		var out []*treeNode
+		for _, n := range nodes {
+			counts[n.parent]++
+			if counts[n.parent] == pred.position {
+				out = append(out, n)
+			}
+		}
+		return out, nil
+	}
+	var out []*treeNode
+	for _, n := range nodes {
+		ok, err := evalPredicateOn(n, pred)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out = append(out, n)
+		}
+	}
+	return out, nil
+}
+
+func evalPredicateOn(n *treeNode, pred xpred) (bool, error) {
+	// Evaluate the relative path from n.
+	current := []*treeNode{n}
+	for _, st := range pred.path {
+		var next []*treeNode
+		for _, c := range current {
+			var candidates []*treeNode
+			if st.descendant {
+				candidates = c.descendants()
+			} else {
+				candidates = c.children
+			}
+			for _, cand := range candidates {
+				if st.matches(cand) {
+					next = append(next, cand)
+				}
+			}
+		}
+		current = next
+	}
+	if pred.op == "" {
+		return len(current) > 0, nil
+	}
+	// XPath general comparison: true if any node's value satisfies it.
+	for _, c := range current {
+		v := nodeScalar(c)
+		if compareForPredicate(v, pred.literal, pred.op) {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// compareForPredicate compares a node value with a literal; when the
+// literal is numeric and the node value is a numeric string, the string is
+// coerced (XML text is untyped).
+func compareForPredicate(v, lit mmvalue.Value, op string) bool {
+	if lit.IsNumber() && v.Kind() == mmvalue.KindString {
+		if f, err := strconv.ParseFloat(v.AsString(), 64); err == nil {
+			v = mmvalue.Float(f)
+		}
+	}
+	if lit.Kind() == mmvalue.KindString && v.IsNumber() {
+		v = mmvalue.String(v.String())
+	}
+	c := mmvalue.Compare(v, lit)
+	switch op {
+	case "=":
+		return c == 0
+	case "!=":
+		return c != 0
+	case "<":
+		return c < 0
+	case "<=":
+		return c <= 0
+	case ">":
+		return c > 0
+	case ">=":
+		return c >= 0
+	}
+	return false
+}
+
+// XPathFirstLabel is a convenience returning the label of the first match.
+func (s *Store) XPathFirstLabel(tx *engine.Txn, doc, expr string) (ordpath.Label, bool, error) {
+	nodes, err := s.XPath(tx, doc, expr)
+	if err != nil || len(nodes) == 0 {
+		return nil, false, err
+	}
+	return nodes[0].Label, true, nil
+}

@@ -1,0 +1,86 @@
+package unidb_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/unidb"
+)
+
+// Example shows the minimal open-insert-query flow.
+func Example() {
+	db, err := unidb.Open(unidb.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	db.Update(func(tx *unidb.Txn) error { return tx.CreateCollection("products") })
+	db.Execute(`INSERT {_key: "p1", name: "Toy", price: 66} INTO products`, nil)
+	db.Execute(`INSERT {_key: "p2", name: "Book", price: 40} INTO products`, nil)
+
+	res, _ := db.Query(`FOR p IN products FILTER p.price > 50 RETURN p.name`, nil)
+	fmt.Println(unidb.Strings(res))
+	// Output: [Toy]
+}
+
+// ExampleDatabase_SQL shows the SQL-flavored front-end over the same data,
+// including a PostgreSQL-style JSON operator.
+func ExampleDatabase_SQL() {
+	db, _ := unidb.Open(unidb.Options{})
+	defer db.Close()
+	db.Update(func(tx *unidb.Txn) error {
+		tx.CreateTable("customer", unidb.TableSchema{
+			Columns: []unidb.Column{
+				{Name: "id", Type: unidb.TInt, NotNull: true},
+				{Name: "orders", Type: unidb.TJSONB},
+			},
+			PrimaryKey: []string{"id"},
+		})
+		return tx.InsertRow("customer", unidb.MustParseJSON(
+			`{"id":1,"orders":{"Order_no":"0c6df508"}}`))
+	})
+	res, _ := db.SQL(`SELECT orders->>'Order_no' AS order_no FROM customer c WHERE id = 1`, nil)
+	fmt.Println(res.Values[0].GetOr("order_no").AsString())
+	// Output: 0c6df508
+}
+
+// ExampleDatabase_Update demonstrates a cross-model transaction: four data
+// models, one atomic commit.
+func ExampleDatabase_Update() {
+	db, _ := unidb.Open(unidb.Options{})
+	defer db.Close()
+	err := db.Update(func(tx *unidb.Txn) error {
+		if err := tx.CreateCollection("orders"); err != nil {
+			return err
+		}
+		if err := tx.CreateGraph("social"); err != nil {
+			return err
+		}
+		tx.PutDocument("orders", "o1", unidb.MustParseJSON(`{"total": 99}`))
+		tx.KVSet("cart", "mary", unidb.MustParseJSON(`"o1"`))
+		tx.PutVertex("social", "mary", unidb.MustParseJSON(`{}`))
+		return tx.InsertTriple("kg", unidb.Triple{S: "<mary>", P: "<bought>", O: "<o1>"})
+	})
+	fmt.Println(err)
+	// Output: <nil>
+}
+
+// ExampleTxn_Query shows a graph traversal from inside a transaction.
+func ExampleTxn_Query() {
+	db, _ := unidb.Open(unidb.Options{})
+	defer db.Close()
+	db.Update(func(tx *unidb.Txn) error {
+		tx.CreateGraph("net")
+		tx.PutVertex("net", "a", unidb.MustParseJSON(`{"name":"Alice"}`))
+		tx.PutVertex("net", "b", unidb.MustParseJSON(`{"name":"Bob"}`))
+		_, err := tx.Connect("net", "a", "b", "follows")
+		return err
+	})
+	db.View(func(tx *unidb.Txn) error {
+		res, _ := tx.Query(`FOR v IN 1..1 OUTBOUND 'a' net.follows RETURN v.name`, nil)
+		fmt.Println(unidb.Strings(res))
+		return nil
+	})
+	// Output: [Bob]
+}

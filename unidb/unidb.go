@@ -1,0 +1,415 @@
+// Package unidb is the public API of the unidb multi-model database — a Go
+// reproduction of the system described in Lu & Holubová, "Multi-model Data
+// Management: What's New and What's Next?" (EDBT 2017).
+//
+// One Database stores relational tables, JSON document collections,
+// key/value buckets, property graphs, XML/JSON trees, and RDF triples
+// against a single integrated backend, and queries all of them with two
+// unified front-ends: MMQL (AQL-flavored FOR/FILTER/RETURN) and MSQL
+// (SQL-flavored SELECT with PostgreSQL JSON operators and OrientDB-style
+// graph navigation). Transactions span every model.
+//
+// Quickstart:
+//
+//	db, _ := unidb.Open(unidb.Options{})           // in-memory
+//	defer db.Close()
+//	db.Execute(`INSERT {_key: "p1", name: "Toy", price: 66} INTO products`, nil)
+//	res, _ := db.Query(`FOR p IN products FILTER p.price > 50 RETURN p.name`, nil)
+package unidb
+
+import (
+	"repro/internal/binenc"
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/docstore"
+	"repro/internal/engine"
+	"repro/internal/graphstore"
+	"repro/internal/inverted"
+	"repro/internal/mmvalue"
+	"repro/internal/query"
+	"repro/internal/rdfstore"
+	"repro/internal/relstore"
+)
+
+// Value is the unified typed value every model exchanges.
+type Value = mmvalue.Value
+
+// Result is a completed query: values plus optimizer statistics.
+type Result = query.Result
+
+// Durability levels for Open.
+const (
+	// Ephemeral keeps the database in memory only.
+	Ephemeral = engine.Ephemeral
+	// Buffered persists through a write-ahead log flushed at commit.
+	Buffered = engine.Buffered
+	// Synced additionally fsyncs the log at every commit.
+	Synced = engine.Synced
+)
+
+// Options configures Open.
+type Options struct {
+	// Dir is the data directory. Empty means in-memory (Durability is
+	// ignored).
+	Dir string
+	// Durability selects the commit protocol for durable databases.
+	Durability engine.Durability
+}
+
+// Database is a multi-model database handle.
+type Database struct {
+	db *core.DB
+}
+
+// Open creates or recovers a database.
+func Open(opts Options) (*Database, error) {
+	db, err := core.Open(core.Options{Dir: opts.Dir, Durability: opts.Durability})
+	if err != nil {
+		return nil, err
+	}
+	return &Database{db: db}, nil
+}
+
+// Close shuts the database down, flushing the log.
+func (d *Database) Close() error { return d.db.Close() }
+
+// Checkpoint snapshots all keyspaces and truncates the WAL (durable
+// databases only).
+func (d *Database) Checkpoint() error { return d.db.Engine.Checkpoint() }
+
+// Query runs an MMQL (AQL-flavored) query. Params bind @name parameters.
+func (d *Database) Query(mmql string, params map[string]Value) (*Result, error) {
+	return d.db.Query(mmql, params)
+}
+
+// Execute is Query for statements run for their side effects (INSERT,
+// UPDATE, REMOVE).
+func (d *Database) Execute(mmql string, params map[string]Value) (*Result, error) {
+	return d.db.Query(mmql, params)
+}
+
+// SQL runs an MSQL (SQL-flavored) query.
+func (d *Database) SQL(msql string, params map[string]Value) (*Result, error) {
+	return d.db.SQL(msql, params)
+}
+
+// Txn is a cross-model transaction: every operation performed through it —
+// on any model — commits or aborts atomically.
+type Txn struct {
+	tx *engine.Txn
+	db *core.DB
+}
+
+// Begin starts a cross-model transaction.
+func (d *Database) Begin() (*Txn, error) {
+	tx, err := d.db.Engine.Begin()
+	if err != nil {
+		return nil, err
+	}
+	return &Txn{tx: tx, db: d.db}, nil
+}
+
+// Commit makes the transaction durable and visible.
+func (t *Txn) Commit() error { return t.tx.Commit() }
+
+// Abort rolls the transaction back.
+func (t *Txn) Abort() { t.tx.Abort() }
+
+// Query runs MMQL inside the transaction.
+func (t *Txn) Query(mmql string, params map[string]Value) (*Result, error) {
+	return t.db.QueryTx(t.tx, mmql, params)
+}
+
+// SQL runs MSQL inside the transaction.
+func (t *Txn) SQL(msql string, params map[string]Value) (*Result, error) {
+	return t.db.SQLTx(t.tx, msql, params)
+}
+
+// Update runs fn in a transaction with automatic deadlock retry, committing
+// on nil error.
+func (d *Database) Update(fn func(*Txn) error) error {
+	return d.db.Engine.Update(func(tx *engine.Txn) error {
+		return fn(&Txn{tx: tx, db: d.db})
+	})
+}
+
+// View runs fn read-only (any writes are rolled back).
+func (d *Database) View(fn func(*Txn) error) error {
+	return d.db.Engine.View(func(tx *engine.Txn) error {
+		return fn(&Txn{tx: tx, db: d.db})
+	})
+}
+
+// --- Model handles (usable standalone or inside a Txn) ---
+
+// Collections / documents.
+
+// CreateCollection registers a schemaless document collection.
+func (t *Txn) CreateCollection(name string) error {
+	return t.db.Docs.CreateCollection(t.tx, name, catalog.Schemaless)
+}
+
+// InsertDocument inserts a document (JSON text) into a collection and
+// returns its key.
+func (t *Txn) InsertDocument(coll string, jsonDoc string) (string, error) {
+	v, err := mmvalue.ParseJSON([]byte(jsonDoc))
+	if err != nil {
+		return "", err
+	}
+	return t.db.Docs.Insert(t.tx, coll, v)
+}
+
+// PutDocument upserts a document Value under a key.
+func (t *Txn) PutDocument(coll, key string, doc Value) error {
+	return t.db.Docs.Put(t.tx, coll, key, doc)
+}
+
+// GetDocument fetches a document by key.
+func (t *Txn) GetDocument(coll, key string) (Value, bool, error) {
+	return t.db.Docs.Get(t.tx, coll, key)
+}
+
+// DeleteDocument removes a document, reporting whether it existed.
+func (t *Txn) DeleteDocument(coll, key string) (bool, error) {
+	return t.db.Docs.Delete(t.tx, coll, key)
+}
+
+// Relational tables.
+
+// TableSchema re-exports the relational schema type.
+type TableSchema = relstore.TableSchema
+
+// Column re-exports the relational column type.
+type Column = relstore.Column
+
+// Relational column types.
+const (
+	TInt    = relstore.TInt
+	TFloat  = relstore.TFloat
+	TString = relstore.TString
+	TBool   = relstore.TBool
+	TBytes  = relstore.TBytes
+	TJSONB  = relstore.TJSONB
+	TAny    = relstore.TAny
+)
+
+// CreateTable registers a typed relational table.
+func (t *Txn) CreateTable(name string, schema TableSchema) error {
+	return t.db.Rels.CreateTable(t.tx, name, schema)
+}
+
+// InsertRow adds a row (an object Value keyed by column name).
+func (t *Txn) InsertRow(table string, row Value) error {
+	return t.db.Rels.Insert(t.tx, table, row)
+}
+
+// GetRow fetches a row by primary key values.
+func (t *Txn) GetRow(table string, pk ...Value) (Value, bool, error) {
+	return t.db.Rels.Get(t.tx, table, pk...)
+}
+
+// Key/value buckets.
+
+// KVSet stores a value in a bucket.
+func (t *Txn) KVSet(bucket, key string, v Value) error {
+	return t.db.KV.Set(t.tx, bucket, key, v)
+}
+
+// KVGet reads a value from a bucket.
+func (t *Txn) KVGet(bucket, key string) (Value, bool, error) {
+	return t.db.KV.Get(t.tx, bucket, key)
+}
+
+// Graphs.
+
+// Direction re-exports graph traversal direction.
+type Direction = graphstore.Direction
+
+// Traversal directions.
+const (
+	Outbound = graphstore.Outbound
+	Inbound  = graphstore.Inbound
+	Any      = graphstore.Any
+)
+
+// CreateGraph registers a named property graph.
+func (t *Txn) CreateGraph(name string) error { return t.db.CreateGraph(t.tx, name) }
+
+// AddVertex stores a vertex document, returning its key.
+func (t *Txn) AddVertex(graph string, doc Value) (string, error) {
+	return t.db.Graphs.AddVertex(t.tx, graph, doc)
+}
+
+// PutVertex upserts a vertex under an explicit key.
+func (t *Txn) PutVertex(graph, key string, doc Value) error {
+	return t.db.Graphs.PutVertex(t.tx, graph, key, doc)
+}
+
+// Connect adds a labeled edge between two vertex keys.
+func (t *Txn) Connect(graph, from, to, label string) (string, error) {
+	return t.db.Graphs.Connect(t.tx, graph, from, to, label, mmvalue.Null)
+}
+
+// Neighbors expands one step from a vertex.
+func (t *Txn) Neighbors(graph, vertex string, dir Direction, label string) ([]string, error) {
+	ns, err := t.db.Graphs.Neighbors(t.tx, graph, vertex, dir, label)
+	if err != nil {
+		return nil, err
+	}
+	keys := make([]string, len(ns))
+	for i, n := range ns {
+		keys[i] = n.VertexKey
+	}
+	return keys, nil
+}
+
+// ShortestPath returns the unweighted shortest path between vertices.
+func (t *Txn) ShortestPath(graph, from, to string) ([]string, error) {
+	return t.db.Graphs.ShortestPath(t.tx, graph, from, to, graphstore.Outbound, "")
+}
+
+// Wide-column tables (Cassandra / DynamoDB model).
+
+// CreateColTable registers a wide-column table addressed by partition and
+// sort keys, with per-item attribute sets.
+func (t *Txn) CreateColTable(name string) error { return t.db.CreateColTable(t.tx, name) }
+
+// PutItem stores (or extends) the item at (part, sort) with attributes.
+func (t *Txn) PutItem(table string, part, sort Value, attrs Value) error {
+	return t.db.Cols.PutItem(t.tx, table, part, sort, attrs)
+}
+
+// GetItem reconstructs an item as a document.
+func (t *Txn) GetItem(table string, part, sort Value) (Value, bool, error) {
+	return t.db.Cols.GetItem(t.tx, table, part, sort)
+}
+
+// QueryPartition returns all items of a partition in sort-key order as
+// documents carrying their attributes.
+func (t *Txn) QueryPartition(table string, part Value) ([]Value, error) {
+	items, err := t.db.Cols.QueryPartition(t.tx, table, part)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Value, len(items))
+	for i, it := range items {
+		out[i] = it.Attrs.Set("_sort", it.Sort)
+	}
+	return out, nil
+}
+
+// XML / JSON trees.
+
+// LoadXML parses and stores an XML document under a name.
+func (t *Txn) LoadXML(name string, data []byte) error {
+	return t.db.XML.LoadXML(t.tx, name, data)
+}
+
+// XPath evaluates an XPath-subset expression, returning the typed value of
+// each match.
+func (t *Txn) XPath(doc, expr string) ([]Value, error) {
+	return t.db.XML.XPathValues(t.tx, doc, expr)
+}
+
+// RDF triples.
+
+// Triple re-exports the RDF triple type.
+type Triple = rdfstore.Triple
+
+// InsertTriple adds an RDF statement to a named graph.
+func (t *Txn) InsertTriple(graph string, tr Triple) error {
+	return t.db.RDF.Insert(t.tx, graph, tr)
+}
+
+// MatchTriples returns triples matching a pattern; empty strings are
+// wildcards.
+func (t *Txn) MatchTriples(graph, s, p, o string) ([]Triple, error) {
+	return t.db.RDF.Match(t.tx, graph, rdfstore.Pattern{S: s, P: p, O: o})
+}
+
+// --- Index management ---
+
+// GINMode selects jsonb_ops or jsonb_path_ops extraction.
+type GINMode = inverted.Mode
+
+// GIN modes.
+const (
+	GINOps     = inverted.OpsMode
+	GINPathOps = inverted.PathOpsMode
+)
+
+// CreateGIN builds a containment (@>) index over a collection.
+func (d *Database) CreateGIN(coll string, mode GINMode) error {
+	return d.db.CreateGIN(coll, mode)
+}
+
+// CreateFullText builds a full-text index over every string leaf of a
+// collection's documents.
+func (d *Database) CreateFullText(coll string) error { return d.db.CreateFullText(coll) }
+
+// FullTextSearch finds documents containing every term.
+func (d *Database) FullTextSearch(coll, terms string) []string {
+	return d.db.FullTextSearch(coll, terms)
+}
+
+// IndexDef re-exports the document secondary index definition.
+type IndexDef = docstore.IndexDef
+
+// CreateDocIndex builds a B+tree secondary index over a document path.
+func (t *Txn) CreateDocIndex(coll string, def IndexDef) error {
+	return t.db.Docs.CreateIndex(t.tx, coll, def)
+}
+
+// CreateTableIndex builds a B+tree secondary index over a table column.
+func (t *Txn) CreateTableIndex(table, name, column string) error {
+	return t.db.Rels.CreateIndex(t.tx, table, name, column)
+}
+
+// --- Consistency (hybrid consistency models, paper challenge #6) ---
+
+// Replica is an eventually-consistent read endpoint fed by WAL shipping
+// with a configurable lag (measured in committed transactions).
+type Replica struct {
+	r  *engine.Replica
+	db *core.DB
+}
+
+// NewReplica attaches a replica lagging the primary by lagTxns commits.
+func (d *Database) NewReplica(lagTxns int) *Replica {
+	return &Replica{r: d.db.Engine.NewReplica(lagTxns), db: d.db}
+}
+
+// KVGet reads a key/value pair at EVENTUAL consistency (no locks, possibly
+// stale).
+func (r *Replica) KVGet(bucket, key string) (Value, bool) {
+	raw, ok := r.r.Get("kv:"+bucket, []byte(key))
+	if !ok {
+		return mmvalue.Null, false
+	}
+	v, err := decodeBin(raw)
+	if err != nil {
+		return mmvalue.Null, false
+	}
+	return v, true
+}
+
+// Lag reports committed-but-unapplied transactions.
+func (r *Replica) Lag() int { return r.r.Lag() }
+
+// CatchUp applies everything pending.
+func (r *Replica) CatchUp() { r.r.CatchUp() }
+
+// Internal accessor for the reproduction harness (benches, cmd/unibench).
+// It exposes the full internal core object; applications should not need it.
+func (d *Database) Core() *core.DB { return d.db }
+
+// ParseJSON decodes JSON text into a Value.
+func ParseJSON(s string) (Value, error) { return mmvalue.ParseJSON([]byte(s)) }
+
+// MustParseJSON is ParseJSON that panics on error.
+func MustParseJSON(s string) Value { return mmvalue.MustParseJSON(s) }
+
+// Strings extracts string results from a query result.
+func Strings(res *Result) []string { return core.Strings(res) }
+
+func decodeBin(raw []byte) (Value, error) { return binenc.Decode(raw) }
