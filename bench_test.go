@@ -7,6 +7,7 @@ package repro
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"strings"
 	"testing"
 
@@ -927,6 +928,75 @@ func BenchmarkE17FrontEnds(b *testing.B) {
 				b.Fatalf("res = %v err = %v", res, err)
 			}
 		}
+	})
+}
+
+// --- E18: parallel scan+filter executor vs serial ---
+// The parallel executor partitions a FOR-clause scan across a worker pool
+// and evaluates residual FILTER predicates per chunk. The `% 7` predicate
+// defeats index predicate extraction, so both variants pay a full
+// collection scan; only the filter evaluation strategy differs. On a
+// single-core host the two are expected to tie — the speedup criterion
+// applies at >= 4 cores.
+
+func BenchmarkE18ParallelScan(b *testing.B) {
+	const n = 100000
+	seed := func(b *testing.B) *core.DB {
+		db := openDB(b)
+		mustUpdate(b, db, func(tx *engine.Txn) error {
+			if err := db.Docs.CreateCollection(tx, "events", catalog.Schemaless); err != nil {
+				return err
+			}
+			for i := 0; i < n; i++ {
+				doc := mmvalue.MustParseJSON(fmt.Sprintf(
+					`{"_key":"e%06d","v":%d,"tag":"t%d"}`, i, i, i%13))
+				if _, err := db.Docs.Insert(tx, "events", doc); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		return db
+	}
+	q := `FOR e IN events FILTER e.v % 7 == 3 RETURN e._key`
+	serial := query.Options{ParallelThreshold: -1}
+	parallel := query.Options{} // default threshold, GOMAXPROCS workers
+	run := func(b *testing.B, db *core.DB, opts query.Options, wantParallel bool) {
+		res, err := db.QueryOpts(q, nil, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		want := len(res.Values)
+		if want == 0 {
+			b.Fatal("empty result")
+		}
+		if got := res.Stats.ParallelScans > 0; got != wantParallel {
+			b.Fatalf("ParallelScans = %d, want parallel=%v", res.Stats.ParallelScans, wantParallel)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := db.QueryOpts(q, nil, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(res.Values) != want {
+				b.Fatalf("result drifted: %d vs %d rows", len(res.Values), want)
+			}
+		}
+	}
+	b.Run("Serial", func(b *testing.B) {
+		db := seed(b)
+		run(b, db, serial, false)
+	})
+	b.Run("Parallel", func(b *testing.B) {
+		db := seed(b)
+		opts := parallel
+		if runtime.GOMAXPROCS(0) < 2 {
+			// Force the parallel path so it is still exercised (and
+			// measured) on single-core CI hosts.
+			opts.MaxParallel = 4
+		}
+		run(b, db, opts, true)
 	})
 }
 

@@ -1,0 +1,70 @@
+package binenc
+
+import (
+	"hash/maphash"
+	"sync"
+
+	"repro/internal/mmvalue"
+)
+
+// DecodeCache memoizes Decode results for hot read paths (catalog
+// metadata, DOCUMENT()/KV() fetches, graph vertices, repeated scans of
+// small hot tables). It is content-addressed: entries are keyed by the
+// encoded bytes themselves, and Decode is a pure function of those bytes,
+// so a hit is correct by construction — transactional visibility is
+// untouched because the caller still reads the bytes through its own
+// transaction and only the decode step is memoized. Decoded Values are
+// shared read-only; mmvalue.Value is immutable by convention.
+//
+// The cache is sharded for concurrent use (the parallel query executor
+// issues point reads from several goroutines). A hit costs one hash and
+// one map lookup with no allocation. Each shard is cleared wholesale when
+// it reaches capacity: churn-heavy workloads pay a small amortized reset
+// instead of per-entry LRU bookkeeping.
+type DecodeCache struct {
+	seed   maphash.Seed
+	shards [dcShards]dcShard
+}
+
+const dcShards = 16
+
+type dcShard struct {
+	mu  sync.RWMutex
+	cap int
+	m   map[string]mmvalue.Value
+}
+
+// NewDecodeCache returns a cache bounded at roughly capacity entries.
+func NewDecodeCache(capacity int) *DecodeCache {
+	if capacity < dcShards {
+		capacity = dcShards
+	}
+	c := &DecodeCache{seed: maphash.MakeSeed()}
+	for i := range c.shards {
+		c.shards[i].cap = capacity / dcShards
+		c.shards[i].m = map[string]mmvalue.Value{}
+	}
+	return c
+}
+
+// Decode returns the decoded form of raw, memoized by content.
+func (c *DecodeCache) Decode(raw []byte) (mmvalue.Value, error) {
+	sh := &c.shards[maphash.Bytes(c.seed, raw)%dcShards]
+	sh.mu.RLock()
+	val, ok := sh.m[string(raw)]
+	sh.mu.RUnlock()
+	if ok {
+		return val, nil
+	}
+	val, err := Decode(raw)
+	if err != nil {
+		return mmvalue.Null, err
+	}
+	sh.mu.Lock()
+	if len(sh.m) >= sh.cap {
+		sh.m = map[string]mmvalue.Value{}
+	}
+	sh.m[string(raw)] = val
+	sh.mu.Unlock()
+	return val, nil
+}

@@ -1,0 +1,87 @@
+package binenc
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/mmvalue"
+)
+
+func TestDecodeCacheRoundTrip(t *testing.T) {
+	dc := NewDecodeCache(64)
+	v := mmvalue.MustParseJSON(`{"a":1,"b":["x",true,null]}`)
+	raw := Encode(v)
+	first, err := dc.Decode(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := dc.Decode(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first, v) || !reflect.DeepEqual(second, v) {
+		t.Fatalf("decode mismatch: %v / %v vs %v", first, second, v)
+	}
+}
+
+func TestDecodeCacheDistinguishesContent(t *testing.T) {
+	dc := NewDecodeCache(64)
+	a := Encode(mmvalue.Int(1))
+	b := Encode(mmvalue.Int(2))
+	va, _ := dc.Decode(a)
+	vb, _ := dc.Decode(b)
+	if va.AsInt() != 1 || vb.AsInt() != 2 {
+		t.Fatalf("got %v, %v", va, vb)
+	}
+}
+
+func TestDecodeCacheError(t *testing.T) {
+	dc := NewDecodeCache(64)
+	if _, err := dc.Decode([]byte{0xff, 0x01}); err == nil {
+		t.Fatal("corrupt input decoded without error")
+	}
+}
+
+func TestDecodeCacheBounded(t *testing.T) {
+	dc := NewDecodeCache(32)
+	for i := 0; i < 10000; i++ {
+		raw := Encode(mmvalue.String(fmt.Sprintf("v%d", i)))
+		if _, err := dc.Decode(raw); err != nil {
+			t.Fatal(err)
+		}
+	}
+	total := 0
+	for i := range dc.shards {
+		dc.shards[i].mu.RLock()
+		total += len(dc.shards[i].m)
+		dc.shards[i].mu.RUnlock()
+	}
+	if total > 64 {
+		t.Fatalf("cache grew to %d entries despite capacity 32", total)
+	}
+}
+
+func TestDecodeCacheConcurrent(t *testing.T) {
+	dc := NewDecodeCache(128)
+	raws := make([][]byte, 50)
+	for i := range raws {
+		raws[i] = Encode(mmvalue.Int(int64(i)))
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				v, err := dc.Decode(raws[(i+w)%len(raws)])
+				if err != nil || v.AsInt() != int64((i+w)%len(raws)) {
+					t.Errorf("decode(%d) = %v, %v", (i+w)%len(raws), v, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

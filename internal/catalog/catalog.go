@@ -15,7 +15,13 @@ import (
 	"repro/internal/mmvalue"
 )
 
-const keyspace = "__catalog"
+// Keyspace is the engine keyspace holding all catalog metadata. Every DDL
+// operation (collection/table/graph/index create or drop) writes here, so
+// WAL subscribers can watch it to invalidate schema-derived caches (core's
+// compiled-plan cache does exactly that).
+const Keyspace = "__catalog"
+
+const keyspace = Keyspace
 
 // ErrExists is returned when creating an object that is already registered.
 var ErrExists = errors.New("catalog: object already exists")
@@ -135,12 +141,27 @@ func SchemaFromValue(v mmvalue.Value) Schema {
 }
 
 // Catalog reads and writes object metadata within transactions.
+//
+// It keeps a decode cache: metadata documents are small but read on every
+// query (source resolution, schema checks, index selection), and decoding
+// the same bytes each time dominated profiles. The cache is validated
+// against the raw bytes the transaction actually read, so isolation and
+// own-write visibility are exactly those of tx.Get — a transaction that
+// rewrote an entry sees its own version, and an aborted DDL leaves no
+// stale decode behind (the raw bytes won't match).
 type Catalog struct {
-	e *engine.Engine
+	e  *engine.Engine
+	dc *binenc.DecodeCache
 }
 
+// decodeCacheCap bounds the decode cache; far above any realistic schema
+// count, it only guards against unbounded growth from churning DDL.
+const decodeCacheCap = 4096
+
 // New returns a catalog over the engine.
-func New(e *engine.Engine) *Catalog { return &Catalog{e: e} }
+func New(e *engine.Engine) *Catalog {
+	return &Catalog{e: e, dc: binenc.NewDecodeCache(decodeCacheCap)}
+}
 
 func objKey(kind, name string) []byte { return []byte(kind + "\x00" + name) }
 
@@ -177,7 +198,7 @@ func (c *Catalog) Get(tx *engine.Txn, kind, name string) (mmvalue.Value, error) 
 	if !ok {
 		return mmvalue.Null, fmt.Errorf("%w: %s %q", ErrNotFound, kind, name)
 	}
-	return binenc.Decode(raw)
+	return c.dc.Decode(raw)
 }
 
 // Exists reports whether the object is registered.

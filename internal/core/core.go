@@ -52,6 +52,11 @@ type DB struct {
 	gins   map[string]*inverted.GIN      // collection -> GIN
 	fts    map[string]*inverted.FullText // collection -> full-text
 
+	// plans caches parsed pipelines keyed by (dialect, text); a WAL
+	// subscriber bumps its epoch on every committed DDL (see
+	// invalidatePlans and plancache.go for the contract).
+	plans *planCache
+
 	sources *query.Sources
 }
 
@@ -78,6 +83,7 @@ func Open(opts Options) (*DB, error) {
 		RDF:    rdfstore.New(e),
 		gins:   map[string]*inverted.GIN{},
 		fts:    map[string]*inverted.FullText{},
+		plans:  newPlanCache(defaultPlanCacheCap),
 	}
 	db.sources = &query.Sources{
 		Engine: e,
@@ -109,8 +115,26 @@ func Open(opts Options) (*DB, error) {
 		Resolve: db.resolve,
 	}
 	e.Subscribe(db.applyToViews)
+	e.Subscribe(db.invalidatePlans)
 	return db, nil
 }
+
+// invalidatePlans is the commit-log subscriber behind the plan cache's
+// invalidation contract: any committed write to the catalog keyspace (all
+// DDL goes through the catalog) or whole-keyspace drop (collection/table
+// drops, index drops) advances the cache epoch, so plans compiled before
+// the DDL are never reused after it.
+func (db *DB) invalidatePlans(batch []wal.Record) {
+	for _, rec := range batch {
+		if rec.Keyspace == catalog.Keyspace || rec.Op == wal.OpDropKeyspace {
+			db.plans.bump()
+			return
+		}
+	}
+}
+
+// PlanCacheStats snapshots the compiled-plan cache counters.
+func (db *DB) PlanCacheStats() PlanCacheStats { return db.plans.stats() }
 
 // Close shuts the database down.
 func (db *DB) Close() error { return db.Engine.Close() }
@@ -280,31 +304,49 @@ func (db *DB) applyToViews(batch []wal.Record) {
 // --- Query entry points ---
 
 // Query parses and runs an MMQL query in its own transaction (committed on
-// success so DML sticks).
+// success so DML sticks). Parsed plans are served from the plan cache.
 func (db *DB) Query(mmql string, params map[string]mmvalue.Value) (*query.Result, error) {
-	return db.queryAuto(mmql, params, query.ParseMMQL, query.Options{})
+	return db.queryAuto(dialectMMQL, mmql, params, query.Options{})
 }
 
 // SQL parses and runs an MSQL query in its own transaction.
 func (db *DB) SQL(msql string, params map[string]mmvalue.Value) (*query.Result, error) {
-	return db.queryAuto(msql, params, query.ParseMSQL, query.Options{})
+	return db.queryAuto(dialectMSQL, msql, params, query.Options{})
 }
 
 // QueryOpts runs MMQL with explicit executor options (e.g. index ablation).
 func (db *DB) QueryOpts(mmql string, params map[string]mmvalue.Value, opts query.Options) (*query.Result, error) {
 	opts.Params = params
-	return db.queryAuto(mmql, params, query.ParseMMQL, opts)
+	return db.queryAuto(dialectMMQL, mmql, params, opts)
 }
 
 // SQLOpts runs MSQL with explicit executor options.
 func (db *DB) SQLOpts(msql string, params map[string]mmvalue.Value, opts query.Options) (*query.Result, error) {
 	opts.Params = params
-	return db.queryAuto(msql, params, query.ParseMSQL, opts)
+	return db.queryAuto(dialectMSQL, msql, params, opts)
 }
 
-func (db *DB) queryAuto(text string, params map[string]mmvalue.Value,
-	parse func(string) (*query.Pipeline, error), opts query.Options) (*query.Result, error) {
+// parseCached resolves (dialect, text) to a pipeline, consulting the plan
+// cache first. Parse errors are not cached.
+func (db *DB) parseCached(dialect, text string) (*query.Pipeline, error) {
+	if pipe, ok := db.plans.get(dialect, text); ok {
+		return pipe, nil
+	}
+	parse := query.ParseMMQL
+	if dialect == dialectMSQL {
+		parse = query.ParseMSQL
+	}
 	pipe, err := parse(text)
+	if err != nil {
+		return nil, err
+	}
+	db.plans.put(dialect, text, pipe)
+	return pipe, nil
+}
+
+func (db *DB) queryAuto(dialect, text string, params map[string]mmvalue.Value,
+	opts query.Options) (*query.Result, error) {
+	pipe, err := db.parseCached(dialect, text)
 	if err != nil {
 		return nil, err
 	}
@@ -323,7 +365,7 @@ func (db *DB) queryAuto(text string, params map[string]mmvalue.Value,
 // QueryTx runs MMQL inside an existing transaction (for cross-model
 // transactions mixing queries and store calls).
 func (db *DB) QueryTx(tx *engine.Txn, mmql string, params map[string]mmvalue.Value) (*query.Result, error) {
-	pipe, err := query.ParseMMQL(mmql)
+	pipe, err := db.parseCached(dialectMMQL, mmql)
 	if err != nil {
 		return nil, err
 	}
@@ -332,7 +374,7 @@ func (db *DB) QueryTx(tx *engine.Txn, mmql string, params map[string]mmvalue.Val
 
 // SQLTx runs MSQL inside an existing transaction.
 func (db *DB) SQLTx(tx *engine.Txn, msql string, params map[string]mmvalue.Value) (*query.Result, error) {
-	pipe, err := query.ParseMSQL(msql)
+	pipe, err := db.parseCached(dialectMSQL, msql)
 	if err != nil {
 		return nil, err
 	}

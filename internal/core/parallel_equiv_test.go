@@ -1,0 +1,143 @@
+package core_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/mmvalue"
+	"repro/internal/query"
+)
+
+var (
+	serialOpts = query.Options{ParallelThreshold: -1}
+	// MaxParallel > 1 forces the parallel executor even on a single-CPU
+	// host; threshold 1 makes any non-empty scan eligible.
+	parallelOpts = query.Options{ParallelThreshold: 1, MaxParallel: 4}
+)
+
+// mustJSON renders a result's values as one JSON document so runs can be
+// compared byte-for-byte, ordering included.
+func mustJSON(t *testing.T, vals []mmvalue.Value) string {
+	t.Helper()
+	b, err := json.Marshal(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+func assertSerialParallelEqual(t *testing.T, db *core.DB, dialect, q string, params map[string]mmvalue.Value, wantParallel bool) {
+	t.Helper()
+	run := func(opts query.Options) *query.Result {
+		var res *query.Result
+		var err error
+		if dialect == "msql" {
+			res, err = db.SQLOpts(q, params, opts)
+		} else {
+			res, err = db.QueryOpts(q, params, opts)
+		}
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		return res
+	}
+	ser := run(serialOpts)
+	par := run(parallelOpts)
+	if ser.Stats.ParallelScans != 0 {
+		t.Fatalf("serial run used the parallel executor: %+v", ser.Stats)
+	}
+	if wantParallel && par.Stats.ParallelScans == 0 {
+		t.Fatalf("parallel run fell back to serial for %q", q)
+	}
+	sj, pj := mustJSON(t, ser.Values), mustJSON(t, par.Values)
+	if sj != pj {
+		t.Fatalf("serial/parallel results differ for %q\nserial:   %s\nparallel: %s", q, sj, pj)
+	}
+}
+
+// TestParallelEquivalenceCorpus runs the representative query corpus twice —
+// once with the parallel executor disabled, once forced on — and requires
+// byte-identical JSON output, which pins down SORT/LIMIT/COLLECT ordering as
+// well as row content.
+func TestParallelEquivalenceCorpus(t *testing.T) {
+	db := openDB(t)
+	seedStore(t, db)
+
+	cases := []struct {
+		dialect      string
+		q            string
+		params       map[string]mmvalue.Value
+		wantParallel bool
+	}{
+		{"mmql", `FOR p IN products FILTER p.price > 10 RETURN p`, nil, true},
+		{"mmql", `FOR p IN products FILTER p.price > 10 SORT p.price DESC RETURN p.name`, nil, true},
+		{"mmql", `FOR p IN products FILTER p.stock > 0 FILTER p.price < 50 RETURN p._key`, nil, true},
+		{"mmql", `FOR p IN products SORT p._key LIMIT 1, 2 RETURN p._key`, nil, true},
+		{"mmql", `FOR s IN sales COLLECT region = s.region INTO g SORT region RETURN {region: region, n: LENGTH(g)}`, nil, true},
+		{"mmql", `FOR s IN sales FILTER s.qty >= @min COLLECT product = s.product SORT product RETURN product`,
+			map[string]mmvalue.Value{"min": mmvalue.Int(2)}, true},
+		{"mmql", `FOR p IN products FOR s IN sales FILTER s.product == p._key SORT s.id RETURN CONCAT(p.name, ':', TO_STRING(s.qty))`, nil, true},
+		// Subquery filters are excluded from the parallel path by design;
+		// the query must still work (serial fallback) and match.
+		{"mmql", `FOR p IN products FILTER LENGTH((FOR s IN sales FILTER s.product == p._key RETURN s)) > 0 SORT p._key RETURN p._key`, nil, false},
+		{"msql", `SELECT product FROM sales WHERE qty > 1 ORDER BY id`, nil, true},
+		{"msql", `SELECT region FROM sales WHERE region <> 'EU' ORDER BY id DESC`, nil, true},
+	}
+	for _, tc := range cases {
+		assertSerialParallelEqual(t, db, tc.dialect, tc.q, tc.params, tc.wantParallel)
+	}
+}
+
+// TestParallelEquivalenceE1 checks the paper's E1 recommendation query —
+// the multi-model join across tabular, graph, key/value, and JSON data — in
+// both dialects.
+func TestParallelEquivalenceE1(t *testing.T) {
+	db := openDB(t)
+	seedPaperExample(t, db)
+	assertSerialParallelEqual(t, db, "mmql", recommendationMMQL, nil, true)
+	assertSerialParallelEqual(t, db, "msql", recommendationMSQL, nil, true)
+}
+
+// TestParallelEquivalenceLargeScan crosses the default threshold with a
+// realistic document count and checks equivalence plus chunk-order merging
+// (no SORT clause: output must follow source order exactly).
+func TestParallelEquivalenceLargeScan(t *testing.T) {
+	db := openDB(t)
+	const n = 5000
+	err := db.Engine.Update(func(tx *engine.Txn) error {
+		if err := db.Docs.CreateCollection(tx, "events", catalogSchemaless()); err != nil {
+			return err
+		}
+		for i := 0; i < n; i++ {
+			doc := fmt.Sprintf(`{"_key":"e%05d","v":%d,"tag":"t%d"}`, i, i, i%13)
+			if _, err := db.Docs.Insert(tx, "events", mmvalue.MustParseJSON(doc)); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	q := `FOR e IN events FILTER e.v % 7 == 3 FILTER e.tag != 't5' RETURN e._key`
+	ser, err := db.QueryOpts(q, nil, serialOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Default threshold (1024) with forced workers: n=5000 qualifies.
+	par, err := db.QueryOpts(q, nil, query.Options{MaxParallel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par.Stats.ParallelScans == 0 {
+		t.Fatal("large scan did not take the parallel path")
+	}
+	sj, pj := mustJSON(t, ser.Values), mustJSON(t, par.Values)
+	if sj != pj {
+		t.Fatalf("serial/parallel results differ on large scan (lens %d vs %d)", len(ser.Values), len(par.Values))
+	}
+}

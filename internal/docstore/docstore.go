@@ -55,11 +55,15 @@ type Store struct {
 	e      *engine.Engine
 	cat    *catalog.Catalog
 	keySeq atomic.Uint64
+	// dc memoizes decoded documents on the point-lookup path (DOCUMENT()
+	// in queries); entries are validated against the raw bytes each read
+	// returns, so transactional visibility is unchanged.
+	dc *binenc.DecodeCache
 }
 
 // New returns a document store over the engine.
 func New(e *engine.Engine, cat *catalog.Catalog) *Store {
-	return &Store{e: e, cat: cat}
+	return &Store{e: e, cat: cat, dc: binenc.NewDecodeCache(8192)}
 }
 
 // Keyspace returns the engine keyspace of a collection's primary data.
@@ -214,7 +218,7 @@ func (s *Store) Get(tx *engine.Txn, coll, key string) (mmvalue.Value, bool, erro
 	if err != nil || !ok {
 		return mmvalue.Null, false, err
 	}
-	doc, err := binenc.Decode(raw)
+	doc, err := s.dc.Decode(raw)
 	if err != nil {
 		return mmvalue.Null, false, err
 	}

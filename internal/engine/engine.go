@@ -200,6 +200,18 @@ type undoEntry struct {
 
 // Txn is a serializable transaction over any number of keyspaces (and
 // therefore any number of data models).
+//
+// Concurrency contract (relied on by the query layer's parallel scan+filter
+// executor): the read path — Get, Scan, ScanReverse — is safe to call from
+// multiple goroutines on one Txn concurrently. Reads serialize on the lock
+// manager's mutex and the engine's tree mutex, and lock acquisition by the
+// same transaction id from several goroutines is idempotent (an already-held
+// compatible mode is granted without waiting), so concurrent readers cannot
+// deadlock against themselves. The write path (Put, Delete, DropKeyspace)
+// and the lifecycle methods (Commit, Abort) mutate the unguarded undo/redo
+// logs and the done flag, so they must be externally ordered: no call may
+// overlap a write or a lifecycle call on the same Txn. In short: any number
+// of concurrent readers between writes; one goroutine at a time otherwise.
 type Txn struct {
 	e    *Engine
 	id   uint64

@@ -67,10 +67,16 @@ func (d Direction) String() string {
 type Store struct {
 	e      *engine.Engine
 	keySeq atomic.Uint64
+	// dc memoizes decoded vertex documents on the point-lookup path
+	// (traversals fetch each visited vertex); entries are validated
+	// against the raw bytes each read returns.
+	dc *binenc.DecodeCache
 }
 
 // New returns a graph store over the engine.
-func New(e *engine.Engine) *Store { return &Store{e: e} }
+func New(e *engine.Engine) *Store {
+	return &Store{e: e, dc: binenc.NewDecodeCache(8192)}
+}
 
 func vKS(g string) string { return "g:" + g + ":v" }
 func eKS(g string) string { return "g:" + g + ":e" }
@@ -124,7 +130,7 @@ func (s *Store) Vertex(tx *engine.Txn, graph, key string) (mmvalue.Value, bool, 
 	if err != nil || !ok {
 		return mmvalue.Null, false, err
 	}
-	doc, err := binenc.Decode(raw)
+	doc, err := s.dc.Decode(raw)
 	return doc, err == nil, err
 }
 

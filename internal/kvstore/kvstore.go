@@ -17,10 +17,16 @@ import (
 // Store provides bucket operations within engine transactions.
 type Store struct {
 	e *engine.Engine
+	// dc memoizes decoded values on the point-lookup path (KV() in
+	// queries); entries are validated against the raw bytes each read
+	// returns, so transactional visibility is unchanged.
+	dc *binenc.DecodeCache
 }
 
 // New returns a key/value store over the engine.
-func New(e *engine.Engine) *Store { return &Store{e: e} }
+func New(e *engine.Engine) *Store {
+	return &Store{e: e, dc: binenc.NewDecodeCache(8192)}
+}
 
 // Keyspace returns the engine keyspace backing a bucket; exported so the
 // unified query engine can scan buckets directly.
@@ -37,7 +43,7 @@ func (s *Store) Get(tx *engine.Txn, bucket, key string) (mmvalue.Value, bool, er
 	if err != nil || !ok {
 		return mmvalue.Null, false, err
 	}
-	v, err := binenc.Decode(raw)
+	v, err := s.dc.Decode(raw)
 	if err != nil {
 		return mmvalue.Null, false, fmt.Errorf("kvstore: corrupt value under %s/%s: %w", bucket, key, err)
 	}

@@ -120,7 +120,15 @@ type LetClause struct {
 }
 
 // FilterClause keeps rows where Expr is truthy.
-type FilterClause struct{ Expr Expr }
+type FilterClause struct {
+	Expr Expr
+
+	// parallelSafe is set by Pipeline.analyze when Expr contains no
+	// subqueries, so it may be evaluated concurrently by the parallel
+	// scan+filter executor (subqueries run whole pipelines and mutate
+	// shared executor state).
+	parallelSafe bool
+}
 
 // SortKey is one ORDER BY / SORT key.
 type SortKey struct {
@@ -189,7 +197,18 @@ func (*UpdateClause) clause()  {}
 func (*RemoveClause) clause()  {}
 
 // Pipeline is a parsed query: a clause sequence ending in RETURN or a DML
-// clause.
+// clause. A Pipeline is immutable after parsing: the compiled annotations
+// below are filled in once by analyze, so one parsed Pipeline (e.g. from
+// core's plan cache) may be executed by any number of goroutines
+// concurrently.
 type Pipeline struct {
 	Clauses []Clause
+
+	// hasMutation is set by analyze when the pipeline — or any subquery
+	// pipeline nested in its expressions — contains INSERT/UPDATE/REMOVE.
+	// Such pipelines always use the serial executor.
+	hasMutation bool
+	// analyzed records that compile-time analysis ran (parsers always run
+	// it; hand-built pipelines that skip it simply never parallelize).
+	analyzed bool
 }

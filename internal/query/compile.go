@@ -1,0 +1,110 @@
+package query
+
+// This file is the compile step that runs once per parsed pipeline, so that
+// plans cached by core's compiled-plan cache carry their execution
+// annotations instead of re-deriving them on every call:
+//
+//   - hasMutation: whether the pipeline (or any nested subquery pipeline)
+//     contains a DML clause — such pipelines always execute serially.
+//   - FilterClause.parallelSafe: whether a filter expression may be
+//     evaluated concurrently by the parallel scan+filter executor.
+//
+// analyze is idempotent and cheap (one tree walk); both parsers call it on
+// the top-level pipeline, and it recurses into every SubqueryExpr so nested
+// pipelines are annotated too.
+
+// analyze fills in the compiled annotations of a pipeline and all pipelines
+// nested in its expressions.
+func (p *Pipeline) analyze() {
+	if p == nil || p.analyzed {
+		return
+	}
+	p.analyzed = true
+	for _, cl := range p.Clauses {
+		switch t := cl.(type) {
+		case *InsertClause, *UpdateClause, *RemoveClause:
+			p.hasMutation = true
+		case *FilterClause:
+			t.parallelSafe = exprParallelSafe(t.Expr)
+		}
+		for _, e := range clauseExprs(cl) {
+			walkExpr(e, func(x Expr) {
+				if sub, ok := x.(*SubqueryExpr); ok {
+					sub.Pipeline.analyze()
+					if sub.Pipeline.hasMutation {
+						// A mutating subquery can run from any clause of
+						// this pipeline; stay on the serial executor.
+						p.hasMutation = true
+					}
+				}
+			})
+		}
+	}
+}
+
+// HasMutation reports whether the pipeline contains DML (directly or in a
+// nested subquery). Exposed for callers that route read-only and mutating
+// statements differently.
+func (p *Pipeline) HasMutation() bool { return p.hasMutation }
+
+// exprParallelSafe reports whether an expression can be evaluated from
+// multiple goroutines at once. Everything the evaluator does is read-only
+// except running a subquery pipeline (which may contain DML and mutates the
+// shared Stats), so subqueries are the one exclusion.
+func exprParallelSafe(e Expr) bool {
+	safe := true
+	walkExpr(e, func(x Expr) {
+		if _, ok := x.(*SubqueryExpr); ok {
+			safe = false
+		}
+	})
+	return safe
+}
+
+// clauseExprs returns the expressions directly held by a clause (not
+// recursing into them; pair with walkExpr).
+func clauseExprs(cl Clause) []Expr {
+	switch t := cl.(type) {
+	case *ForClause:
+		var out []Expr
+		if t.Source.Expr != nil {
+			out = append(out, t.Source.Expr)
+		}
+		if t.Source.Start != nil {
+			out = append(out, t.Source.Start)
+		}
+		return out
+	case *LetClause:
+		return []Expr{t.Expr}
+	case *FilterClause:
+		return []Expr{t.Expr}
+	case *SortClause:
+		out := make([]Expr, len(t.Keys))
+		for i, k := range t.Keys {
+			out[i] = k.Expr
+		}
+		return out
+	case *LimitClause:
+		var out []Expr
+		if t.Offset != nil {
+			out = append(out, t.Offset)
+		}
+		if t.Count != nil {
+			out = append(out, t.Count)
+		}
+		return out
+	case *CollectClause:
+		return t.Keys
+	case *distinctRowsClause:
+		return t.keys
+	case *ReturnClause:
+		return []Expr{t.Expr}
+	case *InsertClause:
+		return []Expr{t.Doc}
+	case *UpdateClause:
+		return []Expr{t.KeyExpr, t.Patch}
+	case *RemoveClause:
+		return []Expr{t.KeyExpr}
+	}
+	return nil
+}

@@ -11,47 +11,54 @@ import (
 	"repro/internal/rdfstore"
 )
 
-// env is one row of bindings flowing through the pipeline.
+// env is one row of bindings flowing through the pipeline, stored as a
+// persistent chain: each bind prepends one immutable node, so binding is
+// O(1) with no copying, rows sharing a prefix share memory, and an env can
+// be read from any number of goroutines (the parallel executor relies on
+// this). nil is the empty environment.
 type env struct {
-	vars       map[string]mmvalue.Value
-	sourceVars []string // FROM/FOR variables, for bare-column fallback
+	parent   *env
+	name     string
+	val      mmvalue.Value
+	isSource bool // bound by FROM/FOR, eligible for bare-column fallback
 }
 
-func newEnv() *env {
-	return &env{vars: map[string]mmvalue.Value{}}
-}
-
-func (e *env) clone() *env {
-	out := &env{
-		vars:       make(map[string]mmvalue.Value, len(e.vars)+1),
-		sourceVars: e.sourceVars,
-	}
-	for k, v := range e.vars {
-		out.vars[k] = v
-	}
-	return out
-}
+func newEnv() *env { return nil }
 
 func (e *env) bind(name string, v mmvalue.Value) *env {
-	out := e.clone()
-	out.vars[name] = v
-	return out
+	return &env{parent: e, name: name, val: v}
 }
 
 func (e *env) bindSource(name string, v mmvalue.Value) *env {
-	out := e.bind(name, v)
-	out.sourceVars = append(append([]string{}, e.sourceVars...), name)
-	return out
+	return &env{parent: e, name: name, val: v, isSource: true}
+}
+
+// lookupDirect finds the most recent binding of name.
+func (e *env) lookupDirect(name string) (mmvalue.Value, bool) {
+	for n := e; n != nil; n = n.parent {
+		if n.name == name {
+			return n.val, true
+		}
+	}
+	return mmvalue.Null, false
 }
 
 // lookup resolves a name: direct binding first, then bare-column fallback
-// through source variables (MSQL `credit_limit` meaning `c.credit_limit`).
+// through source variables (MSQL `credit_limit` meaning `c.credit_limit`),
+// trying sources in declaration order.
 func (e *env) lookup(name string) (mmvalue.Value, bool) {
-	if v, ok := e.vars[name]; ok {
+	if v, ok := e.lookupDirect(name); ok {
 		return v, true
 	}
-	for _, sv := range e.sourceVars {
-		if row, ok := e.vars[sv]; ok && row.Kind() == mmvalue.KindObject {
+	var buf [8]string
+	sources := buf[:0]
+	for n := e; n != nil; n = n.parent {
+		if n.isSource {
+			sources = append(sources, n.name)
+		}
+	}
+	for i := len(sources) - 1; i >= 0; i-- {
+		if row, ok := e.lookupDirect(sources[i]); ok && row.Kind() == mmvalue.KindObject {
 			if v, ok := row.Get(name); ok {
 				return v, true
 			}
@@ -60,14 +67,32 @@ func (e *env) lookup(name string) (mmvalue.Value, bool) {
 	return mmvalue.Null, false
 }
 
-// this returns the first source row (OrientDB's @this) for OUT()/IN().
+// this returns the newest source row (OrientDB's @this) for OUT()/IN().
 func (e *env) this() (mmvalue.Value, bool) {
-	for i := len(e.sourceVars) - 1; i >= 0; i-- {
-		if v, ok := e.vars[e.sourceVars[i]]; ok {
-			return v, true
+	for n := e; n != nil; n = n.parent {
+		if n.isSource {
+			return e.lookupDirect(n.name)
 		}
 	}
 	return mmvalue.Null, false
+}
+
+// allVars snapshots every visible binding (newest wins) in oldest-first
+// order, for COLLECT ... INTO materialization.
+func (e *env) allVars() []mmvalue.Field {
+	seen := map[string]bool{}
+	var fields []mmvalue.Field
+	for n := e; n != nil; n = n.parent {
+		if seen[n.name] {
+			continue
+		}
+		seen[n.name] = true
+		fields = append(fields, mmvalue.F(n.name, n.val))
+	}
+	for i, j := 0, len(fields)-1; i < j; i, j = i+1, j-1 {
+		fields[i], fields[j] = fields[j], fields[i]
+	}
+	return fields
 }
 
 // eval evaluates an expression in an environment.

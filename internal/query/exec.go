@@ -46,14 +46,24 @@ type Options struct {
 	Params map[string]mmvalue.Value
 	// DisableIndexes forces full scans (the ablation switch for E2–E6).
 	DisableIndexes bool
+	// ParallelThreshold is the minimum number of scanned elements a FOR
+	// must produce before the parallel scan+filter executor engages.
+	// 0 means DefaultParallelThreshold; a negative value disables
+	// parallel execution entirely (the ablation switch for E18).
+	ParallelThreshold int
+	// MaxParallel caps the worker goroutines of the parallel executor.
+	// 0 means GOMAXPROCS. Values above 1 force the parallel path even on
+	// single-CPU hosts (used by tests to exercise it under -race).
+	MaxParallel int
 }
 
 // Stats reports what the optimizer did — benches assert on these.
 type Stats struct {
-	FullScans  int      // sources walked row by row
-	IndexScans int      // sources served by an index
-	IndexUsed  []string // descriptions of index accesses
-	RowsRead   int      // rows pulled from sources before filtering
+	FullScans     int      // sources walked row by row
+	IndexScans    int      // sources served by an index
+	IndexUsed     []string // descriptions of index accesses
+	RowsRead      int      // rows pulled from sources before filtering
+	ParallelScans int      // FOR clauses executed by the parallel executor
 }
 
 // Result is a completed execution.
@@ -67,6 +77,13 @@ type execCtx struct {
 	src   *Sources
 	opts  Options
 	stats Stats
+	// curPipe is the pipeline currently being run (subqueries swap it in
+	// and out); its compiled annotations gate the parallel executor.
+	curPipe *Pipeline
+	// resolved memoizes source-name classification for this execution.
+	// Queries cannot run DDL, so a name's kind cannot change mid-query;
+	// this spares nested FOR clauses a catalog lookup per outer row.
+	resolved map[string]string
 }
 
 // Execute runs a pipeline inside a transaction.
@@ -82,12 +99,18 @@ func Execute(tx *engine.Txn, src *Sources, pipe *Pipeline, opts Options) (*Resul
 // runPipeline executes clauses over a starting environment, returning the
 // RETURN values (or per-row DML acknowledgements).
 func (c *execCtx) runPipeline(pipe *Pipeline, start *env) ([]mmvalue.Value, error) {
+	prevPipe := c.curPipe
+	c.curPipe = pipe
+	defer func() { c.curPipe = prevPipe }()
 	rows := []*env{start}
 	clauses := pipe.Clauses
 	for i := 0; i < len(clauses); i++ {
 		switch cl := clauses[i].(type) {
 		case *ForClause:
-			// Peek at immediately-following filters for index selection.
+			// Peek at immediately-following filters: they feed index
+			// selection, and execFor applies them (fused, possibly in
+			// parallel), so they are consumed here rather than run as
+			// standalone clauses.
 			var filters []*FilterClause
 			for j := i + 1; j < len(clauses); j++ {
 				f, ok := clauses[j].(*FilterClause)
@@ -101,6 +124,7 @@ func (c *execCtx) runPipeline(pipe *Pipeline, start *env) ([]mmvalue.Value, erro
 				return nil, err
 			}
 			rows = next
+			i += len(filters)
 		case *LetClause:
 			next := make([]*env, len(rows))
 			for ri, r := range rows {
@@ -348,23 +372,18 @@ func (c *execCtx) execCollect(cl *CollectClause, rows []*env) ([]*env, error) {
 	for _, id := range order {
 		g := groups[id]
 		// Start from the first member's bindings (loose grouping).
-		base := g.members[0].clone()
+		base := g.members[0]
 		for i, v := range g.keyVals {
 			if i < len(cl.Vars) {
-				base.vars[cl.Vars[i]] = v
+				base = base.bind(cl.Vars[i], v)
 			}
 		}
-		into := cl.Into
-		if into != "" {
+		if cl.Into != "" {
 			members := make([]mmvalue.Value, len(g.members))
 			for mi, m := range g.members {
-				fields := make([]mmvalue.Field, 0, len(m.vars))
-				for k, v := range m.vars {
-					fields = append(fields, mmvalue.F(k, v))
-				}
-				members[mi] = mmvalue.ObjectOf(fields)
+				members[mi] = mmvalue.ObjectOf(m.allVars())
 			}
-			base.vars[into] = mmvalue.ArrayOf(members)
+			base = base.bind(cl.Into, mmvalue.ArrayOf(members))
 		}
 		out = append(out, base)
 	}
@@ -373,27 +392,70 @@ func (c *execCtx) execCollect(cl *CollectClause, rows []*env) ([]*env, error) {
 	if len(out) == 0 && len(cl.Keys) == 0 {
 		base := newEnv()
 		if cl.Into != "" {
-			base.vars[cl.Into] = mmvalue.Array()
+			base = base.bind(cl.Into, mmvalue.Array())
 		}
 		out = append(out, base)
 	}
 	return out, nil
 }
 
+// forPart is the materialized expansion of one outer row: the row itself
+// plus the source elements it produces.
+type forPart struct {
+	r     *env
+	elems []mmvalue.Value
+}
+
 // execFor expands each input row by the source's elements, using an index
-// when the immediately-following filters allow it.
+// when the immediately-following filters allow it, then applies those
+// filters (fused with the bind, so large scans can be filtered in parallel).
+// Scanning itself stays serial — sources are read through the transaction —
+// but the per-element bind + residual filter evaluation is the hot loop.
 func (c *execCtx) execFor(cl *ForClause, filters []*FilterClause, rows []*env) ([]*env, error) {
-	var out []*env
+	parts := make([]forPart, 0, len(rows))
+	total := 0
 	for _, r := range rows {
 		elems, err := c.sourceElems(cl, filters, r)
 		if err != nil {
 			return nil, err
 		}
-		for _, el := range elems {
-			out = append(out, r.bindSource(cl.Var, el))
+		parts = append(parts, forPart{r: r, elems: elems})
+		total += len(elems)
+	}
+	if c.parallelEligible(total, filters) {
+		c.stats.ParallelScans++
+		return c.execForParallel(cl.Var, filters, parts, total)
+	}
+	var out []*env
+	for _, p := range parts {
+		for _, el := range p.elems {
+			en := p.r.bindSource(cl.Var, el)
+			keep, err := c.applyFilters(filters, en)
+			if err != nil {
+				return nil, err
+			}
+			if keep {
+				out = append(out, en)
+			}
 		}
 	}
 	return out, nil
+}
+
+// applyFilters evaluates the residual filters against one row, reporting
+// whether every filter is truthy. It is called concurrently by the parallel
+// executor, so it must stay free of writes to shared executor state.
+func (c *execCtx) applyFilters(filters []*FilterClause, en *env) (bool, error) {
+	for _, f := range filters {
+		v, err := c.eval(f.Expr, en)
+		if err != nil {
+			return false, err
+		}
+		if !v.Truthy() {
+			return false, nil
+		}
+	}
+	return true, nil
 }
 
 // sourceElems yields the values a FOR source produces for one outer row.
@@ -446,9 +508,15 @@ func (c *execCtx) sourceElems(cl *ForClause, filters []*FilterClause, r *env) ([
 // scanNamed resolves a named source and iterates it, consulting indexes
 // first (see optimize.go).
 func (c *execCtx) scanNamed(loopVar, name string, filters []*FilterClause, r *env) ([]mmvalue.Value, error) {
-	kind := ""
-	if c.src.Resolve != nil {
-		kind = c.src.Resolve(c.tx, name)
+	kind, memoized := c.resolved[name]
+	if !memoized {
+		if c.src.Resolve != nil {
+			kind = c.src.Resolve(c.tx, name)
+		}
+		if c.resolved == nil {
+			c.resolved = map[string]string{}
+		}
+		c.resolved[name] = kind
 	}
 	if kind == "" {
 		return nil, fmt.Errorf("query: unknown source %q", name)

@@ -1,0 +1,141 @@
+package query
+
+// Parallel scan+filter executor. After a FOR source is materialized (the
+// scan itself runs serially under the transaction's locks), binding the loop
+// variable and evaluating the residual FILTER predicates is embarrassingly
+// parallel: every element is independent and evaluation is read-only. This
+// file partitions the elements into contiguous chunks, dispatches them to a
+// GOMAXPROCS-sized worker pool, and concatenates the per-chunk survivors in
+// chunk order — so results are byte-identical to the serial executor,
+// including everything downstream (SORT, LIMIT, COLLECT) that depends on
+// source order.
+//
+// The serial path is kept for: small inputs (below Options.ParallelThreshold,
+// default DefaultParallelThreshold — goroutine fan-out costs more than it
+// saves), pipelines containing mutation clauses, filters containing
+// subqueries (they run whole pipelines against shared executor state), and
+// unanalyzed hand-built pipelines.
+//
+// Thread-safety: workers share the execCtx strictly read-only. Filter
+// evaluation reaches the engine only through Txn.Get/Scan and the store
+// read APIs, which the engine documents as safe for concurrent use on one
+// transaction (see engine.Txn); the auxiliary GIN/full-text views are behind
+// core's RWMutex; env rows are copy-on-bind, so outer rows are never
+// mutated.
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/mmvalue"
+)
+
+// DefaultParallelThreshold is the minimum number of FOR-source elements
+// before the parallel executor engages when Options.ParallelThreshold is 0.
+// Below roughly this size the fan-out overhead exceeds the win.
+const DefaultParallelThreshold = 1024
+
+// maxWorkers resolves the worker pool size for this execution.
+func (c *execCtx) maxWorkers() int {
+	if c.opts.MaxParallel > 0 {
+		return c.opts.MaxParallel
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// parallelEligible decides serial vs parallel for one FOR expansion.
+func (c *execCtx) parallelEligible(total int, filters []*FilterClause) bool {
+	thr := c.opts.ParallelThreshold
+	if thr < 0 {
+		return false
+	}
+	if thr == 0 {
+		thr = DefaultParallelThreshold
+	}
+	if total < thr {
+		return false
+	}
+	if c.maxWorkers() < 2 {
+		return false
+	}
+	// Only pipelines the compile step analyzed and proved read-only may
+	// parallelize; hand-built pipelines (analyzed == false) stay serial.
+	if c.curPipe == nil || !c.curPipe.analyzed || c.curPipe.hasMutation {
+		return false
+	}
+	for _, f := range filters {
+		if !f.parallelSafe {
+			return false
+		}
+	}
+	return true
+}
+
+// bindJob is one (outer row, source element) pair awaiting bind + filter.
+type bindJob struct {
+	r  *env
+	el mmvalue.Value
+}
+
+// execForParallel is the parallel counterpart of execFor's bind+filter loop.
+// Chunks are contiguous ranges of the flattened (outer row × element) list,
+// and the merge concatenates chunk results in chunk order, preserving the
+// exact output order of the serial path.
+func (c *execCtx) execForParallel(loopVar string, filters []*FilterClause, parts []forPart, total int) ([]*env, error) {
+	jobs := make([]bindJob, 0, total)
+	for _, p := range parts {
+		for _, el := range p.elems {
+			jobs = append(jobs, bindJob{r: p.r, el: el})
+		}
+	}
+	workers := c.maxWorkers()
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	chunk := (len(jobs) + workers - 1) / workers
+	rowsPer := make([][]*env, workers)
+	errPer := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(jobs) {
+			hi = len(jobs)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			out := make([]*env, 0, hi-lo)
+			for _, j := range jobs[lo:hi] {
+				en := j.r.bindSource(loopVar, j.el)
+				keep, err := c.applyFilters(filters, en)
+				if err != nil {
+					errPer[w] = err
+					return
+				}
+				if keep {
+					out = append(out, en)
+				}
+			}
+			rowsPer[w] = out
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, err := range errPer {
+		if err != nil {
+			return nil, err
+		}
+	}
+	kept := 0
+	for _, rows := range rowsPer {
+		kept += len(rows)
+	}
+	out := make([]*env, 0, kept)
+	for _, rows := range rowsPer {
+		out = append(out, rows...)
+	}
+	return out, nil
+}

@@ -1,0 +1,71 @@
+package query
+
+import "testing"
+
+// TestAnalyzeMarksMutations checks the compile pass that gates the parallel
+// executor: mutation clauses — including ones buried in subqueries — must
+// set hasMutation, and filters containing subqueries must not be marked
+// parallel-safe.
+func TestAnalyzeMarksMutations(t *testing.T) {
+	cases := []struct {
+		q           string
+		hasMutation bool
+	}{
+		{`FOR p IN products FILTER p.x > 1 RETURN p`, false},
+		{`FOR p IN products INSERT {k: p._key} INTO audit`, true},
+		{`FOR p IN products UPDATE p WITH {seen: true} IN products`, true},
+		{`FOR p IN products REMOVE p IN products`, true},
+		{`RETURN LENGTH((FOR p IN products INSERT {k: p._key} INTO audit))`, true},
+	}
+	for _, tc := range cases {
+		pipe, err := ParseMMQL(tc.q)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.q, err)
+		}
+		if !pipe.analyzed {
+			t.Fatalf("%s: pipeline not analyzed at parse time", tc.q)
+		}
+		if pipe.hasMutation != tc.hasMutation {
+			t.Fatalf("%s: hasMutation = %v, want %v", tc.q, pipe.hasMutation, tc.hasMutation)
+		}
+	}
+}
+
+func TestAnalyzeMarksFilterSafety(t *testing.T) {
+	pipe, err := ParseMMQL(`
+		FOR p IN products
+		  FILTER p.price > 10
+		  FILTER LENGTH((FOR s IN sales RETURN s)) > 0
+		  RETURN p`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var filters []*FilterClause
+	for _, cl := range pipe.Clauses {
+		if f, ok := cl.(*FilterClause); ok {
+			filters = append(filters, f)
+		}
+	}
+	if len(filters) != 2 {
+		t.Fatalf("found %d filters, want 2", len(filters))
+	}
+	if !filters[0].parallelSafe {
+		t.Fatal("plain comparison filter marked unsafe")
+	}
+	if filters[1].parallelSafe {
+		t.Fatal("subquery filter marked parallel-safe")
+	}
+}
+
+func TestParseMSQLAnalyzed(t *testing.T) {
+	pipe, err := ParseMSQL(`SELECT a FROM t WHERE a > 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pipe.analyzed {
+		t.Fatal("MSQL pipeline not analyzed at parse time")
+	}
+	if pipe.hasMutation {
+		t.Fatal("read-only MSQL query marked as mutating")
+	}
+}

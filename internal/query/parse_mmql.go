@@ -36,6 +36,7 @@ func ParseMMQL(input string) (*Pipeline, error) {
 	if !p.at(tokEOF) {
 		return nil, p.errf("unexpected %s after query", p.cur())
 	}
+	pipe.analyze()
 	return pipe, nil
 }
 

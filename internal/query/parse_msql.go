@@ -39,6 +39,7 @@ func ParseMSQL(input string) (*Pipeline, error) {
 	if !p.at(tokEOF) {
 		return nil, p.errf("unexpected %s after query", p.cur())
 	}
+	pipe.analyze()
 	return pipe, nil
 }
 

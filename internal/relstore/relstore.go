@@ -61,11 +61,14 @@ var (
 type Store struct {
 	e   *engine.Engine
 	cat *catalog.Catalog
+	// dc memoizes row decoding (content-addressed); repeated scans of hot
+	// tables skip the per-row decode entirely.
+	dc *binenc.DecodeCache
 }
 
 // New returns a relational store over the engine.
 func New(e *engine.Engine, cat *catalog.Catalog) *Store {
-	return &Store{e: e, cat: cat}
+	return &Store{e: e, cat: cat, dc: binenc.NewDecodeCache(8192)}
 }
 
 // Keyspace returns the engine keyspace of a table's rows.
@@ -365,7 +368,7 @@ func (s *Store) Delete(tx *engine.Txn, table string, pk ...mmvalue.Value) (bool,
 func (s *Store) Scan(tx *engine.Txn, table string, fn func(row mmvalue.Value) bool) error {
 	var decodeErr error
 	err := tx.Scan(Keyspace(table), nil, nil, func(k, v []byte) bool {
-		row, err := binenc.Decode(v)
+		row, err := s.dc.Decode(v)
 		if err != nil {
 			decodeErr = err
 			return false

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Run the full E1–E18 benchmark suite and emit machine-readable results.
+#
+# Usage: scripts/bench.sh [output.json] [benchtime]
+#   output.json  defaults to BENCH_1.json
+#   benchtime    passed to -benchtime; defaults to 1x for a quick sweep
+#                (use e.g. 2s for stable numbers)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_1.json}"
+benchtime="${2:-1x}"
+
+go test -run '^$' -bench . -benchtime "$benchtime" -timeout 30m . \
+  | tee /dev/stderr \
+  | go run ./cmd/benchjson -o "$out"

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Extended verification: build, vet, formatting, full tests, and the race
+# detector over the packages with concurrent execution paths (parallel
+# query executor, engine lock manager, plan cache).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== go build"
+go build ./...
+
+echo "== go vet"
+go vet ./...
+
+echo "== gofmt"
+unformatted="$(gofmt -l .)"
+if [ -n "$unformatted" ]; then
+  echo "gofmt needed on:" >&2
+  echo "$unformatted" >&2
+  exit 1
+fi
+
+echo "== go test"
+go test ./...
+
+echo "== go test -race (query, engine, core)"
+go test -race ./internal/query/... ./internal/engine/... ./internal/core/...
+
+echo "verify: OK"

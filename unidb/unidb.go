@@ -93,6 +93,59 @@ func (d *Database) SQL(msql string, params map[string]Value) (*Result, error) {
 	return d.db.SQL(msql, params)
 }
 
+// --- Prepared statements and the compiled-plan cache ---
+//
+// Query and SQL already serve repeated statements from an LRU plan cache;
+// Prepare additionally surfaces parse errors up front and pins the plan on
+// the statement so re-execution skips even the cache lookup. Cached plans
+// and prepared statements are invalidated by DDL: any committed
+// collection/table/graph create or drop and any index create or drop
+// advances a generation counter, and stale plans recompile transparently on
+// their next use.
+
+// Statement is a prepared query: parsed once, re-executed with fresh
+// parameter bindings. Safe for concurrent use.
+type Statement struct {
+	s *core.Stmt
+}
+
+// Prepare compiles an MMQL statement for repeated execution.
+func (d *Database) Prepare(mmql string) (*Statement, error) {
+	s, err := d.db.Prepare(mmql)
+	if err != nil {
+		return nil, err
+	}
+	return &Statement{s: s}, nil
+}
+
+// PrepareSQL compiles an MSQL statement for repeated execution.
+func (d *Database) PrepareSQL(msql string) (*Statement, error) {
+	s, err := d.db.PrepareSQL(msql)
+	if err != nil {
+		return nil, err
+	}
+	return &Statement{s: s}, nil
+}
+
+// Exec runs the statement in its own transaction, binding params to @name
+// parameters.
+func (st *Statement) Exec(params map[string]Value) (*Result, error) { return st.s.Exec(params) }
+
+// Text returns the statement's query text.
+func (st *Statement) Text() string { return st.s.Text() }
+
+// ExecIn runs the statement inside an open cross-model transaction.
+func (st *Statement) ExecIn(t *Txn, params map[string]Value) (*Result, error) {
+	return st.s.ExecTx(t.tx, params)
+}
+
+// PlanCacheStats re-exports the plan cache snapshot type.
+type PlanCacheStats = core.PlanCacheStats
+
+// PlanCacheStats reports hits, misses, size, and the DDL epoch of the
+// compiled-plan cache.
+func (d *Database) PlanCacheStats() PlanCacheStats { return d.db.PlanCacheStats() }
+
 // Txn is a cross-model transaction: every operation performed through it —
 // on any model — commits or aborts atomically.
 type Txn struct {
@@ -408,6 +461,20 @@ func ParseJSON(s string) (Value, error) { return mmvalue.ParseJSON([]byte(s)) }
 
 // MustParseJSON is ParseJSON that panics on error.
 func MustParseJSON(s string) Value { return mmvalue.MustParseJSON(s) }
+
+// Scalar Value constructors, mainly for binding statement parameters.
+
+// Int returns an integer Value.
+func Int(i int64) Value { return mmvalue.Int(i) }
+
+// Float returns a float Value.
+func Float(f float64) Value { return mmvalue.Float(f) }
+
+// Str returns a string Value.
+func Str(s string) Value { return mmvalue.String(s) }
+
+// Bool returns a boolean Value.
+func Bool(b bool) Value { return mmvalue.Bool(b) }
 
 // Strings extracts string results from a query result.
 func Strings(res *Result) []string { return core.Strings(res) }

@@ -283,3 +283,48 @@ func TestWideColumnAPI(t *testing.T) {
 		t.Fatalf("query = %v, %v", res, err)
 	}
 }
+
+func TestPreparedStatement(t *testing.T) {
+	db := open(t)
+	err := db.Update(func(tx *unidb.Txn) error {
+		if err := tx.CreateCollection("products"); err != nil {
+			return err
+		}
+		if _, err := tx.InsertDocument("products", `{"_key":"p1","name":"Toy","price":66}`); err != nil {
+			return err
+		}
+		_, err := tx.InsertDocument("products", `{"_key":"p2","name":"Book","price":40}`)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stmt, err := db.Prepare(`FOR p IN products FILTER p.price > @min SORT p.name RETURN p.name`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := stmt.Exec(map[string]unidb.Value{"min": unidb.Int(50)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := unidb.Strings(res); !reflect.DeepEqual(got, []string{"Toy"}) {
+		t.Fatalf("min=50: got %v", got)
+	}
+	res, err = stmt.Exec(map[string]unidb.Value{"min": unidb.Int(10)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := unidb.Strings(res); !reflect.DeepEqual(got, []string{"Book", "Toy"}) {
+		t.Fatalf("min=10: got %v", got)
+	}
+	// Repeated Query calls hit the plan cache.
+	if _, err := db.Query(`FOR p IN products RETURN p._key`, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Query(`FOR p IN products RETURN p._key`, nil); err != nil {
+		t.Fatal(err)
+	}
+	if st := db.PlanCacheStats(); st.Hits == 0 {
+		t.Fatalf("no plan cache hits: %+v", st)
+	}
+}
