@@ -1,0 +1,148 @@
+// benchdiff compares two benchjson reports (see cmd/benchjson) and flags
+// per-benchmark ns/op regressions beyond a threshold.
+//
+// Usage:
+//
+//	go run ./cmd/benchdiff [-threshold 10] [-fail] BASELINE.json FRESH.json
+//
+// Benchmarks are matched by name after stripping the trailing -GOMAXPROCS
+// suffix, so reports taken on machines with different core counts still
+// line up. Benchmarks present on only one side are listed but are not
+// regressions. With -fail, any regression makes the exit status 1 —
+// off by default because one-shot sweeps (-benchtime 1x) are noisy and a
+// hard gate would flake; CI runs it in report-only mode.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+)
+
+type record struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+type report struct {
+	CPU        string   `json:"cpu,omitempty"`
+	Benchmarks []record `json:"benchmarks"`
+}
+
+// diff is one matched benchmark pair.
+type diff struct {
+	Name       string
+	Base, New  float64 // ns/op
+	DeltaPct   float64 // (new-base)/base * 100
+	Regression bool
+}
+
+// result is the full comparison outcome.
+type result struct {
+	Diffs       []diff
+	OnlyInBase  []string
+	OnlyInFresh []string
+}
+
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+func normalize(name string) string {
+	return gomaxprocsSuffix.ReplaceAllString(name, "")
+}
+
+// compare matches benchmarks by normalized name and computes ns/op deltas;
+// a regression is a slowdown of more than thresholdPct percent.
+func compare(base, fresh report, thresholdPct float64) result {
+	baseBy := map[string]record{}
+	for _, b := range base.Benchmarks {
+		baseBy[normalize(b.Name)] = b
+	}
+	var res result
+	seen := map[string]bool{}
+	for _, f := range fresh.Benchmarks {
+		name := normalize(f.Name)
+		seen[name] = true
+		b, ok := baseBy[name]
+		if !ok {
+			res.OnlyInFresh = append(res.OnlyInFresh, name)
+			continue
+		}
+		d := diff{Name: name, Base: b.NsPerOp, New: f.NsPerOp}
+		if b.NsPerOp > 0 {
+			d.DeltaPct = (f.NsPerOp - b.NsPerOp) / b.NsPerOp * 100
+			d.Regression = d.DeltaPct > thresholdPct
+		}
+		res.Diffs = append(res.Diffs, d)
+	}
+	for name := range baseBy {
+		if !seen[name] {
+			res.OnlyInBase = append(res.OnlyInBase, name)
+		}
+	}
+	sort.Slice(res.Diffs, func(i, j int) bool { return res.Diffs[i].DeltaPct > res.Diffs[j].DeltaPct })
+	sort.Strings(res.OnlyInBase)
+	sort.Strings(res.OnlyInFresh)
+	return res
+}
+
+func load(path string) (report, error) {
+	var rep report
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return rep, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
+}
+
+func main() {
+	threshold := flag.Float64("threshold", 10, "regression threshold in percent")
+	failOnRegression := flag.Bool("fail", false, "exit 1 if any regression exceeds the threshold")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold 10] [-fail] BASELINE.json FRESH.json")
+		os.Exit(2)
+	}
+	base, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	fresh, err := load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	res := compare(base, fresh, *threshold)
+
+	regressions := 0
+	for _, d := range res.Diffs {
+		marker := "  "
+		if d.Regression {
+			marker = "!!"
+			regressions++
+		} else if d.DeltaPct < -*threshold {
+			marker = "++"
+		}
+		fmt.Printf("%s %-60s %14.0f -> %14.0f ns/op  %+7.1f%%\n",
+			marker, d.Name, d.Base, d.New, d.DeltaPct)
+	}
+	for _, name := range res.OnlyInBase {
+		fmt.Printf("-- %-60s (removed: in baseline only)\n", name)
+	}
+	for _, name := range res.OnlyInFresh {
+		fmt.Printf("** %-60s (new: no baseline)\n", name)
+	}
+	fmt.Printf("\nbenchdiff: %d compared, %d regression(s) beyond %+.0f%%, %d new, %d removed\n",
+		len(res.Diffs), regressions, *threshold, len(res.OnlyInFresh), len(res.OnlyInBase))
+	if regressions > 0 && *failOnRegression {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,69 @@
+package main
+
+import "testing"
+
+func rec(name string, ns float64) record { return record{Name: name, NsPerOp: ns} }
+
+func TestCompareFlagsRegressionsBeyondThreshold(t *testing.T) {
+	base := report{Benchmarks: []record{
+		rec("BenchmarkA-8", 100),
+		rec("BenchmarkB-8", 100),
+		rec("BenchmarkC-8", 100),
+		rec("BenchmarkGone-8", 50),
+	}}
+	fresh := report{Benchmarks: []record{
+		rec("BenchmarkA-16", 125), // +25% -> regression
+		rec("BenchmarkB-16", 109), // +9%  -> within threshold
+		rec("BenchmarkC-16", 70),  // -30% -> improvement
+		rec("BenchmarkNew-16", 10),
+	}}
+	res := compare(base, fresh, 10)
+
+	byName := map[string]diff{}
+	for _, d := range res.Diffs {
+		byName[d.Name] = d
+	}
+	if len(byName) != 3 {
+		t.Fatalf("compared %d benchmarks, want 3", len(byName))
+	}
+	if d := byName["BenchmarkA"]; !d.Regression || d.DeltaPct != 25 {
+		t.Errorf("A = %+v, want regression at +25%%", d)
+	}
+	if d := byName["BenchmarkB"]; d.Regression {
+		t.Errorf("B flagged as regression at %+.1f%%", d.DeltaPct)
+	}
+	if d := byName["BenchmarkC"]; d.Regression || d.DeltaPct != -30 {
+		t.Errorf("C = %+v, want -30%% improvement", d)
+	}
+	if len(res.OnlyInBase) != 1 || res.OnlyInBase[0] != "BenchmarkGone" {
+		t.Errorf("OnlyInBase = %v", res.OnlyInBase)
+	}
+	if len(res.OnlyInFresh) != 1 || res.OnlyInFresh[0] != "BenchmarkNew" {
+		t.Errorf("OnlyInFresh = %v", res.OnlyInFresh)
+	}
+	// Sorted worst-first: A (+25) before B (+9) before C (-30).
+	if res.Diffs[0].Name != "BenchmarkA" || res.Diffs[2].Name != "BenchmarkC" {
+		t.Errorf("diff order = %v, %v, %v", res.Diffs[0].Name, res.Diffs[1].Name, res.Diffs[2].Name)
+	}
+}
+
+func TestCompareZeroBaselineIsNotRegression(t *testing.T) {
+	base := report{Benchmarks: []record{rec("BenchmarkZ", 0)}}
+	fresh := report{Benchmarks: []record{rec("BenchmarkZ", 100)}}
+	res := compare(base, fresh, 10)
+	if len(res.Diffs) != 1 || res.Diffs[0].Regression {
+		t.Fatalf("zero-baseline diff = %+v; must not divide by zero or flag", res.Diffs)
+	}
+}
+
+func TestNormalizeStripsOnlyGomaxprocsSuffix(t *testing.T) {
+	for in, want := range map[string]string{
+		"BenchmarkE4PointLookup/btree-8": "BenchmarkE4PointLookup/btree",
+		"BenchmarkE3GIN/NoIndex":         "BenchmarkE3GIN/NoIndex",
+		"BenchmarkX/n=10-16":             "BenchmarkX/n=10",
+	} {
+		if got := normalize(in); got != want {
+			t.Errorf("normalize(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -297,6 +297,8 @@ func (db *DB) applyToViews(batch []wal.Record) {
 			if ft != nil {
 				db.fts[coll] = inverted.NewFullText()
 			}
+		case wal.OpCommit, wal.OpAbort:
+			// Control records carry no document data to index.
 		}
 	}
 }

@@ -140,6 +140,8 @@ func (e *Engine) applyRecord(r wal.Record) {
 		e.tree(r.Keyspace).Delete(r.Key)
 	case wal.OpDropKeyspace:
 		delete(e.keyspaces, r.Keyspace)
+	case wal.OpCommit, wal.OpAbort:
+		// Control records carry no data to apply.
 	}
 }
 
@@ -569,18 +571,15 @@ func (e *Engine) writeSnapshot(path string) error {
 	e.mu.Unlock()
 
 	if err := w.Flush(); err != nil {
-		f.Close()
-		return fmt.Errorf("engine: snapshot flush: %w", err)
+		return errors.Join(fmt.Errorf("engine: snapshot flush: %w", err), f.Close())
 	}
 	var sum [4]byte
 	binary.LittleEndian.PutUint32(sum[:], crc.Sum32())
 	if _, err := f.Write(sum[:]); err != nil {
-		f.Close()
-		return err
+		return errors.Join(err, f.Close())
 	}
 	if err := f.Sync(); err != nil {
-		f.Close()
-		return err
+		return errors.Join(err, f.Close())
 	}
 	if err := f.Close(); err != nil {
 		return err
@@ -737,6 +736,8 @@ func (r *Replica) applyFront() {
 			}
 		case wal.OpDropKeyspace:
 			delete(r.keyspaces, rec.Keyspace)
+		case wal.OpCommit, wal.OpAbort:
+			// Control records carry no data to apply.
 		}
 	}
 	r.appliedTxn++

@@ -1,0 +1,280 @@
+package engine
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// These tests pin down the lock manager's edge paths: upgrades bypassing the
+// waiter queue, waiters surviving lock-state deletion and re-creation,
+// partial wake-ups after releaseAll, and deadlock victim errors propagating
+// through the transaction API.
+
+func TestUpgradeBypassesWaiterQueue(t *testing.T) {
+	// txn 1 holds S; txn 2 queues for X behind it. When txn 1 upgrades
+	// S -> X, grantability is checked against holders only, so the upgrade
+	// must succeed immediately rather than deadlocking behind txn 2's
+	// earlier request.
+	lm := newLockManager()
+	if err := lm.acquire(1, "k", LockS); err != nil {
+		t.Fatal(err)
+	}
+	waiterDone := make(chan error, 1)
+	go func() { waiterDone <- lm.acquire(2, "k", LockX) }()
+	// Let txn 2 reach the waiter queue.
+	time.Sleep(10 * time.Millisecond)
+
+	upgraded := make(chan error, 1)
+	go func() { upgraded <- lm.acquire(1, "k", LockX) }()
+	select {
+	case err := <-upgraded:
+		if err != nil {
+			t.Fatalf("upgrade S->X with a queued waiter: %v", err)
+		}
+	case <-time.After(500 * time.Millisecond):
+		t.Fatal("upgrade blocked behind the waiter queue")
+	}
+	select {
+	case err := <-waiterDone:
+		t.Fatalf("waiter granted X while txn 1 holds X (err=%v)", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	lm.releaseAll(1)
+	if err := <-waiterDone; err != nil {
+		t.Fatal(err)
+	}
+	lm.releaseAll(2)
+}
+
+func TestUpgradeWaitsForOtherSHolder(t *testing.T) {
+	// Two S holders; only txn 1 upgrades. It must block until txn 2
+	// releases (no spurious deadlock when just one holder upgrades).
+	lm := newLockManager()
+	if err := lm.acquire(1, "k", LockS); err != nil {
+		t.Fatal(err)
+	}
+	if err := lm.acquire(2, "k", LockS); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- lm.acquire(1, "k", LockX) }()
+	select {
+	case err := <-done:
+		t.Fatalf("upgrade granted while another S holder exists (err=%v)", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	lm.releaseAll(2)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	lm.releaseAll(1)
+}
+
+func TestReleaseWakesAllCompatibleReaders(t *testing.T) {
+	// txn 1 holds X; several readers queue for S. One releaseAll must let
+	// every reader through (each waiter re-checks grantability itself).
+	lm := newLockManager()
+	if err := lm.acquire(1, "k", LockX); err != nil {
+		t.Fatal(err)
+	}
+	const readers = 4
+	var wg sync.WaitGroup
+	errs := make(chan error, readers)
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func(txn uint64) {
+			defer wg.Done()
+			errs <- lm.acquire(txn, "k", LockS)
+		}(uint64(10 + i))
+	}
+	time.Sleep(10 * time.Millisecond)
+	lm.releaseAll(1)
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("readers still blocked after writer released")
+	}
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < readers; i++ {
+		lm.releaseAll(uint64(10 + i))
+	}
+}
+
+func TestIncompatibleWaitersDrainSequentially(t *testing.T) {
+	// txn 1 holds X; txns 2 and 3 both queue for X. After txn 1 releases,
+	// exactly one wins; the loser re-queues (surviving the lock state being
+	// deleted and re-created) and is granted when the winner releases.
+	lm := newLockManager()
+	if err := lm.acquire(1, "k", LockX); err != nil {
+		t.Fatal(err)
+	}
+	granted := make(chan uint64, 2)
+	for _, txn := range []uint64{2, 3} {
+		go func(txn uint64) {
+			if err := lm.acquire(txn, "k", LockX); err != nil {
+				t.Errorf("txn %d: %v", txn, err)
+				return
+			}
+			granted <- txn
+		}(txn)
+	}
+	time.Sleep(10 * time.Millisecond)
+	lm.releaseAll(1)
+	first := <-granted
+	select {
+	case second := <-granted:
+		t.Fatalf("txns %d and %d both hold X", first, second)
+	case <-time.After(20 * time.Millisecond):
+	}
+	lm.releaseAll(first)
+	second := <-granted
+	if second == first {
+		t.Fatalf("txn %d granted twice", first)
+	}
+	lm.releaseAll(second)
+}
+
+func TestDeadlockVictimPropagatesThroughTxnAPI(t *testing.T) {
+	// Drive a two-key deadlock through the public Txn API: the victim's
+	// Put must return ErrDeadlock (wrapped), and after it aborts the
+	// survivor commits normally.
+	e, err := Open(Options{Durability: Ephemeral})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	t1, err := e.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := e.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := t1.Put("ks", []byte("a"), []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.Put("ks", []byte("b"), []byte("2")); err != nil {
+		t.Fatal(err)
+	}
+	// Cross over: t1 -> b, t2 -> a. One blocks; the other closes the cycle
+	// and is chosen as victim.
+	results := make(chan struct {
+		txn *Txn
+		err error
+	}, 2)
+	var wg sync.WaitGroup
+	for _, c := range []struct {
+		txn *Txn
+		key string
+	}{{t1, "b"}, {t2, "a"}} {
+		wg.Add(1)
+		go func(txn *Txn, key string) {
+			defer wg.Done()
+			err := txn.Put("ks", []byte(key), []byte("x"))
+			results <- struct {
+				txn *Txn
+				err error
+			}{txn, err}
+			if err != nil {
+				txn.Abort()
+			}
+		}(c.txn, c.key)
+	}
+	wg.Wait()
+	close(results)
+	var victims, winners []*Txn
+	for r := range results {
+		if r.err != nil {
+			if !errors.Is(r.err, ErrDeadlock) {
+				t.Fatalf("victim error = %v, want ErrDeadlock", r.err)
+			}
+			victims = append(victims, r.txn)
+		} else {
+			winners = append(winners, r.txn)
+		}
+	}
+	if len(victims) != 1 || len(winners) != 1 {
+		t.Fatalf("victims = %d, winners = %d; want exactly one each", len(victims), len(winners))
+	}
+	if err := winners[0].Commit(); err != nil {
+		t.Fatalf("survivor commit after victim abort: %v", err)
+	}
+	// The survivor's crossover write must be visible after commit.
+	crossKey := "a"
+	if winners[0] == t1 {
+		crossKey = "b"
+	}
+	if err := e.View(func(tx *Txn) error {
+		v, ok, err := tx.Get("ks", []byte(crossKey))
+		if err != nil {
+			return err
+		}
+		if !ok || string(v) != "x" {
+			t.Errorf("crossover key %q = %q, %v; want \"x\"", crossKey, v, ok)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAbortWhileOthersWaitReleasesLocks(t *testing.T) {
+	// A waiter blocked on an aborting transaction must acquire the lock
+	// after the abort (releaseAll on abort wakes waiters).
+	e, err := Open(Options{Durability: Ephemeral})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	holder, err := e.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := holder.Put("ks", []byte("k"), []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		done <- e.Update(func(tx *Txn) error {
+			return tx.Put("ks", []byte("k"), []byte("2"))
+		})
+	}()
+	select {
+	case err := <-done:
+		t.Fatalf("second writer proceeded under the holder's X lock (err=%v)", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	holder.Abort()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("waiter still blocked after holder aborted")
+	}
+	if err := e.View(func(tx *Txn) error {
+		v, ok, err := tx.Get("ks", []byte("k"))
+		if err != nil {
+			return err
+		}
+		if !ok || string(v) != "2" {
+			t.Errorf("value = %q, %v; want \"2\" (aborted write must not survive)", v, ok)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -180,6 +180,8 @@ func (m *Migrator) CollectionToGraph(tx *engine.Txn, coll, graph, refField, labe
 					refs = append(refs, ref{key, t.AsString()})
 				}
 			}
+		default:
+			// Only string keys (or arrays of them) are references.
 		}
 		return true
 	})

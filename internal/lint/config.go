@@ -1,0 +1,62 @@
+package lint
+
+// This file pins the analyzer suite to this repository's invariants. The
+// analyzers themselves are generic (and fixture-tested against synthetic
+// packages); the configuration below is where the engine's actual contracts
+// are written down.
+
+// DefaultAnalyzers returns the suite configured for unidb:
+//
+//	lockcheck    — all packages; the engine/lock-manager/WAL mutexes are the
+//	               backbone of every model's consistency.
+//	errdrop      — wal, engine, catalog: a dropped error there is a commit
+//	               that lied about durability.
+//	exhaustive   — query AST (Expr, Clause) and the closed value/op/source
+//	               vocabularies: a new kind must be wired everywhere before
+//	               the lint passes.
+//	determinism  — query executor merge/exec paths: the parallel executor
+//	               must stay byte-identical to the serial one.
+//	txnend       — core and query: a Begin without Commit/Abort wedges 2PL.
+func DefaultAnalyzers() []Analyzer {
+	return []Analyzer{
+		LockCheck{},
+		ErrDrop{Packages: []string{
+			"repro/internal/wal",
+			"repro/internal/engine",
+			"repro/internal/catalog",
+		}},
+		Exhaustive{
+			Interfaces: []TypeRef{
+				{Pkg: "repro/internal/query", Name: "Expr"},
+				{Pkg: "repro/internal/query", Name: "Clause"},
+			},
+			Enums: []TypeRef{
+				{Pkg: "repro/internal/mmvalue", Name: "Kind"},
+				{Pkg: "repro/internal/query", Name: "SourceKind"},
+				{Pkg: "repro/internal/wal", Name: "Op"},
+			},
+		},
+		Determinism{Scope: []ScopeRef{
+			{Pkg: "repro/internal/query", Files: []string{
+				"exec.go", "eval.go", "parallel.go", "compile.go", "optimize.go",
+			}},
+		}},
+		TxnEnd{
+			Packages:   []string{"repro/internal/core", "repro/internal/query"},
+			BeginNames: []string{"Begin"},
+			EndNames:   []string{"Commit", "Abort"},
+		},
+	}
+}
+
+// DefaultRunner returns the suite plus the repository's path suppressions.
+func DefaultRunner() *Runner {
+	return &Runner{
+		Analyzers: DefaultAnalyzers(),
+		SuppressPaths: map[string][]string{
+			// Examples are narrative code; they share the binary's module
+			// but not the engine's invariants.
+			"*": {"/examples/"},
+		},
+	}
+}

@@ -1,0 +1,136 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"path/filepath"
+	"strconv"
+)
+
+// Determinism guards the serial≡parallel byte-identical contract of the
+// query executor: result merge paths must not observe wall-clock time,
+// random state, or Go's randomized map iteration order. In the configured
+// scope it forbids:
+//
+//	time.Now(...)                    — wall-clock reads
+//	import "math/rand" / rand/v2     — random state
+//	for k := range m { s = append(s, ...) }
+//	                                 — map iteration order leaking into an
+//	                                   ordered slice; sort the keys first
+type Determinism struct {
+	// Scope lists (package path, optional file basenames) to enforce in;
+	// empty basenames means the whole package.
+	Scope []ScopeRef
+}
+
+// ScopeRef selects files of a package.
+type ScopeRef struct {
+	Pkg   string
+	Files []string
+}
+
+// Name implements Analyzer.
+func (Determinism) Name() string { return "determinism" }
+
+// Doc implements Analyzer.
+func (Determinism) Doc() string {
+	return "no time.Now, math/rand, or map-range-into-append in ordered executor paths"
+}
+
+// Run implements Analyzer.
+func (dt Determinism) Run(pass *Pass) {
+	var files []string
+	found := false
+	for _, ref := range dt.Scope {
+		if ref.Pkg == pass.Pkg.Path {
+			found, files = true, ref.Files
+			break
+		}
+	}
+	if !found {
+		return
+	}
+	inScope := func(f *ast.File) bool {
+		if len(files) == 0 {
+			return true
+		}
+		base := filepath.Base(pass.Fset.Position(f.Pos()).Filename)
+		for _, want := range files {
+			if base == want {
+				return true
+			}
+		}
+		return false
+	}
+	for _, file := range pass.Pkg.Files {
+		if !inScope(file) {
+			continue
+		}
+		for _, imp := range file.Imports {
+			if p, err := strconv.Unquote(imp.Path.Value); err == nil &&
+				(p == "math/rand" || p == "math/rand/v2") {
+				pass.Reportf(imp.Pos(), "import of %s in a deterministic executor path", p)
+			}
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch t := n.(type) {
+			case *ast.SelectorExpr:
+				if obj, ok := pass.Pkg.Info.Uses[t.Sel].(*types.Func); ok {
+					if obj.Pkg() != nil && obj.Pkg().Path() == "time" && obj.Name() == "Now" {
+						pass.Reportf(t.Pos(), "time.Now in a deterministic executor path")
+					}
+				}
+			case *ast.RangeStmt:
+				dt.checkMapRange(pass, t)
+			}
+			return true
+		})
+	}
+}
+
+// checkMapRange flags appends into an outer slice from inside a range over a
+// map: the append order then depends on Go's randomized map iteration.
+func (dt Determinism) checkMapRange(pass *Pass, rng *ast.RangeStmt) {
+	tv, ok := pass.Pkg.Info.Types[rng.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			call, ok := rhs.(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			fun, ok := ast.Unparen(call.Fun).(*ast.Ident)
+			if !ok || fun.Name != "append" {
+				continue
+			}
+			if _, isBuiltin := pass.Pkg.Info.Uses[fun].(*types.Builtin); !isBuiltin {
+				continue
+			}
+			if i >= len(as.Lhs) {
+				continue
+			}
+			id, ok := as.Lhs[i].(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj := pass.Pkg.Info.Uses[id]
+			if obj == nil {
+				obj = pass.Pkg.Info.Defs[id]
+			}
+			if obj != nil && obj.Pos() < rng.Pos() {
+				pass.Reportf(as.Pos(),
+					"append to %s while ranging over a map: iteration order is nondeterministic (sort keys first)", id.Name)
+			}
+		}
+		return true
+	})
+}

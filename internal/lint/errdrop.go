@@ -1,0 +1,162 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ErrDrop forbids silently discarded error results in the packages that sit
+// under every transaction: a dropped error in the WAL or engine means a
+// commit that "succeeded" without reaching disk, the exact failure class
+// that corrupts all data models at once. Two shapes are flagged:
+//
+//	f.Close()            // bare call whose result set includes an error
+//	_ = f.Close()        // error result blank-assigned
+//	v, _ := g()          // error component blank-assigned
+//
+// Deferred calls (`defer f.Close()`) are exempt: they run on paths that are
+// usually already failing, and the idiom is pervasive and visible.
+// Intentional drops take a `//unidblint:ignore errdrop <why>` (or legacy
+// `//nolint:errcheck`) comment.
+type ErrDrop struct {
+	// Packages limits enforcement to these import paths; empty means every
+	// package the runner visits.
+	Packages []string
+}
+
+// Name implements Analyzer.
+func (ErrDrop) Name() string { return "errdrop" }
+
+// Doc implements Analyzer.
+func (ErrDrop) Doc() string {
+	return "no discarded error results (bare calls or blank assigns) in WAL/engine/catalog paths"
+}
+
+// Run implements Analyzer.
+func (ed ErrDrop) Run(pass *Pass) {
+	if len(ed.Packages) > 0 {
+		ok := false
+		for _, p := range ed.Packages {
+			if pass.Pkg.Path == p {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return
+		}
+	}
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch t := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := t.X.(*ast.CallExpr); ok {
+					if idx := errResultIndex(pass, call); idx >= 0 {
+						pass.Reportf(call.Pos(), "result of %s includes an error that is discarded", callName(pass, call))
+					}
+				}
+			case *ast.AssignStmt:
+				ed.checkAssign(pass, t)
+			}
+			return true
+		})
+	}
+}
+
+// checkAssign flags `_ = call()` / `v, _ := call()` where the blank slot is
+// the call's error result.
+func (ed ErrDrop) checkAssign(pass *Pass, as *ast.AssignStmt) {
+	// Only the multi-value form `a, _ := f()` and the single `_ = f()`.
+	if len(as.Rhs) == 1 {
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		errIdx := errResultIndex(pass, call)
+		if errIdx < 0 || errIdx >= len(as.Lhs) {
+			return
+		}
+		if id, ok := as.Lhs[errIdx].(*ast.Ident); ok && id.Name == "_" {
+			pass.Reportf(as.Pos(), "error result of %s is assigned to the blank identifier", callName(pass, call))
+		}
+		return
+	}
+	// Parallel assignment `a, b = f(), g()`.
+	if len(as.Rhs) != len(as.Lhs) {
+		return
+	}
+	for i, rhs := range as.Rhs {
+		call, ok := rhs.(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		if errResultIndex(pass, call) < 0 {
+			continue
+		}
+		if id, ok := as.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+			pass.Reportf(as.Pos(), "error result of %s is assigned to the blank identifier", callName(pass, call))
+		}
+	}
+}
+
+// errResultIndex returns the index of the error component in call's result
+// tuple, or -1 when it has none. Conversions and builtin calls return -1.
+func errResultIndex(pass *Pass, call *ast.CallExpr) int {
+	tv, ok := pass.Pkg.Info.Types[call]
+	if !ok {
+		return -1
+	}
+	if isConversionOrBuiltin(pass, call) {
+		return -1
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isErrorType(t.At(i).Type()) {
+				return i
+			}
+		}
+		return -1
+	default:
+		if isErrorType(tv.Type) {
+			return 0
+		}
+		return -1
+	}
+}
+
+func isConversionOrBuiltin(pass *Pass, call *ast.CallExpr) bool {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj := pass.Pkg.Info.Uses[fun]
+		switch obj.(type) {
+		case *types.TypeName, *types.Builtin:
+			return true
+		}
+	case *ast.SelectorExpr:
+		if obj := pass.Pkg.Info.Uses[fun.Sel]; obj != nil {
+			if _, isType := obj.(*types.TypeName); isType {
+				return true
+			}
+		}
+	case *ast.ArrayType, *ast.MapType, *ast.StructType, *ast.InterfaceType, *ast.FuncType, *ast.ChanType:
+		return true
+	}
+	return false
+}
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// callName renders a short name for the callee, for diagnostics.
+func callName(pass *Pass, call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return exprText(pass.Fset, fun)
+	default:
+		return "call"
+	}
+}

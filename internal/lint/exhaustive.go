@@ -1,0 +1,216 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// TypeRef names a type by defining package path and type name.
+type TypeRef struct {
+	Pkg  string
+	Name string
+}
+
+// Exhaustive enforces that switches over closed engine vocabularies cover
+// every registered kind:
+//
+//   - type switches over a configured interface (the query AST's Expr and
+//     Clause) must list every concrete implementation declared in the
+//     interface's defining package;
+//   - value switches over a configured enum type (mmvalue.Kind, wal.Op,
+//     query.SourceKind) must list every declared constant of that type.
+//
+// A `default:` clause exempts a switch: it is an explicit statement about
+// unknown kinds, which is the opposite of a half-wired one. Without it, a
+// newly registered AST node or value kind fails the lint until every
+// dispatch site handles it.
+type Exhaustive struct {
+	Interfaces []TypeRef
+	Enums      []TypeRef
+}
+
+// Name implements Analyzer.
+func (Exhaustive) Name() string { return "exhaustive" }
+
+// Doc implements Analyzer.
+func (Exhaustive) Doc() string {
+	return "switches over AST-node interfaces and value-kind enums cover every registered kind (or carry a default)"
+}
+
+// Run implements Analyzer.
+func (ex Exhaustive) Run(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch t := n.(type) {
+			case *ast.TypeSwitchStmt:
+				ex.checkTypeSwitch(pass, t)
+			case *ast.SwitchStmt:
+				ex.checkEnumSwitch(pass, t)
+			}
+			return true
+		})
+	}
+}
+
+func (ex Exhaustive) matches(t types.Type, refs []TypeRef) (*types.Named, bool) {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil, false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return nil, false
+	}
+	for _, ref := range refs {
+		if obj.Pkg().Path() == ref.Pkg && obj.Name() == ref.Name {
+			return named, true
+		}
+	}
+	return nil, false
+}
+
+func (ex Exhaustive) checkTypeSwitch(pass *Pass, sw *ast.TypeSwitchStmt) {
+	tag := typeSwitchTag(sw)
+	if tag == nil {
+		return
+	}
+	tv, ok := pass.Pkg.Info.Types[tag]
+	if !ok {
+		return
+	}
+	named, ok := ex.matches(tv.Type, ex.Interfaces)
+	if !ok {
+		return
+	}
+	iface, ok := named.Underlying().(*types.Interface)
+	if !ok {
+		return
+	}
+	if switchHasDefault(sw.Body) {
+		return
+	}
+	// Required: every concrete type in the defining package implementing
+	// the interface.
+	defScope := named.Obj().Pkg().Scope()
+	required := map[string]bool{}
+	for _, name := range defScope.Names() {
+		tn, ok := defScope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		T := tn.Type()
+		if types.IsInterface(T) {
+			continue
+		}
+		if types.Implements(T, iface) || types.Implements(types.NewPointer(T), iface) {
+			required[tn.Name()] = true
+		}
+	}
+	// Covered: every case type (pointers dereferenced).
+	for _, cl := range sw.Body.List {
+		c := cl.(*ast.CaseClause)
+		for _, te := range c.List {
+			ctv, ok := pass.Pkg.Info.Types[te]
+			if !ok {
+				continue
+			}
+			T := ctv.Type
+			if ptr, isPtr := T.(*types.Pointer); isPtr {
+				T = ptr.Elem()
+			}
+			if cn, isNamed := T.(*types.Named); isNamed {
+				delete(required, cn.Obj().Name())
+			}
+		}
+	}
+	if len(required) > 0 {
+		pass.Reportf(sw.Pos(), "type switch over %s.%s is missing cases: %s (add them or a default)",
+			named.Obj().Pkg().Name(), named.Obj().Name(), sortedKeys(required))
+	}
+}
+
+func (ex Exhaustive) checkEnumSwitch(pass *Pass, sw *ast.SwitchStmt) {
+	if sw.Tag == nil {
+		return
+	}
+	tv, ok := pass.Pkg.Info.Types[sw.Tag]
+	if !ok {
+		return
+	}
+	named, ok := ex.matches(tv.Type, ex.Enums)
+	if !ok {
+		return
+	}
+	if switchHasDefault(sw.Body) {
+		return
+	}
+	// Required: every declared constant of the enum type, grouped by value
+	// so aliases count as one.
+	defScope := named.Obj().Pkg().Scope()
+	required := map[string]string{} // exact value -> first name
+	for _, name := range defScope.Names() {
+		cn, ok := defScope.Lookup(name).(*types.Const)
+		if !ok || !types.Identical(cn.Type(), named) {
+			continue
+		}
+		val := cn.Val().ExactString()
+		if _, have := required[val]; !have {
+			required[val] = cn.Name()
+		}
+	}
+	for _, cl := range sw.Body.List {
+		c := cl.(*ast.CaseClause)
+		for _, ce := range c.List {
+			ctv, ok := pass.Pkg.Info.Types[ce]
+			if !ok || ctv.Value == nil {
+				continue
+			}
+			delete(required, ctv.Value.ExactString())
+		}
+	}
+	if len(required) > 0 {
+		missing := map[string]bool{}
+		for _, name := range required {
+			missing[name] = true
+		}
+		pass.Reportf(sw.Pos(), "switch over %s.%s is missing cases: %s (add them or a default)",
+			named.Obj().Pkg().Name(), named.Obj().Name(), sortedKeys(missing))
+	}
+}
+
+// typeSwitchTag extracts the interface-typed operand x of `switch v := x.(type)`.
+func typeSwitchTag(sw *ast.TypeSwitchStmt) ast.Expr {
+	switch a := sw.Assign.(type) {
+	case *ast.AssignStmt:
+		if len(a.Rhs) == 1 {
+			if ta, ok := a.Rhs[0].(*ast.TypeAssertExpr); ok {
+				return ta.X
+			}
+		}
+	case *ast.ExprStmt:
+		if ta, ok := a.X.(*ast.TypeAssertExpr); ok {
+			return ta.X
+		}
+	}
+	return nil
+}
+
+func switchHasDefault(body *ast.BlockStmt) bool {
+	for _, cl := range body.List {
+		if c, ok := cl.(*ast.CaseClause); ok && c.List == nil {
+			return true
+		}
+	}
+	return false
+}
+
+func sortedKeys(m map[string]bool) string {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}

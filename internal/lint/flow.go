@@ -1,0 +1,350 @@
+package lint
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+)
+
+// The flow walker is a small path-sensitive abstract interpreter over
+// function bodies, shared by lockcheck (mutexes) and txnend (transactions).
+// It tracks "resources" identified by string keys through acquire/release
+// events and reports any resource that may still be held at an exit point
+// (return or falling off the end of the function).
+//
+// Approximations, chosen to favor real engine bugs over noise:
+//   - A deferred release satisfies the resource immediately (defers run at
+//     every later exit).
+//   - Branch merge is a may-hold union: a resource held on any surviving
+//     branch is held after the merge.
+//   - break/continue/goto and panic/os.Exit terminate their path without an
+//     exit check (panic unwinding is out of scope).
+//   - Function literals are analyzed as independent functions; a release
+//     inside a *deferred* literal counts as a deferred release.
+
+type flowKind int
+
+const (
+	flowAcquire flowKind = iota
+	flowRelease
+	flowDeferRelease
+)
+
+type flowEvent struct {
+	key  string
+	kind flowKind
+	pos  token.Pos
+}
+
+// flowLeak is one resource that may escape an exit point unreleased.
+type flowLeak struct {
+	Key        string
+	AcquirePos token.Pos
+	ExitPos    token.Pos
+}
+
+// eventsFunc extracts the acquire/release events of a single simple
+// statement or expression subtree. Implementations must not descend into
+// *ast.FuncLit (the walker handles deferred literals itself).
+type eventsFunc func(n ast.Node) []flowEvent
+
+// branchFunc lets a discipline refine state on the two arms of an if: it is
+// called with the condition and negated=false for the then-branch,
+// negated=true for the else-branch, returning events applied to that arm
+// only. txnend uses it to model `if err != nil { ... }` after a Begin: on
+// the error arm the transaction was never created, so it owes no Commit.
+type branchFunc func(cond ast.Expr, negated bool) []flowEvent
+
+type flowState struct {
+	held map[string]token.Pos // key -> acquire position
+}
+
+func (s *flowState) clone() *flowState {
+	c := &flowState{held: make(map[string]token.Pos, len(s.held))}
+	for k, v := range s.held {
+		c.held[k] = v
+	}
+	return c
+}
+
+type flowWalker struct {
+	events eventsFunc
+	branch branchFunc // may be nil
+	leaks  []flowLeak
+}
+
+// runFlow analyzes one function body and returns possible leaks, deduped by
+// acquire position (the first exit that leaks wins). branch may be nil.
+func runFlow(body *ast.BlockStmt, events eventsFunc, branch branchFunc) []flowLeak {
+	w := &flowWalker{events: events, branch: branch}
+	st := &flowState{held: map[string]token.Pos{}}
+	if !w.walkStmts(body.List, st) {
+		w.checkExit(st, body.End())
+	}
+	seen := map[token.Pos]bool{}
+	var out []flowLeak
+	for _, l := range w.leaks {
+		if !seen[l.AcquirePos] {
+			seen[l.AcquirePos] = true
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+func (w *flowWalker) checkExit(st *flowState, exit token.Pos) {
+	for key, acq := range st.held {
+		w.leaks = append(w.leaks, flowLeak{Key: key, AcquirePos: acq, ExitPos: exit})
+	}
+}
+
+func (w *flowWalker) apply(st *flowState, evs []flowEvent) {
+	for _, ev := range evs {
+		switch ev.kind {
+		case flowAcquire:
+			st.held[ev.key] = ev.pos
+		case flowRelease, flowDeferRelease:
+			delete(st.held, ev.key)
+		}
+	}
+}
+
+// walkStmts processes a statement list; the returned bool reports whether
+// every path through the list terminated (return/branch/panic).
+func (w *flowWalker) walkStmts(stmts []ast.Stmt, st *flowState) bool {
+	for _, s := range stmts {
+		if w.walkStmt(s, st) {
+			return true
+		}
+	}
+	return false
+}
+
+func (w *flowWalker) walkStmt(s ast.Stmt, st *flowState) bool {
+	switch t := s.(type) {
+	case nil:
+		return false
+	case *ast.BlockStmt:
+		return w.walkStmts(t.List, st)
+	case *ast.LabeledStmt:
+		return w.walkStmt(t.Stmt, st)
+	case *ast.ReturnStmt:
+		for _, res := range t.Results {
+			w.apply(st, w.events(res))
+		}
+		w.checkExit(st, t.Pos())
+		return true
+	case *ast.BranchStmt:
+		// break/continue/goto/fallthrough: stop propagating this path.
+		return true
+	case *ast.DeferStmt:
+		w.apply(st, w.deferEvents(t))
+		return false
+	case *ast.GoStmt:
+		// Arguments are evaluated now; the body runs later — extract
+		// events from arguments only.
+		for _, arg := range t.Call.Args {
+			w.apply(st, w.events(arg))
+		}
+		return false
+	case *ast.IfStmt:
+		if t.Init != nil {
+			w.walkStmt(t.Init, st)
+		}
+		w.apply(st, w.events(t.Cond))
+		thenSt := st.clone()
+		elseSt := st.clone()
+		if w.branch != nil {
+			w.apply(thenSt, w.branch(t.Cond, false))
+			w.apply(elseSt, w.branch(t.Cond, true))
+		}
+		thenTerm := w.walkStmts(t.Body.List, thenSt)
+		elseTerm := false
+		if t.Else != nil {
+			elseTerm = w.walkStmt(t.Else, elseSt)
+		}
+		return w.merge(st, thenSt, thenTerm, elseSt, elseTerm)
+	case *ast.ForStmt:
+		if t.Init != nil {
+			w.walkStmt(t.Init, st)
+		}
+		if t.Cond != nil {
+			w.apply(st, w.events(t.Cond))
+		}
+		bodySt := st.clone()
+		w.walkStmts(t.Body.List, bodySt)
+		if t.Post != nil {
+			w.walkStmt(t.Post, bodySt)
+		}
+		// May-hold union of "loop ran" and "loop skipped".
+		return w.merge(st, bodySt, false, st.clone(), false)
+	case *ast.RangeStmt:
+		w.apply(st, w.events(t.X))
+		bodySt := st.clone()
+		w.walkStmts(t.Body.List, bodySt)
+		return w.merge(st, bodySt, false, st.clone(), false)
+	case *ast.SwitchStmt:
+		if t.Init != nil {
+			w.walkStmt(t.Init, st)
+		}
+		if t.Tag != nil {
+			w.apply(st, w.events(t.Tag))
+		}
+		return w.walkCases(t.Body, st, !hasDefault(t.Body))
+	case *ast.TypeSwitchStmt:
+		if t.Init != nil {
+			w.walkStmt(t.Init, st)
+		}
+		w.walkStmt(t.Assign, st)
+		return w.walkCases(t.Body, st, !hasDefault(t.Body))
+	case *ast.SelectStmt:
+		if len(t.Body.List) == 0 {
+			return true // select{} blocks forever
+		}
+		return w.walkCases(t.Body, st, false)
+	case *ast.ExprStmt:
+		if isTerminalCall(t.X) {
+			return true
+		}
+		w.apply(st, w.events(t.X))
+		return false
+	default:
+		// AssignStmt, DeclStmt, IncDecStmt, SendStmt, EmptyStmt...
+		w.apply(st, w.events(s))
+		return false
+	}
+}
+
+// walkCases analyzes each case clause against a copy of the entry state and
+// merges the survivors. mayFallThrough adds the entry state itself as a
+// survivor (a switch without default may match nothing).
+func (w *flowWalker) walkCases(body *ast.BlockStmt, st *flowState, mayFallThrough bool) bool {
+	var survivors []*flowState
+	allTerm := true
+	for _, cl := range body.List {
+		var stmts []ast.Stmt
+		switch c := cl.(type) {
+		case *ast.CaseClause:
+			for _, e := range c.List {
+				w.apply(st, w.events(e))
+			}
+			stmts = c.Body
+		case *ast.CommClause:
+			if c.Comm != nil {
+				w.walkStmt(c.Comm, st)
+			}
+			stmts = c.Body
+		}
+		caseSt := st.clone()
+		if !w.walkStmts(stmts, caseSt) {
+			allTerm = false
+			survivors = append(survivors, caseSt)
+		}
+	}
+	if mayFallThrough {
+		allTerm = false
+		survivors = append(survivors, st.clone())
+	}
+	if allTerm && len(body.List) > 0 {
+		return true
+	}
+	merged := &flowState{held: map[string]token.Pos{}}
+	for _, s := range survivors {
+		for k, v := range s.held {
+			merged.held[k] = v
+		}
+	}
+	st.held = merged.held
+	return false
+}
+
+// merge folds two branch outcomes back into st; returns true when both
+// branches terminated.
+func (w *flowWalker) merge(st *flowState, a *flowState, aTerm bool, b *flowState, bTerm bool) bool {
+	if aTerm && bTerm {
+		return true
+	}
+	held := map[string]token.Pos{}
+	if !aTerm {
+		for k, v := range a.held {
+			held[k] = v
+		}
+	}
+	if !bTerm {
+		for k, v := range b.held {
+			held[k] = v
+		}
+	}
+	st.held = held
+	return false
+}
+
+// deferEvents turns the releases inside a deferred call (direct method call
+// or function literal body) into deferred releases; acquires inside a
+// deferred body are ignored.
+func (w *flowWalker) deferEvents(d *ast.DeferStmt) []flowEvent {
+	var out []flowEvent
+	scan := func(n ast.Node) {
+		for _, ev := range w.events(n) {
+			if ev.kind == flowRelease {
+				ev.kind = flowDeferRelease
+				out = append(out, ev)
+			}
+		}
+	}
+	if lit, ok := d.Call.Fun.(*ast.FuncLit); ok {
+		// defer func() { ...; mu.Unlock() }(): scan the literal body's
+		// statements for releases (the events func skips nested literals).
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			if _, isLit := n.(*ast.FuncLit); isLit {
+				return false
+			}
+			if call, isCall := n.(*ast.CallExpr); isCall {
+				scan(call)
+				return false
+			}
+			return true
+		})
+		return out
+	}
+	scan(d.Call)
+	return out
+}
+
+func hasDefault(body *ast.BlockStmt) bool {
+	for _, cl := range body.List {
+		if c, ok := cl.(*ast.CaseClause); ok && c.List == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// isTerminalCall reports whether an expression statement never returns:
+// panic(...), os.Exit(...), log.Fatal*(...), (*testing.T).Fatal*.
+func isTerminalCall(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name == "panic"
+	case *ast.SelectorExpr:
+		name := fun.Sel.Name
+		return name == "Exit" || name == "Fatal" || name == "Fatalf" || name == "Fatalln" ||
+			name == "Panic" || name == "Panicf" || name == "Panicln"
+	}
+	return false
+}
+
+// exprText renders an expression as compact source text — the walker's
+// resource key for "same lock" (t.e.mu, lm.mu, ...).
+func exprText(fset *token.FileSet, e ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, e); err != nil {
+		return ""
+	}
+	return buf.String()
+}

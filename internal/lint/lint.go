@@ -1,0 +1,164 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one invariant checker.
+type Analyzer interface {
+	// Name is the short identifier used in diagnostics and suppression
+	// comments ("lockcheck", "errdrop", ...).
+	Name() string
+	// Doc is a one-line description of the enforced invariant.
+	Doc() string
+	// Run inspects one package and reports findings through the pass.
+	Run(pass *Pass)
+}
+
+// Pass hands one package to one analyzer.
+type Pass struct {
+	Pkg      *Package
+	Fset     *token.FileSet
+	analyzer string
+	sink     func(Diagnostic)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.sink(Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.analyzer,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one reported violation.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Runner applies a set of analyzers over loaded packages with suppression.
+type Runner struct {
+	Analyzers []Analyzer
+	// SuppressPaths maps analyzer name (or "*" for all) to slash-separated
+	// path fragments; a diagnostic whose file path contains a fragment is
+	// dropped. This is the per-path suppression layer: e.g. generated code
+	// or a package that intentionally trades an invariant away.
+	SuppressPaths map[string][]string
+}
+
+// Run loads each import path and applies every analyzer, returning the
+// surviving diagnostics sorted by position.
+func (r *Runner) Run(l *Loader, paths []string) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, path := range paths {
+		pkg, err := l.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		diags = append(diags, r.RunPackage(l, pkg)...)
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+// RunPackage applies every analyzer to one already-loaded package.
+func (r *Runner) RunPackage(l *Loader, pkg *Package) []Diagnostic {
+	ignores := collectIgnores(l.Fset, pkg.Files)
+	var diags []Diagnostic
+	for _, a := range r.Analyzers {
+		pass := &Pass{
+			Pkg:      pkg,
+			Fset:     l.Fset,
+			analyzer: a.Name(),
+			sink: func(d Diagnostic) {
+				if !r.suppressed(d, ignores) {
+					diags = append(diags, d)
+				}
+			},
+		}
+		a.Run(pass)
+	}
+	return diags
+}
+
+// ignoreKey identifies one line-level suppression.
+type ignoreKey struct {
+	file     string
+	line     int
+	analyzer string // "" means all analyzers
+}
+
+// collectIgnores scans comments for line-level suppressions. Two syntaxes:
+//
+//	//unidblint:ignore <analyzer> [reason]   (our own)
+//	//nolint:errcheck                        (pre-existing idiom → errdrop)
+//
+// A suppression applies to diagnostics on its own line and the line below
+// (so it can sit above the offending statement).
+func collectIgnores(fset *token.FileSet, files []*ast.File) map[ignoreKey]bool {
+	ignores := map[ignoreKey]bool{}
+	add := func(pos token.Position, analyzer string) {
+		ignores[ignoreKey{pos.Filename, pos.Line, analyzer}] = true
+		ignores[ignoreKey{pos.Filename, pos.Line + 1, analyzer}] = true
+	}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if rest, ok := strings.CutPrefix(text, "unidblint:ignore"); ok {
+					fields := strings.Fields(rest)
+					name := ""
+					if len(fields) > 0 {
+						name = fields[0]
+					}
+					add(fset.Position(c.Pos()), name)
+				}
+				if strings.HasPrefix(text, "nolint:errcheck") {
+					add(fset.Position(c.Pos()), "errdrop")
+				}
+			}
+		}
+	}
+	return ignores
+}
+
+func (r *Runner) suppressed(d Diagnostic, ignores map[ignoreKey]bool) bool {
+	if ignores[ignoreKey{d.Pos.Filename, d.Pos.Line, d.Analyzer}] ||
+		ignores[ignoreKey{d.Pos.Filename, d.Pos.Line, ""}] {
+		return true
+	}
+	slashed := filepath.ToSlash(d.Pos.Filename)
+	for _, key := range []string{d.Analyzer, "*"} {
+		for _, frag := range r.SuppressPaths[key] {
+			if strings.Contains(slashed, frag) {
+				return true
+			}
+		}
+	}
+	return false
+}

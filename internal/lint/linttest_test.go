@@ -1,0 +1,120 @@
+package lint
+
+import (
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// runFixture type-checks testdata/<name> as a synthetic package, runs the
+// analyzer through the full Runner (so suppression comments are exercised
+// too), and compares diagnostics against `// want "regex"` annotations: each
+// diagnostic must match a want on its line, and every want must fire.
+func runFixture(t *testing.T, a Analyzer, name string) {
+	t.Helper()
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join("testdata", name)
+	pkg, err := l.LoadDir("fixture/"+name, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, se := range pkg.SoftErrors {
+		t.Errorf("fixture type error: %v", se)
+	}
+	wants := collectWants(t, l.Fset, pkg)
+	runner := &Runner{Analyzers: []Analyzer{a}}
+	diags := runner.RunPackage(l, pkg)
+
+	matched := map[*want]bool{}
+	for _, d := range diags {
+		w := findWant(wants, d.Pos.Filename, d.Pos.Line)
+		if w == nil {
+			t.Errorf("unexpected diagnostic: %s", d)
+			continue
+		}
+		if !w.re.MatchString(d.Message) {
+			t.Errorf("diagnostic %q does not match want %q at %s:%d", d.Message, w.re, d.Pos.Filename, d.Pos.Line)
+		}
+		matched[w] = true
+	}
+	for _, w := range wants {
+		if !matched[w] {
+			t.Errorf("missing diagnostic: want %q at %s:%d", w.re, w.file, w.line)
+		}
+	}
+}
+
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+}
+
+var wantRx = regexp.MustCompile("// want `([^`]+)`")
+
+func collectWants(t *testing.T, fset *token.FileSet, pkg *Package) []*want {
+	t.Helper()
+	var wants []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRx.FindStringSubmatch(c.Text)
+				if m == nil {
+					if strings.Contains(c.Text, "// want") {
+						t.Fatalf("malformed want comment (use // want `regex`): %s", c.Text)
+					}
+					continue
+				}
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					t.Fatalf("bad want regexp %q: %v", m[1], err)
+				}
+				pos := fset.Position(c.Pos())
+				wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re})
+			}
+		}
+	}
+	return wants
+}
+
+func findWant(wants []*want, file string, line int) *want {
+	for _, w := range wants {
+		if w.file == file && w.line == line {
+			return w
+		}
+	}
+	return nil
+}
+
+func TestLockCheckFixtures(t *testing.T) {
+	runFixture(t, LockCheck{}, "lockcheck")
+}
+
+func TestErrDropFixtures(t *testing.T) {
+	runFixture(t, ErrDrop{}, "errdrop")
+}
+
+func TestExhaustiveFixtures(t *testing.T) {
+	runFixture(t, Exhaustive{
+		Interfaces: []TypeRef{{Pkg: "fixture/exhaustive", Name: "Node"}},
+		Enums:      []TypeRef{{Pkg: "fixture/exhaustive", Name: "Color"}},
+	}, "exhaustive")
+}
+
+func TestDeterminismFixtures(t *testing.T) {
+	runFixture(t, Determinism{
+		Scope: []ScopeRef{{Pkg: "fixture/determinism"}},
+	}, "determinism")
+}
+
+func TestTxnEndFixtures(t *testing.T) {
+	runFixture(t, TxnEnd{
+		BeginNames: []string{"Begin"},
+		EndNames:   []string{"Commit", "Abort"},
+	}, "txnend")
+}

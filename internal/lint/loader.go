@@ -1,0 +1,242 @@
+// Package lint is unidb's in-tree static-analysis suite (the `unidblint`
+// tool). It encodes engine invariants — lock pairing, error handling, AST
+// exhaustiveness, executor determinism, transaction lifecycle — as
+// compiler-adjacent checks that run on every verify, using only the standard
+// library: go/parser + go/ast for syntax, go/types for semantics, and a
+// hand-rolled source importer (no golang.org/x/tools dependency).
+//
+// The suite exists because one engine serves many data models here: a
+// dropped error in the WAL, an unpaired mutex, or a half-wired AST node
+// corrupts *every* model's answers at once, so the invariants are enforced
+// mechanically rather than by review folklore.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	Path  string // import path ("repro/internal/engine")
+	Dir   string
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+	// SoftErrors collects type-checker complaints that did not prevent a
+	// usable types.Package (the loader is lenient so analysis can proceed;
+	// the build itself is verified separately by `go build`).
+	SoftErrors []error
+}
+
+// Loader parses and type-checks packages from source. Module packages are
+// resolved against the module root; standard-library packages are resolved
+// against GOROOT/src and type-checked from source too (cgo disabled, so the
+// pure-Go fallbacks are selected). This is the "hand-rolled importer": no
+// export data, no x/tools, just recursive source type-checking with a cache.
+type Loader struct {
+	Fset       *token.FileSet
+	ModuleDir  string
+	ModulePath string
+
+	ctx      build.Context
+	pkgs     map[string]*Package
+	checking map[string]bool
+}
+
+// NewLoader creates a loader rooted at the module containing dir (it walks
+// up to the nearest go.mod).
+func NewLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	root, modPath, err := findModule(abs)
+	if err != nil {
+		return nil, err
+	}
+	ctx := build.Default
+	ctx.CgoEnabled = false // select pure-Go files; we only need to type-check
+	ctx.Compiler = "gc"
+	if ctx.GOARCH == "" {
+		ctx.GOARCH = runtime.GOARCH
+	}
+	if ctx.GOOS == "" {
+		ctx.GOOS = runtime.GOOS
+	}
+	return &Loader{
+		Fset:       token.NewFileSet(),
+		ModuleDir:  root,
+		ModulePath: modPath,
+		ctx:        ctx,
+		pkgs:       map[string]*Package{},
+		checking:   map[string]bool{},
+	}, nil
+}
+
+// findModule walks up from dir to a go.mod and returns (moduleDir, modulePath).
+func findModule(dir string) (string, string, error) {
+	for d := dir; ; {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("lint: no module line in %s/go.mod", d)
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", "", fmt.Errorf("lint: no go.mod above %s", dir)
+		}
+		d = parent
+	}
+}
+
+// ModulePackages returns the import paths of every buildable package under
+// the module root (the expansion of "./..."), sorted.
+func (l *Loader) ModulePackages() ([]string, error) {
+	var out []string
+	err := filepath.WalkDir(l.ModuleDir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != l.ModuleDir && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+			return filepath.SkipDir
+		}
+		if _, err := l.ctx.ImportDir(path, 0); err != nil {
+			return nil // no buildable Go files here; keep walking
+		}
+		rel, err := filepath.Rel(l.ModuleDir, path)
+		if err != nil {
+			return err
+		}
+		if rel == "." {
+			out = append(out, l.ModulePath)
+		} else {
+			out = append(out, l.ModulePath+"/"+filepath.ToSlash(rel))
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Import implements types.Importer so the loader can hand itself to
+// types.Config.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	p, err := l.Load(path)
+	if err != nil {
+		return nil, err
+	}
+	return p.Types, nil
+}
+
+// Load type-checks the package at the given import path (module or stdlib),
+// caching the result.
+func (l *Loader) Load(path string) (*Package, error) {
+	if path == "unsafe" {
+		return &Package{Path: path, Types: types.Unsafe}, nil
+	}
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	if l.checking[path] {
+		return nil, fmt.Errorf("lint: import cycle through %q", path)
+	}
+	l.checking[path] = true
+	defer delete(l.checking, path)
+
+	dir, err := l.dirFor(path)
+	if err != nil {
+		return nil, err
+	}
+	return l.loadDir(path, dir)
+}
+
+// LoadDir type-checks the package in dir under a synthetic import path —
+// used by fixture tests to analyze testdata packages.
+func (l *Loader) LoadDir(path, dir string) (*Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	return l.loadDir(path, dir)
+}
+
+func (l *Loader) loadDir(path, dir string) (*Package, error) {
+	bp, err := l.ctx.ImportDir(dir, 0)
+	if err != nil {
+		return nil, fmt.Errorf("lint: %s: %w", path, err)
+	}
+	var files []*ast.File
+	for _, name := range bp.GoFiles {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lint: parse %s: %w", name, err)
+		}
+		files = append(files, f)
+	}
+	pkg := &Package{
+		Path:  path,
+		Dir:   dir,
+		Files: files,
+		Info: &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+			Implicits:  map[ast.Node]types.Object{},
+		},
+	}
+	conf := types.Config{
+		Importer:    l,
+		FakeImportC: true,
+		Error:       func(err error) { pkg.SoftErrors = append(pkg.SoftErrors, err) },
+	}
+	tpkg, err := conf.Check(path, l.Fset, files, pkg.Info)
+	if tpkg == nil {
+		return nil, fmt.Errorf("lint: typecheck %s: %w", path, err)
+	}
+	pkg.Types = tpkg
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// dirFor maps an import path to a source directory: the module's own
+// packages live under ModuleDir, everything else must be standard library
+// under GOROOT/src (the module has no external dependencies by design).
+func (l *Loader) dirFor(path string) (string, error) {
+	if path == l.ModulePath {
+		return l.ModuleDir, nil
+	}
+	if rest, ok := strings.CutPrefix(path, l.ModulePath+"/"); ok {
+		return filepath.Join(l.ModuleDir, filepath.FromSlash(rest)), nil
+	}
+	goroot := l.ctx.GOROOT
+	if goroot == "" {
+		goroot = runtime.GOROOT()
+	}
+	dir := filepath.Join(goroot, "src", filepath.FromSlash(path))
+	if st, err := os.Stat(dir); err == nil && st.IsDir() {
+		return dir, nil
+	}
+	return "", fmt.Errorf("lint: cannot resolve import %q (not module-local, not stdlib)", path)
+}

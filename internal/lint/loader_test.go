@@ -1,0 +1,51 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestLoaderWholeModule type-checks every module package from source with
+// the hand-rolled importer and requires zero soft errors: if this fails the
+// analyzers would be reasoning over broken type information.
+func TestLoaderWholeModule(t *testing.T) {
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.ModulePath != "repro" {
+		t.Fatalf("module path = %q, want repro", l.ModulePath)
+	}
+	paths, err := l.ModulePackages()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) < 25 {
+		t.Fatalf("found only %d packages: %v", len(paths), paths)
+	}
+	var found bool
+	for _, p := range paths {
+		if p == "repro/internal/engine" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("repro/internal/engine missing from %v", paths)
+	}
+	for _, p := range paths {
+		pkg, err := l.Load(p)
+		if err != nil {
+			t.Fatalf("load %s: %v", p, err)
+		}
+		for _, se := range pkg.SoftErrors {
+			// Ignore complaints from stdlib sources; our own packages must
+			// be clean.
+			if strings.Contains(se.Error(), l.ModuleDir) {
+				t.Errorf("%s: soft error: %v", p, se)
+			}
+		}
+		if pkg.Types == nil || !pkg.Types.Complete() {
+			t.Errorf("%s: incomplete package", p)
+		}
+	}
+}

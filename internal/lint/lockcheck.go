@@ -1,0 +1,135 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// LockCheck verifies that every Lock()/RLock() taken on a sync.Mutex or
+// sync.RWMutex (named field or variable) is released on all return paths of
+// the acquiring function — by a defer or an explicit Unlock()/RUnlock() on
+// every path. The engine's whole consistency story rests on strict lock
+// pairing, so a single branch that returns while holding e.mu deadlocks
+// every model at once.
+type LockCheck struct{}
+
+// Name implements Analyzer.
+func (LockCheck) Name() string { return "lockcheck" }
+
+// Doc implements Analyzer.
+func (LockCheck) Doc() string {
+	return "every mutex Lock/RLock is released on all return paths of the acquiring function"
+}
+
+// Run implements Analyzer.
+func (lc LockCheck) Run(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			}
+			if body == nil {
+				return true
+			}
+			lc.checkFunc(pass, body)
+			return true // descend: nested literals are checked independently
+		})
+	}
+}
+
+func (lc LockCheck) checkFunc(pass *Pass, body *ast.BlockStmt) {
+	events := func(n ast.Node) []flowEvent {
+		return lockEvents(pass, n)
+	}
+	for _, leak := range runFlow(body, events, nil) {
+		pass.Reportf(leak.AcquirePos,
+			"%s is locked here but not released on all paths (may leak at exit on line %d)",
+			leak.Key, pass.Fset.Position(leak.ExitPos).Line)
+	}
+}
+
+// lockEvents extracts mutex acquire/release events from a subtree, skipping
+// nested function literals (they run on their own schedule).
+func lockEvents(pass *Pass, root ast.Node) []flowEvent {
+	var out []flowEvent
+	ast.Inspect(root, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		var kind flowKind
+		var class string
+		switch sel.Sel.Name {
+		case "Lock":
+			kind, class = flowAcquire, "W"
+		case "Unlock":
+			kind, class = flowRelease, "W"
+		case "RLock":
+			kind, class = flowAcquire, "R"
+		case "RUnlock":
+			kind, class = flowRelease, "R"
+		default:
+			return true
+		}
+		if !isMutexMethod(pass, sel) {
+			return true
+		}
+		name := exprText(pass.Fset, sel.X)
+		if name == "" {
+			return true
+		}
+		key := name
+		if class == "R" {
+			key = name + " (read)"
+		}
+		out = append(out, flowEvent{key: key, kind: kind, pos: call.Pos()})
+		return true
+	})
+	return out
+}
+
+// isMutexMethod reports whether sel is a method selection whose receiver is
+// sync.Mutex or sync.RWMutex (including promoted/embedded fields).
+func isMutexMethod(pass *Pass, sel *ast.SelectorExpr) bool {
+	s, ok := pass.Pkg.Info.Selections[sel]
+	if ok && s.Kind() == types.MethodVal {
+		obj := s.Obj()
+		if fn, isFn := obj.(*types.Func); isFn {
+			if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+				return isSyncMutexType(recv.Type())
+			}
+		}
+		return false
+	}
+	// Package-level qualified call would land here; mutexes never do.
+	if tv, ok := pass.Pkg.Info.Types[sel.X]; ok {
+		return isSyncMutexType(tv.Type)
+	}
+	return false
+}
+
+func isSyncMutexType(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}

@@ -1,0 +1,62 @@
+// Package fixture seeds determinism violations and clean counterparts.
+package fixture
+
+import (
+	"sort"
+	"time"
+)
+
+func okSortedKeys(m map[string]int) []string {
+	//unidblint:ignore determinism keys are sorted before use below
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k) //unidblint:ignore determinism sorted below
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func okRangeSlice(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, x*2)
+	}
+	return out
+}
+
+func okMapToMap(m map[string]int) map[string]int {
+	out := map[string]int{}
+	for k, v := range m {
+		out[k] = v // writing a map from a map is order-insensitive
+	}
+	return out
+}
+
+func okLocalAppend(m map[string][]int) int {
+	total := 0
+	for _, vs := range m {
+		local := []int{}
+		for _, v := range vs {
+			local = append(local, v)
+		}
+		total += len(local)
+	}
+	return total
+}
+
+func okSince(t0 time.Time) time.Duration {
+	// Only time.Now is forbidden; arithmetic on supplied times is fine.
+	return t0.Sub(t0)
+}
+
+func badNow() int64 {
+	return time.Now().Unix() // want `time\.Now in a deterministic executor path`
+}
+
+func badMapAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `append to keys while ranging over a map: iteration order is nondeterministic`
+	}
+	return keys
+}

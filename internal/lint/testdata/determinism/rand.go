@@ -1,0 +1,9 @@
+package fixture
+
+import (
+	"math/rand" // want `import of math/rand in a deterministic executor path`
+)
+
+func badRand() int {
+	return rand.Intn(3)
+}

@@ -1,0 +1,64 @@
+// Package fixture seeds errdrop violations and clean counterparts.
+package fixture
+
+import "errors"
+
+var errBoom = errors.New("boom")
+
+func mayFail() error { return errBoom }
+
+func pair() (int, error) { return 0, errBoom }
+
+type closer struct{}
+
+func (closer) Close() error { return nil }
+
+func okReturned() error { return mayFail() }
+
+func okHandled() int {
+	if err := mayFail(); err != nil {
+		return 1
+	}
+	return 0
+}
+
+func okDeferExempt() {
+	var c closer
+	defer c.Close() // deferred cleanup is exempt by design
+}
+
+func okNoError() {
+	f := func() int { return 1 }
+	f()
+}
+
+func okConversion() {
+	type myErr error
+	_ = myErr(errBoom)
+}
+
+func badBareCall() {
+	mayFail() // want `result of mayFail includes an error that is discarded`
+}
+
+func badBareMethod() {
+	var c closer
+	c.Close() // want `result of c\.Close includes an error that is discarded`
+}
+
+func badBlankAssign() {
+	_ = mayFail() // want `error result of mayFail is assigned to the blank identifier`
+}
+
+func badBlankPair() int {
+	v, _ := pair() // want `error result of pair is assigned to the blank identifier`
+	return v
+}
+
+func okSuppressedOurs() {
+	mayFail() //unidblint:ignore errdrop best-effort notification
+}
+
+func okSuppressedNolint() {
+	mayFail() //nolint:errcheck
+}

@@ -1,0 +1,117 @@
+// Package fixture seeds exhaustive violations and clean counterparts: Node
+// mirrors the query AST interfaces, Color mirrors the value-kind enums.
+package fixture
+
+// Node is a closed interface: every concrete implementation in this package
+// must be covered by type switches (or an explicit default).
+type Node interface{ node() }
+
+type Add struct{}
+
+type Neg struct{}
+
+type Lit struct{ V int }
+
+func (*Add) node() {}
+
+func (*Neg) node() {}
+
+func (Lit) node() {}
+
+// Color is a closed enum: switches must cover every declared constant.
+type Color int
+
+// Colors.
+const (
+	Red Color = iota
+	Green
+	Blue
+	// Crimson aliases Red: covering one covers both.
+	Crimson = Red
+)
+
+func okAllNodes(n Node) int {
+	switch n.(type) {
+	case *Add:
+		return 1
+	case *Neg:
+		return 2
+	case Lit:
+		return 3
+	}
+	return 0
+}
+
+func okDefaultNode(n Node) int {
+	switch n.(type) {
+	case *Add:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func okValueVariant(n Node) int {
+	// Pointer cases are accepted for value receivers and vice versa.
+	switch n.(type) {
+	case *Add, *Neg, *Lit:
+		return 1
+	}
+	return 0
+}
+
+func badMissingNodes(n Node) int {
+	switch n.(type) { // want `type switch over fixture\.Node is missing cases: Lit, Neg`
+	case *Add:
+		return 1
+	}
+	return 0
+}
+
+func okAllColors(c Color) int {
+	switch c {
+	case Red:
+		return 1
+	case Green:
+		return 2
+	case Blue:
+		return 3
+	}
+	return 0
+}
+
+func okAliasCovers(c Color) int {
+	switch c {
+	case Crimson, Green, Blue:
+		return 1
+	}
+	return 0
+}
+
+func okDefaultColor(c Color) int {
+	switch c {
+	case Red:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func badMissingColor(c Color) int {
+	switch c { // want `switch over fixture\.Color is missing cases: Blue`
+	case Red:
+		return 1
+	case Green:
+		return 2
+	}
+	return 0
+}
+
+func okUnrelatedSwitch(x int) int {
+	// Switches over unconfigured types are never checked.
+	switch x {
+	case 1:
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,111 @@
+// Package fixture seeds lockcheck violations and clean counterparts.
+package fixture
+
+import "sync"
+
+type S struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	n  int
+}
+
+func okDefer(s *S) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.n++
+}
+
+func okExplicit(s *S) int {
+	s.mu.Lock()
+	n := s.n
+	s.mu.Unlock()
+	return n
+}
+
+func okBranches(s *S, c bool) int {
+	s.mu.Lock()
+	if c {
+		s.mu.Unlock()
+		return 1
+	}
+	s.mu.Unlock()
+	return 0
+}
+
+func okDeferredLiteral(s *S) {
+	s.mu.Lock()
+	defer func() {
+		s.n++
+		s.mu.Unlock()
+	}()
+	s.n++
+}
+
+func okReadLock(s *S) int {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	return s.n
+}
+
+func okLoopBalanced(s *S, xs []int) {
+	for range xs {
+		s.mu.Lock()
+		s.n++
+		s.mu.Unlock()
+	}
+}
+
+func okSwitch(s *S, k int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch k {
+	case 0:
+		return s.n
+	case 1:
+		return -s.n
+	}
+	return 0
+}
+
+func badNeverReleased(s *S) {
+	s.mu.Lock() // want `s\.mu is locked here but not released on all paths`
+	s.n++
+}
+
+func badEarlyReturn(s *S, c bool) int {
+	s.mu.Lock() // want `s\.mu is locked here but not released on all paths`
+	if c {
+		return 1 // leaks the lock
+	}
+	s.mu.Unlock()
+	return 0
+}
+
+func badReadLock(s *S) int {
+	s.rw.RLock() // want `s\.rw \(read\) is locked here but not released on all paths`
+	return s.n
+}
+
+func badWrongFlavor(s *S) {
+	s.rw.RLock() // want `s\.rw \(read\) is locked here but not released on all paths`
+	s.rw.Unlock()
+}
+
+func badSwitchCase(s *S, k int) int {
+	s.mu.Lock() // want `s\.mu is locked here but not released on all paths`
+	switch k {
+	case 0:
+		s.mu.Unlock()
+		return 1
+	case 1:
+		return 2 // leaks
+	default:
+		s.mu.Unlock()
+	}
+	return 0
+}
+
+func okSuppressed(s *S) {
+	s.mu.Lock() //unidblint:ignore lockcheck handed to caller by contract
+	s.n++
+}

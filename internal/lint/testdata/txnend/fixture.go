@@ -1,0 +1,103 @@
+// Package fixture seeds txnend violations and clean counterparts, modeled
+// on engine.Begin/Commit/Abort.
+package fixture
+
+import "errors"
+
+var errBusy = errors.New("busy")
+
+// DB mimics the engine.
+type DB struct{ closed bool }
+
+// Txn mimics engine.Txn.
+type Txn struct{ done bool }
+
+// Begin starts a transaction.
+func (db *DB) Begin() (*Txn, error) {
+	if db.closed {
+		return nil, errBusy
+	}
+	return &Txn{}, nil
+}
+
+// Commit finishes a transaction.
+func (t *Txn) Commit() error { t.done = true; return nil }
+
+// Abort rolls a transaction back.
+func (t *Txn) Abort() { t.done = true }
+
+// Put writes through a transaction.
+func (t *Txn) Put(k string) error {
+	if t.done {
+		return errBusy
+	}
+	return nil
+}
+
+func okCommitOrAbort(db *DB) error {
+	t, err := db.Begin()
+	if err != nil {
+		return err
+	}
+	if err := t.Put("a"); err != nil {
+		t.Abort()
+		return err
+	}
+	return t.Commit()
+}
+
+func okDeferAbort(db *DB) error {
+	t, err := db.Begin()
+	if err != nil {
+		return err
+	}
+	defer t.Abort()
+	return t.Put("x")
+}
+
+func okEscapesToCaller(db *DB) (*Txn, error) {
+	t, err := db.Begin()
+	return t, err
+}
+
+func consume(t *Txn) {}
+
+func okHandoff(db *DB) error {
+	t, err := db.Begin()
+	if err != nil {
+		return err
+	}
+	consume(t) // responsibility visibly transfers
+	return nil
+}
+
+func okNilCheckForm(db *DB) error {
+	t, err := db.Begin()
+	if t == nil {
+		return err
+	}
+	return t.Commit()
+}
+
+func badEarlyReturn(db *DB, c bool) error {
+	t, err := db.Begin() // want `transaction t may reach the exit on line \d+ without Commit or Abort`
+	if err != nil {
+		return err
+	}
+	if c {
+		return errBusy // leaks the transaction
+	}
+	return t.Commit()
+}
+
+func badNeverFinished(db *DB) {
+	t, err := db.Begin() // want `transaction t may reach the exit on line \d+ without Commit or Abort`
+	if err != nil {
+		return
+	}
+	_ = t.Put("x") //unidblint:ignore errdrop not under test here
+}
+
+func badBlank(db *DB) {
+	_, _ = db.Begin() // want `transaction from db\.Begin is discarded with the blank identifier`
+}

@@ -1,0 +1,335 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// TxnEnd verifies the transaction lifecycle in the configured packages:
+// every value produced by an `engine.Begin`-style call either reaches a
+// Commit or Abort on all paths of the function that created it, or visibly
+// escapes (is returned, stored, or handed to another function — at which
+// point responsibility transfers). A transaction that silently falls out of
+// scope holds its 2PL locks forever and wedges every data model.
+type TxnEnd struct {
+	// Packages limits enforcement; empty means all.
+	Packages []string
+	// BeginNames are callee names that start a transaction ("Begin").
+	BeginNames []string
+	// EndNames are methods that finish one ("Commit", "Abort").
+	EndNames []string
+}
+
+// Name implements Analyzer.
+func (TxnEnd) Name() string { return "txnend" }
+
+// Doc implements Analyzer.
+func (TxnEnd) Doc() string {
+	return "every Begin-style transaction reaches Commit or Abort on all paths (or escapes visibly)"
+}
+
+// Run implements Analyzer.
+func (te TxnEnd) Run(pass *Pass) {
+	if len(te.Packages) > 0 {
+		ok := false
+		for _, p := range te.Packages {
+			if pass.Pkg.Path == p {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return
+		}
+	}
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			}
+			if body == nil {
+				return true
+			}
+			te.checkFunc(pass, body)
+			return true
+		})
+	}
+}
+
+func (te TxnEnd) checkFunc(pass *Pass, body *ast.BlockStmt) {
+	tracked, errPair := te.findTracked(pass, body)
+	if len(tracked) == 0 {
+		return
+	}
+	keys := map[types.Object]string{}
+	for obj := range tracked {
+		keys[obj] = fmt.Sprintf("%s@%d", obj.Name(), obj.Pos())
+	}
+	events := func(n ast.Node) []flowEvent {
+		var out []flowEvent
+		ast.Inspect(n, func(m ast.Node) bool {
+			if _, ok := m.(*ast.FuncLit); ok {
+				return false
+			}
+			switch t := m.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range t.Lhs {
+					id, ok := lhs.(*ast.Ident)
+					if !ok {
+						continue
+					}
+					obj := pass.Pkg.Info.Defs[id]
+					if obj == nil {
+						obj = pass.Pkg.Info.Uses[id]
+					}
+					if obj != nil && tracked[obj] && te.isBeginAssign(pass, t) {
+						out = append(out, flowEvent{key: keys[obj], kind: flowAcquire, pos: id.Pos()})
+					}
+				}
+			case *ast.CallExpr:
+				sel, ok := t.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				id, ok := sel.X.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				obj := pass.Pkg.Info.Uses[id]
+				if obj == nil || !tracked[obj] {
+					return true
+				}
+				for _, end := range te.EndNames {
+					if sel.Sel.Name == end {
+						out = append(out, flowEvent{key: keys[obj], kind: flowRelease, pos: t.Pos()})
+					}
+				}
+			}
+			return true
+		})
+		return out
+	}
+	// branch models the two failed-Begin checks: `if err != nil` (with err
+	// from `t, err := Begin()`) and `if t == nil`. On the failure arm the
+	// transaction was never created, so it owes no Commit/Abort.
+	branch := func(cond ast.Expr, negated bool) []flowEvent {
+		bin, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+		if !ok || (bin.Op != token.NEQ && bin.Op != token.EQL) {
+			return nil
+		}
+		var side ast.Expr
+		if isNilIdent(pass, bin.X) {
+			side = bin.Y
+		} else if isNilIdent(pass, bin.Y) {
+			side = bin.X
+		} else {
+			return nil
+		}
+		id, ok := ast.Unparen(side).(*ast.Ident)
+		if !ok {
+			return nil
+		}
+		obj := pass.Pkg.Info.Uses[id]
+		if obj == nil {
+			return nil
+		}
+		var txnObj types.Object
+		var failOnNonNil bool // failure arm is where the compared value is non-nil
+		if paired, ok := errPair[obj]; ok {
+			txnObj, failOnNonNil = paired, true // err != nil → Begin failed
+		} else if tracked[obj] {
+			txnObj, failOnNonNil = obj, false // t == nil → Begin failed
+		} else {
+			return nil
+		}
+		if !tracked[txnObj] {
+			return nil
+		}
+		// (op == NEQ) != negated means this arm sees the value non-nil.
+		armNonNil := (bin.Op == token.NEQ) != negated
+		if armNonNil != failOnNonNil {
+			return nil
+		}
+		return []flowEvent{{key: keys[txnObj], kind: flowRelease, pos: cond.Pos()}}
+	}
+	objName := map[string]string{}
+	for obj, k := range keys {
+		objName[k] = obj.Name()
+	}
+	for _, leak := range runFlow(body, events, branch) {
+		pass.Reportf(leak.AcquirePos,
+			"transaction %s may reach the exit on line %d without Commit or Abort",
+			objName[leak.Key], pass.Fset.Position(leak.ExitPos).Line)
+	}
+}
+
+// findTracked locates Begin-style assignments whose result variable never
+// escapes the function; those are the ones this function must finish. The
+// second result pairs the error variable of `t, err := Begin()` with its
+// transaction object, for the err-check branch refinement.
+func (te TxnEnd) findTracked(pass *Pass, body *ast.BlockStmt) (map[types.Object]bool, map[types.Object]types.Object) {
+	candidates := map[types.Object]bool{}
+	errPair := map[types.Object]types.Object{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || !te.isBeginAssign(pass, as) {
+			return true
+		}
+		// The transaction is the first result.
+		if len(as.Lhs) == 0 {
+			return true
+		}
+		id, ok := as.Lhs[0].(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if id.Name == "_" {
+			pass.Reportf(as.Pos(), "transaction from %s is discarded with the blank identifier", callName(pass, as.Rhs[0].(*ast.CallExpr)))
+			return true
+		}
+		obj := pass.Pkg.Info.Defs[id]
+		if obj == nil {
+			obj = pass.Pkg.Info.Uses[id]
+		}
+		if obj != nil {
+			candidates[obj] = true
+			if len(as.Lhs) > 1 {
+				if errID, ok := as.Lhs[1].(*ast.Ident); ok && errID.Name != "_" {
+					errObj := pass.Pkg.Info.Defs[errID]
+					if errObj == nil {
+						errObj = pass.Pkg.Info.Uses[errID]
+					}
+					if errObj != nil {
+						errPair[errObj] = obj
+					}
+				}
+			}
+		}
+		return true
+	})
+	if len(candidates) == 0 {
+		return nil, nil
+	}
+	// Escape analysis: drop any candidate used outside `txn.Method(...)`
+	// receiver position or its own Begin assignment.
+	var stack []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			obj := pass.Pkg.Info.Uses[id]
+			if obj == nil {
+				obj = pass.Pkg.Info.Defs[id]
+			}
+			if obj != nil && candidates[obj] && !te.benignUse(pass, id, stack) {
+				delete(candidates, obj)
+			}
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return candidates, errPair
+}
+
+// isNilIdent reports whether e is the predeclared nil.
+func isNilIdent(pass *Pass, e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := pass.Pkg.Info.Uses[id]
+	return obj != nil && obj == types.Universe.Lookup("nil")
+}
+
+// benignUse reports whether the identifier use keeps the transaction local:
+// the defining Begin assignment, a method call receiver (t.Get, t.Commit),
+// or a nil-comparison.
+func (te TxnEnd) benignUse(pass *Pass, id *ast.Ident, stack []ast.Node) bool {
+	if len(stack) == 0 {
+		return true
+	}
+	parent := stack[len(stack)-1]
+	switch p := parent.(type) {
+	case *ast.SelectorExpr:
+		return p.X == id // receiver of a method/field access
+	case *ast.AssignStmt:
+		// LHS of its own Begin assignment.
+		if te.isBeginAssign(pass, p) {
+			for _, lhs := range p.Lhs {
+				if lhs == id {
+					return true
+				}
+			}
+		}
+		return false
+	case *ast.BinaryExpr:
+		// t == nil / t != nil checks.
+		if p.Op == token.EQL || p.Op == token.NEQ {
+			return true
+		}
+		return false
+	default:
+		return false
+	}
+}
+
+// isBeginAssign reports whether as assigns the result of a Begin-style call:
+// a callee with a configured name whose first result type has every EndNames
+// method.
+func (te TxnEnd) isBeginAssign(pass *Pass, as *ast.AssignStmt) bool {
+	if len(as.Rhs) != 1 {
+		return false
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	var calleeName string
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		calleeName = fun.Name
+	case *ast.SelectorExpr:
+		calleeName = fun.Sel.Name
+	default:
+		return false
+	}
+	match := false
+	for _, n := range te.BeginNames {
+		if calleeName == n {
+			match = true
+			break
+		}
+	}
+	if !match {
+		return false
+	}
+	tv, ok := pass.Pkg.Info.Types[call]
+	if !ok {
+		return false
+	}
+	var first types.Type
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		if t.Len() == 0 {
+			return false
+		}
+		first = t.At(0).Type()
+	default:
+		first = t
+	}
+	for _, end := range te.EndNames {
+		obj, _, _ := types.LookupFieldOrMethod(first, true, pass.Pkg.Types, end)
+		if _, isFn := obj.(*types.Func); !isFn {
+			return false
+		}
+	}
+	return true
+}

@@ -492,6 +492,8 @@ func HasKey(v Value, key string) bool {
 				return true
 			}
 		}
+	default:
+		// Scalars have no keys.
 	}
 	return false
 }

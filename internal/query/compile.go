@@ -26,6 +26,10 @@ func (p *Pipeline) analyze() {
 			p.hasMutation = true
 		case *FilterClause:
 			t.parallelSafe = exprParallelSafe(t.Expr)
+		case *ForClause, *LetClause, *SortClause, *LimitClause,
+			*CollectClause, *ReturnClause, *distinctRowsClause:
+			// No compile-time annotations; a new clause kind must decide
+			// here whether it mutates or parallelizes.
 		}
 		for _, e := range clauseExprs(cl) {
 			walkExpr(e, func(x Expr) {

@@ -141,6 +141,8 @@ func (c *execCtx) eval(e Expr, en *env) (mmvalue.Value, error) {
 			if idx.Kind() == mmvalue.KindString {
 				return base.GetOr(idx.AsString()), nil
 			}
+		default:
+			// Indexing a scalar yields null, like a missing field.
 		}
 		return mmvalue.Null, nil
 	case *BinaryOp:

@@ -322,6 +322,8 @@ func inferColumnName(e Expr, i int) string {
 				return lit.Value.AsString()
 			}
 		}
+	default:
+		// Any other expression shape has no natural column name.
 	}
 	return fmt.Sprintf("column_%d", i+1)
 }
@@ -374,6 +376,9 @@ func walkExpr(e Expr, fn func(Expr)) {
 		walkExpr(t.Cond, fn)
 		walkExpr(t.Then, fn)
 		walkExpr(t.Else, fn)
+	case *Literal, *VarRef, *SubqueryExpr:
+		// Leaves. Subquery pipelines are annotated by Pipeline.analyze,
+		// which recurses into them explicitly; walkExpr stays shallow.
 	}
 }
 

@@ -92,13 +92,11 @@ func Open(path string, syncEveryCommit bool) (*Log, error) {
 	}
 	if info, err := f.Stat(); err == nil && info.Size() > validSize {
 		if err := f.Truncate(validSize); err != nil {
-			f.Close()
-			return nil, fmt.Errorf("wal: truncate torn tail: %w", err)
+			return nil, errors.Join(fmt.Errorf("wal: truncate torn tail: %w", err), f.Close())
 		}
 	}
 	if _, err := f.Seek(0, io.SeekEnd); err != nil {
-		f.Close()
-		return nil, err
+		return nil, errors.Join(err, f.Close())
 	}
 	next := uint64(1)
 	if n := len(recs); n > 0 {
@@ -319,6 +317,8 @@ func CommittedSets(recs []Record) []Record {
 			if committed[r.Txn] {
 				out = append(out, r)
 			}
+		case OpCommit, OpAbort:
+			// Control records are consumed above; replay applies data only.
 		}
 	}
 	return out

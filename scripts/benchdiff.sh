@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Run a fresh benchmark sweep and diff it against a committed baseline,
+# flagging per-benchmark slowdowns beyond 10%.
+#
+# Usage: scripts/benchdiff.sh [baseline.json] [benchtime]
+#   baseline.json  defaults to BENCH_1.json (the committed sweep)
+#   benchtime      passed to -benchtime; defaults to 1x (quick + noisy —
+#                  use e.g. 2s before trusting a flagged regression)
+#
+# Report-only by default; set BENCHDIFF_FAIL=1 to exit 1 on regressions.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+baseline="${1:-BENCH_1.json}"
+benchtime="${2:-1x}"
+
+if [ ! -f "$baseline" ]; then
+  echo "benchdiff.sh: baseline $baseline not found" >&2
+  exit 2
+fi
+
+fresh="$(mktemp --suffix=.json)"
+trap 'rm -f "$fresh"' EXIT
+
+echo "== bench sweep (-benchtime $benchtime)"
+go test -run '^$' -bench . -benchtime "$benchtime" -timeout 30m . \
+  | go run ./cmd/benchjson -o "$fresh"
+
+echo "== diff vs $baseline"
+failflag=()
+if [ "${BENCHDIFF_FAIL:-0}" = "1" ]; then
+  failflag=(-fail)
+fi
+go run ./cmd/benchdiff "${failflag[@]}" "$baseline" "$fresh"

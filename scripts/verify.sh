@@ -19,10 +19,17 @@ if [ -n "$unformatted" ]; then
   exit 1
 fi
 
+echo "== unidblint"
+go run ./cmd/unidblint ./...
+
 echo "== go test"
 go test ./...
 
 echo "== go test -race (query, engine, core)"
 go test -race ./internal/query/... ./internal/engine/... ./internal/core/...
+
+echo "== fuzz smoke (parsers)"
+go test -run=^$ -fuzz=FuzzParseMMQL -fuzztime=5s ./internal/query
+go test -run=^$ -fuzz=FuzzParseMSQL -fuzztime=5s ./internal/query
 
 echo "verify: OK"
