@@ -15,6 +15,7 @@ import (
 	"repro/internal/btree"
 	"repro/internal/catalog"
 	"repro/internal/core"
+	"repro/internal/docstore"
 	"repro/internal/engine"
 	"repro/internal/evolution"
 	"repro/internal/exthash"
@@ -997,6 +998,114 @@ func BenchmarkE18ParallelScan(b *testing.B) {
 			opts.MaxParallel = 4
 		}
 		run(b, db, opts, true)
+	})
+}
+
+// --- E19: parallel COLLECT/aggregation + SORT + index-range materialization ---
+// PR 3 extends the parallel executor from scan+filter to the pipeline tail:
+// COLLECT builds per-chunk partial group tables merged in chunk order, SORT
+// runs as a chunked stable merge sort, aggregate folds over INTO groups run
+// in the parallel RETURN projection, and index-range key lists materialize
+// across the pool. Serial and parallel output is byte-identical (pinned by
+// TestParallelEquivalence*). As with E18, serial and parallel tie on a
+// single-core host — the >= 1.5x speedup criterion applies at >= 4 cores.
+
+func BenchmarkE19ParallelAggSort(b *testing.B) {
+	const n = 100000
+	seed := func(b *testing.B, withIndex bool) *core.DB {
+		db := openDB(b)
+		mustUpdate(b, db, func(tx *engine.Txn) error {
+			if err := db.Docs.CreateCollection(tx, "events", catalog.Schemaless); err != nil {
+				return err
+			}
+			for i := 0; i < n; i++ {
+				doc := mmvalue.MustParseJSON(fmt.Sprintf(
+					`{"_key":"e%06d","v":%d,"tag":"t%d"}`, i, i, i%13))
+				if _, err := db.Docs.Insert(tx, "events", doc); err != nil {
+					return err
+				}
+			}
+			if withIndex {
+				return db.Docs.CreateIndex(tx, "events", docstore.IndexDef{Name: "by_v", Path: "v"})
+			}
+			return nil
+		})
+		return db
+	}
+	serial := query.Options{ParallelThreshold: -1}
+	parallelOpts := func() query.Options {
+		opts := query.Options{} // default threshold, GOMAXPROCS workers
+		if runtime.GOMAXPROCS(0) < 2 {
+			// Force the parallel path so it is still exercised (and
+			// measured) on single-core CI hosts.
+			opts.MaxParallel = 4
+		}
+		return opts
+	}
+	run := func(b *testing.B, db *core.DB, q string, opts query.Options, engaged func(query.Stats) bool) {
+		res, err := db.QueryOpts(q, nil, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		want := len(res.Values)
+		if want == 0 {
+			b.Fatal("empty result")
+		}
+		if !engaged(res.Stats) {
+			b.Fatalf("unexpected execution strategy: %+v", res.Stats)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := db.QueryOpts(q, nil, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(res.Values) != want {
+				b.Fatalf("result drifted: %d vs %d rows", len(res.Values), want)
+			}
+		}
+	}
+
+	// Group-by + aggregates: 13 groups spanning every chunk; the INTO
+	// member materialization and the SUM/MAX folds are the hot loops.
+	groupQ := `FOR e IN events
+	             COLLECT tag = e.tag INTO g
+	             RETURN {tag: tag, n: LENGTH(g), total: SUM(g[*].e.v), hi: MAX(g[*].e.v)}`
+	b.Run("GroupBy/Serial", func(b *testing.B) {
+		db := seed(b, false)
+		run(b, db, groupQ, serial, func(s query.Stats) bool { return s.ParallelCollects == 0 })
+	})
+	b.Run("GroupBy/Parallel", func(b *testing.B) {
+		db := seed(b, false)
+		run(b, db, groupQ, parallelOpts(), func(s query.Stats) bool { return s.ParallelCollects > 0 })
+	})
+
+	// Tie-heavy three-key sort: key evaluation parallelizes 1:1, then the
+	// chunked stable merge sort reproduces sort.SliceStable's order.
+	sortQ := `FOR e IN events SORT e.tag, e.v % 10 DESC, e.v RETURN e._key`
+	b.Run("Sort/Serial", func(b *testing.B) {
+		db := seed(b, false)
+		run(b, db, sortQ, serial, func(s query.Stats) bool { return s.ParallelSorts == 0 })
+	})
+	b.Run("Sort/Parallel", func(b *testing.B) {
+		db := seed(b, false)
+		run(b, db, sortQ, parallelOpts(), func(s query.Stats) bool { return s.ParallelSorts > 0 })
+	})
+
+	// Secondary-index range over ~80% of the collection: the B+tree yields
+	// the key list serially, then document fetches partition across the pool.
+	rangeQ := `FOR e IN events FILTER e.v >= 10000 FILTER e.v < 90000 RETURN e._key`
+	b.Run("IndexRange/Serial", func(b *testing.B) {
+		db := seed(b, true)
+		run(b, db, rangeQ, serial, func(s query.Stats) bool {
+			return s.IndexScans > 0 && s.ParallelIndexFetches == 0
+		})
+	})
+	b.Run("IndexRange/Parallel", func(b *testing.B) {
+		db := seed(b, true)
+		run(b, db, rangeQ, parallelOpts(), func(s query.Stats) bool {
+			return s.IndexScans > 0 && s.ParallelIndexFetches > 0
+		})
 	})
 }
 

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/docstore"
 	"repro/internal/engine"
 	"repro/internal/mmvalue"
 	"repro/internal/query"
@@ -85,6 +86,33 @@ func TestParallelEquivalenceCorpus(t *testing.T) {
 		{"mmql", `FOR p IN products FILTER LENGTH((FOR s IN sales FILTER s.product == p._key RETURN s)) > 0 SORT p._key RETURN p._key`, nil, false},
 		{"msql", `SELECT product FROM sales WHERE qty > 1 ORDER BY id`, nil, true},
 		{"msql", `SELECT region FROM sales WHERE region <> 'EU' ORDER BY id DESC`, nil, true},
+		// Keyed COLLECT ... INTO with the full aggregate set folded over the
+		// group variable; the parallel path pre-materializes INTO members
+		// per chunk and must concatenate them in chunk order.
+		{"mmql", `FOR s IN sales COLLECT region = s.region INTO g SORT region
+			RETURN {region: region, n: LENGTH(g), total: SUM(g[*].s.qty),
+			        hi: MAX(g[*].s.qty), lo: MIN(g[*].s.qty), mean: AVG(g[*].s.qty)}`, nil, true},
+		// Multi-key COLLECT: group order is first-seen order of the composite
+		// key, which must survive the chunked merge.
+		{"mmql", `FOR s IN sales COLLECT region = s.region, product = s.product
+			RETURN {region: region, product: product}`, nil, true},
+		// COLLECT without INTO: loose grouping binds the first member's row.
+		{"mmql", `FOR s IN sales COLLECT product = s.product RETURN product`, nil, true},
+		// Keyless COLLECT (MSQL aggregates without GROUP BY) — a single
+		// group spanning every chunk.
+		{"msql", `SELECT COUNT(*) AS n, SUM(qty) AS total, AVG(qty) AS mean FROM sales`, nil, true},
+		// GROUP BY + HAVING-less aggregates through the MSQL rewrite.
+		{"msql", `SELECT region, COUNT(*) AS n, SUM(qty) AS total FROM sales GROUP BY region ORDER BY region`, nil, true},
+		// Multi-key SORT with DESC and heavy ties: region repeats (first-key
+		// ties) and the stable order of tied rows must match the serial
+		// sort.SliceStable pass exactly.
+		{"mmql", `FOR s IN sales SORT s.region, s.qty DESC RETURN s.id`, nil, true},
+		// Single boolean sort key — nearly everything ties, so this pins the
+		// chunked merge sort's left-run-wins stability rule.
+		{"mmql", `FOR p IN products SORT p.stock > 0 RETURN p._key`, nil, true},
+		// LET projection between COLLECT and RETURN.
+		{"mmql", `FOR s IN sales COLLECT region = s.region INTO g
+			LET total = SUM(g[*].s.qty) SORT total DESC, region RETURN {region: region, total: total}`, nil, true},
 	}
 	for _, tc := range cases {
 		assertSerialParallelEqual(t, db, tc.dialect, tc.q, tc.params, tc.wantParallel)
@@ -106,22 +134,7 @@ func TestParallelEquivalenceE1(t *testing.T) {
 // (no SORT clause: output must follow source order exactly).
 func TestParallelEquivalenceLargeScan(t *testing.T) {
 	db := openDB(t)
-	const n = 5000
-	err := db.Engine.Update(func(tx *engine.Txn) error {
-		if err := db.Docs.CreateCollection(tx, "events", catalogSchemaless()); err != nil {
-			return err
-		}
-		for i := 0; i < n; i++ {
-			doc := fmt.Sprintf(`{"_key":"e%05d","v":%d,"tag":"t%d"}`, i, i, i%13)
-			if _, err := db.Docs.Insert(tx, "events", mmvalue.MustParseJSON(doc)); err != nil {
-				return err
-			}
-		}
-		return nil
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
+	seedEvents(t, db, 5000)
 
 	q := `FOR e IN events FILTER e.v % 7 == 3 FILTER e.tag != 't5' RETURN e._key`
 	ser, err := db.QueryOpts(q, nil, serialOpts)
@@ -139,5 +152,133 @@ func TestParallelEquivalenceLargeScan(t *testing.T) {
 	sj, pj := mustJSON(t, ser.Values), mustJSON(t, par.Values)
 	if sj != pj {
 		t.Fatalf("serial/parallel results differ on large scan (lens %d vs %d)", len(ser.Values), len(par.Values))
+	}
+}
+
+// seedEvents loads n synthetic event documents with a low-cardinality tag
+// (13 values, so COLLECT groups span every chunk) and a dense integer v.
+func seedEvents(t testing.TB, db *core.DB, n int) {
+	t.Helper()
+	err := db.Engine.Update(func(tx *engine.Txn) error {
+		if err := db.Docs.CreateCollection(tx, "events", catalogSchemaless()); err != nil {
+			return err
+		}
+		for i := 0; i < n; i++ {
+			doc := fmt.Sprintf(`{"_key":"e%05d","v":%d,"tag":"t%d"}`, i, i, i%13)
+			if _, err := db.Docs.Insert(tx, "events", mmvalue.MustParseJSON(doc)); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestParallelEquivalenceLargeAggSort crosses the default threshold on the
+// pipeline tail: COLLECT with INTO aggregates and a tie-heavy two-key SORT
+// over 5000 documents, byte-compared against the serial executor.
+func TestParallelEquivalenceLargeAggSort(t *testing.T) {
+	db := openDB(t)
+	seedEvents(t, db, 5000)
+
+	for _, q := range []string{
+		`FOR e IN events COLLECT tag = e.tag INTO g SORT tag
+		   RETURN {tag: tag, n: LENGTH(g), total: SUM(g[*].e.v), hi: MAX(g[*].e.v)}`,
+		// tag repeats 13 ways and v % 10 ties within each tag run — the
+		// stable order of tied rows is the whole test.
+		`FOR e IN events SORT e.tag, e.v % 10 DESC, e.v RETURN e._key`,
+		`FOR e IN events SORT e.tag DESC RETURN e.v`,
+	} {
+		ser, err := db.QueryOpts(q, nil, serialOpts)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		par, err := db.QueryOpts(q, nil, query.Options{MaxParallel: 4})
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		if par.Stats.ParallelCollects == 0 && par.Stats.ParallelSorts == 0 {
+			t.Fatalf("%q: no parallel tail stage engaged: %+v", q, par.Stats)
+		}
+		sj, pj := mustJSON(t, ser.Values), mustJSON(t, par.Values)
+		if sj != pj {
+			t.Fatalf("serial/parallel results differ for %q (lens %d vs %d)", q, len(ser.Values), len(par.Values))
+		}
+	}
+}
+
+// TestParallelTailStats pins which stages of a group-by + sort + aggregate
+// pipeline actually ran on the worker pool.
+func TestParallelTailStats(t *testing.T) {
+	db := openDB(t)
+	seedStore(t, db)
+	q := `FOR s IN sales
+	        COLLECT region = s.region INTO g
+	        LET total = SUM(g[*].s.qty)
+	        SORT total DESC, region
+	        RETURN {region: region, total: total, n: LENGTH(g)}`
+	res, err := db.QueryOpts(q, nil, parallelOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Stats
+	if st.ParallelScans == 0 {
+		t.Fatalf("scan stayed serial: %+v", st)
+	}
+	if st.ParallelCollects == 0 {
+		t.Fatalf("COLLECT stayed serial: %+v", st)
+	}
+	if st.ParallelSorts == 0 {
+		t.Fatalf("SORT stayed serial: %+v", st)
+	}
+	if st.ParallelEvals == 0 {
+		t.Fatalf("LET/RETURN projection stayed serial: %+v", st)
+	}
+	ser, err := db.QueryOpts(q, nil, serialOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zero := (query.Stats{}); ser.Stats.ParallelCollects != zero.ParallelCollects ||
+		ser.Stats.ParallelSorts != 0 || ser.Stats.ParallelEvals != 0 || ser.Stats.ParallelIndexFetches != 0 {
+		t.Fatalf("serial run used parallel tail stages: %+v", ser.Stats)
+	}
+	if mustJSON(t, ser.Values) != mustJSON(t, res.Values) {
+		t.Fatalf("serial/parallel results differ:\n%s\n%s", mustJSON(t, ser.Values), mustJSON(t, res.Values))
+	}
+}
+
+// TestParallelIndexRangeEquivalence covers the parallel materialization of a
+// secondary-index range scan: the B+tree produces the candidate key list
+// serially under the transaction's locks, then document fetches partition
+// across the pool, concatenating in key order.
+func TestParallelIndexRangeEquivalence(t *testing.T) {
+	db := openDB(t)
+	seedEvents(t, db, 3000)
+	err := db.Engine.Update(func(tx *engine.Txn) error {
+		return db.Docs.CreateIndex(tx, "events", docstore.IndexDef{Name: "by_v", Path: "v"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	q := `FOR e IN events FILTER e.v >= 100 FILTER e.v < 2500 RETURN e._key`
+	ser, err := db.QueryOpts(q, nil, serialOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ser.Stats.IndexScans == 0 {
+		t.Fatalf("range query did not use the index: %+v", ser.Stats)
+	}
+	par, err := db.QueryOpts(q, nil, parallelOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par.Stats.IndexScans == 0 || par.Stats.ParallelIndexFetches == 0 {
+		t.Fatalf("parallel run did not materialize the index range on the pool: %+v", par.Stats)
+	}
+	if mustJSON(t, ser.Values) != mustJSON(t, par.Values) {
+		t.Fatalf("serial/parallel index-range results differ (lens %d vs %d)", len(ser.Values), len(par.Values))
 	}
 }

@@ -16,6 +16,8 @@ package lint
 //	               the lint passes.
 //	determinism  — query executor merge/exec paths: the parallel executor
 //	               must stay byte-identical to the serial one.
+//	parallel-merge — the parallel executor's partial-result merge paths must
+//	               iterate recorded chunk/group order, never a map range.
 //	txnend       — core and query: a Begin without Commit/Abort wedges 2PL.
 func DefaultAnalyzers() []Analyzer {
 	return []Analyzer{
@@ -40,6 +42,9 @@ func DefaultAnalyzers() []Analyzer {
 			{Pkg: "repro/internal/query", Files: []string{
 				"exec.go", "eval.go", "parallel.go", "compile.go", "optimize.go",
 			}},
+		}},
+		ParallelMerge{Scope: []ScopeRef{
+			{Pkg: "repro/internal/query", Files: []string{"parallel.go"}},
 		}},
 		TxnEnd{
 			Packages:   []string{"repro/internal/core", "repro/internal/query"},

@@ -112,6 +112,12 @@ func TestDeterminismFixtures(t *testing.T) {
 	}, "determinism")
 }
 
+func TestParallelMergeFixtures(t *testing.T) {
+	runFixture(t, ParallelMerge{
+		Scope: []ScopeRef{{Pkg: "fixture/parallelmerge", Files: []string{"merge.go"}}},
+	}, "parallelmerge")
+}
+
 func TestTxnEndFixtures(t *testing.T) {
 	runFixture(t, TxnEnd{
 		BeginNames: []string{"Begin"},

@@ -1,0 +1,107 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"path/filepath"
+	"regexp"
+)
+
+// ParallelMerge guards the chunk-merge discipline of the parallel query
+// executor: partial results produced by worker goroutines must be merged by
+// iterating an explicitly recorded order (ascending chunk index, a
+// first-seen key list), never by ranging over a map — Go randomizes map
+// iteration order, so a map range in a merge path silently breaks the
+// serial ≡ parallel byte-identity contract even when every element is
+// handled correctly. Unlike the determinism analyzer's narrower
+// map-range-into-append check, this one forbids map ranges in merge paths
+// outright: merge output is ordered by definition, so there is no
+// order-insensitive way to consume a map range there. Genuinely
+// order-insensitive exceptions must carry //unidblint:ignore parallel-merge
+// with a reason.
+//
+// Enforced functions are (a) every function declared in a file listed in a
+// ScopeRef, and (b) any function elsewhere in a scoped package whose name
+// matches FuncPattern — so helpers like mergePartials stay covered even if
+// they move out of the listed files.
+type ParallelMerge struct {
+	// Scope lists (package path, file basenames). Every function in a
+	// listed file is enforced; an empty file list enforces only
+	// name-matched functions across the package.
+	Scope []ScopeRef
+	// FuncPattern selects additionally-enforced functions by name anywhere
+	// in a scoped package; empty means `(?i)parallel|merge`.
+	FuncPattern string
+}
+
+// Name implements Analyzer.
+func (ParallelMerge) Name() string { return "parallel-merge" }
+
+// Doc implements Analyzer.
+func (ParallelMerge) Doc() string {
+	return "parallel merge paths must not range over maps; merge in recorded chunk/group order"
+}
+
+// Run implements Analyzer.
+func (pm ParallelMerge) Run(pass *Pass) {
+	var files []string
+	found := false
+	for _, ref := range pm.Scope {
+		if ref.Pkg == pass.Pkg.Path {
+			found, files = true, ref.Files
+			break
+		}
+	}
+	if !found {
+		return
+	}
+	pat := pm.FuncPattern
+	if pat == "" {
+		pat = `(?i)parallel|merge`
+	}
+	nameRx := regexp.MustCompile(pat)
+	listed := func(f *ast.File) bool {
+		base := filepath.Base(pass.Fset.Position(f.Pos()).Filename)
+		for _, want := range files {
+			if base == want {
+				return true
+			}
+		}
+		return false
+	}
+	for _, file := range pass.Pkg.Files {
+		fileEnforced := listed(file)
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if !fileEnforced && !nameRx.MatchString(fn.Name.Name) {
+				continue
+			}
+			pm.checkFunc(pass, fn)
+		}
+	}
+}
+
+// checkFunc flags every range over a map-typed expression in the function
+// body, including inside function literals (worker goroutine bodies).
+func (pm ParallelMerge) checkFunc(pass *Pass, fn *ast.FuncDecl) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := pass.Pkg.Info.Types[rng.X]
+		if !ok {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		pass.Reportf(rng.Pos(),
+			"range over a map in parallel merge path %s: iteration order is nondeterministic; iterate the recorded chunk/group order instead",
+			fn.Name.Name)
+		return true
+	})
+}

@@ -1,0 +1,69 @@
+// Package fixture seeds parallel-merge violations and clean counterparts.
+// Every function in this file is enforced (the file is listed in the
+// analyzer's scope), mirroring internal/query/parallel.go.
+package fixture
+
+type partial struct {
+	order  []string
+	groups map[string]int
+}
+
+// okOrderedMerge iterates the recorded first-seen order and only indexes the
+// map — the canonical deterministic merge shape.
+func okOrderedMerge(partials []*partial) []int {
+	var order []string
+	groups := map[string]int{}
+	for _, p := range partials {
+		for _, id := range p.order {
+			if _, ok := groups[id]; !ok {
+				order = append(order, id)
+			}
+			groups[id] += p.groups[id]
+		}
+	}
+	out := make([]int, 0, len(order))
+	for _, id := range order {
+		out = append(out, groups[id])
+	}
+	return out
+}
+
+// okChunkConcat merges per-chunk slices in chunk order.
+func okChunkConcat(per [][]int) []int {
+	var out []int
+	for _, rows := range per {
+		out = append(out, rows...)
+	}
+	return out
+}
+
+// badMapRangeMerge ranges over the group map directly.
+func badMapRangeMerge(groups map[string]int) []int {
+	var out []int
+	for _, v := range groups { // want `range over a map in parallel merge path badMapRangeMerge`
+		out = append(out, v)
+	}
+	return out
+}
+
+// badMapRangeInWorker hides the map range inside a function literal — the
+// shape a worker goroutine body would take.
+func badMapRangeInWorker(groups map[string]int) func() int {
+	return func() int {
+		total := 0
+		for _, v := range groups { // want `range over a map in parallel merge path badMapRangeInWorker`
+			total += v
+		}
+		return total
+	}
+}
+
+// okSuppressed documents a genuinely order-insensitive exception.
+func okSuppressed(groups map[string]int) int {
+	total := 0
+	//unidblint:ignore parallel-merge summing is order-insensitive
+	for _, v := range groups {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,33 @@
+package fixture
+
+// This file is NOT listed in the analyzer's scope, so only functions whose
+// names match the parallel/merge pattern are enforced.
+
+// buildRows is unenforced: map ranges here are the determinism analyzer's
+// concern, not this one's.
+func buildRows(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// mergeElsewhere matches the name pattern, so it is enforced even outside
+// the listed files.
+func mergeElsewhere(m map[string]int) []int {
+	var out []int
+	for _, v := range m { // want `range over a map in parallel merge path mergeElsewhere`
+		out = append(out, v)
+	}
+	return out
+}
+
+// runParallelStage matches the pattern too; a slice range is fine.
+func runParallelStage(rows []int) []int {
+	out := make([]int, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, r*2)
+	}
+	return out
+}

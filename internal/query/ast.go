@@ -117,6 +117,11 @@ type Source struct {
 type LetClause struct {
 	Var  string
 	Expr Expr
+
+	// parallelSafe is set by Pipeline.analyze when Expr contains no
+	// subqueries, so the binding may be evaluated for many rows
+	// concurrently by the parallel executor.
+	parallelSafe bool
 }
 
 // FilterClause keeps rows where Expr is truthy.
@@ -137,7 +142,14 @@ type SortKey struct {
 }
 
 // SortClause orders rows.
-type SortClause struct{ Keys []SortKey }
+type SortClause struct {
+	Keys []SortKey
+
+	// parallelSafe is set by Pipeline.analyze when no key expression
+	// contains a subquery, so key evaluation and the chunked merge sort may
+	// run on the worker pool.
+	parallelSafe bool
+}
 
 // LimitClause applies offset/count.
 type LimitClause struct{ Offset, Count Expr }
@@ -149,6 +161,11 @@ type CollectClause struct {
 	Vars []string
 	Keys []Expr
 	Into string // optional group variable
+
+	// parallelSafe is set by Pipeline.analyze when no key expression
+	// contains a subquery, so per-chunk partial grouping (and INTO member
+	// materialization) may run on the worker pool.
+	parallelSafe bool
 }
 
 // ReturnClause produces the result value per row. expand (set by MSQL's
@@ -157,6 +174,11 @@ type ReturnClause struct {
 	Distinct bool
 	Expr     Expr
 	expand   bool
+
+	// parallelSafe is set by Pipeline.analyze when Expr contains no
+	// subqueries, so the projection — including per-group aggregate folds
+	// like SUM(g[*].x) — may be evaluated for many rows concurrently.
+	parallelSafe bool
 }
 
 // InsertClause inserts the evaluated document into a collection per row.

@@ -6,8 +6,10 @@ package query
 //
 //   - hasMutation: whether the pipeline (or any nested subquery pipeline)
 //     contains a DML clause — such pipelines always execute serially.
-//   - FilterClause.parallelSafe: whether a filter expression may be
-//     evaluated concurrently by the parallel scan+filter executor.
+//   - parallelSafe on FilterClause, LetClause, SortClause, CollectClause,
+//     and ReturnClause: whether the stage's expressions may be evaluated
+//     concurrently by the parallel executor (no subqueries — they run whole
+//     pipelines against shared executor state).
 //
 // analyze is idempotent and cheap (one tree walk); both parsers call it on
 // the top-level pipeline, and it recurses into every SubqueryExpr so nested
@@ -26,8 +28,25 @@ func (p *Pipeline) analyze() {
 			p.hasMutation = true
 		case *FilterClause:
 			t.parallelSafe = exprParallelSafe(t.Expr)
-		case *ForClause, *LetClause, *SortClause, *LimitClause,
-			*CollectClause, *ReturnClause, *distinctRowsClause:
+		case *LetClause:
+			t.parallelSafe = exprParallelSafe(t.Expr)
+		case *SortClause:
+			t.parallelSafe = true
+			for _, k := range t.Keys {
+				if !exprParallelSafe(k.Expr) {
+					t.parallelSafe = false
+				}
+			}
+		case *CollectClause:
+			t.parallelSafe = true
+			for _, k := range t.Keys {
+				if !exprParallelSafe(k) {
+					t.parallelSafe = false
+				}
+			}
+		case *ReturnClause:
+			t.parallelSafe = exprParallelSafe(t.Expr)
+		case *ForClause, *LimitClause, *distinctRowsClause:
 			// No compile-time annotations; a new clause kind must decide
 			// here whether it mutates or parallelizes.
 		}

@@ -64,6 +64,11 @@ type Stats struct {
 	IndexUsed     []string // descriptions of index accesses
 	RowsRead      int      // rows pulled from sources before filtering
 	ParallelScans int      // FOR clauses executed by the parallel executor
+	// Parallel pipeline-tail counters (see parallel.go).
+	ParallelCollects     int // COLLECT stages grouped via per-chunk partials
+	ParallelSorts        int // SORT stages run as chunked stable merge sorts
+	ParallelEvals        int // standalone FILTER/LET/RETURN stages on the pool
+	ParallelIndexFetches int // index-range key lists materialized in parallel
 }
 
 // Result is a completed execution.
@@ -126,86 +131,29 @@ func (c *execCtx) runPipeline(pipe *Pipeline, start *env) ([]mmvalue.Value, erro
 			rows = next
 			i += len(filters)
 		case *LetClause:
-			next := make([]*env, len(rows))
-			for ri, r := range rows {
-				v, err := c.eval(cl.Expr, r)
-				if err != nil {
-					return nil, err
-				}
-				next[ri] = r.bind(cl.Var, v)
+			next, err := c.execLet(cl, rows)
+			if err != nil {
+				return nil, err
 			}
 			rows = next
 		case *FilterClause:
-			var next []*env
-			for _, r := range rows {
-				v, err := c.eval(cl.Expr, r)
-				if err != nil {
-					return nil, err
-				}
-				if v.Truthy() {
-					next = append(next, r)
-				}
+			next, err := c.execFilter(cl, rows)
+			if err != nil {
+				return nil, err
 			}
 			rows = next
 		case *SortClause:
-			keys := make([][]mmvalue.Value, len(rows))
-			for ri, r := range rows {
-				ks := make([]mmvalue.Value, len(cl.Keys))
-				for ki, k := range cl.Keys {
-					v, err := c.eval(k.Expr, r)
-					if err != nil {
-						return nil, err
-					}
-					ks[ki] = v
-				}
-				keys[ri] = ks
-			}
-			idx := make([]int, len(rows))
-			for i := range idx {
-				idx[i] = i
-			}
-			sort.SliceStable(idx, func(a, b int) bool {
-				for ki := range cl.Keys {
-					cmp := mmvalue.Compare(keys[idx[a]][ki], keys[idx[b]][ki])
-					if cl.Keys[ki].Desc {
-						cmp = -cmp
-					}
-					if cmp != 0 {
-						return cmp < 0
-					}
-				}
-				return false
-			})
-			next := make([]*env, len(rows))
-			for i, j := range idx {
-				next[i] = rows[j]
+			next, err := c.execSort(cl, rows)
+			if err != nil {
+				return nil, err
 			}
 			rows = next
 		case *LimitClause:
-			offset := 0
-			if cl.Offset != nil {
-				v, err := c.eval(cl.Offset, rows0(rows))
-				if err != nil {
-					return nil, err
-				}
-				offset = int(v.AsInt())
+			next, err := c.execLimit(cl, rows)
+			if err != nil {
+				return nil, err
 			}
-			count := len(rows)
-			if cl.Count != nil {
-				v, err := c.eval(cl.Count, rows0(rows))
-				if err != nil {
-					return nil, err
-				}
-				count = int(v.AsInt())
-			}
-			if offset > len(rows) {
-				offset = len(rows)
-			}
-			end := offset + count
-			if end > len(rows) {
-				end = len(rows)
-			}
-			rows = rows[offset:end]
+			rows = next
 		case *CollectClause:
 			next, err := c.execCollect(cl, rows)
 			if err != nil {
@@ -213,30 +161,9 @@ func (c *execCtx) runPipeline(pipe *Pipeline, start *env) ([]mmvalue.Value, erro
 			}
 			rows = next
 		case *distinctRowsClause:
-			var next []*env
-			seen := map[uint64][]mmvalue.Value{}
-			for _, r := range rows {
-				keyVals := make([]mmvalue.Value, len(cl.keys))
-				for i, k := range cl.keys {
-					v, err := c.eval(k, r)
-					if err != nil {
-						return nil, err
-					}
-					keyVals[i] = v
-				}
-				key := mmvalue.ArrayOf(keyVals)
-				h := key.Hash()
-				dup := false
-				for _, prev := range seen[h] {
-					if mmvalue.Equal(prev, key) {
-						dup = true
-						break
-					}
-				}
-				if !dup {
-					seen[h] = append(seen[h], key)
-					next = append(next, r)
-				}
+			next, err := c.execDistinctRows(cl, rows)
+			if err != nil {
+				return nil, err
 			}
 			rows = next
 		case *ReturnClause:
@@ -299,23 +226,177 @@ func rows0(rows []*env) *env {
 	return newEnv()
 }
 
-// execReturn materializes results, handling DISTINCT and EXPAND.
-func (c *execCtx) execReturn(cl *ReturnClause, rows []*env) ([]mmvalue.Value, error) {
-	var out []mmvalue.Value
+// execLet binds a LET variable on every row, on the worker pool when the
+// row count and the clause's compiled annotations allow it.
+func (c *execCtx) execLet(cl *LetClause, rows []*env) ([]*env, error) {
+	if c.stageEligible(len(rows), cl.parallelSafe) {
+		c.stats.ParallelEvals++
+		return c.execLetParallel(cl, rows)
+	}
+	next := make([]*env, len(rows))
+	for ri, r := range rows {
+		v, err := c.eval(cl.Expr, r)
+		if err != nil {
+			return nil, err
+		}
+		next[ri] = r.bind(cl.Var, v)
+	}
+	return next, nil
+}
+
+// execFilter runs a standalone FILTER stage (one not fused into a preceding
+// FOR — e.g. after COLLECT or LET), keeping rows whose predicate is truthy.
+func (c *execCtx) execFilter(cl *FilterClause, rows []*env) ([]*env, error) {
+	if c.stageEligible(len(rows), cl.parallelSafe) {
+		c.stats.ParallelEvals++
+		return c.execFilterParallel(cl, rows)
+	}
+	var next []*env
 	for _, r := range rows {
 		v, err := c.eval(cl.Expr, r)
 		if err != nil {
 			return nil, err
 		}
-		if cl.expand {
-			if v.Kind() == mmvalue.KindArray {
-				out = append(out, v.AsArray()...)
-			} else if !v.IsNull() {
-				out = append(out, v)
-			}
-			continue
+		if v.Truthy() {
+			next = append(next, r)
 		}
-		out = append(out, v)
+	}
+	return next, nil
+}
+
+// execSort orders rows by the clause's keys. The serial pass evaluates every
+// key vector then runs one stable sort; the parallel pass (large inputs,
+// subquery-free keys) evaluates keys per chunk and merge-sorts the chunks,
+// producing the identical stable order (see parallel.go).
+func (c *execCtx) execSort(cl *SortClause, rows []*env) ([]*env, error) {
+	if c.stageEligible(len(rows), cl.parallelSafe) {
+		c.stats.ParallelSorts++
+		return c.execSortParallel(cl, rows)
+	}
+	keys := make([][]mmvalue.Value, len(rows))
+	for ri, r := range rows {
+		ks := make([]mmvalue.Value, len(cl.Keys))
+		for ki, k := range cl.Keys {
+			v, err := c.eval(k.Expr, r)
+			if err != nil {
+				return nil, err
+			}
+			ks[ki] = v
+		}
+		keys[ri] = ks
+	}
+	idx := make([]int, len(rows))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		for ki := range cl.Keys {
+			cmp := mmvalue.Compare(keys[idx[a]][ki], keys[idx[b]][ki])
+			if cl.Keys[ki].Desc {
+				cmp = -cmp
+			}
+			if cmp != 0 {
+				return cmp < 0
+			}
+		}
+		return false
+	})
+	next := make([]*env, len(rows))
+	for i, j := range idx {
+		next[i] = rows[j]
+	}
+	return next, nil
+}
+
+// execLimit applies OFFSET/COUNT against the first row's bindings.
+func (c *execCtx) execLimit(cl *LimitClause, rows []*env) ([]*env, error) {
+	offset := 0
+	if cl.Offset != nil {
+		v, err := c.eval(cl.Offset, rows0(rows))
+		if err != nil {
+			return nil, err
+		}
+		offset = int(v.AsInt())
+	}
+	count := len(rows)
+	if cl.Count != nil {
+		v, err := c.eval(cl.Count, rows0(rows))
+		if err != nil {
+			return nil, err
+		}
+		count = int(v.AsInt())
+	}
+	if offset > len(rows) {
+		offset = len(rows)
+	}
+	end := offset + count
+	if end > len(rows) {
+		end = len(rows)
+	}
+	return rows[offset:end], nil
+}
+
+// execDistinctRows deduplicates rows by key expressions (SQL DISTINCT before
+// ORDER BY/LIMIT). First-occurrence semantics require a serial pass over the
+// global row order; see the DISTINCT note in parallel.go.
+func (c *execCtx) execDistinctRows(cl *distinctRowsClause, rows []*env) ([]*env, error) {
+	var next []*env
+	seen := map[uint64][]mmvalue.Value{}
+	for _, r := range rows {
+		keyVals := make([]mmvalue.Value, len(cl.keys))
+		for i, k := range cl.keys {
+			v, err := c.eval(k, r)
+			if err != nil {
+				return nil, err
+			}
+			keyVals[i] = v
+		}
+		key := mmvalue.ArrayOf(keyVals)
+		h := key.Hash()
+		dup := false
+		for _, prev := range seen[h] {
+			if mmvalue.Equal(prev, key) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			seen[h] = append(seen[h], key)
+			next = append(next, r)
+		}
+	}
+	return next, nil
+}
+
+// execReturn materializes results, handling DISTINCT and EXPAND. Large
+// projections with subquery-free expressions evaluate on the worker pool —
+// per-group aggregate folds after a COLLECT run here, concurrently across
+// groups — while DISTINCT dedup stays a serial pass over the merged output.
+func (c *execCtx) execReturn(cl *ReturnClause, rows []*env) ([]mmvalue.Value, error) {
+	var out []mmvalue.Value
+	if c.stageEligible(len(rows), cl.parallelSafe) {
+		c.stats.ParallelEvals++
+		vals, err := c.execReturnParallel(cl, rows)
+		if err != nil {
+			return nil, err
+		}
+		out = vals
+	} else {
+		for _, r := range rows {
+			v, err := c.eval(cl.Expr, r)
+			if err != nil {
+				return nil, err
+			}
+			if cl.expand {
+				if v.Kind() == mmvalue.KindArray {
+					out = append(out, v.AsArray()...)
+				} else if !v.IsNull() {
+					out = append(out, v)
+				}
+				continue
+			}
+			out = append(out, v)
+		}
 	}
 	if cl.Distinct {
 		var uniq []mmvalue.Value
@@ -342,50 +423,43 @@ func (c *execCtx) execReturn(cl *ReturnClause, rows []*env) ([]mmvalue.Value, er
 // execCollect groups rows by key expressions. Output rows bind the key
 // variables, the Into variable (array of row-binding objects), and — for
 // MSQL's loose-grouping convenience — the bindings of the group's first row.
+// Large inputs with subquery-free keys group via per-chunk partial tables on
+// the worker pool (see parallel.go); both paths share buildCollectRows.
 func (c *execCtx) execCollect(cl *CollectClause, rows []*env) ([]*env, error) {
-	type group struct {
-		keyVals []mmvalue.Value
-		members []*env
-	}
-	var order []string
-	groups := map[string]*group{}
-	for _, r := range rows {
-		keyVals := make([]mmvalue.Value, len(cl.Keys))
-		var keyID string
-		for i, k := range cl.Keys {
-			v, err := c.eval(k, r)
-			if err != nil {
-				return nil, err
-			}
-			keyVals[i] = v
-			keyID += v.String() + "\x00"
-		}
-		g := groups[keyID]
-		if g == nil {
-			g = &group{keyVals: keyVals}
-			groups[keyID] = g
-			order = append(order, keyID)
-		}
-		g.members = append(g.members, r)
-	}
 	var out []*env
-	for _, id := range order {
-		g := groups[id]
-		// Start from the first member's bindings (loose grouping).
-		base := g.members[0]
-		for i, v := range g.keyVals {
-			if i < len(cl.Vars) {
-				base = base.bind(cl.Vars[i], v)
+	if c.stageEligible(len(rows), cl.parallelSafe) {
+		c.stats.ParallelCollects++
+		grouped, err := c.execCollectParallel(cl, rows)
+		if err != nil {
+			return nil, err
+		}
+		out = grouped
+	} else {
+		var order []string
+		groups := map[string]*collectGroup{}
+		for _, r := range rows {
+			keyVals := make([]mmvalue.Value, len(cl.Keys))
+			var keyID string
+			for i, k := range cl.Keys {
+				v, err := c.eval(k, r)
+				if err != nil {
+					return nil, err
+				}
+				keyVals[i] = v
+				keyID += v.String() + "\x00"
+			}
+			g := groups[keyID]
+			if g == nil {
+				g = &collectGroup{keyVals: keyVals}
+				groups[keyID] = g
+				order = append(order, keyID)
+			}
+			g.members = append(g.members, r)
+			if cl.Into != "" {
+				g.memberObjs = append(g.memberObjs, mmvalue.ObjectOf(r.allVars()))
 			}
 		}
-		if cl.Into != "" {
-			members := make([]mmvalue.Value, len(g.members))
-			for mi, m := range g.members {
-				members[mi] = mmvalue.ObjectOf(m.allVars())
-			}
-			base = base.bind(cl.Into, mmvalue.ArrayOf(members))
-		}
-		out = append(out, base)
+		out = c.buildCollectRows(cl, order, groups)
 	}
 	// A keyless COLLECT over zero rows still yields one (empty) group so
 	// aggregates like COUNT(*) return 0.

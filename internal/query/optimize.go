@@ -255,7 +255,20 @@ func pathMatchesIndex(predPath, idxPath string) bool {
 	return predPath == stripped
 }
 
+// fetchDocs materializes an index access's candidate key list. Large key
+// lists (GIN candidate sets, wide B+tree ranges) are partitioned across the
+// worker pool like full scans are; results concatenate in key order either
+// way, so downstream recheck filters see the identical row sequence.
 func (c *execCtx) fetchDocs(coll string, keys []string) ([]mmvalue.Value, error) {
+	if c.pipelineParallelOK() && c.aboveThreshold(len(keys)) {
+		c.stats.ParallelIndexFetches++
+		out, err := c.fetchDocsParallel(coll, keys)
+		if err != nil {
+			return nil, err
+		}
+		c.stats.RowsRead += len(out)
+		return out, nil
+	}
 	var out []mmvalue.Value
 	for _, k := range keys {
 		doc, ok, err := c.src.Docs.Get(c.tx, coll, k)

@@ -1,6 +1,14 @@
 package query
 
-import "testing"
+import (
+	"sort"
+	"testing"
+)
+
+// stableSortInts stable-sorts an index slice with the given order.
+func stableSortInts(idx []int, less func(a, b int) bool) {
+	sort.SliceStable(idx, func(a, b int) bool { return less(idx[a], idx[b]) })
+}
 
 // TestAnalyzeMarksMutations checks the compile pass that gates the parallel
 // executor: mutation clauses — including ones buried in subqueries — must
@@ -54,6 +62,113 @@ func TestAnalyzeMarksFilterSafety(t *testing.T) {
 	}
 	if filters[1].parallelSafe {
 		t.Fatal("subquery filter marked parallel-safe")
+	}
+}
+
+// TestAnalyzeMarksTailStageSafety checks the compiled annotations that gate
+// the parallel pipeline tail: SORT, COLLECT, LET, and RETURN stages are
+// parallel-safe exactly when their expressions contain no subqueries.
+func TestAnalyzeMarksTailStageSafety(t *testing.T) {
+	pipe, err := ParseMMQL(`
+		FOR s IN sales
+		  LET doubled = s.qty * 2
+		  COLLECT region = s.region INTO g
+		  LET total = SUM(g[*].s.qty)
+		  SORT total DESC, region
+		  RETURN {region: region, total: total}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cl := range pipe.Clauses {
+		switch c := cl.(type) {
+		case *LetClause:
+			if !c.parallelSafe {
+				t.Fatalf("subquery-free LET %q marked unsafe", c.Var)
+			}
+		case *SortClause:
+			if !c.parallelSafe {
+				t.Fatal("subquery-free SORT marked unsafe")
+			}
+		case *CollectClause:
+			if !c.parallelSafe {
+				t.Fatal("subquery-free COLLECT marked unsafe")
+			}
+		case *ReturnClause:
+			if !c.parallelSafe {
+				t.Fatal("subquery-free RETURN marked unsafe")
+			}
+		}
+	}
+
+	unsafe, err := ParseMMQL(`
+		FOR p IN products
+		  LET rel = (FOR s IN sales FILTER s.product == p._key RETURN s)
+		  COLLECT n = LENGTH((FOR s IN sales RETURN s))
+		  SORT LENGTH((FOR s IN sales RETURN s))
+		  RETURN (FOR s IN sales RETURN s.id)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cl := range unsafe.Clauses {
+		switch c := cl.(type) {
+		case *LetClause:
+			if c.parallelSafe {
+				t.Fatalf("subquery LET %q marked parallel-safe", c.Var)
+			}
+		case *SortClause:
+			if c.parallelSafe {
+				t.Fatal("subquery SORT key marked parallel-safe")
+			}
+		case *CollectClause:
+			if c.parallelSafe {
+				t.Fatal("subquery COLLECT key marked parallel-safe")
+			}
+		case *ReturnClause:
+			if c.parallelSafe {
+				t.Fatal("subquery RETURN marked parallel-safe")
+			}
+		}
+	}
+}
+
+// TestMergeSortedRunsStable pins the chunked merge sort against the serial
+// sort.SliceStable order on a tie-heavy input, across chunkings.
+func TestMergeSortedRunsStable(t *testing.T) {
+	vals := make([]int, 500)
+	for i := range vals {
+		vals[i] = (i * 7) % 5 // many ties, irregular pattern
+	}
+	less := func(a, b int) bool { return vals[a] < vals[b] }
+
+	want := make([]int, len(vals))
+	for i := range want {
+		want[i] = i
+	}
+	// Serial reference: stable sort of indices by value.
+	ref := append([]int(nil), want...)
+	stableSortInts(ref, less)
+
+	for _, chunks := range []int{1, 2, 3, 4, 7, 16} {
+		runs := make([][]int, 0, chunks)
+		size := (len(vals) + chunks - 1) / chunks
+		for lo := 0; lo < len(vals); lo += size {
+			hi := lo + size
+			if hi > len(vals) {
+				hi = len(vals)
+			}
+			run := make([]int, hi-lo)
+			for i := range run {
+				run[i] = lo + i
+			}
+			stableSortInts(run, less)
+			runs = append(runs, run)
+		}
+		got := mergeSortedRuns(runs, less)
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("chunks=%d: merge order diverges at %d: got %v want %v", chunks, i, got[i], ref[i])
+			}
+		}
 	}
 }
 

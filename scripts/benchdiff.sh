@@ -3,11 +3,16 @@
 # flagging per-benchmark slowdowns beyond 10%.
 #
 # Usage: scripts/benchdiff.sh [baseline.json] [benchtime]
-#   baseline.json  defaults to BENCH_1.json (the committed sweep)
+#   baseline.json  defaults to BENCH_1.json (the committed sweep, a stable
+#                  -benchtime 2s run)
 #   benchtime      passed to -benchtime; defaults to 1x (quick + noisy —
 #                  use e.g. 2s before trusting a flagged regression)
 #
-# Report-only by default; set BENCHDIFF_FAIL=1 to exit 1 on regressions.
+# Environment:
+#   BENCHDIFF_FAIL=1      exit 1 on regressions (CI gates on this)
+#   BENCHDIFF_REPORT=dir  keep the fresh sweep JSON and the diff report in
+#                         dir (for artifact upload); otherwise the sweep is
+#                         a temp file and the report goes to stdout only
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -19,8 +24,15 @@ if [ ! -f "$baseline" ]; then
   exit 2
 fi
 
-fresh="$(mktemp --suffix=.json)"
-trap 'rm -f "$fresh"' EXIT
+if [ -n "${BENCHDIFF_REPORT:-}" ]; then
+  mkdir -p "$BENCHDIFF_REPORT"
+  fresh="$BENCHDIFF_REPORT/bench_fresh.json"
+  report="$BENCHDIFF_REPORT/benchdiff.txt"
+else
+  fresh="$(mktemp --suffix=.json)"
+  report=/dev/null
+  trap 'rm -f "$fresh"' EXIT
+fi
 
 echo "== bench sweep (-benchtime $benchtime)"
 go test -run '^$' -bench . -benchtime "$benchtime" -timeout 30m . \
@@ -31,4 +43,4 @@ failflag=()
 if [ "${BENCHDIFF_FAIL:-0}" = "1" ]; then
   failflag=(-fail)
 fi
-go run ./cmd/benchdiff "${failflag[@]}" "$baseline" "$fresh"
+go run ./cmd/benchdiff "${failflag[@]}" "$baseline" "$fresh" | tee "$report"

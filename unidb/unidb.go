@@ -93,6 +93,26 @@ func (d *Database) SQL(msql string, params map[string]Value) (*Result, error) {
 	return d.db.SQL(msql, params)
 }
 
+// QueryOptions tunes one execution: parameter bindings, the index ablation
+// switch, and the parallel executor knobs. ParallelThreshold is the minimum
+// number of elements (scanned rows, COLLECT/SORT input rows, or index-range
+// keys) before a pipeline stage moves to the worker pool — 0 means the
+// default (1024), negative disables parallel execution entirely. MaxParallel
+// caps the worker goroutines (0 means GOMAXPROCS). Parallel and serial
+// execution produce byte-identical results; the knobs trade fan-out overhead
+// against multi-core scaling.
+type QueryOptions = query.Options
+
+// QueryOpts runs MMQL with explicit execution options.
+func (d *Database) QueryOpts(mmql string, params map[string]Value, opts QueryOptions) (*Result, error) {
+	return d.db.QueryOpts(mmql, params, opts)
+}
+
+// SQLOpts runs MSQL with explicit execution options.
+func (d *Database) SQLOpts(msql string, params map[string]Value, opts QueryOptions) (*Result, error) {
+	return d.db.SQLOpts(msql, params, opts)
+}
+
 // --- Prepared statements and the compiled-plan cache ---
 //
 // Query and SQL already serve repeated statements from an LRU plan cache;
