@@ -9,6 +9,7 @@ import (
 	"math/rand"
 	"runtime"
 	"strings"
+	"sync"
 	"testing"
 
 	"repro/internal/bitmapidx"
@@ -1148,5 +1149,84 @@ func BenchmarkE7WALDurability(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// --- E20: group-commit WAL vs per-commit fsync ---
+// DESIGN.md decision #9: concurrent Synced committers coalesce into one
+// write+fsync window. This measures the commit throughput each fsync
+// discipline sustains as writer concurrency grows: PerCommitFsync pins the
+// commit window to 1 (every committer leads its own window and pays its own
+// sync), GroupCommit uses the default window so concurrent committers share
+// one barrier. The acceptance shape is GroupCommit >= 3x PerCommitFsync at
+// 16 writers, with FsyncsSaved > 0 proving commits actually coalesced.
+
+func BenchmarkE20GroupCommit(b *testing.B) {
+	for _, mode := range []struct {
+		name   string
+		window int
+	}{
+		{"PerCommitFsync", 1},
+		{"GroupCommit", 0}, // 0 = wal.DefaultCommitWindow
+	} {
+		for _, writers := range []int{1, 4, 16} {
+			b.Run(fmt.Sprintf("%s/writers=%d", mode.name, writers), func(b *testing.B) {
+				// Committers spend their time blocked in fsync, not on-CPU,
+				// so the interesting regime is I/O concurrency. On boxes
+				// with very few cores the runtime can pin the lone P to the
+				// syncing thread and starve the would-be followers; give the
+				// scheduler enough Ps that waiting writers actually reach
+				// the commit queue during the leader's fsync.
+				if prev := runtime.GOMAXPROCS(0); prev < 4 {
+					runtime.GOMAXPROCS(4)
+					defer runtime.GOMAXPROCS(prev)
+				}
+				db, err := core.Open(core.Options{
+					Dir:               b.TempDir(),
+					Durability:        engine.Synced,
+					GroupCommitWindow: mode.window,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer db.Close()
+				mustUpdate(b, db, func(tx *engine.Txn) error {
+					return db.Docs.CreateCollection(tx, "w", catalog.Schemaless)
+				})
+				b.ResetTimer()
+				var wg sync.WaitGroup
+				for w := 0; w < writers; w++ {
+					n := b.N / writers
+					if w < b.N%writers {
+						n++
+					}
+					wg.Add(1)
+					go func(w, n int) {
+						defer wg.Done()
+						for i := 0; i < n; i++ {
+							err := db.Engine.Update(func(tx *engine.Txn) error {
+								_, err := db.Docs.Insert(tx, "w", mmvalue.Object(
+									mmvalue.F("_key", mmvalue.String(fmt.Sprintf("w%d-d%d", w, i))),
+									mmvalue.F("n", mmvalue.Int(int64(i)))))
+								return err
+							})
+							if err != nil {
+								b.Error(err)
+								return
+							}
+						}
+					}(w, n)
+				}
+				wg.Wait()
+				b.StopTimer()
+				st := db.Engine.WALStats()
+				if mode.window == 0 && writers > 1 && st.FsyncsSaved == 0 && b.N > 1 {
+					b.Fatalf("group commit never coalesced: %+v", st)
+				}
+				if b.N > 0 {
+					b.ReportMetric(float64(st.Fsyncs)/float64(b.N), "fsyncs/commit")
+				}
+			})
+		}
 	}
 }

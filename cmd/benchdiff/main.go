@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	go run ./cmd/benchdiff [-threshold 10] [-fail] BASELINE.json FRESH.json
+//	go run ./cmd/benchdiff [-threshold 10] [-per-bench 'rx=pct,...'] [-fail] BASELINE.json FRESH.json
 //
 // Benchmarks are matched by name after stripping the trailing -GOMAXPROCS
 // suffix, so reports taken on machines with different core counts still
@@ -11,6 +11,14 @@
 // regressions. With -fail, any regression makes the exit status 1 —
 // off by default because one-shot sweeps (-benchtime 1x) are noisy and a
 // hard gate would flake; CI runs it in report-only mode.
+//
+// -per-bench widens (or tightens) the gate for benchmarks whose timer is
+// dominated by something noisier than the code under test. The WAL fsync
+// benches (E7 durability, E20 group commit) time the disk's sync latency,
+// which swings far more run-to-run than compute-bound benches do, so the
+// committed gate gives them a wider band instead of loosening the global
+// threshold for everyone. Rules are comma-separated `regex=pct` pairs
+// matched against the normalized name; the first match wins.
 package main
 
 import (
@@ -20,6 +28,8 @@ import (
 	"os"
 	"regexp"
 	"sort"
+	"strconv"
+	"strings"
 )
 
 type record struct {
@@ -39,7 +49,49 @@ type diff struct {
 	Name       string
 	Base, New  float64 // ns/op
 	DeltaPct   float64 // (new-base)/base * 100
+	Threshold  float64 // gate applied to this benchmark
 	Regression bool
+}
+
+// benchThreshold is one per-benchmark gate override.
+type benchThreshold struct {
+	rx  *regexp.Regexp
+	pct float64
+}
+
+// parsePerBench parses comma-separated `regex=pct` pairs.
+func parsePerBench(spec string) ([]benchThreshold, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var rules []benchThreshold
+	for _, pair := range strings.Split(spec, ",") {
+		eq := strings.LastIndex(pair, "=")
+		if eq < 0 {
+			return nil, fmt.Errorf("per-bench rule %q: want regex=pct", pair)
+		}
+		rx, err := regexp.Compile(pair[:eq])
+		if err != nil {
+			return nil, fmt.Errorf("per-bench rule %q: %w", pair, err)
+		}
+		pct, err := strconv.ParseFloat(pair[eq+1:], 64)
+		if err != nil {
+			return nil, fmt.Errorf("per-bench rule %q: %w", pair, err)
+		}
+		rules = append(rules, benchThreshold{rx: rx, pct: pct})
+	}
+	return rules, nil
+}
+
+// thresholdFor picks the gate for one normalized benchmark name: the first
+// matching override, else the global default.
+func thresholdFor(name string, defaultPct float64, overrides []benchThreshold) float64 {
+	for _, o := range overrides {
+		if o.rx.MatchString(name) {
+			return o.pct
+		}
+	}
+	return defaultPct
 }
 
 // result is the full comparison outcome.
@@ -56,8 +108,9 @@ func normalize(name string) string {
 }
 
 // compare matches benchmarks by normalized name and computes ns/op deltas;
-// a regression is a slowdown of more than thresholdPct percent.
-func compare(base, fresh report, thresholdPct float64) result {
+// a regression is a slowdown of more than the benchmark's gate — the first
+// matching per-bench override, or thresholdPct when none matches.
+func compare(base, fresh report, thresholdPct float64, overrides ...benchThreshold) result {
 	baseBy := map[string]record{}
 	for _, b := range base.Benchmarks {
 		baseBy[normalize(b.Name)] = b
@@ -73,9 +126,10 @@ func compare(base, fresh report, thresholdPct float64) result {
 			continue
 		}
 		d := diff{Name: name, Base: b.NsPerOp, New: f.NsPerOp}
+		d.Threshold = thresholdFor(name, thresholdPct, overrides)
 		if b.NsPerOp > 0 {
 			d.DeltaPct = (f.NsPerOp - b.NsPerOp) / b.NsPerOp * 100
-			d.Regression = d.DeltaPct > thresholdPct
+			d.Regression = d.DeltaPct > d.Threshold
 		}
 		res.Diffs = append(res.Diffs, d)
 	}
@@ -104,10 +158,16 @@ func load(path string) (report, error) {
 
 func main() {
 	threshold := flag.Float64("threshold", 10, "regression threshold in percent")
+	perBench := flag.String("per-bench", "", "per-benchmark threshold overrides: comma-separated regex=pct, first match wins")
 	failOnRegression := flag.Bool("fail", false, "exit 1 if any regression exceeds the threshold")
 	flag.Parse()
 	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold 10] [-fail] BASELINE.json FRESH.json")
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold 10] [-per-bench 'rx=pct,...'] [-fail] BASELINE.json FRESH.json")
+		os.Exit(2)
+	}
+	overrides, err := parsePerBench(*perBench)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
 		os.Exit(2)
 	}
 	base, err := load(flag.Arg(0))
@@ -120,7 +180,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchdiff:", err)
 		os.Exit(2)
 	}
-	res := compare(base, fresh, *threshold)
+	res := compare(base, fresh, *threshold, overrides...)
 
 	regressions := 0
 	for _, d := range res.Diffs {
@@ -128,11 +188,15 @@ func main() {
 		if d.Regression {
 			marker = "!!"
 			regressions++
-		} else if d.DeltaPct < -*threshold {
+		} else if d.DeltaPct < -d.Threshold {
 			marker = "++"
 		}
-		fmt.Printf("%s %-60s %14.0f -> %14.0f ns/op  %+7.1f%%\n",
-			marker, d.Name, d.Base, d.New, d.DeltaPct)
+		gate := ""
+		if d.Threshold != *threshold {
+			gate = fmt.Sprintf("  (gate %.0f%%)", d.Threshold)
+		}
+		fmt.Printf("%s %-60s %14.0f -> %14.0f ns/op  %+7.1f%%%s\n",
+			marker, d.Name, d.Base, d.New, d.DeltaPct, gate)
 	}
 	for _, name := range res.OnlyInBase {
 		fmt.Printf("-- %-60s (removed: in baseline only)\n", name)

@@ -47,6 +47,53 @@ func TestCompareFlagsRegressionsBeyondThreshold(t *testing.T) {
 	}
 }
 
+// TestComparePerBenchOverrides pins the widened gate for fsync-dominated
+// benchmarks: a +25% swing on an E7/E20-style bench stays green under its
+// 40% override while the same swing on a compute bench is flagged, and an
+// improvement beyond the wide gate still reads as improvement.
+func TestComparePerBenchOverrides(t *testing.T) {
+	base := report{Benchmarks: []record{
+		rec("BenchmarkE7WALDurability/SyncedWAL-8", 100000),
+		rec("BenchmarkE20GroupCommit/writers=16-8", 100000),
+		rec("BenchmarkCompute-8", 100),
+	}}
+	fresh := report{Benchmarks: []record{
+		rec("BenchmarkE7WALDurability/SyncedWAL-8", 125000), // +25%, inside 40% gate
+		rec("BenchmarkE20GroupCommit/writers=16-8", 145000), // +45%, beyond even the wide gate
+		rec("BenchmarkCompute-8", 125),                      // +25%, beyond the 10% default
+	}}
+	overrides, err := parsePerBench(`E7WALDurability=40,E20GroupCommit=40`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := compare(base, fresh, 10, overrides...)
+	byName := map[string]diff{}
+	for _, d := range res.Diffs {
+		byName[d.Name] = d
+	}
+	if d := byName["BenchmarkE7WALDurability/SyncedWAL"]; d.Regression || d.Threshold != 40 {
+		t.Errorf("E7 = %+v, want +25%% inside a 40%% gate", d)
+	}
+	if d := byName["BenchmarkE20GroupCommit/writers=16"]; !d.Regression || d.Threshold != 40 {
+		t.Errorf("E20 = %+v, want +45%% flagged even by the 40%% gate", d)
+	}
+	if d := byName["BenchmarkCompute"]; !d.Regression || d.Threshold != 10 {
+		t.Errorf("Compute = %+v, want +25%% flagged by the 10%% default", d)
+	}
+}
+
+func TestParsePerBenchRejectsMalformedRules(t *testing.T) {
+	for _, bad := range []string{"noequals", "rx=notanumber", "(unclosed=10"} {
+		if _, err := parsePerBench(bad); err == nil {
+			t.Errorf("parsePerBench(%q) accepted a malformed rule", bad)
+		}
+	}
+	rules, err := parsePerBench("")
+	if err != nil || rules != nil {
+		t.Errorf("empty spec = %v, %v; want no rules, no error", rules, err)
+	}
+}
+
 func TestCompareZeroBaselineIsNotRegression(t *testing.T) {
 	base := report{Benchmarks: []record{rec("BenchmarkZ", 0)}}
 	fresh := report{Benchmarks: []record{rec("BenchmarkZ", 100)}}

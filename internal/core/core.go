@@ -31,6 +31,9 @@ type Options struct {
 	Dir string
 	// Durability is forwarded to the engine (ignored when Dir is empty).
 	Durability engine.Durability
+	// GroupCommitWindow is forwarded to the engine: the maximum number of
+	// concurrent Synced committers that share one WAL fsync (0 = default).
+	GroupCommitWindow int
 }
 
 // DB is a multi-model database instance.
@@ -66,7 +69,7 @@ func Open(opts Options) (*DB, error) {
 	if opts.Dir == "" {
 		durability = engine.Ephemeral
 	}
-	e, err := engine.Open(engine.Options{Dir: opts.Dir, Durability: durability})
+	e, err := engine.Open(engine.Options{Dir: opts.Dir, Durability: durability, GroupCommitWindow: opts.GroupCommitWindow})
 	if err != nil {
 		return nil, err
 	}

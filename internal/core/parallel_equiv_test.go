@@ -119,6 +119,70 @@ func TestParallelEquivalenceCorpus(t *testing.T) {
 	}
 }
 
+// TestDecomposedAggEquivalence targets the decomposed partial-state path for
+// COLLECT aggregates (see query/decompose.go): integer columns take the
+// per-chunk SUM/MIN/MAX/LENGTH shortcut, while float columns, mixed columns,
+// and sums whose prefixes leave the float64-exact range must invalidate the
+// state and fall back to the serial fold — byte-identical either way.
+func TestDecomposedAggEquivalence(t *testing.T) {
+	db := openDB(t)
+	err := db.Engine.Update(func(tx *engine.Txn) error {
+		if err := db.Docs.CreateCollection(tx, "nums", catalogSchemaless()); err != nil {
+			return err
+		}
+		for i := 0; i < 600; i++ {
+			// big sits near 2^53 so grouped sums overflow the exact range;
+			// f is fractional; mixed alternates int and float.
+			doc := fmt.Sprintf(`{"_key":"n%03d","tag":"t%d","v":%d,"big":%d,"f":%g,"mixed":%s}`,
+				i, i%7, i-300, int64(1)<<52+int64(i), 0.5+float64(i), mixedNum(i))
+			if _, err := db.Docs.Insert(tx, "nums", mmvalue.MustParseJSON(doc)); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []string{
+		// Pure integer columns: the decomposed fast path serves all four.
+		`FOR e IN nums COLLECT tag = e.tag INTO g SORT tag
+		   RETURN {tag: tag, n: LENGTH(g), s: SUM(g[*].e.v), lo: MIN(g[*].e.v), hi: MAX(g[*].e.v)}`,
+		// Float column: SUM state invalidates, MIN/MAX still decompose.
+		`FOR e IN nums COLLECT tag = e.tag INTO g SORT tag
+		   RETURN {tag: tag, s: SUM(g[*].e.f), lo: MIN(g[*].e.f)}`,
+		// Near-2^53 values: per-group prefixes leave the exact range.
+		`FOR e IN nums COLLECT tag = e.tag INTO g SORT tag
+		   RETURN {tag: tag, s: SUM(g[*].e.big)}`,
+		// Mixed int/float column invalidates SUM mid-chunk.
+		`FOR e IN nums COLLECT tag = e.tag INTO g SORT tag
+		   RETURN {tag: tag, s: SUM(g[*].e.mixed), hi: MAX(g[*].e.mixed)}`,
+		// Constant key: one group spanning every chunk.
+		`FOR e IN nums COLLECT one = 1 INTO g RETURN {n: LENGTH(g), s: SUM(g[*].e.v)}`,
+	}
+	for _, q := range cases {
+		assertSerialParallelEqual(t, db, "mmql", q, nil, true)
+	}
+
+	// The integer query must actually report decomposed aggregate specs.
+	res, err := db.QueryOpts(cases[0], nil, parallelOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.DecomposedAggs != 4 || res.Stats.ParallelCollects == 0 {
+		t.Fatalf("stats = %+v, want 4 decomposed aggs on the parallel COLLECT", res.Stats)
+	}
+}
+
+// mixedNum renders an alternating int/float literal column.
+func mixedNum(i int) string {
+	if i%2 == 0 {
+		return fmt.Sprintf("%d", i)
+	}
+	return fmt.Sprintf("%g", float64(i)+0.25)
+}
+
 // TestParallelEquivalenceE1 checks the paper's E1 recommendation query —
 // the multi-model join across tabular, graph, key/value, and JSON data — in
 // both dialects.

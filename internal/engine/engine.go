@@ -52,6 +52,10 @@ type Options struct {
 	Dir string
 	// Durability selects the commit protocol.
 	Durability Durability
+	// GroupCommitWindow caps how many concurrent Synced committers share
+	// one WAL fsync (group commit). 0 selects wal.DefaultCommitWindow; 1
+	// restores per-commit fsync.
+	GroupCommitWindow int
 }
 
 // ErrClosed is returned by operations on a closed engine.
@@ -122,12 +126,24 @@ func Open(opts Options) (*Engine, error) {
 	for _, r := range wal.CommittedSets(recs) {
 		e.applyRecord(r)
 	}
-	log, err := wal.Open(wal.LogPath(opts.Dir), opts.Durability == Synced)
+	log, err := wal.OpenOptions(wal.LogPath(opts.Dir), wal.Options{
+		SyncEveryCommit: opts.Durability == Synced,
+		CommitWindow:    opts.GroupCommitWindow,
+	})
 	if err != nil {
 		return nil, err
 	}
 	e.log = log
 	return e, nil
+}
+
+// WALStats returns the WAL's cumulative activity counters (zero-valued for
+// an Ephemeral engine, which has no log).
+func (e *Engine) WALStats() wal.Stats {
+	if e.log == nil {
+		return wal.Stats{}
+	}
+	return e.log.Stats()
 }
 
 // applyRecord applies a redo record to the in-memory trees (recovery and
@@ -401,24 +417,27 @@ func (t *Txn) DropKeyspace(ks string) error {
 
 // Commit makes the transaction durable (per the engine's durability level)
 // and visible, ships it to replicas, and releases all locks.
+//
+// The whole redo batch — data records plus the trailing commit record — is
+// handed to the WAL as one AppendBatch: a single buffered write, and under
+// Synced durability a single fsync barrier that concurrent committers
+// share (group commit). Commit does not return success before the commit
+// record is durable.
 func (t *Txn) Commit() error {
 	if t.done {
 		return ErrTxnDone
 	}
 	if t.e.log != nil && len(t.recs) > 0 {
-		for i := range t.recs {
-			if _, err := t.e.log.Append(t.recs[i]); err != nil {
-				// WAL failure: the safe exit is to roll back.
-				t.rollbackLocked()
-				t.finish()
-				return fmt.Errorf("engine: commit: %w", err)
-			}
-		}
-		if _, err := t.e.log.Append(wal.Record{Txn: t.id, Op: wal.OpCommit}); err != nil {
+		batch := append(t.recs, wal.Record{Txn: t.id, Op: wal.OpCommit})
+		if _, err := t.e.log.AppendBatch(batch); err != nil {
+			// WAL failure: the safe exit is to roll back.
 			t.rollbackLocked()
 			t.finish()
 			return fmt.Errorf("engine: commit: %w", err)
 		}
+		// AppendBatch assigned LSNs in place; drop the control record so
+		// replicas ship data records only, as before.
+		t.recs = batch[:len(batch)-1]
 	}
 	if len(t.recs) > 0 {
 		t.e.ship(t.recs)
@@ -427,19 +446,25 @@ func (t *Txn) Commit() error {
 	return nil
 }
 
-// Abort rolls the transaction back and releases all locks. Safe to call on
-// a finished transaction.
-func (t *Txn) Abort() {
+// Abort rolls the transaction back and releases all locks, reporting any
+// WAL write failure (the rollback itself cannot fail). Safe to call on a
+// finished transaction, where it is a no-op returning nil.
+func (t *Txn) Abort() error {
 	if t.done {
-		return
+		return nil
 	}
 	t.rollbackLocked()
+	var err error
 	if t.e.log != nil && len(t.recs) > 0 {
-		// Abort record is informative only; recovery ignores uncommitted
-		// transactions either way.
-		t.e.log.Append(wal.Record{Txn: t.id, Op: wal.OpAbort}) //nolint:errcheck
+		// The abort record is informative only — recovery ignores
+		// uncommitted transactions either way — but a failure to write it
+		// still signals a sick log, so it is surfaced, not swallowed.
+		if _, aerr := t.e.log.Append(wal.Record{Txn: t.id, Op: wal.OpAbort}); aerr != nil {
+			err = fmt.Errorf("engine: abort record: %w", aerr)
+		}
 	}
 	t.finish()
+	return err
 }
 
 func (t *Txn) rollbackLocked() {
@@ -475,7 +500,9 @@ func (e *Engine) Update(fn func(*Txn) error) error {
 		if err == nil {
 			return t.Commit()
 		}
-		t.Abort()
+		if aerr := t.Abort(); aerr != nil {
+			return errors.Join(err, aerr)
+		}
 		if !errors.Is(err, ErrDeadlock) {
 			return err
 		}
@@ -485,14 +512,17 @@ func (e *Engine) Update(fn func(*Txn) error) error {
 }
 
 // View runs fn in a read-only usage pattern (fn may technically write; the
-// transaction aborts either way, rolling any writes back).
+// transaction aborts either way, rolling any writes back). The deferred
+// Abort keeps the transaction from leaking locks if fn panics; the explicit
+// one joins any abort-record WAL failure into the result (Abort on an
+// already-finished Txn is a nil no-op).
 func (e *Engine) View(fn func(*Txn) error) error {
 	t, err := e.Begin()
 	if err != nil {
 		return err
 	}
 	defer t.Abort()
-	return fn(t)
+	return errors.Join(fn(t), t.Abort())
 }
 
 // --- Checkpoint and snapshots ---

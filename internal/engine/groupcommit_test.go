@@ -1,0 +1,250 @@
+package engine
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+
+	"repro/internal/wal"
+)
+
+// TestGroupCommitRecoveryAcknowledgedSet runs many concurrent Synced
+// writers through the group-commit path, records exactly which commits
+// were acknowledged, crashes (closes) the engine, and verifies recovery
+// reproduces the acknowledged set byte-for-byte — every acknowledged key
+// present with its exact value, nothing else in the keyspace.
+func TestGroupCommitRecoveryAcknowledgedSet(t *testing.T) {
+	dir := t.TempDir()
+	e, err := Open(Options{Dir: dir, Durability: Synced})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const writers = 8
+	const perWriter = 10
+	var ackMu sync.Mutex
+	acked := map[string]string{}
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				k1 := fmt.Sprintf("w%d-i%d-a", w, i)
+				k2 := fmt.Sprintf("w%d-i%d-b", w, i)
+				v1 := fmt.Sprintf("val-%d-%d-a", w, i)
+				v2 := fmt.Sprintf("val-%d-%d-b", w, i)
+				err := e.Update(func(tx *Txn) error {
+					if err := tx.Put("docs", []byte(k1), []byte(v1)); err != nil {
+						return err
+					}
+					return tx.Put("docs", []byte(k2), []byte(v2))
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				// Update returned nil: this commit is acknowledged and
+				// must survive any crash from here on.
+				ackMu.Lock()
+				acked[k1] = v1
+				acked[k2] = v2
+				ackMu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	st := e.WALStats()
+	if st.BatchedAppends == 0 || st.Batches != writers*perWriter {
+		t.Fatalf("wal stats = %+v, want %d batches via AppendBatch", st, writers*perWriter)
+	}
+	if st.Fsyncs+st.FsyncsSaved != st.Batches {
+		t.Fatalf("fsyncs %d + saved %d != batches %d", st.Fsyncs, st.FsyncsSaved, st.Batches)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := Open(Options{Dir: dir, Durability: Synced})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	got := map[string]string{}
+	err = re.View(func(tx *Txn) error {
+		return tx.Scan("docs", nil, nil, func(k, v []byte) bool {
+			got[string(k)] = string(v)
+			return true
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(acked) {
+		t.Fatalf("recovered %d keys, acknowledged %d", len(got), len(acked))
+	}
+	for k, v := range acked {
+		if got[k] != v {
+			t.Fatalf("key %q recovered as %q, want %q", k, got[k], v)
+		}
+	}
+}
+
+// TestGroupCommitTornBatchRecovery tears the WAL inside the last
+// transaction's batched frames and checks recovery is all-or-nothing per
+// transaction: the commit record is the batch's final frame, so losing any
+// byte of the batch loses the whole transaction and nothing before it.
+func TestGroupCommitTornBatchRecovery(t *testing.T) {
+	dir := t.TempDir()
+	e, err := Open(Options{Dir: dir, Durability: Synced})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		err := e.Update(func(tx *Txn) error {
+			for j := 0; j < 4; j++ {
+				k := fmt.Sprintf("t%d-k%d", i, j)
+				if err := tx.Put("docs", []byte(k), []byte(fmt.Sprintf("v%d-%d", i, j))); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Cut into txn 2's batch (4 sets + 1 commit, all written contiguously
+	// at the tail): dropping 3 bytes tears its commit frame.
+	logPath := wal.LogPath(dir)
+	data, err := os.ReadFile(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(logPath, data[:len(data)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := Open(Options{Dir: dir, Durability: Synced})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]string{}
+	err = re.View(func(tx *Txn) error {
+		return tx.Scan("docs", nil, nil, func(k, v []byte) bool {
+			got[string(k)] = string(v)
+			return true
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 8 {
+		t.Fatalf("recovered %d keys, want 8 (txns 0 and 1 only): %v", len(got), got)
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 4; j++ {
+			k := fmt.Sprintf("t%d-k%d", i, j)
+			if got[k] != fmt.Sprintf("v%d-%d", i, j) {
+				t.Fatalf("key %q = %q", k, got[k])
+			}
+		}
+	}
+	for j := 0; j < 4; j++ {
+		if _, ok := got[fmt.Sprintf("t2-k%d", j)]; ok {
+			t.Fatalf("torn txn 2 leaked key t2-k%d into recovery", j)
+		}
+	}
+
+	// The reopened log truncated the torn frames; new commits append after
+	// the intact prefix and survive another recovery.
+	err = re.Update(func(tx *Txn) error {
+		return tx.Put("docs", []byte("post"), []byte("recovery"))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := re.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re2, err := Open(Options{Dir: dir, Durability: Synced})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re2.Close()
+	err = re2.View(func(tx *Txn) error {
+		v, ok, err := tx.Get("docs", []byte("post"))
+		if err != nil || !ok || string(v) != "recovery" {
+			t.Fatalf("post-recovery key = %q, %v, %v", v, ok, err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAbortSurfacesWALError closes the WAL out from under a live
+// transaction and checks Abort reports the failed abort-record write
+// instead of swallowing it (the old //nolint:errcheck path).
+func TestAbortSurfacesWALError(t *testing.T) {
+	dir := t.TempDir()
+	e, err := Open(Options{Dir: dir, Durability: Buffered})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx, err := e.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Put("docs", []byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if aerr := tx.Abort(); aerr == nil {
+		t.Fatal("Abort on a closed WAL: want surfaced error, got nil")
+	}
+	// A second Abort is a finished-transaction no-op.
+	if aerr := tx.Abort(); aerr != nil {
+		t.Fatalf("second Abort = %v, want nil", aerr)
+	}
+}
+
+// TestGroupCommitWindowOption checks the window knob plumbs through:
+// window 1 must behave exactly like per-commit fsync (one fsync per
+// batch, nothing saved).
+func TestGroupCommitWindowOption(t *testing.T) {
+	dir := t.TempDir()
+	e, err := Open(Options{Dir: dir, Durability: Synced, GroupCommitWindow: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	var wg sync.WaitGroup
+	const n = 4
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			err := e.Update(func(tx *Txn) error {
+				return tx.Put("docs", []byte(fmt.Sprintf("k%d", w)), []byte("v"))
+			})
+			if err != nil {
+				t.Error(err)
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := e.WALStats()
+	if st.Fsyncs != n || st.FsyncsSaved != 0 || st.GroupCommits != 0 {
+		t.Fatalf("window=1 stats = %+v, want %d solo fsyncs", st, n)
+	}
+}

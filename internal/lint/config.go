@@ -19,6 +19,9 @@ package lint
 //	parallel-merge — the parallel executor's partial-result merge paths must
 //	               iterate recorded chunk/group order, never a map range.
 //	txnend       — core and query: a Begin without Commit/Abort wedges 2PL.
+//	syncbarrier  — the WAL group-commit window: no path may acknowledge a
+//	               committer (finishWindow, close of a done channel) before
+//	               the durability barrier (durableBarrier) has run.
 func DefaultAnalyzers() []Analyzer {
 	return []Analyzer{
 		LockCheck{},
@@ -50,6 +53,11 @@ func DefaultAnalyzers() []Analyzer {
 			Packages:   []string{"repro/internal/core", "repro/internal/query"},
 			BeginNames: []string{"Begin"},
 			EndNames:   []string{"Commit", "Abort"},
+		},
+		SyncBarrier{
+			Scope:    []ScopeRef{{Pkg: "repro/internal/wal", Files: []string{"committer.go"}}},
+			Barriers: []string{"durableBarrier"},
+			Acks:     []string{"finishWindow"},
 		},
 	}
 }

@@ -118,6 +118,14 @@ func TestParallelMergeFixtures(t *testing.T) {
 	}, "parallelmerge")
 }
 
+func TestSyncBarrierFixtures(t *testing.T) {
+	runFixture(t, SyncBarrier{
+		Scope:    []ScopeRef{{Pkg: "fixture/syncbarrier", Files: []string{"fixture.go"}}},
+		Barriers: []string{"durableBarrier"},
+		Acks:     []string{"finishWindow"},
+	}, "syncbarrier")
+}
+
 func TestTxnEndFixtures(t *testing.T) {
 	runFixture(t, TxnEnd{
 		BeginNames: []string{"Begin"},

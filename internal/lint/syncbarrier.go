@@ -1,0 +1,336 @@
+package lint
+
+import (
+	"go/ast"
+	"path/filepath"
+	"regexp"
+	"sort"
+)
+
+// SyncBarrier guards the group-commit WAL rule: a commit may only be
+// acknowledged after its bytes are durable. In code terms, every call to an
+// acknowledgement function (one that releases waiting committers, e.g.
+// finishWindow) — and every close() of a waiter channel — must be dominated
+// on ALL paths by a call to a durability-barrier function (e.g.
+// durableBarrier, which fsyncs or surfaces the error). The analyzer runs a
+// must-have-barrier path walk over each scoped function:
+//
+//   - a barrier call sets the state on the current path;
+//   - branch merges take the conjunction (a barrier only on one arm does not
+//     survive the merge), loop bodies may run zero times, and switch/select
+//     cases merge the same way;
+//   - function literals, `go` statements, and deferred calls are analyzed
+//     with a fresh (false) state — a goroutine or deferred acknowledgement
+//     carries no ordering guarantee relative to the barrier;
+//   - an acknowledgement reached while the state is false is reported.
+//
+// Acknowledging an ERROR is fine — the barrier function returns the fsync
+// error and the acknowledgement hands it to waiters — the rule is purely
+// that the barrier ran first, so no committer observes success (or failure)
+// before the durability point. Functions named in Acks are themselves exempt
+// (they are the acknowledgement primitive).
+type SyncBarrier struct {
+	// Scope lists (package path, file basenames) to enforce; every function
+	// declared in a listed file is checked.
+	Scope []ScopeRef
+	// Barriers are function/method names whose call establishes durability.
+	Barriers []string
+	// Acks are function/method names whose call acknowledges waiters.
+	Acks []string
+	// AckChanPattern matches the rendered argument of close() calls that
+	// release waiters (default `(?i)\bdone\b`, catching close(req.done)).
+	AckChanPattern string
+}
+
+// Name implements Analyzer.
+func (SyncBarrier) Name() string { return "syncbarrier" }
+
+// Doc implements Analyzer.
+func (SyncBarrier) Doc() string {
+	return "commit acknowledgements must be dominated by the durability barrier on every path"
+}
+
+// Run implements Analyzer.
+func (sb SyncBarrier) Run(pass *Pass) {
+	var files []string
+	found := false
+	for _, ref := range sb.Scope {
+		if ref.Pkg == pass.Pkg.Path {
+			found, files = true, ref.Files
+			break
+		}
+	}
+	if !found {
+		return
+	}
+	pat := sb.AckChanPattern
+	if pat == "" {
+		pat = `(?i)\bdone\b`
+	}
+	chk := &sbCheck{
+		pass:      pass,
+		barriers:  sb.Barriers,
+		acks:      sb.Acks,
+		ackChanRx: regexp.MustCompile(pat),
+	}
+	exempt := map[string]bool{}
+	for _, a := range sb.Acks {
+		exempt[a] = true
+	}
+	for _, file := range pass.Pkg.Files {
+		base := filepath.Base(pass.Fset.Position(file.Pos()).Filename)
+		listed := len(files) == 0
+		for _, want := range files {
+			if base == want {
+				listed = true
+			}
+		}
+		if !listed {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || exempt[fn.Name.Name] {
+				continue
+			}
+			state := false
+			chk.walkStmts(fn.Body.List, &state)
+		}
+	}
+}
+
+type sbCheck struct {
+	pass      *Pass
+	barriers  []string
+	acks      []string
+	ackChanRx *regexp.Regexp
+}
+
+type sbClass int
+
+const (
+	sbNone sbClass = iota
+	sbBarrier
+	sbAck
+)
+
+// classify buckets one call as barrier, acknowledgement, or neither.
+func (c *sbCheck) classify(call *ast.CallExpr) sbClass {
+	var name string
+	switch f := call.Fun.(type) {
+	case *ast.Ident:
+		name = f.Name
+	case *ast.SelectorExpr:
+		name = f.Sel.Name
+	}
+	if name == "close" && len(call.Args) == 1 {
+		if c.ackChanRx.MatchString(exprText(c.pass.Fset, call.Args[0])) {
+			return sbAck
+		}
+		return sbNone
+	}
+	for _, b := range c.barriers {
+		if name == b {
+			return sbBarrier
+		}
+	}
+	for _, a := range c.acks {
+		if name == a {
+			return sbAck
+		}
+	}
+	return sbNone
+}
+
+// scanNode processes the calls of one simple statement or expression subtree
+// in source order, updating the must-have-barrier state and reporting
+// acknowledgements that precede the barrier. Function literals are analyzed
+// as independent bodies with a fresh state.
+func (c *sbCheck) scanNode(n ast.Node, state *bool) {
+	if n == nil {
+		return
+	}
+	var calls []*ast.CallExpr
+	ast.Inspect(n, func(x ast.Node) bool {
+		switch t := x.(type) {
+		case *ast.FuncLit:
+			st := false
+			c.walkStmts(t.Body.List, &st)
+			return false
+		case *ast.CallExpr:
+			calls = append(calls, t)
+		}
+		return true
+	})
+	sort.Slice(calls, func(i, j int) bool { return calls[i].Pos() < calls[j].Pos() })
+	for _, call := range calls {
+		switch c.classify(call) {
+		case sbBarrier:
+			*state = true
+		case sbAck:
+			if !*state {
+				c.report(call)
+			}
+		}
+	}
+}
+
+func (c *sbCheck) report(call *ast.CallExpr) {
+	c.pass.Reportf(call.Pos(),
+		"commit acknowledged before the durability barrier: %s reachable with no preceding %v call on this path",
+		exprText(c.pass.Fset, call.Fun), c.barriers)
+}
+
+// scanFresh analyzes a subtree whose execution order is decoupled from the
+// surrounding path (go statements, deferred calls): no barrier from the
+// enclosing path carries in, and none established inside carries out.
+func (c *sbCheck) scanFresh(n ast.Node) {
+	st := false
+	c.scanNode(n, &st)
+}
+
+// walkStmts processes a statement list; the returned bool reports whether
+// every path through it terminated.
+func (c *sbCheck) walkStmts(stmts []ast.Stmt, state *bool) bool {
+	for _, s := range stmts {
+		if c.walkStmt(s, state) {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *sbCheck) walkStmt(s ast.Stmt, state *bool) bool {
+	switch t := s.(type) {
+	case nil:
+		return false
+	case *ast.BlockStmt:
+		return c.walkStmts(t.List, state)
+	case *ast.LabeledStmt:
+		return c.walkStmt(t.Stmt, state)
+	case *ast.ReturnStmt:
+		for _, res := range t.Results {
+			c.scanNode(res, state)
+		}
+		return true
+	case *ast.BranchStmt:
+		return true
+	case *ast.DeferStmt:
+		// A deferred acknowledgement may run on panic paths that never
+		// reached the barrier; analyze with a fresh state.
+		c.scanFresh(t.Call)
+		return false
+	case *ast.GoStmt:
+		c.scanFresh(t.Call)
+		return false
+	case *ast.IfStmt:
+		if t.Init != nil {
+			c.walkStmt(t.Init, state)
+		}
+		c.scanNode(t.Cond, state)
+		thenState, elseState := *state, *state
+		thenTerm := c.walkStmts(t.Body.List, &thenState)
+		elseTerm := false
+		if t.Else != nil {
+			elseTerm = c.walkStmt(t.Else, &elseState)
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return true
+		case thenTerm:
+			*state = elseState
+		case elseTerm:
+			*state = thenState
+		default:
+			*state = thenState && elseState
+		}
+		return false
+	case *ast.ForStmt:
+		if t.Init != nil {
+			c.walkStmt(t.Init, state)
+		}
+		if t.Cond != nil {
+			c.scanNode(t.Cond, state)
+		}
+		bodyState := *state
+		c.walkStmts(t.Body.List, &bodyState)
+		if t.Post != nil {
+			c.walkStmt(t.Post, &bodyState)
+		}
+		// The body may run zero times: keep the conjunction.
+		*state = *state && bodyState
+		return false
+	case *ast.RangeStmt:
+		c.scanNode(t.X, state)
+		bodyState := *state
+		c.walkStmts(t.Body.List, &bodyState)
+		*state = *state && bodyState
+		return false
+	case *ast.SwitchStmt:
+		if t.Init != nil {
+			c.walkStmt(t.Init, state)
+		}
+		if t.Tag != nil {
+			c.scanNode(t.Tag, state)
+		}
+		return c.walkCases(t.Body, state, !hasDefault(t.Body))
+	case *ast.TypeSwitchStmt:
+		if t.Init != nil {
+			c.walkStmt(t.Init, state)
+		}
+		c.walkStmt(t.Assign, state)
+		return c.walkCases(t.Body, state, !hasDefault(t.Body))
+	case *ast.SelectStmt:
+		if len(t.Body.List) == 0 {
+			return true // select{} blocks forever
+		}
+		return c.walkCases(t.Body, state, false)
+	default:
+		// AssignStmt, ExprStmt, DeclStmt, SendStmt, IncDecStmt...
+		c.scanNode(s, state)
+		return false
+	}
+}
+
+// walkCases analyzes each case against a copy of the entry state and merges
+// the surviving states by conjunction; mayFallThrough keeps the entry state
+// as a survivor (a switch without default may match nothing).
+func (c *sbCheck) walkCases(body *ast.BlockStmt, state *bool, mayFallThrough bool) bool {
+	entry := *state
+	merged := true
+	anySurvivor := false
+	allTerm := true
+	for _, cl := range body.List {
+		var stmts []ast.Stmt
+		caseState := entry
+		switch cc := cl.(type) {
+		case *ast.CaseClause:
+			for _, e := range cc.List {
+				c.scanNode(e, &caseState)
+			}
+			stmts = cc.Body
+		case *ast.CommClause:
+			if cc.Comm != nil {
+				c.walkStmt(cc.Comm, &caseState)
+			}
+			stmts = cc.Body
+		}
+		if !c.walkStmts(stmts, &caseState) {
+			allTerm = false
+			merged = merged && caseState
+			anySurvivor = true
+		}
+	}
+	if mayFallThrough {
+		allTerm = false
+		merged = merged && entry
+		anySurvivor = true
+	}
+	if allTerm && len(body.List) > 0 {
+		return true
+	}
+	if anySurvivor {
+		*state = merged
+	}
+	return false
+}

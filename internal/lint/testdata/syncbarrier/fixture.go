@@ -1,0 +1,132 @@
+// Package fixture exercises the syncbarrier analyzer: every acknowledgement
+// (finishWindow call or close of a done channel) must be dominated by the
+// durability barrier (durableBarrier) on all paths.
+package fixture
+
+type req struct {
+	done chan struct{}
+	lead chan struct{}
+	err  error
+}
+
+type log struct{ n int }
+
+func (l *log) writeWindow(batch []*req) error { return nil }
+
+func (l *log) durableBarrier(err error) error { return err }
+
+// finishWindow is the acknowledgement primitive itself and is exempt by name.
+func (l *log) finishWindow(batch []*req, err error) {
+	for _, r := range batch {
+		r.err = err
+		close(r.done)
+	}
+}
+
+// okWindow is the canonical shape: write, barrier, acknowledge.
+func (l *log) okWindow(batch []*req) {
+	err := l.writeWindow(batch)
+	err = l.durableBarrier(err)
+	l.finishWindow(batch, err)
+}
+
+// okBarrierBothBranches: a barrier on every arm dominates the ack.
+func (l *log) okBarrierBothBranches(batch []*req, fast bool) {
+	var err error
+	if fast {
+		err = l.durableBarrier(nil)
+	} else {
+		err = l.durableBarrier(l.writeWindow(batch))
+	}
+	l.finishWindow(batch, err)
+}
+
+// okErrReturn: terminated branches do not pollute the merge.
+func (l *log) okErrReturn(batch []*req) error {
+	err := l.writeWindow(batch)
+	if err != nil {
+		return err
+	}
+	err = l.durableBarrier(err)
+	l.finishWindow(batch, err)
+	return err
+}
+
+// okSwitchDefault: every case including default passes the barrier.
+func (l *log) okSwitchDefault(batch []*req, mode int) {
+	switch mode {
+	case 0:
+		_ = l.durableBarrier(nil)
+	default:
+		_ = l.durableBarrier(nil)
+	}
+	l.finishWindow(batch, nil)
+}
+
+// okCloseAfterBarrier: an inlined acknowledgement after the barrier.
+func (l *log) okCloseAfterBarrier(r *req) {
+	r.err = l.durableBarrier(nil)
+	close(r.done)
+}
+
+// okCloseLead: promoting the next leader releases no committer.
+func (l *log) okCloseLead(r *req) {
+	close(r.lead)
+}
+
+// badFinishBeforeBarrier acknowledges straight after the write.
+func (l *log) badFinishBeforeBarrier(batch []*req) {
+	err := l.writeWindow(batch)
+	l.finishWindow(batch, err) // want `commit acknowledged before the durability barrier`
+	_ = l.durableBarrier(err)
+}
+
+// badBranchSkipsBarrier: one arm reaches the ack without the barrier.
+func (l *log) badBranchSkipsBarrier(batch []*req, fast bool) {
+	err := l.writeWindow(batch)
+	if !fast {
+		err = l.durableBarrier(err)
+	}
+	l.finishWindow(batch, err) // want `commit acknowledged before the durability barrier`
+}
+
+// badSwitchNoDefault: a tag switch without default may match no case.
+func (l *log) badSwitchNoDefault(batch []*req, mode int) {
+	switch mode {
+	case 0:
+		_ = l.durableBarrier(nil)
+	case 1:
+		_ = l.durableBarrier(nil)
+	}
+	l.finishWindow(batch, nil) // want `commit acknowledged before the durability barrier`
+}
+
+// badEarlyClose releases a waiter channel before the barrier.
+func (l *log) badEarlyClose(r *req) {
+	close(r.done) // want `commit acknowledged before the durability barrier`
+	r.err = l.durableBarrier(nil)
+}
+
+// badDeferredAck: a deferred acknowledgement can fire on panic paths that
+// never reached the barrier.
+func (l *log) badDeferredAck(batch []*req) {
+	defer l.finishWindow(batch, nil) // want `commit acknowledged before the durability barrier`
+	_ = l.durableBarrier(l.writeWindow(batch))
+}
+
+// badGoAck: a goroutine's acknowledgement has no ordering guarantee even
+// when spawned after the barrier returned.
+func (l *log) badGoAck(batch []*req) {
+	_ = l.durableBarrier(nil)
+	go func() {
+		l.finishWindow(batch, nil) // want `commit acknowledged before the durability barrier`
+	}()
+}
+
+// badLoopAck: the body's first iteration runs before any barrier.
+func (l *log) badLoopAck(batch []*req) {
+	for i := 0; i < len(batch); i++ {
+		l.finishWindow(batch[i:i+1], nil) // want `commit acknowledged before the durability barrier`
+		_ = l.durableBarrier(nil)
+	}
+}

@@ -51,6 +51,12 @@ type FuncCall struct {
 	Name string // upper-cased
 	Args []Expr
 	Star bool
+
+	// aggName is set by Pipeline.analyze when this call is a decomposable
+	// aggregate over an upstream COLLECT ... INTO group variable: it names
+	// the hidden env binding carrying the precomputed value (see
+	// decompose.go). Empty for ordinary calls.
+	aggName string
 }
 
 // ArrayExpr is [e1, e2, ...].
@@ -166,6 +172,11 @@ type CollectClause struct {
 	// contains a subquery, so per-chunk partial grouping (and INTO member
 	// materialization) may run on the worker pool.
 	parallelSafe bool
+	// aggSpecs lists the decomposable aggregates downstream clauses compute
+	// over the Into array (see decompose.go): both COLLECT paths accumulate
+	// a per-group partial state per spec and bind the finished value under
+	// the spec's hidden name.
+	aggSpecs []aggSpec
 }
 
 // ReturnClause produces the result value per row. expand (set by MSQL's

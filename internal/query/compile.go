@@ -63,6 +63,14 @@ func (p *Pipeline) analyze() {
 			})
 		}
 	}
+	// Second pass: detect decomposable aggregates downstream of each
+	// COLLECT ... INTO so group partial states can be accumulated during
+	// grouping instead of folded at projection time (see decompose.go).
+	for i, cl := range p.Clauses {
+		if col, ok := cl.(*CollectClause); ok {
+			annotateCollectAggs(col, p.Clauses[i+1:])
+		}
+	}
 }
 
 // HasMutation reports whether the pipeline contains DML (directly or in a

@@ -78,11 +78,16 @@ func (e *env) this() (mmvalue.Value, bool) {
 }
 
 // allVars snapshots every visible binding (newest wins) in oldest-first
-// order, for COLLECT ... INTO materialization.
+// order, for COLLECT ... INTO materialization. Hidden "\x00"-prefixed
+// bindings (decomposed aggregate values, see decompose.go) are skipped so
+// member objects carry only user-visible variables.
 func (e *env) allVars() []mmvalue.Field {
 	seen := map[string]bool{}
 	var fields []mmvalue.Field
 	for n := e; n != nil; n = n.parent {
+		if len(n.name) > 0 && n.name[0] == '\x00' {
+			continue
+		}
 		if seen[n.name] {
 			continue
 		}
@@ -459,6 +464,15 @@ func likeMatch(s, pattern string) bool {
 // evalFunc dispatches built-in functions, including the cross-model access
 // functions that make one query touch every data model.
 func (c *execCtx) evalFunc(t *FuncCall, en *env) (mmvalue.Value, error) {
+	// Decomposed aggregate fast path: a call annotated at compile time reads
+	// the value the upstream COLLECT accumulated per group, skipping both the
+	// INTO-array navigation and the fold. Null marks a state that could not
+	// stay byte-exact (see decompose.go) — fall through to the normal fold.
+	if t.aggName != "" {
+		if v, ok := en.lookupDirect(t.aggName); ok && !v.IsNull() {
+			return v, nil
+		}
+	}
 	args := make([]mmvalue.Value, len(t.Args))
 	for i, a := range t.Args {
 		v, err := c.eval(a, en)

@@ -69,6 +69,15 @@ type Stats struct {
 	ParallelSorts        int // SORT stages run as chunked stable merge sorts
 	ParallelEvals        int // standalone FILTER/LET/RETURN stages on the pool
 	ParallelIndexFetches int // index-range key lists materialized in parallel
+	// DecomposedAggs counts aggregate specs served from per-group partial
+	// states accumulated during COLLECT (see decompose.go) instead of folded
+	// over the INTO array at projection time.
+	DecomposedAggs int
+	// StagedWrites counts DML rows whose expressions were fully evaluated
+	// before any write was applied. Staged writes land in the transaction's
+	// record buffer and reach the WAL as one AppendBatch at commit, so a
+	// multi-row INSERT/UPDATE/REMOVE costs a single group-commit window.
+	StagedWrites int
 }
 
 // Result is a completed execution.
@@ -169,49 +178,11 @@ func (c *execCtx) runPipeline(pipe *Pipeline, start *env) ([]mmvalue.Value, erro
 		case *ReturnClause:
 			return c.execReturn(cl, rows)
 		case *InsertClause:
-			var out []mmvalue.Value
-			for _, r := range rows {
-				doc, err := c.eval(cl.Doc, r)
-				if err != nil {
-					return nil, err
-				}
-				key, err := c.src.Docs.Insert(c.tx, cl.Coll, doc)
-				if err != nil {
-					return nil, err
-				}
-				out = append(out, mmvalue.String(key))
-			}
-			return out, nil
+			return c.execInsert(cl, rows)
 		case *UpdateClause:
-			var out []mmvalue.Value
-			for _, r := range rows {
-				key, err := c.eval(cl.KeyExpr, r)
-				if err != nil {
-					return nil, err
-				}
-				patch, err := c.eval(cl.Patch, r)
-				if err != nil {
-					return nil, err
-				}
-				if err := c.src.Docs.Update(c.tx, cl.Coll, stringify(key), patch); err != nil {
-					return nil, err
-				}
-				out = append(out, key)
-			}
-			return out, nil
+			return c.execUpdate(cl, rows)
 		case *RemoveClause:
-			var out []mmvalue.Value
-			for _, r := range rows {
-				key, err := c.eval(cl.KeyExpr, r)
-				if err != nil {
-					return nil, err
-				}
-				if _, err := c.src.Docs.Delete(c.tx, cl.Coll, stringify(key)); err != nil {
-					return nil, err
-				}
-				out = append(out, key)
-			}
-			return out, nil
+			return c.execRemove(cl, rows)
 		default:
 			return nil, fmt.Errorf("query: unhandled clause %T", cl)
 		}
@@ -224,6 +195,87 @@ func rows0(rows []*env) *env {
 		return rows[0]
 	}
 	return newEnv()
+}
+
+// The DML stages below run in two phases: evaluate every row's expressions
+// first, then apply the staged writes back-to-back. The writes accumulate in
+// the transaction's record buffer and reach the WAL as a single AppendBatch
+// when the transaction commits, so a multi-row mutation costs one
+// group-commit window — one shared fsync under Synced durability — instead
+// of interleaving evaluation work between writes. Evaluation errors therefore
+// surface before the first write, keeping failed pipelines from leaving
+// partial mutation prefixes for rollback to undo.
+
+// execInsert inserts one evaluated document per row into cl.Coll, returning
+// the generated keys.
+func (c *execCtx) execInsert(cl *InsertClause, rows []*env) ([]mmvalue.Value, error) {
+	docs := make([]mmvalue.Value, len(rows))
+	for ri, r := range rows {
+		doc, err := c.eval(cl.Doc, r)
+		if err != nil {
+			return nil, err
+		}
+		docs[ri] = doc
+	}
+	c.stats.StagedWrites += len(docs)
+	var out []mmvalue.Value
+	for _, doc := range docs {
+		key, err := c.src.Docs.Insert(c.tx, cl.Coll, doc)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, mmvalue.String(key))
+	}
+	return out, nil
+}
+
+// execUpdate merges one evaluated patch per row into the document named by
+// the row's key expression, returning the keys.
+func (c *execCtx) execUpdate(cl *UpdateClause, rows []*env) ([]mmvalue.Value, error) {
+	keys := make([]mmvalue.Value, len(rows))
+	patches := make([]mmvalue.Value, len(rows))
+	for ri, r := range rows {
+		key, err := c.eval(cl.KeyExpr, r)
+		if err != nil {
+			return nil, err
+		}
+		patch, err := c.eval(cl.Patch, r)
+		if err != nil {
+			return nil, err
+		}
+		keys[ri], patches[ri] = key, patch
+	}
+	c.stats.StagedWrites += len(keys)
+	var out []mmvalue.Value
+	for ri, key := range keys {
+		if err := c.src.Docs.Update(c.tx, cl.Coll, stringify(key), patches[ri]); err != nil {
+			return nil, err
+		}
+		out = append(out, key)
+	}
+	return out, nil
+}
+
+// execRemove deletes the document named by each row's key expression,
+// returning the keys.
+func (c *execCtx) execRemove(cl *RemoveClause, rows []*env) ([]mmvalue.Value, error) {
+	keys := make([]mmvalue.Value, len(rows))
+	for ri, r := range rows {
+		key, err := c.eval(cl.KeyExpr, r)
+		if err != nil {
+			return nil, err
+		}
+		keys[ri] = key
+	}
+	c.stats.StagedWrites += len(keys)
+	var out []mmvalue.Value
+	for _, key := range keys {
+		if _, err := c.src.Docs.Delete(c.tx, cl.Coll, stringify(key)); err != nil {
+			return nil, err
+		}
+		out = append(out, key)
+	}
+	return out, nil
 }
 
 // execLet binds a LET variable on every row, on the worker pool when the
@@ -426,6 +478,7 @@ func (c *execCtx) execReturn(cl *ReturnClause, rows []*env) ([]mmvalue.Value, er
 // Large inputs with subquery-free keys group via per-chunk partial tables on
 // the worker pool (see parallel.go); both paths share buildCollectRows.
 func (c *execCtx) execCollect(cl *CollectClause, rows []*env) ([]*env, error) {
+	c.stats.DecomposedAggs += len(cl.aggSpecs)
 	var out []*env
 	if c.stageEligible(len(rows), cl.parallelSafe) {
 		c.stats.ParallelCollects++
@@ -456,7 +509,9 @@ func (c *execCtx) execCollect(cl *CollectClause, rows []*env) ([]*env, error) {
 			}
 			g.members = append(g.members, r)
 			if cl.Into != "" {
-				g.memberObjs = append(g.memberObjs, mmvalue.ObjectOf(r.allVars()))
+				obj := mmvalue.ObjectOf(r.allVars())
+				g.memberObjs = append(g.memberObjs, obj)
+				g.observeAggs(cl, obj)
 			}
 		}
 		out = c.buildCollectRows(cl, order, groups)

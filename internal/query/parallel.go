@@ -24,12 +24,14 @@ package query
 //     key order within the chunk, member lists in row order, INTO member
 //     objects pre-materialized on the worker. Merging concatenates member
 //     lists in chunk order, and group output order is global first-seen
-//     order (the first chunk that saw a key wins). COUNT-style aggregates
-//     decompose as sums of per-chunk member counts; SUM/MIN/MAX/AVG fold
-//     over the concatenated INTO array at projection time, so numeric fold
-//     order is unchanged from the serial path — byte-identity would not
-//     survive per-chunk floating-point partial sums, so those folds instead
-//     parallelize across groups in the RETURN/LET projection.
+//     order (the first chunk that saw a key wins). Aggregates detected at
+//     compile time (LENGTH/COUNT, MIN/MAX, and integer SUM — see
+//     decompose.go) additionally accumulate per-chunk partial states merged
+//     in chunk order, with integer SUM guarded so the state invalidates the
+//     moment byte-identity with the serial left-to-right float64 fold could
+//     break; invalidated or undetected aggregates (AVG, float SUM) fold over
+//     the concatenated INTO array at projection time exactly as the serial
+//     path does, parallelizing across groups in the RETURN/LET stage.
 //   - SORT: each chunk evaluates its rows' key vectors, then stable-sorts
 //     its contiguous index range; sorted runs merge pairwise with ties
 //     taking the left run (which holds the lower original indices),
@@ -305,11 +307,28 @@ func (c *execCtx) execReturnParallel(cl *ReturnClause, rows []*env) ([]mmvalue.V
 
 // collectGroup is one group's partial (or merged) state: key values, member
 // rows in arrival order, and — when INTO is requested — the member binding
-// objects, materialized on the worker that saw the member.
+// objects, materialized on the worker that saw the member, plus one running
+// aggregate state per compiled aggSpec.
 type collectGroup struct {
 	keyVals    []mmvalue.Value
 	members    []*env
 	memberObjs []mmvalue.Value
+	partials   []aggState
+}
+
+// observeAggs folds one member object into the group's aggregate states.
+// Both the serial and the parallel COLLECT call it per appended member, so
+// the two paths accumulate identical states.
+func (g *collectGroup) observeAggs(cl *CollectClause, obj mmvalue.Value) {
+	if len(cl.aggSpecs) == 0 {
+		return
+	}
+	if g.partials == nil {
+		g.partials = newAggStates(len(cl.aggSpecs))
+	}
+	for si := range cl.aggSpecs {
+		g.partials[si].observeMember(cl.aggSpecs[si], obj)
+	}
 }
 
 // collectPartial is one chunk's group table: first-seen key order within the
@@ -348,7 +367,9 @@ func (c *execCtx) execCollectParallel(cl *CollectClause, rows []*env) ([]*env, e
 			}
 			g.members = append(g.members, r)
 			if cl.Into != "" {
-				g.memberObjs = append(g.memberObjs, mmvalue.ObjectOf(r.allVars()))
+				obj := mmvalue.ObjectOf(r.allVars())
+				g.memberObjs = append(g.memberObjs, obj)
+				g.observeAggs(cl, obj)
 			}
 		}
 		partials[ci] = p
@@ -357,15 +378,16 @@ func (c *execCtx) execCollectParallel(cl *CollectClause, rows []*env) ([]*env, e
 	if err != nil {
 		return nil, err
 	}
-	order, groups := mergeCollectPartials(partials)
+	order, groups := mergeCollectPartials(cl, partials)
 	return c.buildCollectRows(cl, order, groups), nil
 }
 
 // mergeCollectPartials merges per-chunk group tables in ascending chunk
-// order: group order is global first-seen order, member lists concatenate.
-// Partial counts add up (len of the merged member list is the sum of chunk
-// counts), which is exactly the COUNT decomposition.
-func mergeCollectPartials(partials []*collectPartial) ([]string, map[string]*collectGroup) {
+// order: group order is global first-seen order, member lists concatenate,
+// and per-spec aggregate states merge pairwise (chunk order is serial fold
+// order, so the merged state matches what one left-to-right accumulation
+// would have produced).
+func mergeCollectPartials(cl *CollectClause, partials []*collectPartial) ([]string, map[string]*collectGroup) {
 	var order []string
 	groups := make(map[string]*collectGroup)
 	for _, p := range partials {
@@ -379,6 +401,11 @@ func mergeCollectPartials(partials []*collectPartial) ([]string, map[string]*col
 			}
 			g.members = append(g.members, pg.members...)
 			g.memberObjs = append(g.memberObjs, pg.memberObjs...)
+			if g.partials != nil && pg.partials != nil {
+				for si := range cl.aggSpecs {
+					g.partials[si].merge(cl.aggSpecs[si], &pg.partials[si])
+				}
+			}
 		}
 	}
 	return order, groups
@@ -399,6 +426,15 @@ func (c *execCtx) buildCollectRows(cl *CollectClause, order []string, groups map
 		}
 		if cl.Into != "" {
 			base = base.bind(cl.Into, mmvalue.ArrayOf(g.memberObjs))
+			// Publish decomposed aggregate values under their hidden names;
+			// annotated FuncCalls downstream read them instead of folding
+			// the INTO array (Null marks an invalidated state — fold).
+			for si := range cl.aggSpecs {
+				if g.partials == nil {
+					break
+				}
+				base = base.bind(cl.aggSpecs[si].hidden, g.partials[si].value(cl.aggSpecs[si]))
+			}
 		}
 		out = append(out, base)
 	}

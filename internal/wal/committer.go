@@ -1,0 +1,271 @@
+// Group commit: coalescing concurrent Synced committers into one
+// write+fsync window.
+//
+// The Synced durability level fsyncs at every commit, and that fsync is the
+// dominant cost of the ingest path (E7/E20). But durability only requires
+// that a commit's bytes are on disk before the commit is acknowledged — it
+// does not require one fsync per commit. AppendBatch therefore runs a
+// leader/follower barrier:
+//
+//   - Every committer enqueues its full record slice and checks for an
+//     active leader. The first committer in a window becomes the leader;
+//     the rest are followers and block.
+//   - The leader drains up to Options.CommitWindow queued requests, assigns
+//     LSNs to every record in arrival order, writes all pending frames in a
+//     single buffered write, flushes, and fsyncs ONCE (outside the log
+//     mutex, so new appends proceed during the fsync).
+//   - After the barrier the leader releases every waiter in the window with
+//     its assigned LSN. Requests that queued during the fsync are handled
+//     by promoting the first of them to leader of the next window.
+//
+// The WAL rule is unchanged: finishWindow (the acknowledgement) is reached
+// only through durableBarrier on every path — the syncbarrier analyzer in
+// internal/lint enforces this shape mechanically.
+
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+)
+
+// Stats is a snapshot of cumulative log activity counters.
+type Stats struct {
+	// Appends counts records written one-at-a-time via Append.
+	Appends uint64
+	// BatchedAppends counts records written via AppendBatch.
+	BatchedAppends uint64
+	// Batches counts AppendBatch calls.
+	Batches uint64
+	// Windows counts commit windows written by a group-commit leader.
+	Windows uint64
+	// GroupCommits counts windows that coalesced more than one committer.
+	GroupCommits uint64
+	// Fsyncs counts fsync syscalls actually issued.
+	Fsyncs uint64
+	// FsyncsSaved counts committers that rode another committer's fsync
+	// instead of issuing their own.
+	FsyncsSaved uint64
+}
+
+type logStats struct {
+	appends        atomic.Uint64
+	batchedAppends atomic.Uint64
+	batches        atomic.Uint64
+	windows        atomic.Uint64
+	groupCommits   atomic.Uint64
+	fsyncs         atomic.Uint64
+	fsyncsSaved    atomic.Uint64
+}
+
+// Stats returns a snapshot of the log's cumulative counters.
+func (l *Log) Stats() Stats {
+	return Stats{
+		Appends:        l.stats.appends.Load(),
+		BatchedAppends: l.stats.batchedAppends.Load(),
+		Batches:        l.stats.batches.Load(),
+		Windows:        l.stats.windows.Load(),
+		GroupCommits:   l.stats.groupCommits.Load(),
+		Fsyncs:         l.stats.fsyncs.Load(),
+		FsyncsSaved:    l.stats.fsyncsSaved.Load(),
+	}
+}
+
+// commitReq is one committer's pending batch in the group-commit queue.
+type commitReq struct {
+	recs []Record
+	lsn  uint64        // LSN of the batch's last record, set by writeWindow
+	err  error         // terminal status, set by finishWindow
+	done chan struct{} // closed by finishWindow once lsn/err are final
+	lead chan struct{} // closed to promote this waiter to window leader
+}
+
+// committer is the group-commit queue: a list of pending requests plus a
+// flag marking whether some goroutine currently holds leadership.
+type committer struct {
+	mu     sync.Mutex
+	queue  []*commitReq
+	active bool
+}
+
+// AppendBatch writes a transaction's full record slice in one buffered
+// write, assigning consecutive LSNs in order, and returns the LSN of the
+// last record. The batch is flushed if it contains a commit or abort
+// record; under SyncEveryCommit the call joins the group-commit barrier and
+// does not return success before every byte of the batch is fsynced.
+func (l *Log) AppendBatch(recs []Record) (uint64, error) {
+	if len(recs) == 0 {
+		return 0, errors.New("wal: empty batch")
+	}
+	l.stats.batches.Add(1)
+	if !l.sync {
+		return l.appendBatchDirect(recs)
+	}
+	req := &commitReq{recs: recs, done: make(chan struct{}), lead: make(chan struct{})}
+	c := &l.com
+	c.mu.Lock()
+	c.queue = append(c.queue, req)
+	if c.active {
+		// A leader is running: wait to be released with our LSN, or to be
+		// promoted to leader of the next window.
+		c.mu.Unlock()
+		select {
+		case <-req.done:
+			return req.lsn, req.err
+		case <-req.lead:
+		}
+	} else {
+		c.active = true
+		c.mu.Unlock()
+	}
+	return l.leadWindows(req)
+}
+
+// appendBatchDirect is the non-fsync batch path (Buffered durability): one
+// buffered write under the log mutex, flushed if the batch commits/aborts.
+func (l *Log) appendBatchDirect(recs []Record) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return 0, errors.New("wal: log closed")
+	}
+	buf := make([]byte, 0, 64*len(recs))
+	control := false
+	var last uint64
+	for i := range recs {
+		recs[i].LSN = l.nextLSN
+		l.nextLSN++
+		last = recs[i].LSN
+		buf = frameRecord(buf, recs[i])
+		if recs[i].Op == OpCommit || recs[i].Op == OpAbort {
+			control = true
+		}
+	}
+	if _, err := l.w.Write(buf); err != nil {
+		return 0, fmt.Errorf("wal: write: %w", err)
+	}
+	if control {
+		if err := l.w.Flush(); err != nil {
+			return 0, fmt.Errorf("wal: flush: %w", err)
+		}
+	}
+	l.stats.batchedAppends.Add(uint64(len(recs)))
+	return last, nil
+}
+
+// leadWindows runs the caller as group-commit leader until its own request
+// is durable and the queue is either empty or handed to a promoted leader.
+func (l *Log) leadWindows(own *commitReq) (uint64, error) {
+	c := &l.com
+	for {
+		c.mu.Lock()
+		n := len(c.queue)
+		if n > l.window {
+			n = l.window
+		}
+		batch := c.queue[:n:n]
+		c.queue = c.queue[n:]
+		c.mu.Unlock()
+		l.commitWindow(batch)
+		c.mu.Lock()
+		if len(c.queue) == 0 {
+			c.active = false
+			c.mu.Unlock()
+			break
+		}
+		if !reqDone(own) {
+			// Our own batch was beyond the window cap; keep leading.
+			c.mu.Unlock()
+			continue
+		}
+		// Work arrived while we were fsyncing: hand leadership to the
+		// first waiter (c.active stays true so newcomers keep queueing).
+		next := c.queue[0]
+		c.mu.Unlock()
+		close(next.lead)
+		break
+	}
+	<-own.done
+	return own.lsn, own.err
+}
+
+func reqDone(r *commitReq) bool {
+	select {
+	case <-r.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// commitWindow makes one window of requests durable and releases them. The
+// acknowledgement (finishWindow) is dominated by the durability barrier on
+// every path — see the syncbarrier analyzer.
+func (l *Log) commitWindow(batch []*commitReq) {
+	f, err := l.writeWindow(batch)
+	err = l.durableBarrier(f, err)
+	l.finishWindow(batch, err)
+}
+
+// writeWindow assigns LSNs to every record of every request in arrival
+// order, writes all frames in a single buffered write, and flushes. It
+// returns the file handle (captured under the log mutex, so the barrier's
+// fsync cannot race Close) for the caller's durability barrier.
+func (l *Log) writeWindow(batch []*commitReq) (*os.File, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil, errors.New("wal: log closed")
+	}
+	var buf []byte
+	for _, req := range batch {
+		for i := range req.recs {
+			req.recs[i].LSN = l.nextLSN
+			l.nextLSN++
+			req.lsn = req.recs[i].LSN
+			buf = frameRecord(buf, req.recs[i])
+		}
+		l.stats.batchedAppends.Add(uint64(len(req.recs)))
+	}
+	if _, err := l.w.Write(buf); err != nil {
+		return nil, fmt.Errorf("wal: write: %w", err)
+	}
+	if err := l.w.Flush(); err != nil {
+		return nil, fmt.Errorf("wal: flush: %w", err)
+	}
+	return l.f, nil
+}
+
+// durableBarrier is the group-commit fsync: one sync call covering every
+// request in the window. A write error passes through unchanged — the
+// barrier is still the single gate in front of acknowledgement.
+func (l *Log) durableBarrier(f *os.File, werr error) error {
+	if werr != nil {
+		return werr
+	}
+	if hook := l.testAfterFlush; hook != nil {
+		hook()
+	}
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("wal: sync: %w", err)
+	}
+	l.stats.fsyncs.Add(1)
+	return nil
+}
+
+// finishWindow publishes the window's outcome: every request's lsn/err are
+// final and its done channel is closed, releasing the waiter.
+func (l *Log) finishWindow(batch []*commitReq, err error) {
+	l.stats.windows.Add(1)
+	if len(batch) > 1 {
+		l.stats.groupCommits.Add(1)
+		l.stats.fsyncsSaved.Add(uint64(len(batch) - 1))
+	}
+	for _, req := range batch {
+		req.err = err
+		close(req.done)
+	}
+}

@@ -67,6 +67,23 @@ type Record struct {
 	Value    []byte
 }
 
+// Options configures a Log beyond its file path.
+type Options struct {
+	// SyncEveryCommit makes every commit/abort Append — and every
+	// AppendBatch durability barrier — fsync before returning (the engine's
+	// Synced level). When false the log only flushes to the OS buffer.
+	SyncEveryCommit bool
+	// CommitWindow caps how many queued committers one group-commit leader
+	// drains into a single write+fsync window. 0 selects
+	// DefaultCommitWindow; 1 disables coalescing (every committer fsyncs
+	// alone, the pre-group-commit behavior).
+	CommitWindow int
+}
+
+// DefaultCommitWindow is the group-commit window size used when
+// Options.CommitWindow is zero.
+const DefaultCommitWindow = 128
+
 // Log is an append-only write-ahead log backed by a single file.
 type Log struct {
 	mu      sync.Mutex
@@ -75,6 +92,14 @@ type Log struct {
 	nextLSN uint64
 	sync    bool
 	path    string
+	window  int       // max committers coalesced per fsync window
+	com     committer // group-commit queue (Synced AppendBatch path)
+	stats   logStats
+
+	// testAfterFlush, when set, runs after a commit window's buffered
+	// write+flush and before its fsync — the gap a crash-recovery test
+	// needs to capture the "flushed but not yet durable" file image.
+	testAfterFlush func()
 }
 
 // Open opens (creating if needed) the log file at path. When syncEveryCommit
@@ -82,6 +107,12 @@ type Log struct {
 // corrupt tail left by a crash is truncated away so new records append
 // after the last intact one.
 func Open(path string, syncEveryCommit bool) (*Log, error) {
+	return OpenOptions(path, Options{SyncEveryCommit: syncEveryCommit})
+}
+
+// OpenOptions is Open with full control over durability and the
+// group-commit window.
+func OpenOptions(path string, opts Options) (*Log, error) {
 	recs, validSize, err := scan(path)
 	if err != nil {
 		return nil, err
@@ -102,7 +133,11 @@ func Open(path string, syncEveryCommit bool) (*Log, error) {
 	if n := len(recs); n > 0 {
 		next = recs[n-1].LSN + 1
 	}
-	return &Log{f: f, w: bufio.NewWriter(f), nextLSN: next, sync: syncEveryCommit, path: path}, nil
+	window := opts.CommitWindow
+	if window <= 0 {
+		window = DefaultCommitWindow
+	}
+	return &Log{f: f, w: bufio.NewWriter(f), nextLSN: next, sync: opts.SyncEveryCommit, path: path, window: window}, nil
 }
 
 // Path returns the log file path.
@@ -118,16 +153,10 @@ func (l *Log) Append(rec Record) (uint64, error) {
 	}
 	rec.LSN = l.nextLSN
 	l.nextLSN++
-	payload := encodeRecord(rec)
-	var hdr [8]byte
-	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
-	if _, err := l.w.Write(hdr[:]); err != nil {
+	if _, err := l.w.Write(frameRecord(nil, rec)); err != nil {
 		return 0, fmt.Errorf("wal: write: %w", err)
 	}
-	if _, err := l.w.Write(payload); err != nil {
-		return 0, fmt.Errorf("wal: write: %w", err)
-	}
+	l.stats.appends.Add(1)
 	if rec.Op == OpCommit || rec.Op == OpAbort {
 		if err := l.w.Flush(); err != nil {
 			return 0, fmt.Errorf("wal: flush: %w", err)
@@ -136,9 +165,21 @@ func (l *Log) Append(rec Record) (uint64, error) {
 			if err := l.f.Sync(); err != nil {
 				return 0, fmt.Errorf("wal: sync: %w", err)
 			}
+			l.stats.fsyncs.Add(1)
 		}
 	}
 	return rec.LSN, nil
+}
+
+// frameRecord appends rec's on-disk frame (length + CRC header + payload)
+// to dst and returns the extended slice.
+func frameRecord(dst []byte, rec Record) []byte {
+	payload := encodeRecord(rec)
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
 }
 
 // Flush forces buffered records to the OS.

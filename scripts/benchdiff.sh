@@ -13,6 +13,11 @@
 #   BENCHDIFF_REPORT=dir  keep the fresh sweep JSON and the diff report in
 #                         dir (for artifact upload); otherwise the sweep is
 #                         a temp file and the report goes to stdout only
+#   BENCHDIFF_PER_BENCH   per-benchmark gate overrides (regex=pct,...);
+#                         defaults to a wider 40% band for the WAL fsync
+#                         benches (E7 durability, E20 group commit), whose
+#                         timers measure disk sync latency and swing far
+#                         more run-to-run than the compute-bound benches
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -43,4 +48,5 @@ failflag=()
 if [ "${BENCHDIFF_FAIL:-0}" = "1" ]; then
   failflag=(-fail)
 fi
-go run ./cmd/benchdiff "${failflag[@]}" "$baseline" "$fresh" | tee "$report"
+per_bench="${BENCHDIFF_PER_BENCH:-E7WALDurability=40,E20GroupCommit=40}"
+go run ./cmd/benchdiff "${failflag[@]}" -per-bench "$per_bench" "$baseline" "$fresh" | tee "$report"

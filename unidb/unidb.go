@@ -29,6 +29,7 @@ import (
 	"repro/internal/query"
 	"repro/internal/rdfstore"
 	"repro/internal/relstore"
+	"repro/internal/wal"
 )
 
 // Value is the unified typed value every model exchanges.
@@ -54,6 +55,13 @@ type Options struct {
 	Dir string
 	// Durability selects the commit protocol for durable databases.
 	Durability engine.Durability
+	// GroupCommitWindow tunes Synced group commit: the maximum number of
+	// concurrent committers that share one WAL fsync. 0 selects the default
+	// window (wal.DefaultCommitWindow, 128); 1 restores per-commit fsync.
+	// Larger windows raise ingest throughput under concurrency at no cost
+	// to the durability guarantee — a commit is still never acknowledged
+	// before its bytes are fsynced.
+	GroupCommitWindow int
 }
 
 // Database is a multi-model database handle.
@@ -63,7 +71,7 @@ type Database struct {
 
 // Open creates or recovers a database.
 func Open(opts Options) (*Database, error) {
-	db, err := core.Open(core.Options{Dir: opts.Dir, Durability: opts.Durability})
+	db, err := core.Open(core.Options{Dir: opts.Dir, Durability: opts.Durability, GroupCommitWindow: opts.GroupCommitWindow})
 	if err != nil {
 		return nil, err
 	}
@@ -166,6 +174,15 @@ type PlanCacheStats = core.PlanCacheStats
 // compiled-plan cache.
 func (d *Database) PlanCacheStats() PlanCacheStats { return d.db.PlanCacheStats() }
 
+// WALStats re-exports the WAL's cumulative activity counters.
+type WALStats = wal.Stats
+
+// WALStats reports the write-ahead log's counters: per-record appends,
+// batched appends, commit windows, group commits, fsyncs issued, and
+// fsyncs saved by committers sharing another committer's barrier. All
+// zeros for an in-memory database.
+func (d *Database) WALStats() WALStats { return d.db.Engine.WALStats() }
+
 // Txn is a cross-model transaction: every operation performed through it —
 // on any model — commits or aborts atomically.
 type Txn struct {
@@ -185,8 +202,10 @@ func (d *Database) Begin() (*Txn, error) {
 // Commit makes the transaction durable and visible.
 func (t *Txn) Commit() error { return t.tx.Commit() }
 
-// Abort rolls the transaction back.
-func (t *Txn) Abort() { t.tx.Abort() }
+// Abort rolls the transaction back. The returned error reports a failure
+// to write the informational abort record (the rollback itself always
+// succeeds); a finished transaction aborts as a nil no-op.
+func (t *Txn) Abort() error { return t.tx.Abort() }
 
 // Query runs MMQL inside the transaction.
 func (t *Txn) Query(mmql string, params map[string]Value) (*Result, error) {
