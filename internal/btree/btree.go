@@ -1,16 +1,23 @@
-// Package btree implements an in-memory B+tree over []byte keys compared
-// with bytes.Compare. It is the ordered heart of unidb's integrated backend:
-// every keyspace — and therefore every collection, table, bucket, graph edge
-// index, XML node store, and RDF permutation — is a tree from this package.
+// Package btree implements an in-memory copy-on-write B+tree over []byte
+// keys compared with bytes.Compare. It is the ordered heart of unidb's
+// integrated backend: every keyspace — and therefore every collection,
+// table, bucket, graph edge index, XML node store, and RDF permutation — is
+// a tree from this package.
 //
-// Values live only in leaves; interior nodes hold separator keys. Leaves are
-// linked for fast ascending range scans. The tree is not internally
-// synchronized; the engine layer serializes access.
+// Values live only in leaves; interior nodes hold separator keys. The tree
+// is versioned: Snapshot returns an O(1) immutable view sharing structure
+// with the live tree, and every writer path copies shared nodes before
+// touching them (path copying), so a snapshot never observes a later write.
+// Snapshots may be read without any synchronization while the originating
+// tree keeps mutating under the engine's locks — old versions' nodes are
+// never written again (see mutable, the single copy-on-write gate, and the
+// cowsafe analyzer in internal/lint that enforces this mechanically).
 package btree
 
 import (
 	"bytes"
 	"fmt"
+	"sync/atomic"
 )
 
 // degree is the maximum number of keys in a node before it splits. 32 keeps
@@ -24,13 +31,18 @@ type Tree struct {
 	size int
 }
 
+// node is one tree node. The shared flag marks a node reachable from more
+// than one tree version (a snapshot and the live tree, or two snapshots):
+// such a node must never be mutated in place — writers copy it via mutable.
+// The flag is monotonic (false→true only) and atomic because trees sharing
+// structure (the engine's live trees and its replicas) are mutated under
+// different mutexes; readers never consult it.
 type node struct {
 	leaf     bool
+	shared   atomic.Bool
 	keys     [][]byte
 	vals     [][]byte // leaf only, parallel to keys
 	children []*node  // interior only, len(children) == len(keys)+1
-	next     *node    // leaf chain
-	prev     *node
 }
 
 // New returns an empty tree.
@@ -40,6 +52,39 @@ func New() *Tree {
 
 // Len returns the number of stored pairs.
 func (t *Tree) Len() int { return t.size }
+
+// Snapshot returns an immutable view of the tree's current contents in O(1):
+// the root is marked shared and handed to a new Tree header. Reading the
+// snapshot needs no synchronization even while the original tree keeps
+// accepting writes — writers path-copy shared nodes instead of mutating
+// them. The snapshot itself also tolerates writes (it is just a Tree whose
+// root is shared), which is how replicas fork their own mutable lineage.
+func (t *Tree) Snapshot() *Tree {
+	t.root.shared.Store(true)
+	return &Tree{root: t.root, size: t.size}
+}
+
+// mutable returns a node the caller may mutate in place: n itself when it is
+// private to one tree version, otherwise a copy whose children become shared
+// (both the copy and the old version now reach them). This is the single
+// copy-on-write gate — every writer path obtains its nodes through it, and
+// marking the shared flag is the only write ever performed on a shared node.
+func mutable(n *node) *node {
+	if !n.shared.Load() {
+		return n
+	}
+	cp := &node{leaf: n.leaf}
+	cp.keys = append(make([][]byte, 0, len(n.keys)+1), n.keys...)
+	if n.leaf {
+		cp.vals = append(make([][]byte, 0, len(n.vals)+1), n.vals...)
+		return cp
+	}
+	cp.children = append(make([]*node, 0, len(n.children)+1), n.children...)
+	for _, c := range cp.children {
+		c.shared.Store(true)
+	}
+	return cp
+}
 
 // Get returns the value stored under key.
 func (t *Tree) Get(key []byte) ([]byte, bool) {
@@ -57,13 +102,14 @@ func (t *Tree) Get(key []byte) ([]byte, bool) {
 // Put stores value under key, replacing any previous value. Key and value
 // are retained; callers must not mutate them afterwards.
 func (t *Tree) Put(key, value []byte) {
-	replaced := t.root.insert(key, value)
+	t.root = mutable(t.root)
+	replaced := insert(t.root, key, value)
 	if !replaced {
 		t.size++
 	}
 	if len(t.root.keys) > degree {
 		left := t.root
-		mid, right := left.split()
+		mid, right := split(left)
 		t.root = &node{
 			keys:     [][]byte{mid},
 			children: []*node{left, right},
@@ -73,18 +119,20 @@ func (t *Tree) Put(key, value []byte) {
 
 // Delete removes key, reporting whether it was present. Underflowed nodes
 // are merged lazily: interior nodes with a single child collapse; empty
-// leaves are unlinked from the chain. This keeps deletes O(log n) without
+// leaves are dropped from their parent. This keeps deletes O(log n) without
 // full rebalancing, at the cost of a looser lower bound on node fill — an
 // acceptable trade for an in-memory tree whose nodes are cheap to walk.
 func (t *Tree) Delete(key []byte) bool {
-	deleted := t.root.remove(key)
-	if deleted {
-		t.size--
+	if _, ok := t.Get(key); !ok {
+		return false
 	}
+	t.root = mutable(t.root)
+	remove(t.root, key)
+	t.size--
 	for !t.root.leaf && len(t.root.children) == 1 {
 		t.root = t.root.children[0]
 	}
-	return deleted
+	return true
 }
 
 // search returns the position of key in keys and whether it was found.
@@ -119,7 +167,10 @@ func childIndex(keys [][]byte, key []byte) int {
 	return lo
 }
 
-func (n *node) insert(key, value []byte) (replaced bool) {
+// insert adds key below n, which must be mutable (obtained via mutable).
+// Children are made mutable before descending, so the whole root-to-leaf
+// path is privately owned by the time the leaf is edited.
+func insert(n *node, key, value []byte) (replaced bool) {
 	if n.leaf {
 		i, found := search(n.keys, key)
 		if found {
@@ -131,10 +182,11 @@ func (n *node) insert(key, value []byte) (replaced bool) {
 		return false
 	}
 	ci := childIndex(n.keys, key)
-	child := n.children[ci]
-	replaced = child.insert(key, value)
+	child := mutable(n.children[ci])
+	n.children[ci] = child
+	replaced = insert(child, key, value)
 	if len(child.keys) > degree {
-		mid, right := child.split()
+		mid, right := split(child)
 		n.keys = insertAt(n.keys, ci, mid)
 		n.children = insertChildAt(n.children, ci+1, right)
 	}
@@ -142,8 +194,8 @@ func (n *node) insert(key, value []byte) (replaced bool) {
 }
 
 // split divides an over-full node in two, returning the separator key and
-// the new right sibling.
-func (n *node) split() ([]byte, *node) {
+// the new right sibling. n must be mutable.
+func split(n *node) ([]byte, *node) {
 	half := len(n.keys) / 2
 	right := &node{leaf: n.leaf}
 	if n.leaf {
@@ -151,12 +203,6 @@ func (n *node) split() ([]byte, *node) {
 		right.vals = append(right.vals, n.vals[half:]...)
 		n.keys = n.keys[:half:half]
 		n.vals = n.vals[:half:half]
-		right.next = n.next
-		if right.next != nil {
-			right.next.prev = right
-		}
-		right.prev = n
-		n.next = right
 		return right.keys[0], right
 	}
 	// Interior: the middle key moves up, it does not stay in either half.
@@ -168,29 +214,26 @@ func (n *node) split() ([]byte, *node) {
 	return mid, right
 }
 
-func (n *node) remove(key []byte) bool {
+// remove deletes key below n, which must be mutable and known to contain
+// key (Delete pre-checks presence).
+func remove(n *node, key []byte) {
 	if n.leaf {
 		i, found := search(n.keys, key)
 		if !found {
-			return false
+			return
 		}
 		n.keys = append(n.keys[:i], n.keys[i+1:]...)
 		n.vals = append(n.vals[:i], n.vals[i+1:]...)
-		return true
+		return
 	}
 	ci := childIndex(n.keys, key)
-	child := n.children[ci]
-	deleted := child.remove(key)
-	if deleted && len(child.keys) == 0 && child.leaf {
-		// Unlink the empty leaf from the chain and drop it, unless it
-		// is the only child (the root collapse handles that case).
+	child := mutable(n.children[ci])
+	n.children[ci] = child
+	remove(child, key)
+	if child.leaf && len(child.keys) == 0 {
+		// Drop the empty leaf, unless it is the only child (the root
+		// collapse in Delete handles that case).
 		if len(n.children) > 1 {
-			if child.prev != nil {
-				child.prev.next = child.next
-			}
-			if child.next != nil {
-				child.next.prev = child.prev
-			}
 			n.children = append(n.children[:ci], n.children[ci+1:]...)
 			if ci == 0 {
 				n.keys = n.keys[1:]
@@ -198,11 +241,11 @@ func (n *node) remove(key []byte) bool {
 				n.keys = append(n.keys[:ci-1], n.keys[ci:]...)
 			}
 		}
+		return
 	}
-	if deleted && !child.leaf && len(child.children) == 1 {
+	if !child.leaf && len(child.children) == 1 {
 		n.children[ci] = child.children[0]
 	}
-	return deleted
 }
 
 func insertAt(s [][]byte, i int, v []byte) [][]byte {
@@ -219,30 +262,41 @@ func insertChildAt(s []*node, i int, v *node) []*node {
 	return s
 }
 
-// Iterator walks pairs in ascending key order.
+// frame is one step of a root-to-leaf descent: a node plus the index of the
+// key (leaf) or child (interior) the iterator is currently on.
+type frame struct {
+	n   *node
+	idx int
+}
+
+// Iterator walks pairs in ascending key order. It is a point-in-time walk of
+// the node version the tree held at Seek: iterating a Snapshot is always
+// safe, while mutating the live tree invalidates its outstanding iterators
+// (the engine materializes scans before yielding to callbacks).
 type Iterator struct {
-	leaf *node
-	idx  int
-	hi   []byte // exclusive upper bound; nil = unbounded
+	stack []frame
+	hi    []byte // exclusive upper bound; nil = unbounded
 }
 
 // Seek returns an iterator positioned at the first key >= lo. A nil lo
 // starts at the smallest key. hi, when non-nil, is an exclusive upper bound.
 func (t *Tree) Seek(lo, hi []byte) *Iterator {
+	it := &Iterator{stack: make([]frame, 0, 8), hi: hi}
 	n := t.root
 	for !n.leaf {
-		if lo == nil {
-			n = n.children[0]
-		} else {
-			n = n.children[childIndex(n.keys, lo)]
+		ci := 0
+		if lo != nil {
+			ci = childIndex(n.keys, lo)
 		}
+		it.stack = append(it.stack, frame{n, ci})
+		n = n.children[ci]
 	}
 	idx := 0
 	if lo != nil {
 		idx, _ = search(n.keys, lo)
 	}
-	it := &Iterator{leaf: n, idx: idx, hi: hi}
-	it.skipEmpty()
+	it.stack = append(it.stack, frame{n, idx})
+	it.settle()
 	return it
 }
 
@@ -258,111 +312,122 @@ func (t *Tree) Scan(lo, hi []byte, fn func(key, value []byte) bool) {
 
 // Valid reports whether the iterator is positioned on a pair.
 func (it *Iterator) Valid() bool {
-	if it.leaf == nil || it.idx >= len(it.leaf.keys) {
+	if len(it.stack) == 0 {
 		return false
 	}
-	if it.hi != nil && bytes.Compare(it.leaf.keys[it.idx], it.hi) >= 0 {
+	top := it.stack[len(it.stack)-1]
+	if it.hi != nil && bytes.Compare(top.n.keys[top.idx], it.hi) >= 0 {
 		return false
 	}
 	return true
 }
 
 // Key returns the current key. Valid must be true.
-func (it *Iterator) Key() []byte { return it.leaf.keys[it.idx] }
+func (it *Iterator) Key() []byte {
+	top := it.stack[len(it.stack)-1]
+	return top.n.keys[top.idx]
+}
 
 // Value returns the current value. Valid must be true.
-func (it *Iterator) Value() []byte { return it.leaf.vals[it.idx] }
+func (it *Iterator) Value() []byte {
+	top := it.stack[len(it.stack)-1]
+	return top.n.vals[top.idx]
+}
 
 // Next advances to the following pair.
 func (it *Iterator) Next() {
-	it.idx++
-	it.skipEmpty()
+	it.stack[len(it.stack)-1].idx++
+	it.settle()
 }
 
-func (it *Iterator) skipEmpty() {
-	for it.leaf != nil && it.idx >= len(it.leaf.keys) {
-		it.leaf = it.leaf.next
-		it.idx = 0
+// settle advances the cursor past exhausted leaves (including empty leaves
+// left behind by lazy deletes) and consumed interior children until it rests
+// on a real pair or the walk ends with an empty stack.
+func (it *Iterator) settle() {
+	for len(it.stack) > 0 {
+		top := &it.stack[len(it.stack)-1]
+		if top.n.leaf {
+			if top.idx < len(top.n.keys) {
+				return
+			}
+			it.stack = it.stack[:len(it.stack)-1]
+			continue
+		}
+		top.idx++
+		if top.idx >= len(top.n.children) {
+			it.stack = it.stack[:len(it.stack)-1]
+			continue
+		}
+		n := top.n.children[top.idx]
+		for !n.leaf {
+			it.stack = append(it.stack, frame{n, 0})
+			n = n.children[0]
+		}
+		it.stack = append(it.stack, frame{n, 0})
 	}
 }
 
 // Min returns the smallest key and its value.
 func (t *Tree) Min() ([]byte, []byte, bool) {
-	n := t.root
-	for !n.leaf {
-		n = n.children[0]
-	}
-	for n != nil && len(n.keys) == 0 {
-		n = n.next
-	}
-	if n == nil {
+	it := t.Seek(nil, nil)
+	if !it.Valid() {
 		return nil, nil, false
 	}
-	return n.keys[0], n.vals[0], true
+	return it.Key(), it.Value(), true
 }
 
 // Max returns the largest key and its value.
 func (t *Tree) Max() ([]byte, []byte, bool) {
-	n := t.root
-	for !n.leaf {
-		n = n.children[len(n.children)-1]
-	}
-	for n != nil && len(n.keys) == 0 {
-		n = n.prev
-	}
-	if n == nil {
-		return nil, nil, false
-	}
-	return n.keys[len(n.keys)-1], n.vals[len(n.vals)-1], true
+	var k, v []byte
+	found := false
+	t.ScanReverse(nil, nil, func(key, value []byte) bool {
+		k, v, found = key, value, true
+		return false
+	})
+	return k, v, found
 }
 
 // ScanReverse iterates pairs in descending order with lo <= key < hi.
 func (t *Tree) ScanReverse(lo, hi []byte, fn func(key, value []byte) bool) {
-	// Locate the leaf containing the last key < hi.
-	n := t.root
-	for !n.leaf {
-		if hi == nil {
-			n = n.children[len(n.children)-1]
-		} else {
-			n = n.children[childIndex(n.keys, hi)]
+	scanReverse(t.root, lo, hi, fn)
+}
+
+// scanReverse walks n's subtree in descending key order, returning false
+// once fn stops the scan or a key below lo is reached.
+func scanReverse(n *node, lo, hi []byte, fn func(key, value []byte) bool) bool {
+	if n.leaf {
+		idx := len(n.keys) - 1
+		if hi != nil {
+			// Position on the last key < hi; leaves left of the boundary
+			// leaf hold only smaller keys, so the search is a no-op there.
+			i, _ := search(n.keys, hi)
+			idx = i - 1
 		}
-	}
-	idx := len(n.keys) - 1
-	if hi != nil {
-		i, _ := search(n.keys, hi)
-		idx = i - 1
-	}
-	for n != nil {
-		for idx >= 0 && idx < len(n.keys) {
+		for ; idx >= 0; idx-- {
 			k := n.keys[idx]
 			if lo != nil && bytes.Compare(k, lo) < 0 {
-				return
+				return false
 			}
 			if !fn(k, n.vals[idx]) {
-				return
+				return false
 			}
-			idx--
 		}
-		n = n.prev
-		if n != nil {
-			idx = len(n.keys) - 1
+		return true
+	}
+	ci := len(n.children) - 1
+	if hi != nil {
+		ci = childIndex(n.keys, hi)
+	}
+	for ; ci >= 0; ci-- {
+		if !scanReverse(n.children[ci], lo, hi, fn) {
+			return false
 		}
 	}
+	return true
 }
 
-// Clone returns a structural deep copy of the tree. Key and value slices are
-// shared (they are treated as immutable); node structure is copied. Used by
-// the engine to snapshot keyspaces at checkpoints.
-func (t *Tree) Clone() *Tree {
-	out := New()
-	t.Scan(nil, nil, func(k, v []byte) bool {
-		out.Put(k, v)
-		return true
-	})
-	return out
-}
-
-// check validates tree invariants; used by tests.
+// check validates tree invariants; used by tests. It must not mutate the
+// tree — snapshots are checked too.
 func (t *Tree) check() error {
 	var prev []byte
 	count := 0

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -252,23 +253,161 @@ func TestSeekIterator(t *testing.T) {
 	}
 }
 
-func TestClone(t *testing.T) {
+func TestSnapshotIsolation(t *testing.T) {
 	tr := New()
 	for i := 0; i < 200; i++ {
 		tr.Put(key(i), value(i))
 	}
-	cl := tr.Clone()
+	cl := tr.Snapshot()
 	tr.Put(key(999), value(999))
 	tr.Delete(key(0))
 	if cl.Len() != 200 {
-		t.Fatalf("clone Len = %d", cl.Len())
+		t.Fatalf("snapshot Len = %d", cl.Len())
 	}
 	if _, ok := cl.Get(key(0)); !ok {
-		t.Fatal("clone lost key deleted from original")
+		t.Fatal("snapshot lost key deleted from original")
 	}
 	if _, ok := cl.Get(key(999)); ok {
-		t.Fatal("clone saw key added to original")
+		t.Fatal("snapshot saw key added to original")
 	}
+	// Both versions still satisfy every invariant.
+	if err := tr.check(); err != nil {
+		t.Fatalf("mutated original: %v", err)
+	}
+	if err := cl.check(); err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+}
+
+// TestSnapshotUnderHeavyChurn snapshots mid-stream and verifies the frozen
+// view stays byte-stable while the live tree is rewritten wholesale —
+// including node splits, lazy leaf drops, and root collapses above and below
+// shared nodes.
+func TestSnapshotUnderHeavyChurn(t *testing.T) {
+	tr := New()
+	const n = 3000
+	for i := 0; i < n; i++ {
+		tr.Put(key(i), value(i))
+	}
+	snap := tr.Snapshot()
+	want := collect(snap)
+
+	r := rand.New(rand.NewSource(11))
+	for op := 0; op < 4*n; op++ {
+		i := r.Intn(2 * n)
+		if r.Intn(3) == 0 {
+			tr.Delete(key(i))
+		} else {
+			tr.Put(key(i), []byte(fmt.Sprintf("new%d", op)))
+		}
+	}
+	if err := tr.check(); err != nil {
+		t.Fatalf("live tree after churn: %v", err)
+	}
+	if err := snap.check(); err != nil {
+		t.Fatalf("snapshot after churn: %v", err)
+	}
+	if got := collect(snap); !pairsEqual(got, want) {
+		t.Fatal("snapshot contents drifted under live-tree churn")
+	}
+	// A snapshot of the snapshot is still the original frozen view.
+	if got := collect(snap.Snapshot()); !pairsEqual(got, want) {
+		t.Fatal("second-generation snapshot drifted")
+	}
+}
+
+// TestSnapshotWritable verifies a snapshot can fork its own mutable lineage
+// (how replicas start from the primary's state) without disturbing either
+// the original tree or sibling snapshots.
+func TestSnapshotWritable(t *testing.T) {
+	tr := New()
+	for i := 0; i < 500; i++ {
+		tr.Put(key(i), value(i))
+	}
+	fork := tr.Snapshot()
+	frozen := tr.Snapshot()
+	want := collect(frozen)
+	for i := 0; i < 500; i += 2 {
+		fork.Delete(key(i))
+	}
+	for i := 1000; i < 1100; i++ {
+		fork.Put(key(i), value(i))
+	}
+	if err := fork.check(); err != nil {
+		t.Fatalf("fork: %v", err)
+	}
+	if err := tr.check(); err != nil {
+		t.Fatalf("original: %v", err)
+	}
+	if !pairsEqual(collect(tr), want) {
+		t.Fatal("original tree disturbed by fork writes")
+	}
+	if !pairsEqual(collect(frozen), want) {
+		t.Fatal("sibling snapshot disturbed by fork writes")
+	}
+	if fork.Len() != 500-250+100 {
+		t.Fatalf("fork Len = %d", fork.Len())
+	}
+}
+
+// TestConcurrentSnapshotReaders races lock-free snapshot readers against a
+// writer mutating the live tree — the core MVCC claim, checked under -race.
+func TestConcurrentSnapshotReaders(t *testing.T) {
+	tr := New()
+	const n = 2000
+	for i := 0; i < n; i++ {
+		tr.Put(key(i), value(i))
+	}
+	snap := tr.Snapshot()
+	want := collect(snap)
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for op := 0; op < 6000; op++ {
+			if op%3 == 0 {
+				tr.Delete(key(op % n))
+			} else {
+				tr.Put(key(op%(2*n)), []byte(fmt.Sprintf("w%d", op)))
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for rep := 0; rep < 20; rep++ {
+				if !pairsEqual(collect(snap), want) {
+					t.Error("snapshot reader observed a concurrent write")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	<-done
+}
+
+func collect(tr *Tree) [][2]string {
+	var out [][2]string
+	tr.Scan(nil, nil, func(k, v []byte) bool {
+		out = append(out, [2]string{string(k), string(v)})
+		return true
+	})
+	return out
+}
+
+func pairsEqual(a, b [][2]string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // TestPropertyMatchesMap drives the tree against a reference map with a

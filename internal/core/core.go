@@ -34,6 +34,12 @@ type Options struct {
 	// GroupCommitWindow is forwarded to the engine: the maximum number of
 	// concurrent Synced committers that share one WAL fsync (0 = default).
 	GroupCommitWindow int
+	// SnapshotReads makes Query/SQL (and the Opts variants) run pipelines
+	// the compile-time analysis proves read-only on a lock-free MVCC
+	// snapshot transaction: zero lock-manager traffic, no deadlock
+	// exposure, and no blocking of concurrent writers. Mutating pipelines
+	// always keep the 2PL read-write path.
+	SnapshotReads bool
 }
 
 // DB is a multi-model database instance.
@@ -61,6 +67,11 @@ type DB struct {
 	plans *planCache
 
 	sources *query.Sources
+
+	// snapshotReads is the Options.SnapshotReads default applied by the
+	// auto-transaction query entry points (per-call query.Options can still
+	// opt in explicitly).
+	snapshotReads bool
 }
 
 // Open creates or recovers a database.
@@ -87,6 +98,8 @@ func Open(opts Options) (*DB, error) {
 		gins:   map[string]*inverted.GIN{},
 		fts:    map[string]*inverted.FullText{},
 		plans:  newPlanCache(defaultPlanCacheCap),
+
+		snapshotReads: opts.SnapshotReads,
 	}
 	db.sources = &query.Sources{
 		Engine: e,
@@ -150,7 +163,7 @@ func (db *DB) resolve(tx *engine.Txn, name string) string {
 			return kind
 		}
 	}
-	if db.Engine.KeyspaceLen(kvstore.Keyspace(name)) > 0 {
+	if tx.KeyspaceNonEmpty(kvstore.Keyspace(name)) {
 		return "bucket"
 	}
 	return ""
@@ -359,6 +372,16 @@ func (db *DB) queryAuto(dialect, text string, params map[string]mmvalue.Value,
 		opts.Params = params
 	}
 	var res *query.Result
+	if (opts.SnapshotReads || db.snapshotReads) && pipe.ReadOnly() {
+		// Proven read-only: run on a lock-free MVCC snapshot. No locks are
+		// taken, no deadlock retry loop is needed, and nothing is committed.
+		err = db.Engine.SnapshotView(func(tx *engine.Txn) error {
+			var qerr error
+			res, qerr = query.Execute(tx, db.sources, pipe, opts)
+			return qerr
+		})
+		return res, err
+	}
 	err = db.Engine.Update(func(tx *engine.Txn) error {
 		var qerr error
 		res, qerr = query.Execute(tx, db.sources, pipe, opts)

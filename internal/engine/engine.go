@@ -1,28 +1,36 @@
 // Package engine implements unidb's single integrated backend: named
-// keyspaces (ordered key/value maps on B+trees) with ACID transactions,
-// write-ahead logging, checkpoint/recovery, and WAL-shipping replicas.
+// keyspaces (ordered key/value maps on copy-on-write B+trees) with ACID
+// transactions, write-ahead logging, checkpoint/recovery, and WAL-shipping
+// replicas.
 //
 // Every data model in unidb — relational tables, document collections,
 // key/value buckets, graphs, XML trees, RDF triples — is a thin mapping onto
 // keyspaces, so a single transaction here is automatically a *cross-model*
 // transaction, the capability the paper lists among its six open challenges.
 //
-// Concurrency control is strict two-phase locking with multiple-granularity
-// locks (IS/IX on keyspaces, S/X on keys, S/X on whole keyspaces for scans
-// and drops) and waits-for-graph deadlock detection. Durability is
-// WAL-before-commit with periodic snapshot checkpoints; recovery replays the
-// committed suffix of the log over the latest snapshot.
+// Concurrency control is hybrid. Writers use strict two-phase locking with
+// multiple-granularity locks (IS/IX on keyspaces, S/X on keys, S/X on whole
+// keyspaces for scans and drops) and waits-for-graph deadlock detection;
+// their writes are buffered in a private write-set and applied to the shared
+// trees only at commit, so the live trees always hold exactly the committed
+// state. That invariant is what makes MVCC reads possible: Engine.Snapshot
+// marks every tree root shared in O(1) under e.mu and hands out an immutable
+// multi-keyspace view, and snapshot transactions (BeginSnapshot) read it
+// with zero lock-manager traffic — no IS/S acquisition, no deadlock
+// exposure, no blocking of concurrent X-writers. Durability is
+// WAL-before-commit with non-blocking snapshot checkpoints; recovery replays
+// the committed suffix of the log over the latest snapshot.
 package engine
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
 	"os"
-
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -64,23 +72,35 @@ var ErrClosed = errors.New("engine: closed")
 // ErrTxnDone is returned by operations on a committed or aborted Txn.
 var ErrTxnDone = errors.New("engine: transaction finished")
 
+// ErrReadOnlyTxn is returned by write operations on a snapshot transaction.
+var ErrReadOnlyTxn = errors.New("engine: write on snapshot (read-only) transaction")
+
 // Engine is the multi-model storage engine.
 type Engine struct {
 	mu        sync.Mutex // guards keyspaces and tree mutation
 	keyspaces map[string]*btree.Tree
+
+	// commitMu orders commit publication against the checkpoint cut. Every
+	// committer holds it shared across its WAL append *and* tree apply (and
+	// the group-commit fsync that runs outside the WAL mutex); Checkpoint
+	// holds it exclusively for the brief O(1) cut — snapshotting tree roots
+	// plus capturing the WAL watermark — and again for the prefix
+	// truncation's file swap. The barrier guarantees each transaction lands
+	// entirely before or entirely after the cut, so the snapshot file and
+	// the retained WAL suffix compose exactly.
+	commitMu sync.RWMutex
 
 	locks  *lockManager
 	log    *wal.Log
 	dir    string
 	txnSeq atomic.Uint64
 
-	// Checkpoint coordination: Begin blocks while checkpointing is set,
-	// Checkpoint waits for active to drain.
-	stateMu       sync.Mutex
-	stateCond     *sync.Cond
-	active        int
-	checkpointing bool
-	closed        bool
+	// snapshotReads counts snapshot (lock-free MVCC) transactions begun.
+	snapshotReads atomic.Uint64
+
+	stateMu sync.Mutex
+	closed  bool
+	cpMu    sync.Mutex // serializes whole checkpoints (cut → write → truncate)
 
 	subMu     sync.Mutex
 	subs      []*Replica
@@ -105,7 +125,6 @@ func Open(opts Options) (*Engine, error) {
 		locks:     newLockManager(),
 		dir:       opts.Dir,
 	}
-	e.stateCond = sync.NewCond(&e.stateMu)
 	if opts.Durability == Ephemeral {
 		return e, nil
 	}
@@ -146,14 +165,16 @@ func (e *Engine) WALStats() wal.Stats {
 	return e.log.Stats()
 }
 
-// applyRecord applies a redo record to the in-memory trees (recovery and
-// replicas share this).
+// applyRecord applies a redo record to the in-memory trees (recovery,
+// commit publication, and replicas share this).
 func (e *Engine) applyRecord(r wal.Record) {
 	switch r.Op {
 	case wal.OpSet:
 		e.tree(r.Keyspace).Put(r.Key, r.Value)
 	case wal.OpDelete:
-		e.tree(r.Keyspace).Delete(r.Key)
+		if t := e.keyspaces[r.Keyspace]; t != nil {
+			t.Delete(r.Key)
+		}
 	case wal.OpDropKeyspace:
 		delete(e.keyspaces, r.Keyspace)
 	case wal.OpCommit, wal.OpAbort:
@@ -177,7 +198,6 @@ func (e *Engine) tree(ks string) *btree.Tree {
 func (e *Engine) Close() error {
 	e.stateMu.Lock()
 	e.closed = true
-	e.stateCond.Broadcast()
 	e.stateMu.Unlock()
 	if e.log != nil {
 		return e.log.Close()
@@ -198,7 +218,9 @@ func (e *Engine) Keyspaces() []string {
 }
 
 // KeyspaceLen returns the number of pairs in a keyspace (0 when absent);
-// the optimizer's cardinality estimate.
+// the optimizer's cardinality estimate. It sees committed state only — for
+// a view that includes a transaction's staged writes use
+// Txn.KeyspaceNonEmpty.
 func (e *Engine) KeyspaceLen(ks string) int {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -208,73 +230,134 @@ func (e *Engine) KeyspaceLen(ks string) int {
 	return 0
 }
 
-type undoEntry struct {
-	ks      string
-	key     []byte
-	value   []byte // previous value; nil with had=false means key was absent
-	had     bool
-	dropped *btree.Tree // for DropKeyspace undo
+// wsEntry is one staged write: a pending value or a tombstone.
+type wsEntry struct {
+	value []byte
+	del   bool
+}
+
+// wsKeyspace is a transaction's private overlay for one keyspace: staged
+// values and tombstones, plus whether the keyspace itself was dropped
+// (clearing the committed view from this transaction's perspective).
+type wsKeyspace struct {
+	dropped bool
+	entries map[string]wsEntry
 }
 
 // Txn is a serializable transaction over any number of keyspaces (and
 // therefore any number of data models).
 //
+// Writes are deferred: Put/Delete/DropKeyspace stage into a private
+// write-set (reads consult it first, so a transaction always sees its own
+// writes) and the shared trees are only touched at Commit, under the
+// engine's commit barrier. The shared trees therefore hold exactly the
+// committed state at every instant — the invariant Engine.Snapshot relies
+// on. Abort simply discards the write-set; there is no undo.
+//
 // Concurrency contract (relied on by the query layer's parallel scan+filter
 // executor): the read path — Get, Scan, ScanReverse — is safe to call from
 // multiple goroutines on one Txn concurrently. Reads serialize on the lock
-// manager's mutex and the engine's tree mutex, and lock acquisition by the
+// manager's mutex and the engine's tree mutex (or, for snapshot
+// transactions, touch only immutable data), and lock acquisition by the
 // same transaction id from several goroutines is idempotent (an already-held
 // compatible mode is granted without waiting), so concurrent readers cannot
 // deadlock against themselves. The write path (Put, Delete, DropKeyspace)
-// and the lifecycle methods (Commit, Abort) mutate the unguarded undo/redo
-// logs and the done flag, so they must be externally ordered: no call may
-// overlap a write or a lifecycle call on the same Txn. In short: any number
-// of concurrent readers between writes; one goroutine at a time otherwise.
+// and the lifecycle methods (Commit, Abort) mutate the unguarded write-set
+// and the done flag, so they must be externally ordered: no call may overlap
+// a write or a lifecycle call on the same Txn. In short: any number of
+// concurrent readers between writes; one goroutine at a time otherwise.
 type Txn struct {
 	e    *Engine
 	id   uint64
-	undo []undoEntry
-	recs []wal.Record // redo batch for WAL + replica shipping
+	snap *Snapshot // non-nil: lock-free MVCC reader, writes rejected
+	ws   map[string]*wsKeyspace
+	recs []wal.Record // redo batch for WAL + tree apply + replica shipping
 	done bool
 }
 
-// Begin starts a transaction. It blocks while a checkpoint is in progress.
+// Begin starts a read-write transaction (2PL).
 func (e *Engine) Begin() (*Txn, error) {
 	e.stateMu.Lock()
-	for e.checkpointing && !e.closed {
-		e.stateCond.Wait()
-	}
+	defer e.stateMu.Unlock()
 	if e.closed {
-		e.stateMu.Unlock()
 		return nil, ErrClosed
 	}
-	e.active++
-	e.stateMu.Unlock()
 	return &Txn{e: e, id: e.txnSeq.Add(1)}, nil
 }
+
+// BeginSnapshot starts a read-only transaction against an immutable
+// snapshot of the current committed state. Its reads acquire no locks at
+// all — they cannot block writers, be blocked by writers, or participate in
+// deadlocks — and keep observing the snapshot even as later transactions
+// commit. Write operations return ErrReadOnlyTxn.
+func (e *Engine) BeginSnapshot() (*Txn, error) {
+	e.stateMu.Lock()
+	closed := e.closed
+	e.stateMu.Unlock()
+	if closed {
+		return nil, ErrClosed
+	}
+	e.snapshotReads.Add(1)
+	return &Txn{e: e, id: e.txnSeq.Add(1), snap: e.Snapshot()}, nil
+}
+
+// SnapshotReads returns how many snapshot (lock-free) transactions have
+// been started on this engine.
+func (e *Engine) SnapshotReads() uint64 { return e.snapshotReads.Load() }
 
 // ID returns the transaction id.
 func (t *Txn) ID() uint64 { return t.id }
 
+// SnapshotRead reports whether this transaction reads from an immutable
+// snapshot (lock-free MVCC) rather than the live 2PL-locked trees.
+func (t *Txn) SnapshotRead() bool { return t.snap != nil }
+
 func (t *Txn) finish() {
-	t.e.locks.releaseAll(t.id)
-	t.e.stateMu.Lock()
-	t.e.active--
-	t.e.stateCond.Broadcast()
-	t.e.stateMu.Unlock()
+	if t.snap == nil {
+		t.e.locks.releaseAll(t.id)
+	}
 	t.done = true
 }
 
-// Get returns the value under key in keyspace ks.
+// wsFor returns (creating if needed) the write-set overlay for ks.
+func (t *Txn) wsFor(ks string) *wsKeyspace {
+	w := t.ws[ks]
+	if w == nil {
+		if t.ws == nil {
+			t.ws = map[string]*wsKeyspace{}
+		}
+		w = &wsKeyspace{entries: map[string]wsEntry{}}
+		t.ws[ks] = w
+	}
+	return w
+}
+
+// Get returns the value under key in keyspace ks, seeing the transaction's
+// own staged writes first.
 func (t *Txn) Get(ks string, key []byte) ([]byte, bool, error) {
 	if t.done {
 		return nil, false, ErrTxnDone
+	}
+	if t.snap != nil {
+		v, ok := t.snap.Get(ks, key)
+		return v, ok, nil
 	}
 	if err := t.e.locks.acquire(t.id, ksLockName(ks), LockIS); err != nil {
 		return nil, false, err
 	}
 	if err := t.e.locks.acquire(t.id, keyLockName(ks, key), LockS); err != nil {
 		return nil, false, err
+	}
+	if w := t.ws[ks]; w != nil {
+		if ent, ok := w.entries[string(key)]; ok {
+			if ent.del {
+				return nil, false, nil
+			}
+			return ent.value, true, nil
+		}
+		if w.dropped {
+			return nil, false, nil
+		}
 	}
 	t.e.mu.Lock()
 	defer t.e.mu.Unlock()
@@ -286,32 +369,34 @@ func (t *Txn) Get(ks string, key []byte) ([]byte, bool, error) {
 	return v, ok, nil
 }
 
-// Put stores value under key in keyspace ks, creating the keyspace if
-// needed.
+// Put stages value under key in keyspace ks (creating the keyspace at
+// commit if needed). The shared tree is not touched until Commit.
 func (t *Txn) Put(ks string, key, value []byte) error {
 	if t.done {
 		return ErrTxnDone
 	}
+	if t.snap != nil {
+		return ErrReadOnlyTxn
+	}
 	if err := t.e.locks.acquire(t.id, ksLockName(ks), LockIX); err != nil {
 		return err
 	}
 	if err := t.e.locks.acquire(t.id, keyLockName(ks, key), LockX); err != nil {
 		return err
 	}
-	t.e.mu.Lock()
-	defer t.e.mu.Unlock()
-	tree := t.e.tree(ks)
-	prev, had := tree.Get(key)
-	t.undo = append(t.undo, undoEntry{ks: ks, key: key, value: prev, had: had})
-	tree.Put(key, value)
+	t.wsFor(ks).entries[string(key)] = wsEntry{value: value}
 	t.recs = append(t.recs, wal.Record{Txn: t.id, Op: wal.OpSet, Keyspace: ks, Key: key, Value: value})
 	return nil
 }
 
-// Delete removes key from keyspace ks.
+// Delete stages the removal of key from keyspace ks. Removing a key that is
+// absent in the transaction's view is a no-op (no redo record).
 func (t *Txn) Delete(ks string, key []byte) error {
 	if t.done {
 		return ErrTxnDone
+	}
+	if t.snap != nil {
+		return ErrReadOnlyTxn
 	}
 	if err := t.e.locks.acquire(t.id, ksLockName(ks), LockIX); err != nil {
 		return err
@@ -319,29 +404,44 @@ func (t *Txn) Delete(ks string, key []byte) error {
 	if err := t.e.locks.acquire(t.id, keyLockName(ks, key), LockX); err != nil {
 		return err
 	}
-	t.e.mu.Lock()
-	defer t.e.mu.Unlock()
-	tree := t.e.keyspaces[ks]
-	if tree == nil {
-		return nil
+	if w := t.ws[ks]; w != nil {
+		if ent, ok := w.entries[string(key)]; ok {
+			if ent.del {
+				return nil
+			}
+			w.entries[string(key)] = wsEntry{del: true}
+			t.recs = append(t.recs, wal.Record{Txn: t.id, Op: wal.OpDelete, Keyspace: ks, Key: key})
+			return nil
+		}
+		if w.dropped {
+			return nil
+		}
 	}
-	prev, had := tree.Get(key)
+	// Presence check against committed state; stable under the held X lock
+	// (no other transaction can commit a change to this key).
+	t.e.mu.Lock()
+	tree := t.e.keyspaces[ks]
+	had := false
+	if tree != nil {
+		_, had = tree.Get(key)
+	}
+	t.e.mu.Unlock()
 	if !had {
 		return nil
 	}
-	t.undo = append(t.undo, undoEntry{ks: ks, key: key, value: prev, had: true})
-	tree.Delete(key)
+	t.wsFor(ks).entries[string(key)] = wsEntry{del: true}
 	t.recs = append(t.recs, wal.Record{Txn: t.id, Op: wal.OpDelete, Keyspace: ks, Key: key})
 	return nil
 }
 
 // Scan iterates pairs with lo <= key < hi (nil bounds are open) in ks,
 // calling fn for each; fn returning false stops early. The scan takes a
-// shared lock on the whole keyspace, which also prevents phantoms. The
-// pair list is materialized before fn runs, so callbacks may freely issue
-// further operations on this transaction (including writes to the scanned
-// keyspace — they do not affect the in-flight iteration). Callers must not
-// mutate the key/value slices.
+// shared lock on the whole keyspace (snapshot transactions take none),
+// which also prevents phantoms. The pair list is materialized before fn
+// runs, so callbacks may freely issue further operations on this
+// transaction (including writes to the scanned keyspace — they do not
+// affect the in-flight iteration). Callers must not mutate the key/value
+// slices.
 func (t *Txn) Scan(ks string, lo, hi []byte, fn func(key, value []byte) bool) error {
 	pairs, err := t.collect(ks, lo, hi, false)
 	if err != nil {
@@ -373,65 +473,170 @@ func (t *Txn) collect(ks string, lo, hi []byte, reverse bool) ([][2][]byte, erro
 	if t.done {
 		return nil, ErrTxnDone
 	}
+	if t.snap != nil {
+		return t.snap.collect(ks, lo, hi, reverse), nil
+	}
 	if err := t.e.locks.acquire(t.id, ksLockName(ks), LockS); err != nil {
 		return nil, err
 	}
-	t.e.mu.Lock()
-	defer t.e.mu.Unlock()
-	tree := t.e.keyspaces[ks]
-	if tree == nil {
-		return nil, nil
+	w := t.ws[ks]
+	var pairs [][2][]byte
+	if w == nil || !w.dropped {
+		t.e.mu.Lock()
+		if tree := t.e.keyspaces[ks]; tree != nil {
+			pairs = make([][2][]byte, 0, tree.Len())
+			add := func(k, v []byte) bool {
+				pairs = append(pairs, [2][]byte{k, v})
+				return true
+			}
+			if reverse {
+				tree.ScanReverse(lo, hi, add)
+			} else {
+				tree.Scan(lo, hi, add)
+			}
+		}
+		t.e.mu.Unlock()
 	}
-	pairs := make([][2][]byte, 0, tree.Len())
-	add := func(k, v []byte) bool {
-		pairs = append(pairs, [2][]byte{k, v})
-		return true
+	if w == nil || len(w.entries) == 0 {
+		return pairs, nil
 	}
-	if reverse {
-		tree.ScanReverse(lo, hi, add)
-	} else {
-		tree.Scan(lo, hi, add)
-	}
-	return pairs, nil
+	return overlayPairs(pairs, w, lo, hi, reverse), nil
 }
 
-// DropKeyspace removes an entire keyspace.
+// overlayPairs merges a transaction's staged writes into an ordered scan of
+// the committed tree: staged values supersede committed ones, tombstones
+// hide them, and staged inserts appear in key order.
+func overlayPairs(pairs [][2][]byte, w *wsKeyspace, lo, hi []byte, reverse bool) [][2][]byte {
+	staged := make([][]byte, 0, len(w.entries))
+	for k := range w.entries {
+		kb := []byte(k)
+		if lo != nil && bytes.Compare(kb, lo) < 0 {
+			continue
+		}
+		if hi != nil && bytes.Compare(kb, hi) >= 0 {
+			continue
+		}
+		staged = append(staged, kb)
+	}
+	sort.Slice(staged, func(i, j int) bool {
+		if reverse {
+			return bytes.Compare(staged[i], staged[j]) > 0
+		}
+		return bytes.Compare(staged[i], staged[j]) < 0
+	})
+	before := func(a, b []byte) bool {
+		if reverse {
+			return bytes.Compare(a, b) > 0
+		}
+		return bytes.Compare(a, b) < 0
+	}
+	out := make([][2][]byte, 0, len(pairs)+len(staged))
+	i := 0
+	for _, k := range staged {
+		for i < len(pairs) && before(pairs[i][0], k) {
+			out = append(out, pairs[i])
+			i++
+		}
+		if i < len(pairs) && bytes.Compare(pairs[i][0], k) == 0 {
+			i++ // superseded by the staged entry
+		}
+		ent := w.entries[string(k)]
+		if !ent.del {
+			out = append(out, [2][]byte{k, ent.value})
+		}
+	}
+	return append(out, pairs[i:]...)
+}
+
+// DropKeyspace stages the removal of an entire keyspace. Dropping a
+// keyspace that does not exist in the transaction's view is a no-op.
 func (t *Txn) DropKeyspace(ks string) error {
 	if t.done {
 		return ErrTxnDone
 	}
+	if t.snap != nil {
+		return ErrReadOnlyTxn
+	}
 	if err := t.e.locks.acquire(t.id, ksLockName(ks), LockX); err != nil {
 		return err
 	}
-	t.e.mu.Lock()
-	defer t.e.mu.Unlock()
-	tree := t.e.keyspaces[ks]
-	if tree == nil {
+	// The keyspace exists in this transaction's view if it has staged
+	// non-tombstone entries, or (absent an earlier staged drop) a committed
+	// tree.
+	w := t.ws[ks]
+	exists := false
+	if w != nil {
+		for _, ent := range w.entries {
+			if !ent.del {
+				exists = true
+				break
+			}
+		}
+	}
+	if !exists && (w == nil || !w.dropped) {
+		t.e.mu.Lock()
+		exists = t.e.keyspaces[ks] != nil
+		t.e.mu.Unlock()
+	}
+	if !exists {
 		return nil
 	}
-	t.undo = append(t.undo, undoEntry{ks: ks, dropped: tree})
-	delete(t.e.keyspaces, ks)
+	w = t.wsFor(ks)
+	w.dropped = true
+	w.entries = map[string]wsEntry{}
 	t.recs = append(t.recs, wal.Record{Txn: t.id, Op: wal.OpDropKeyspace, Keyspace: ks})
 	return nil
 }
 
-// Commit makes the transaction durable (per the engine's durability level)
-// and visible, ships it to replicas, and releases all locks.
-//
-// The whole redo batch — data records plus the trailing commit record — is
-// handed to the WAL as one AppendBatch: a single buffered write, and under
-// Synced durability a single fsync barrier that concurrent committers
-// share (group commit). Commit does not return success before the commit
-// record is durable.
+// KeyspaceNonEmpty reports whether ks holds at least one pair in this
+// transaction's view — committed state plus staged writes. The query
+// layer's name resolution uses it to classify raw key/value buckets.
+func (t *Txn) KeyspaceNonEmpty(ks string) bool {
+	if t.snap != nil {
+		return t.snap.Len(ks) > 0
+	}
+	w := t.ws[ks]
+	if w != nil {
+		for _, ent := range w.entries {
+			if !ent.del {
+				return true
+			}
+		}
+		if w.dropped {
+			return false
+		}
+	}
+	live := t.e.KeyspaceLen(ks)
+	if w == nil {
+		return live > 0
+	}
+	// Only tombstones staged: each hides one distinct committed key.
+	return live > len(w.entries)
+}
+
+// Commit publishes the write-set: the whole redo batch — data records plus
+// the trailing commit record — is handed to the WAL as one AppendBatch (a
+// single buffered write, and under Synced durability a single fsync barrier
+// that concurrent committers share), then applied to the shared trees under
+// e.mu, shipped to replicas, and only then are locks released (strict 2PL).
+// The WAL append and tree apply happen under the engine's shared commit
+// barrier so a checkpoint cut can never split a transaction. Commit does
+// not return success before the commit record is durable. On WAL failure
+// nothing has been applied; the transaction finishes with all staged writes
+// discarded.
 func (t *Txn) Commit() error {
 	if t.done {
 		return ErrTxnDone
 	}
-	if t.e.log != nil && len(t.recs) > 0 {
+	if t.snap != nil || len(t.recs) == 0 {
+		t.finish()
+		return nil
+	}
+	t.e.commitMu.RLock()
+	if t.e.log != nil {
 		batch := append(t.recs, wal.Record{Txn: t.id, Op: wal.OpCommit})
 		if _, err := t.e.log.AppendBatch(batch); err != nil {
-			// WAL failure: the safe exit is to roll back.
-			t.rollbackLocked()
+			t.e.commitMu.RUnlock()
 			t.finish()
 			return fmt.Errorf("engine: commit: %w", err)
 		}
@@ -439,23 +644,27 @@ func (t *Txn) Commit() error {
 		// replicas ship data records only, as before.
 		t.recs = batch[:len(batch)-1]
 	}
-	if len(t.recs) > 0 {
-		t.e.ship(t.recs)
+	t.e.mu.Lock()
+	for _, r := range t.recs {
+		t.e.applyRecord(r)
 	}
+	t.e.mu.Unlock()
+	t.e.commitMu.RUnlock()
+	t.e.ship(t.recs)
 	t.finish()
 	return nil
 }
 
-// Abort rolls the transaction back and releases all locks, reporting any
-// WAL write failure (the rollback itself cannot fail). Safe to call on a
-// finished transaction, where it is a no-op returning nil.
+// Abort discards the transaction's staged writes and releases all locks,
+// reporting any WAL write failure (discarding itself cannot fail — the
+// shared trees were never touched). Safe to call on a finished transaction,
+// where it is a no-op returning nil.
 func (t *Txn) Abort() error {
 	if t.done {
 		return nil
 	}
-	t.rollbackLocked()
 	var err error
-	if t.e.log != nil && len(t.recs) > 0 {
+	if t.snap == nil && t.e.log != nil && len(t.recs) > 0 {
 		// The abort record is informative only — recovery ignores
 		// uncommitted transactions either way — but a failure to write it
 		// still signals a sick log, so it is surfaced, not swallowed.
@@ -465,25 +674,6 @@ func (t *Txn) Abort() error {
 	}
 	t.finish()
 	return err
-}
-
-func (t *Txn) rollbackLocked() {
-	t.e.mu.Lock()
-	defer t.e.mu.Unlock()
-	for i := len(t.undo) - 1; i >= 0; i-- {
-		u := t.undo[i]
-		if u.dropped != nil {
-			t.e.keyspaces[u.ks] = u.dropped
-			continue
-		}
-		tree := t.e.tree(u.ks)
-		if u.had {
-			tree.Put(u.key, u.value)
-		} else {
-			tree.Delete(u.key)
-		}
-	}
-	t.undo = nil
 }
 
 // Update runs fn in a transaction, committing on nil and aborting on error,
@@ -512,7 +702,7 @@ func (e *Engine) Update(fn func(*Txn) error) error {
 }
 
 // View runs fn in a read-only usage pattern (fn may technically write; the
-// transaction aborts either way, rolling any writes back). The deferred
+// transaction aborts either way, discarding any staged writes). The deferred
 // Abort keeps the transaction from leaking locks if fn panics; the explicit
 // one joins any abort-record WAL failure into the result (Abort on an
 // already-finished Txn is a nil no-op).
@@ -525,46 +715,160 @@ func (e *Engine) View(fn func(*Txn) error) error {
 	return errors.Join(fn(t), t.Abort())
 }
 
+// SnapshotView runs fn against a snapshot transaction: reads see one
+// consistent committed state, acquire no locks, and cannot block or be
+// blocked by writers. Writes inside fn fail with ErrReadOnlyTxn.
+func (e *Engine) SnapshotView(fn func(*Txn) error) error {
+	t, err := e.BeginSnapshot()
+	if err != nil {
+		return err
+	}
+	defer t.Abort()
+	return errors.Join(fn(t), t.Abort())
+}
+
+// --- MVCC snapshots ---
+
+// Snapshot is an immutable view of every keyspace at one commit boundary.
+// Reads against it take no locks of any kind: the underlying trees are
+// copy-on-write, so later writers publish new versions instead of mutating
+// the nodes a snapshot references. A Snapshot is safe for concurrent use by
+// any number of goroutines and stays valid indefinitely.
+type Snapshot struct {
+	trees map[string]*btree.Tree
+}
+
+// Snapshot publishes the current committed state as an immutable view. The
+// cut is O(keyspaces), not O(data): each tree root is marked shared under
+// e.mu and handed out; no pair is copied.
+func (e *Engine) Snapshot() *Snapshot {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	trees := make(map[string]*btree.Tree, len(e.keyspaces))
+	for ks, tr := range e.keyspaces {
+		trees[ks] = tr.Snapshot()
+	}
+	return &Snapshot{trees: trees}
+}
+
+// Get returns the value under key in keyspace ks as of the snapshot.
+func (s *Snapshot) Get(ks string, key []byte) ([]byte, bool) {
+	t := s.trees[ks]
+	if t == nil {
+		return nil, false
+	}
+	return t.Get(key)
+}
+
+// Len returns the number of pairs in a keyspace as of the snapshot.
+func (s *Snapshot) Len(ks string) int {
+	if t := s.trees[ks]; t != nil {
+		return t.Len()
+	}
+	return 0
+}
+
+// Keyspaces returns the sorted names of keyspaces in the snapshot.
+func (s *Snapshot) Keyspaces() []string {
+	out := make([]string, 0, len(s.trees))
+	for ks := range s.trees {
+		out = append(out, ks)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Scan iterates pairs with lo <= key < hi in ascending order.
+func (s *Snapshot) Scan(ks string, lo, hi []byte, fn func(key, value []byte) bool) {
+	if t := s.trees[ks]; t != nil {
+		t.Scan(lo, hi, fn)
+	}
+}
+
+// ScanReverse is Scan in descending key order.
+func (s *Snapshot) ScanReverse(ks string, lo, hi []byte, fn func(key, value []byte) bool) {
+	if t := s.trees[ks]; t != nil {
+		t.ScanReverse(lo, hi, fn)
+	}
+}
+
+// collect materializes a range like Txn.collect, without any locking.
+func (s *Snapshot) collect(ks string, lo, hi []byte, reverse bool) [][2][]byte {
+	t := s.trees[ks]
+	if t == nil {
+		return nil
+	}
+	pairs := make([][2][]byte, 0, t.Len())
+	add := func(k, v []byte) bool {
+		pairs = append(pairs, [2][]byte{k, v})
+		return true
+	}
+	if reverse {
+		t.ScanReverse(lo, hi, add)
+	} else {
+		t.Scan(lo, hi, add)
+	}
+	return pairs
+}
+
 // --- Checkpoint and snapshots ---
 
 const snapMagic = "UNIDBSNAP1"
 
 // Checkpoint writes a consistent snapshot of all keyspaces and truncates
-// the WAL. It waits for in-flight transactions to finish and blocks new
-// ones while the snapshot is cut.
+// the WAL prefix it covers. It does NOT stop the world: the cut is an O(1)
+// copy-on-write snapshot of every tree plus a WAL watermark, taken under
+// the commit barrier held exclusively for microseconds; serialization of
+// the (potentially large) snapshot file happens outside every engine lock,
+// so reads and writes proceed at full speed during the disk I/O. Commits
+// that land after the cut survive in the retained WAL suffix.
 func (e *Engine) Checkpoint() error {
 	if e.log == nil {
 		return errors.New("engine: checkpoint requires a durable engine")
 	}
+	e.cpMu.Lock()
+	defer e.cpMu.Unlock()
 	e.stateMu.Lock()
-	for e.checkpointing && !e.closed {
-		e.stateCond.Wait()
-	}
-	if e.closed {
-		e.stateMu.Unlock()
+	closed := e.closed
+	e.stateMu.Unlock()
+	if closed {
 		return ErrClosed
 	}
-	e.checkpointing = true
-	for e.active > 0 {
-		e.stateCond.Wait()
-	}
-	e.stateMu.Unlock()
-	defer func() {
-		e.stateMu.Lock()
-		e.checkpointing = false
-		e.stateCond.Broadcast()
-		e.stateMu.Unlock()
-	}()
 
-	if err := e.writeSnapshot(wal.SnapshotPath(e.dir)); err != nil {
+	// Cut: freeze tree versions and the WAL watermark atomically with
+	// respect to commit publication.
+	e.commitMu.Lock()
+	e.mu.Lock()
+	trees := make(map[string]*btree.Tree, len(e.keyspaces))
+	for ks, tr := range e.keyspaces {
+		trees[ks] = tr.Snapshot()
+	}
+	e.mu.Unlock()
+	cut, err := e.log.CheckpointCut()
+	e.commitMu.Unlock()
+	if err != nil {
 		return err
 	}
-	return e.log.Truncate(1)
+
+	// Serialize outside all engine locks — the stall the old stop-the-world
+	// checkpoint imposed on every reader and writer.
+	if err := writeSnapshotFile(wal.SnapshotPath(e.dir), trees); err != nil {
+		return err
+	}
+
+	// Drop the covered prefix. The barrier is re-taken because the WAL file
+	// handle swaps underneath group-commit fsyncs that run outside the WAL
+	// mutex; commitMu is what orders those windows against the swap.
+	e.commitMu.Lock()
+	err = e.log.TruncatePrefix(cut)
+	e.commitMu.Unlock()
+	return err
 }
 
-// writeSnapshot serializes all keyspaces to a temp file and renames it into
-// place.
-func (e *Engine) writeSnapshot(path string) error {
+// writeSnapshotFile serializes a set of frozen trees to a temp file and
+// renames it into place. It runs without any engine lock: the trees are
+// immutable COW snapshots.
+func writeSnapshotFile(path string, trees map[string]*btree.Tree) error {
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
 	if err != nil {
@@ -573,9 +877,8 @@ func (e *Engine) writeSnapshot(path string) error {
 	crc := crc32.NewIEEE()
 	w := bufio.NewWriter(io.MultiWriter(f, crc))
 
-	e.mu.Lock()
-	names := make([]string, 0, len(e.keyspaces))
-	for ks := range e.keyspaces {
+	names := make([]string, 0, len(trees))
+	for ks := range trees {
 		names = append(names, ks)
 	}
 	sort.Strings(names)
@@ -586,7 +889,7 @@ func (e *Engine) writeSnapshot(path string) error {
 	write([]byte(snapMagic))
 	writeUvarint(uint64(len(names)))
 	for _, ks := range names {
-		tree := e.keyspaces[ks]
+		tree := trees[ks]
 		writeUvarint(uint64(len(ks)))
 		write([]byte(ks))
 		writeUvarint(uint64(tree.Len()))
@@ -598,7 +901,6 @@ func (e *Engine) writeSnapshot(path string) error {
 			return true
 		})
 	}
-	e.mu.Unlock()
 
 	if err := w.Flush(); err != nil {
 		return errors.Join(fmt.Errorf("engine: snapshot flush: %w", err), f.Close())
@@ -704,13 +1006,14 @@ type Replica struct {
 }
 
 // NewReplica attaches a replica that lags the primary by lagTxns committed
-// transactions (0 = apply immediately on commit). The replica starts from
-// the engine's current state.
+// transactions (0 = apply immediately on commit). The replica starts from a
+// COW snapshot of the engine's current state — O(keyspaces), not O(data) —
+// and forks its own mutable lineage from it as batches apply.
 func (e *Engine) NewReplica(lagTxns int) *Replica {
 	r := &Replica{keyspaces: map[string]*btree.Tree{}, lagTxns: lagTxns}
 	e.mu.Lock()
 	for ks, tree := range e.keyspaces {
-		r.keyspaces[ks] = tree.Clone()
+		r.keyspaces[ks] = tree.Snapshot()
 	}
 	e.mu.Unlock()
 	e.subMu.Lock()

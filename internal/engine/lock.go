@@ -93,6 +93,7 @@ type lockState struct {
 type lockWaiter struct {
 	txn  uint64
 	mode LockMode
+	had  bool // txn already held a weaker mode (queued upgrade)
 	cond *sync.Cond
 	done bool // granted or aborted
 	err  error
@@ -117,62 +118,54 @@ func newLockManager() *lockManager {
 }
 
 // acquire blocks until txn holds name in at least mode, or returns
-// ErrDeadlock.
+// ErrDeadlock. Grants are queue-fair: a new acquisition may not barge past
+// an earlier incompatible waiter, so a writer queued for IX/X is not starved
+// by a stream of overlapping readers. Blocked requests are granted by
+// releaseAll's FIFO sweep rather than re-racing for the lock on wakeup.
 func (lm *lockManager) acquire(txn uint64, name string, mode LockMode) error {
 	lm.mu.Lock()
 	defer lm.mu.Unlock()
 
-	for {
-		// Re-fetch each iteration: releaseAll may delete an emptied
-		// state while this transaction was waiting, and another
-		// transaction may have re-created it.
-		st := lm.locks[name]
-		if st == nil {
-			st = &lockState{holders: map[uint64]LockMode{}}
-			lm.locks[name] = st
-		}
-		if cur, ok := st.holders[txn]; ok {
-			if supersedes(cur, mode) {
-				return nil
-			}
-			mode = upgraded(cur, mode)
-		}
-		if lm.grantable(st, txn, mode) {
-			if _, had := st.holders[txn]; !had {
-				lm.held[txn] = append(lm.held[txn], name)
-			}
-			st.holders[txn] = mode
+	st := lm.locks[name]
+	if st == nil {
+		st = &lockState{holders: map[uint64]LockMode{}}
+		lm.locks[name] = st
+	}
+	had := false
+	if cur, ok := st.holders[txn]; ok {
+		if supersedes(cur, mode) {
 			return nil
 		}
-		// Record waits-for edges and check for a cycle before blocking.
-		blockers := map[uint64]struct{}{}
-		for holder, hm := range st.holders {
-			if holder != txn && !compatible(hm, mode) {
-				blockers[holder] = struct{}{}
-			}
-		}
-		lm.waitsFor[txn] = blockers
-		if lm.cycleFrom(txn) {
-			delete(lm.waitsFor, txn)
-			return fmt.Errorf("%w: txn %d on %q (%s)", ErrDeadlock, txn, name, mode)
-		}
-		w := &lockWaiter{txn: txn, mode: mode, cond: sync.NewCond(&lm.mu)}
-		st.waiters = append(st.waiters, w)
-		for !w.done {
-			w.cond.Wait()
-		}
-		delete(lm.waitsFor, txn)
-		if w.err != nil {
-			return w.err
-		}
-		// Re-evaluate: st.holders may have changed; loop and retry grant.
+		mode = upgraded(cur, mode)
+		had = true
 	}
+	// Upgrades by existing holders bypass the queue check: a holder barred
+	// behind a waiter that is itself blocked on the holder would deadlock.
+	if lm.grantable(st, txn, mode) && (had || !lm.barred(st, txn, mode)) {
+		if !had {
+			lm.held[txn] = append(lm.held[txn], name)
+		}
+		st.holders[txn] = mode
+		return nil
+	}
+	// Record waits-for edges — incompatible holders and queued waiters both
+	// block this request — and check for a cycle before blocking.
+	lm.waitsFor[txn] = lm.blockers(st, txn, mode)
+	if lm.cycleFrom(txn) {
+		delete(lm.waitsFor, txn)
+		return fmt.Errorf("%w: txn %d on %q (%s)", ErrDeadlock, txn, name, mode)
+	}
+	w := &lockWaiter{txn: txn, mode: mode, had: had, cond: sync.NewCond(&lm.mu)}
+	st.waiters = append(st.waiters, w)
+	for !w.done {
+		w.cond.Wait()
+	}
+	delete(lm.waitsFor, txn)
+	return w.err
 }
 
-// grantable reports whether txn can take mode on st right now. A waiter
-// queue exists for fairness, but compatibility with current holders is the
-// binding constraint; upgrades by existing holders bypass the queue to avoid
-// self-blocking.
+// grantable reports whether mode is compatible with every other current
+// holder of st. Queue position is checked separately by barred.
 func (lm *lockManager) grantable(st *lockState, txn uint64, mode LockMode) bool {
 	for holder, hm := range st.holders {
 		if holder == txn {
@@ -183,6 +176,36 @@ func (lm *lockManager) grantable(st *lockState, txn uint64, mode LockMode) bool 
 		}
 	}
 	return true
+}
+
+// barred reports whether an incompatible request by another transaction is
+// already queued on st: granting past it would let readers starve a waiting
+// writer indefinitely.
+func (lm *lockManager) barred(st *lockState, txn uint64, mode LockMode) bool {
+	for _, w := range st.waiters {
+		if w.txn != txn && !compatible(w.mode, mode) {
+			return true
+		}
+	}
+	return false
+}
+
+// blockers collects the transactions a request in mode would wait on: the
+// incompatible holders plus the incompatible queued waiters it may not
+// overtake.
+func (lm *lockManager) blockers(st *lockState, txn uint64, mode LockMode) map[uint64]struct{} {
+	b := map[uint64]struct{}{}
+	for holder, hm := range st.holders {
+		if holder != txn && !compatible(hm, mode) {
+			b[holder] = struct{}{}
+		}
+	}
+	for _, w := range st.waiters {
+		if w.txn != txn && !compatible(w.mode, mode) {
+			b[w.txn] = struct{}{}
+		}
+	}
+	return b
 }
 
 // cycleFrom reports whether the waits-for graph has a cycle reachable from
@@ -217,8 +240,8 @@ func (lm *lockManager) cycleFrom(start uint64) bool {
 	return false
 }
 
-// releaseAll drops every lock held by txn and wakes compatible waiters
-// (strict 2PL: called only at commit or abort).
+// releaseAll drops every lock held by txn and grants newly compatible
+// waiters in queue order (strict 2PL: called only at commit or abort).
 func (lm *lockManager) releaseAll(txn uint64) {
 	lm.mu.Lock()
 	defer lm.mu.Unlock()
@@ -228,20 +251,60 @@ func (lm *lockManager) releaseAll(txn uint64) {
 			continue
 		}
 		delete(st.holders, txn)
-		// Wake every waiter; each re-checks grantability itself.
-		for _, w := range st.waiters {
-			if !w.done {
-				w.done = true
-				w.cond.Signal()
-			}
-		}
-		st.waiters = st.waiters[:0]
-		if len(st.holders) == 0 && len(st.waiters) == 0 {
-			delete(lm.locks, name)
-		}
+		lm.sweep(name, st)
 	}
 	delete(lm.held, txn)
 	delete(lm.waitsFor, txn)
+}
+
+// sweep grants queued waiters in FIFO order: a waiter is granted when its
+// mode is compatible with the remaining holders and with every waiter still
+// queued ahead of it. Compatible readers batch through together, but none of
+// them overtakes an earlier incompatible writer.
+func (lm *lockManager) sweep(name string, st *lockState) {
+	remaining := st.waiters[:0]
+	for _, w := range st.waiters {
+		ok := lm.grantable(st, w.txn, w.mode)
+		if ok {
+			for _, earlier := range remaining {
+				if !compatible(earlier.mode, w.mode) {
+					ok = false
+					break
+				}
+			}
+		}
+		if !ok {
+			remaining = append(remaining, w)
+			continue
+		}
+		if !w.had {
+			lm.held[w.txn] = append(lm.held[w.txn], name)
+		}
+		st.holders[w.txn] = w.mode
+		delete(lm.waitsFor, w.txn)
+		w.done = true
+		w.cond.Signal()
+	}
+	st.waiters = remaining
+	// The survivors' blocker sets changed with the grants above; refresh
+	// their waits-for edges so deadlock detection keeps seeing the truth.
+	for i, w := range st.waiters {
+		b := map[uint64]struct{}{}
+		for holder, hm := range st.holders {
+			if holder != w.txn && !compatible(hm, w.mode) {
+				b[holder] = struct{}{}
+			}
+		}
+		for _, earlier := range st.waiters[:i] {
+			if earlier.txn != w.txn && !compatible(earlier.mode, w.mode) {
+				b[earlier.txn] = struct{}{}
+			}
+		}
+		lm.waitsFor[w.txn] = b
+	}
+	if len(st.holders) == 0 && len(st.waiters) == 0 {
+		delete(lm.locks, name)
+	}
 }
 
 // lock name helpers: keyspace locks and key locks live in one namespace.

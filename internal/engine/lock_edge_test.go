@@ -2,6 +2,7 @@ package engine
 
 import (
 	"errors"
+	"fmt"
 	"sync"
 	"testing"
 	"time"
@@ -222,6 +223,152 @@ func TestDeadlockVictimPropagatesThroughTxnAPI(t *testing.T) {
 		}
 		if !ok || string(v) != "x" {
 			t.Errorf("crossover key %q = %q, %v; want \"x\"", crossKey, v, ok)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSnapshotReaderDoesNotBlockXWriter(t *testing.T) {
+	// A writer holds X on a key (and IX on the keyspace). A snapshot
+	// transaction must read the same key and scan the same keyspace without
+	// blocking — it takes no locks at all — and must see the committed
+	// value, not the writer's uncommitted one. A locked reader on the same
+	// key, started as a control, must stay blocked the whole time.
+	e, err := Open(Options{Durability: Ephemeral})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if err := e.Update(func(tx *Txn) error {
+		return tx.Put("ks", []byte("k"), []byte("committed"))
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	writer, err := e.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := writer.Put("ks", []byte("k"), []byte("uncommitted")); err != nil {
+		t.Fatal(err)
+	}
+
+	lockedDone := make(chan error, 1)
+	go func() {
+		lockedDone <- e.View(func(tx *Txn) error {
+			_, _, err := tx.Get("ks", []byte("k"))
+			return err
+		})
+	}()
+
+	snapDone := make(chan error, 1)
+	go func() {
+		snapDone <- e.SnapshotView(func(tx *Txn) error {
+			v, ok, err := tx.Get("ks", []byte("k"))
+			if err != nil {
+				return err
+			}
+			if !ok || string(v) != "committed" {
+				return fmt.Errorf("snapshot read %q, %v; want committed state", v, ok)
+			}
+			var n int
+			if err := tx.Scan("ks", nil, nil, func(k, v []byte) bool { n++; return true }); err != nil {
+				return err
+			}
+			if n != 1 {
+				return fmt.Errorf("snapshot scan saw %d pairs, want 1", n)
+			}
+			return nil
+		})
+	}()
+	select {
+	case err := <-snapDone:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("snapshot reader blocked behind an X-writer")
+	}
+	select {
+	case err := <-lockedDone:
+		t.Fatalf("locked reader proceeded under the writer's X lock (err=%v)", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	if err := writer.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-lockedDone; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLongScanSeesNoConcurrentCommit(t *testing.T) {
+	// A snapshot transaction's scans keep observing the cut even as later
+	// transactions commit — including a commit that lands between two scans
+	// of the same transaction, the window where a locked long-running reader
+	// would need to hold its S lock to get the same guarantee.
+	e, err := Open(Options{Durability: Ephemeral})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if err := e.Update(func(tx *Txn) error {
+		for i := 0; i < 100; i++ {
+			if err := tx.Put("ks", []byte(fmt.Sprintf("k%03d", i)), []byte("v")); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	reader, err := e.BeginSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reader.Abort()
+	count := func() int {
+		n := 0
+		if err := reader.Scan("ks", nil, nil, func(k, v []byte) bool { n++; return true }); err != nil {
+			t.Fatal(err)
+		}
+		return n
+	}
+	if got := count(); got != 100 {
+		t.Fatalf("first scan saw %d pairs, want 100", got)
+	}
+	// Commit inserts, overwrites, and deletes behind the snapshot's back.
+	if err := e.Update(func(tx *Txn) error {
+		if err := tx.Put("ks", []byte("k999"), []byte("new")); err != nil {
+			return err
+		}
+		if err := tx.Put("ks", []byte("k000"), []byte("overwritten")); err != nil {
+			return err
+		}
+		return tx.Delete("ks", []byte("k050"))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := count(); got != 100 {
+		t.Fatalf("scan after concurrent commit saw %d pairs, want the snapshot's 100", got)
+	}
+	if v, ok, err := reader.Get("ks", []byte("k000")); err != nil || !ok || string(v) != "v" {
+		t.Fatalf("k000 = %q, %v, %v; want the pre-commit value", v, ok, err)
+	}
+	if _, ok, err := reader.Get("ks", []byte("k999")); err != nil || ok {
+		t.Fatalf("k999 visible in snapshot (err=%v); the insert committed after the cut", err)
+	}
+	// The live engine, meanwhile, sees the new state.
+	if err := e.View(func(tx *Txn) error {
+		v, ok, err := tx.Get("ks", []byte("k000"))
+		if err != nil {
+			return err
+		}
+		if !ok || string(v) != "overwritten" {
+			t.Errorf("live k000 = %q, %v; want overwritten", v, ok)
 		}
 		return nil
 	}); err != nil {

@@ -22,6 +22,10 @@ package lint
 //	syncbarrier  — the WAL group-commit window: no path may acknowledge a
 //	               committer (finishWindow, close of a done channel) before
 //	               the durability barrier (durableBarrier) has run.
+//	cowsafe      — the COW B+tree: a node marked shared is referenced by
+//	               snapshots and must never be mutated in place; every
+//	               writer path goes through mutable(), and the shared flag
+//	               only ever moves false→true.
 func DefaultAnalyzers() []Analyzer {
 	return []Analyzer{
 		LockCheck{},
@@ -51,13 +55,20 @@ func DefaultAnalyzers() []Analyzer {
 		}},
 		TxnEnd{
 			Packages:   []string{"repro/internal/core", "repro/internal/query"},
-			BeginNames: []string{"Begin"},
+			BeginNames: []string{"Begin", "BeginSnapshot"},
 			EndNames:   []string{"Commit", "Abort"},
 		},
 		SyncBarrier{
 			Scope:    []ScopeRef{{Pkg: "repro/internal/wal", Files: []string{"committer.go"}}},
 			Barriers: []string{"durableBarrier"},
 			Acks:     []string{"finishWindow"},
+		},
+		CowSafe{
+			Packages:    []string{"repro/internal/btree"},
+			NodeType:    "node",
+			SharedField: "shared",
+			MintFuncs:   []string{"mutable"},
+			WriterFuncs: []string{"insert", "split", "remove"},
 		},
 	}
 }

@@ -126,6 +126,15 @@ func TestSyncBarrierFixtures(t *testing.T) {
 	}, "syncbarrier")
 }
 
+func TestCowSafeFixtures(t *testing.T) {
+	runFixture(t, CowSafe{
+		NodeType:    "node",
+		SharedField: "shared",
+		MintFuncs:   []string{"mutable"},
+		WriterFuncs: []string{"insert"},
+	}, "cowsafe")
+}
+
 func TestTxnEndFixtures(t *testing.T) {
 	runFixture(t, TxnEnd{
 		BeginNames: []string{"Begin"},

@@ -1,0 +1,90 @@
+// Package cowsafe is a fixture for the cowsafe analyzer: a miniature
+// copy-on-write node with good and bad writer paths.
+package cowsafe
+
+import "sync/atomic"
+
+type node struct {
+	leaf     bool
+	shared   atomic.Bool
+	gen      int
+	keys     [][]byte
+	children []*node
+}
+
+// mutable is the copy-on-write gate (MintFuncs in the test config).
+func mutable(n *node) *node {
+	if !n.shared.Load() {
+		return n
+	}
+	cp := &node{leaf: n.leaf}
+	cp.keys = append(cp.keys, n.keys...)
+	cp.children = append(cp.children, n.children...)
+	for _, c := range cp.children {
+		c.shared.Store(true)
+	}
+	return cp
+}
+
+// insert is an allowlisted writer (WriterFuncs in the test config): its
+// contract is that callers pass a minted node.
+func insert(n *node, k []byte) {
+	n.keys = append(n.keys, k)
+}
+
+func badDirectWrite(n *node) {
+	n.keys[0] = nil // want `not proven mutable`
+	n.leaf = true   // want `not proven mutable`
+}
+
+func badIncDec(n *node) {
+	n.gen++ // want `not proven mutable`
+}
+
+func goodMinted(n *node) {
+	m := mutable(n)
+	m.keys[0] = nil
+	m.leaf = true
+}
+
+func goodAlias(n *node) {
+	m := mutable(n)
+	o := m
+	o.leaf = false
+}
+
+func goodFresh() *node {
+	cp := &node{leaf: true}
+	cp.keys = append(cp.keys, nil)
+	np := new(node)
+	np.leaf = true
+	return cp
+}
+
+func badDeepWrite(n *node) {
+	m := mutable(n)
+	// mutable(n) does not make n's children private: writing through a
+	// non-identifier owner must be rebound through the gate first.
+	m.children[0].keys = nil // want `non-local node expression`
+}
+
+func badCopyInto(n *node, src [][]byte) {
+	copy(n.keys, src) // want `not proven mutable`
+}
+
+func badUnshare(n *node) {
+	n.shared.Store(false) // want `monotonic`
+}
+
+func badUnshareVar(n *node, v bool) {
+	n.shared.Store(v) // want `monotonic`
+}
+
+func goodShare(n *node) {
+	n.shared.Store(true)
+}
+
+func suppressed(n *node) {
+	//unidblint:ignore cowsafe fixture exercises suppression
+	n.leaf = true
+}

@@ -78,6 +78,12 @@ func (p *Pipeline) analyze() {
 // statements differently.
 func (p *Pipeline) HasMutation() bool { return p.hasMutation }
 
+// ReadOnly reports whether the pipeline is proven free of DML (directly and
+// in every nested subquery) by the compile-time analysis, and may therefore
+// run on a lock-free snapshot transaction. An unanalyzed pipeline is
+// conservatively not read-only.
+func (p *Pipeline) ReadOnly() bool { return p.analyzed && !p.hasMutation }
+
 // exprParallelSafe reports whether an expression can be evaluated from
 // multiple goroutines at once. Everything the evaluator does is read-only
 // except running a subquery pipeline (which may contain DML and mutates the

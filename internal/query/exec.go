@@ -55,6 +55,13 @@ type Options struct {
 	// 0 means GOMAXPROCS. Values above 1 force the parallel path even on
 	// single-CPU hosts (used by tests to exercise it under -race).
 	MaxParallel int
+	// SnapshotReads asks the auto-transaction entry points (core.DB and
+	// unidb.Database) to run read-only pipelines on a lock-free MVCC
+	// snapshot transaction instead of the 2PL S-lock path. It has no effect
+	// on an Execute call with a caller-supplied transaction — the caller
+	// chose the transaction kind — and no effect on pipelines containing
+	// DML, which always need a read-write transaction.
+	SnapshotReads bool
 }
 
 // Stats reports what the optimizer did — benches assert on these.
@@ -78,6 +85,9 @@ type Stats struct {
 	// record buffer and reach the WAL as one AppendBatch at commit, so a
 	// multi-row INSERT/UPDATE/REMOVE costs a single group-commit window.
 	StagedWrites int
+	// SnapshotReads is 1 when this execution ran on a lock-free snapshot
+	// transaction (zero lock-manager traffic) and 0 on the 2PL path.
+	SnapshotReads int
 }
 
 // Result is a completed execution.
@@ -103,6 +113,9 @@ type execCtx struct {
 // Execute runs a pipeline inside a transaction.
 func Execute(tx *engine.Txn, src *Sources, pipe *Pipeline, opts Options) (*Result, error) {
 	c := &execCtx{tx: tx, src: src, opts: opts}
+	if tx.SnapshotRead() {
+		c.stats.SnapshotReads = 1
+	}
 	vals, err := c.runPipeline(pipe, newEnv())
 	if err != nil {
 		return nil, err

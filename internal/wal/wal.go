@@ -207,6 +207,83 @@ func (l *Log) Close() error {
 	return err
 }
 
+// CheckpointCut flushes buffered frames and returns the byte offset of the
+// end of the durable-prefix — the watermark a checkpoint snapshot covers.
+// Records framed before the cut are exactly the ones whose effects the
+// snapshot captures; TruncatePrefix(cut) later discards that prefix. The
+// caller must exclude concurrent commit windows for the duration of the cut
+// (the engine holds its commit barrier exclusively).
+func (l *Log) CheckpointCut() (int64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return 0, errors.New("wal: log closed")
+	}
+	if err := l.w.Flush(); err != nil {
+		return 0, fmt.Errorf("wal: cut flush: %w", err)
+	}
+	off, err := l.f.Seek(0, io.SeekCurrent)
+	if err != nil {
+		return 0, fmt.Errorf("wal: cut: %w", err)
+	}
+	return off, nil
+}
+
+// TruncatePrefix discards the log's first off bytes (made redundant by a
+// checkpoint snapshot) while keeping every record appended after the cut,
+// with LSNs preserved — recovery then replays snapshot + suffix. The suffix
+// moves atomically: it is written to a temp file, fsynced, and renamed over
+// the log, so a crash at any point leaves either the full old log or the
+// complete suffix (replaying an already-checkpointed prefix over the
+// snapshot is idempotent — every prefixed key ends at its snapshot value).
+// The caller must exclude concurrent commit windows (the engine holds its
+// commit barrier exclusively, covering the out-of-mutex group-commit fsync).
+func (l *Log) TruncatePrefix(off int64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return errors.New("wal: log closed")
+	}
+	if err := l.w.Flush(); err != nil {
+		return err
+	}
+	end, err := l.f.Seek(0, io.SeekEnd)
+	if err != nil {
+		return err
+	}
+	if off < 0 || off > end {
+		return fmt.Errorf("wal: truncate prefix offset %d outside log of %d bytes", off, end)
+	}
+	suffix := make([]byte, end-off)
+	if len(suffix) > 0 {
+		if _, err := l.f.ReadAt(suffix, off); err != nil {
+			return fmt.Errorf("wal: read suffix: %w", err)
+		}
+	}
+	tmp := l.path + ".tmp"
+	nf, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: truncate prefix: %w", err)
+	}
+	if len(suffix) > 0 {
+		if _, err := nf.Write(suffix); err != nil {
+			return errors.Join(fmt.Errorf("wal: rewrite suffix: %w", err), nf.Close())
+		}
+	}
+	if err := nf.Sync(); err != nil {
+		return errors.Join(fmt.Errorf("wal: sync suffix: %w", err), nf.Close())
+	}
+	if err := os.Rename(tmp, l.path); err != nil {
+		return errors.Join(err, nf.Close())
+	}
+	if err := l.f.Close(); err != nil {
+		return errors.Join(err, nf.Close())
+	}
+	l.f = nf
+	l.w.Reset(l.f)
+	return nil
+}
+
 // Truncate discards the log contents (after a checkpoint has made them
 // redundant) and resets the LSN counter to nextLSN.
 func (l *Log) Truncate(nextLSN uint64) error {

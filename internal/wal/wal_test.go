@@ -189,3 +189,99 @@ func TestOpString(t *testing.T) {
 		}
 	}
 }
+
+func TestCheckpointCutAndTruncatePrefix(t *testing.T) {
+	path := tempLog(t)
+	l, err := Open(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 3; i++ {
+		if _, err := l.Append(Record{Txn: uint64(i), Op: OpSet, Keyspace: "ks", Key: []byte{byte(i)}, Value: []byte("v")}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := l.Append(Record{Txn: uint64(i), Op: OpCommit}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cut, err := l.CheckpointCut()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cut <= 0 {
+		t.Fatalf("cut offset = %d", cut)
+	}
+	// Records appended after the cut form the suffix that must survive.
+	if _, err := l.Append(Record{Txn: 9, Op: OpSet, Keyspace: "ks", Key: []byte("post"), Value: []byte("p")}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(Record{Txn: 9, Op: OpCommit}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.TruncatePrefix(cut); err != nil {
+		t.Fatal(err)
+	}
+	// The log stays appendable through the swapped file handle.
+	if _, err := l.Append(Record{Txn: 10, Op: OpCommit}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAll(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("suffix records = %d, want 3 (got %+v)", len(got), got)
+	}
+	// LSNs are preserved across the prefix truncation: the cut covered six
+	// records, so the suffix starts at LSN 7.
+	if got[0].LSN != 7 || got[0].Txn != 9 || string(got[0].Key) != "post" {
+		t.Fatalf("suffix[0] = %+v", got[0])
+	}
+	if got[2].LSN != 9 || got[2].Txn != 10 {
+		t.Fatalf("suffix[2] = %+v", got[2])
+	}
+}
+
+func TestTruncatePrefixWholeLog(t *testing.T) {
+	path := tempLog(t)
+	l, err := Open(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Append(Record{Txn: 1, Op: OpCommit})
+	cut, err := l.CheckpointCut()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.TruncatePrefix(cut); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAll(path)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("records after full prefix truncate = %d, err=%v", len(got), err)
+	}
+	// LSNs continue rather than reset.
+	lsn, err := l.Append(Record{Txn: 2, Op: OpCommit})
+	if err != nil || lsn != 2 {
+		t.Fatalf("append after truncate: lsn=%d err=%v", lsn, err)
+	}
+	l.Close()
+}
+
+func TestTruncatePrefixBadOffset(t *testing.T) {
+	path := tempLog(t)
+	l, err := Open(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if err := l.TruncatePrefix(1 << 20); err == nil {
+		t.Fatal("offset beyond EOF must error")
+	}
+	if err := l.TruncatePrefix(-1); err == nil {
+		t.Fatal("negative offset must error")
+	}
+}

@@ -17,7 +17,9 @@
 #                         defaults to a wider 40% band for the WAL fsync
 #                         benches (E7 durability, E20 group commit), whose
 #                         timers measure disk sync latency and swing far
-#                         more run-to-run than the compute-bound benches
+#                         more run-to-run than the compute-bound benches,
+#                         and 60% for E21, whose locked arm measures lock
+#                         convoy wait times behind a think-time writer
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -48,5 +50,5 @@ failflag=()
 if [ "${BENCHDIFF_FAIL:-0}" = "1" ]; then
   failflag=(-fail)
 fi
-per_bench="${BENCHDIFF_PER_BENCH:-E7WALDurability=40,E20GroupCommit=40}"
+per_bench="${BENCHDIFF_PER_BENCH:-E7WALDurability=40,E20GroupCommit=40,E21SnapshotReads=60}"
 go run ./cmd/benchdiff "${failflag[@]}" -per-bench "$per_bench" "$baseline" "$fresh" | tee "$report"

@@ -62,6 +62,12 @@ type Options struct {
 	// to the durability guarantee — a commit is still never acknowledged
 	// before its bytes are fsynced.
 	GroupCommitWindow int
+	// SnapshotReads makes Query/SQL run statements the compiler proves
+	// read-only on a lock-free MVCC snapshot: zero lock-manager traffic, no
+	// deadlock exposure, and no blocking of (or by) concurrent writers.
+	// Mutating statements keep the locked read-write path either way. The
+	// same switch exists per call on QueryOptions.
+	SnapshotReads bool
 }
 
 // Database is a multi-model database handle.
@@ -71,7 +77,12 @@ type Database struct {
 
 // Open creates or recovers a database.
 func Open(opts Options) (*Database, error) {
-	db, err := core.Open(core.Options{Dir: opts.Dir, Durability: opts.Durability, GroupCommitWindow: opts.GroupCommitWindow})
+	db, err := core.Open(core.Options{
+		Dir:               opts.Dir,
+		Durability:        opts.Durability,
+		GroupCommitWindow: opts.GroupCommitWindow,
+		SnapshotReads:     opts.SnapshotReads,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -231,6 +242,22 @@ func (d *Database) View(fn func(*Txn) error) error {
 		return fn(&Txn{tx: tx, db: d.db})
 	})
 }
+
+// SnapshotView runs fn against an immutable MVCC snapshot of the committed
+// state. Reads acquire no locks at all — they cannot block writers, be
+// blocked by writers, or deadlock — and keep seeing the same state however
+// many transactions commit meanwhile. Any write inside fn fails with the
+// engine's read-only-transaction error.
+func (d *Database) SnapshotView(fn func(*Txn) error) error {
+	return d.db.Engine.SnapshotView(func(tx *engine.Txn) error {
+		return fn(&Txn{tx: tx, db: d.db})
+	})
+}
+
+// SnapshotReads reports how many lock-free snapshot transactions this
+// database has served (both SnapshotView calls and read-only queries routed
+// to snapshots by the SnapshotReads option).
+func (d *Database) SnapshotReads() uint64 { return d.db.Engine.SnapshotReads() }
 
 // --- Model handles (usable standalone or inside a Txn) ---
 
