@@ -1368,3 +1368,127 @@ func BenchmarkE21SnapshotReads(b *testing.B) {
 		}
 	}
 }
+
+// --- E22: the versioned cross-query result cache ---
+// DESIGN.md decision #11: read-only pipelines with a compiler-resolved
+// read-set are materialized once and served from an LRU keyed by (dialect,
+// text, params) and validated against the engine's per-keyspace data version
+// vector. Three modes over an aggregation query:
+//
+//	Uncached   — ResultCacheBytes=0: every call re-executes the pipeline.
+//	Warm       — cache on, no writer: after one miss every call is a
+//	             version-current hit (acceptance shape: >=5x Uncached).
+//	StaleServe — cache on, MaxResultStaleness=100ms, a background writer
+//	             keeps invalidating the read-set keyspace: readers are served
+//	             the stale entry inside the bound while single-flight
+//	             background refreshes recompute it from an MVCC snapshot.
+func BenchmarkE22ResultCache(b *testing.B) {
+	const q = `FOR d IN items COLLECT g = d.group INTO grp
+		RETURN {g: g, n: LENGTH(grp), total: SUM(grp[*].d.n)}`
+	seed := func(b *testing.B, db *core.DB) {
+		mustUpdate(b, db, func(tx *engine.Txn) error {
+			if err := db.Docs.CreateCollection(tx, "items", catalog.Schemaless); err != nil {
+				return err
+			}
+			for i := 0; i < 1000; i++ {
+				if err := db.Docs.Put(tx, "items", fmt.Sprintf("d%04d", i), mmvalue.Object(
+					mmvalue.F("n", mmvalue.Int(int64(i))),
+					mmvalue.F("group", mmvalue.Int(int64(i%8))))); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	}
+	for _, mode := range []struct {
+		name   string
+		opts   core.Options
+		writer bool
+	}{
+		{"Uncached", core.Options{}, false},
+		{"Warm", core.Options{ResultCacheBytes: 1 << 20}, false},
+		{"StaleServe", core.Options{ResultCacheBytes: 1 << 20, MaxResultStaleness: 100 * time.Millisecond}, true},
+	} {
+		for _, readers := range []int{1, 4, 16} {
+			b.Run(fmt.Sprintf("%s/readers=%d", mode.name, readers), func(b *testing.B) {
+				db, err := core.Open(mode.opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer db.Close()
+				seed(b, db)
+				// Materialize once so the timed region measures the steady
+				// state of each mode, not the first compile+fill.
+				if _, err := db.Query(q, nil); err != nil {
+					b.Fatal(err)
+				}
+				stop := make(chan struct{})
+				var writerWG sync.WaitGroup
+				if mode.writer {
+					writerWG.Add(1)
+					go func() {
+						defer writerWG.Done()
+						for i := 0; ; i++ {
+							select {
+							case <-stop:
+								return
+							default:
+							}
+							err := db.Engine.Update(func(tx *engine.Txn) error {
+								return db.Docs.Put(tx, "items", fmt.Sprintf("d%04d", i%1000),
+									mmvalue.Object(
+										mmvalue.F("n", mmvalue.Int(int64(i))),
+										mmvalue.F("group", mmvalue.Int(int64(i%8)))))
+							})
+							if err != nil {
+								b.Error(err)
+								return
+							}
+							time.Sleep(200 * time.Microsecond)
+						}
+					}()
+				}
+				b.ResetTimer()
+				var wg sync.WaitGroup
+				for r := 0; r < readers; r++ {
+					n := b.N / readers
+					if r < b.N%readers {
+						n++
+					}
+					wg.Add(1)
+					go func(n int) {
+						defer wg.Done()
+						for i := 0; i < n; i++ {
+							if _, err := db.Query(q, nil); err != nil {
+								b.Error(err)
+								return
+							}
+						}
+					}(n)
+				}
+				wg.Wait()
+				b.StopTimer()
+				close(stop)
+				writerWG.Wait()
+				st := db.ResultCacheStats()
+				switch mode.name {
+				case "Uncached":
+					if st.Hits != 0 || st.Misses != 0 {
+						b.Fatalf("cache ran while disabled: %+v", st)
+					}
+				case "Warm":
+					if b.N > 1 && st.Hits == 0 {
+						b.Fatalf("warm mode never hit: %+v", st)
+					}
+				case "StaleServe":
+					if b.N > 100 && st.Hits+st.StaleServes == 0 {
+						b.Fatalf("stale-serve mode always executed: %+v", st)
+					}
+					b.ReportMetric(float64(st.StaleServes), "stale-serves")
+					b.ReportMetric(float64(st.BackgroundRefreshes), "bg-refreshes")
+				}
+				b.ReportMetric(st.HitRate(), "hit-rate")
+			})
+		}
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/catalog"
 	"repro/internal/colstore"
@@ -40,6 +41,19 @@ type Options struct {
 	// exposure, and no blocking of concurrent writers. Mutating pipelines
 	// always keep the 2PL read-write path.
 	SnapshotReads bool
+	// ResultCacheBytes enables the cross-query result cache with this total
+	// byte budget; 0 disables it. Cacheable (proven read-only, fully
+	// read-set-analyzed) pipelines then serve materialized results while
+	// every read keyspace's data version is unchanged — see resultcache.go
+	// for the validity contract.
+	ResultCacheBytes int
+	// MaxResultStaleness bounds the result cache's stale-serve window: when
+	// a cached entry's version vector no longer matches but the entry was
+	// verified fresh within this duration, it is served as-is and
+	// recomputed in the background against an MVCC snapshot. 0 (the
+	// default) disables stale serving — any version mismatch recomputes in
+	// the foreground.
+	MaxResultStaleness time.Duration
 }
 
 // DB is a multi-model database instance.
@@ -65,6 +79,15 @@ type DB struct {
 	// subscriber bumps its epoch on every committed DDL (see
 	// invalidatePlans and plancache.go for the contract).
 	plans *planCache
+
+	// results is the cross-query result cache (nil when disabled). It
+	// shares the plan cache's DDL epoch and pairs it with per-keyspace data
+	// versions from the engine; maxStale is its stale-serve bound and
+	// refreshWG tracks in-flight background refreshes so Close can drain
+	// them.
+	results   *resultCache
+	maxStale  time.Duration
+	refreshWG sync.WaitGroup
 
 	sources *query.Sources
 
@@ -100,6 +123,10 @@ func Open(opts Options) (*DB, error) {
 		plans:  newPlanCache(defaultPlanCacheCap),
 
 		snapshotReads: opts.SnapshotReads,
+		maxStale:      opts.MaxResultStaleness,
+	}
+	if opts.ResultCacheBytes > 0 {
+		db.results = newResultCache(opts.ResultCacheBytes)
 	}
 	db.sources = &query.Sources{
 		Engine: e,
@@ -152,8 +179,25 @@ func (db *DB) invalidatePlans(batch []wal.Record) {
 // PlanCacheStats snapshots the compiled-plan cache counters.
 func (db *DB) PlanCacheStats() PlanCacheStats { return db.plans.stats() }
 
-// Close shuts the database down.
-func (db *DB) Close() error { return db.Engine.Close() }
+// ResultCacheStats snapshots the result cache counters (all-zero when the
+// cache is disabled).
+func (db *DB) ResultCacheStats() ResultCacheStats {
+	if db.results == nil {
+		return ResultCacheStats{}
+	}
+	return db.results.statsSnapshot()
+}
+
+// KeyspaceVersions returns the engine's per-keyspace data version counters —
+// the validity half of every result-cache key — under one consistent cut.
+func (db *DB) KeyspaceVersions() map[string]uint64 { return db.Engine.Versions() }
+
+// Close shuts the database down, draining in-flight background result-cache
+// refreshes first so no goroutine races engine shutdown.
+func (db *DB) Close() error {
+	db.refreshWG.Wait()
+	return db.Engine.Close()
+}
 
 // resolve classifies a name for the query layer.
 func (db *DB) resolve(tx *engine.Txn, name string) string {
@@ -371,7 +415,22 @@ func (db *DB) queryAuto(dialect, text string, params map[string]mmvalue.Value,
 	if opts.Params == nil {
 		opts.Params = params
 	}
+	return db.execPipeline(dialect, text, pipe, opts)
+}
+
+// execPipeline is the shared execution tail behind Query/SQL (and their
+// Opts variants) and prepared-statement Exec: result cache first for
+// cacheable pipelines, then the snapshot-read fast path for proven
+// read-only ones, then the 2PL auto-commit path.
+func (db *DB) execPipeline(dialect, text string, pipe *query.Pipeline, opts query.Options) (*query.Result, error) {
+	if db.results != nil && !opts.NoResultCache && pipe.Cacheable() {
+		res, handled, err := db.execCached(dialect, text, pipe, opts)
+		if handled {
+			return res, err
+		}
+	}
 	var res *query.Result
+	var err error
 	if (opts.SnapshotReads || db.snapshotReads) && pipe.ReadOnly() {
 		// Proven read-only: run on a lock-free MVCC snapshot. No locks are
 		// taken, no deadlock retry loop is needed, and nothing is committed.
@@ -388,6 +447,182 @@ func (db *DB) queryAuto(dialect, text string, params map[string]mmvalue.Value,
 		return qerr
 	})
 	return res, err
+}
+
+// execCached serves a cacheable pipeline through the result cache. handled
+// is false when the read-set could not be resolved against the catalog (the
+// caller then executes uncached); otherwise the result/error pair is final.
+func (db *DB) execCached(dialect, text string, pipe *query.Pipeline, opts query.Options) (res *query.Result, handled bool, err error) {
+	key := resultKey(dialect, text, opts.DisableIndexes, opts.Params)
+	// Captured before the version check: the entry's provable fresh instant
+	// is at or after this, so staleness computed from it is conservative.
+	now := time.Now()
+	epoch := db.plans.epoch.Load()
+	if ent := db.results.lookup(key, epoch); ent != nil {
+		cur := db.Engine.VersionsFor(ent.keyspaces)
+		if versionsEqual(cur, ent.vers) {
+			ent.markFresh(now)
+			db.results.hits.Add(1)
+			return ent.result(), true, nil
+		}
+		if db.maxStale > 0 && ent.staleFor(now) <= db.maxStale {
+			// Data moved, but within the configured bound: serve the stale
+			// value and recompute behind it.
+			db.results.staleServes.Add(1)
+			db.startRefresh(key, pipe, opts, ent)
+			return ent.result(), true, nil
+		}
+		db.results.remove(key)
+	}
+	db.results.misses.Add(1)
+	ent, res, err := db.computeResultEntry(key, epoch, pipe, opts, now)
+	if err != nil {
+		return nil, true, err
+	}
+	if ent == nil {
+		return nil, false, nil
+	}
+	db.results.put(ent)
+	return res, true, nil
+}
+
+// computeResultEntry executes a cacheable pipeline against a versioned MVCC
+// snapshot and wraps the result as a cache entry. The snapshot and the
+// version vector come from one engine mutex cut, so the entry's validity
+// token describes exactly the state it was computed from. A nil entry with
+// nil error means the read-set did not resolve (e.g. a FOR source that is
+// neither cataloged nor a non-empty bucket).
+func (db *DB) computeResultEntry(key string, epoch uint64, pipe *query.Pipeline,
+	opts query.Options, now time.Time) (*resultEntry, *query.Result, error) {
+	keyspaces, resolved, err := db.readSetKeyspaces(pipe.ReadSet())
+	if err != nil || !resolved {
+		return nil, nil, err
+	}
+	snap, vers := db.Engine.VersionedSnapshot(keyspaces)
+	var res *query.Result
+	err = db.Engine.SnapshotViewAt(snap, func(tx *engine.Txn) error {
+		var qerr error
+		res, qerr = query.Execute(tx, db.sources, pipe, opts)
+		return qerr
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	// The entry keeps its own copy of the value slice: the caller owns the
+	// returned Result and may reorder or truncate it.
+	vals := make([]mmvalue.Value, len(res.Values))
+	copy(vals, res.Values)
+	ent := &resultEntry{
+		key:       key,
+		epoch:     epoch,
+		keyspaces: keyspaces,
+		vers:      vers,
+		values:    vals,
+		stats:     res.Stats,
+	}
+	ent.size = resultEntrySize(key, vals)
+	ent.markFresh(now)
+	return ent, res, nil
+}
+
+// startRefresh launches the single-flight background recompute behind a
+// stale serve. On failure (including engine shutdown) the stale entry is
+// dropped so the next lookup recomputes in the foreground rather than
+// serving it past the bound.
+func (db *DB) startRefresh(key string, pipe *query.Pipeline, opts query.Options, ent *resultEntry) {
+	if !ent.refreshing.CompareAndSwap(false, true) {
+		return
+	}
+	// The caller may mutate its params map after we return; the refresh
+	// keys on the same bindings, so it needs its own copy.
+	opts.Params = copyParams(opts.Params)
+	db.refreshWG.Add(1)
+	go func() {
+		defer db.refreshWG.Done()
+		defer ent.refreshing.Store(false)
+		fresh, _, err := db.computeResultEntry(key, db.plans.epoch.Load(), pipe, opts, time.Now())
+		if err != nil || fresh == nil {
+			db.results.remove(key)
+			return
+		}
+		db.results.put(fresh)
+		db.results.refreshes.Add(1)
+	}()
+}
+
+// copyParams shallow-copies a parameter binding map.
+func copyParams(params map[string]mmvalue.Value) map[string]mmvalue.Value {
+	if params == nil {
+		return nil
+	}
+	out := make(map[string]mmvalue.Value, len(params))
+	for name, v := range params {
+		out[name] = v
+	}
+	return out
+}
+
+// readSetKeyspaces resolves a pipeline's compile-time read-set to concrete
+// engine keyspaces, deduplicated, in deterministic read-set order. Index
+// keyspaces are deliberately omitted: every DML that changes an index also
+// writes its base keyspace in the same transaction (bumping its version),
+// and index DDL advances the shared epoch. resolved is false when a named
+// source classifies as nothing — such a query errors during execution and
+// must not be cached.
+func (db *DB) readSetKeyspaces(refs []query.ReadRef) (keyspaces []string, resolved bool, err error) {
+	keyspaces = make([]string, 0, len(refs)+3)
+	add := func(ks string) {
+		for _, have := range keyspaces {
+			if have == ks {
+				return
+			}
+		}
+		keyspaces = append(keyspaces, ks)
+	}
+	addGraph := func(name string) {
+		add(graphstore.VertexKeyspace(name))
+		add(graphstore.EdgeKeyspace(name))
+		add(graphstore.OutKeyspace(name))
+		add(graphstore.InKeyspace(name))
+	}
+	resolved = true
+	err = db.Engine.SnapshotView(func(tx *engine.Txn) error {
+		for _, r := range refs {
+			switch r.Kind {
+			case query.ReadSource:
+				switch db.resolve(tx, r.Name) {
+				case "collection":
+					add(docstore.Keyspace(r.Name))
+				case "table":
+					add(relstore.Keyspace(r.Name))
+				case "coltable":
+					add(colstore.Keyspace(r.Name))
+				case "bucket":
+					add(kvstore.Keyspace(r.Name))
+				case "graph":
+					addGraph(r.Name)
+				default:
+					resolved = false
+					return nil
+				}
+			case query.ReadCollection:
+				add(docstore.Keyspace(r.Name))
+			case query.ReadBucket:
+				add(kvstore.Keyspace(r.Name))
+			case query.ReadGraph:
+				addGraph(r.Name)
+			case query.ReadXML:
+				add(xmlstore.Keyspace(r.Name))
+				add(xmlstore.PathKeyspace(r.Name))
+			case query.ReadRDF:
+				for _, ks := range rdfstore.Keyspaces(r.Name) {
+					add(ks)
+				}
+			}
+		}
+		return nil
+	})
+	return keyspaces, resolved, err
 }
 
 // QueryTx runs MMQL inside an existing transaction (for cross-model

@@ -41,6 +41,15 @@ type PlanCacheStats struct {
 	Epoch    uint64 // DDL generation counter
 }
 
+// HitRate returns Hits/(Hits+Misses), or 0 before any lookup.
+func (s PlanCacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
 type planEntry struct {
 	key   string
 	epoch uint64

@@ -66,7 +66,11 @@ func (s *Stmt) Exec(params map[string]mmvalue.Value) (*query.Result, error) {
 	return s.ExecOpts(params, query.Options{})
 }
 
-// ExecOpts is Exec with explicit executor options.
+// ExecOpts is Exec with explicit executor options. It runs through the same
+// execution tail as ad-hoc queries — result cache (validated against both
+// the DDL epoch and the per-keyspace data version vector), snapshot-read
+// routing, then the 2PL auto-commit path — so a prepared statement can
+// never return a staler result than the equivalent Query call.
 func (s *Stmt) ExecOpts(params map[string]mmvalue.Value, opts query.Options) (*query.Result, error) {
 	pipe, err := s.pipeline()
 	if err != nil {
@@ -75,13 +79,7 @@ func (s *Stmt) ExecOpts(params map[string]mmvalue.Value, opts query.Options) (*q
 	if opts.Params == nil {
 		opts.Params = params
 	}
-	var res *query.Result
-	err = s.db.Engine.Update(func(tx *engine.Txn) error {
-		var qerr error
-		res, qerr = query.Execute(tx, s.db.sources, pipe, opts)
-		return qerr
-	})
-	return res, err
+	return s.db.execPipeline(s.dialect, s.text, pipe, opts)
 }
 
 // ExecTx runs the statement inside an existing transaction.

@@ -77,8 +77,17 @@ var ErrReadOnlyTxn = errors.New("engine: write on snapshot (read-only) transacti
 
 // Engine is the multi-model storage engine.
 type Engine struct {
-	mu        sync.Mutex // guards keyspaces and tree mutation
+	mu        sync.Mutex // guards keyspaces, versions, and tree mutation
 	keyspaces map[string]*btree.Tree
+
+	// versions holds a monotonic per-keyspace data version, bumped once per
+	// committing transaction for every keyspace in its write-set, in the same
+	// e.mu critical section that applies the write-set to the trees. A cached
+	// result derived from some keyspaces is valid exactly while each of their
+	// versions is unchanged. Dropping a keyspace deletes its entry (absent
+	// reads as 0), so version numbers restart after a drop — consumers that
+	// cache across DDL must pair the vector with a DDL epoch.
+	versions map[string]uint64
 
 	// commitMu orders commit publication against the checkpoint cut. Every
 	// committer holds it shared across its WAL append *and* tree apply (and
@@ -122,6 +131,7 @@ func (e *Engine) Subscribe(fn func(batch []wal.Record)) {
 func Open(opts Options) (*Engine, error) {
 	e := &Engine{
 		keyspaces: map[string]*btree.Tree{},
+		versions:  map[string]uint64{},
 		locks:     newLockManager(),
 		dir:       opts.Dir,
 	}
@@ -299,6 +309,21 @@ func (e *Engine) BeginSnapshot() (*Txn, error) {
 	}
 	e.snapshotReads.Add(1)
 	return &Txn{e: e, id: e.txnSeq.Add(1), snap: e.Snapshot()}, nil
+}
+
+// BeginSnapshotAt starts a read-only transaction against a previously
+// captured Snapshot (e.g. from VersionedSnapshot), rather than cutting a new
+// one. Same contract as BeginSnapshot otherwise: lock-free reads, writes
+// rejected with ErrReadOnlyTxn.
+func (e *Engine) BeginSnapshotAt(s *Snapshot) (*Txn, error) {
+	e.stateMu.Lock()
+	closed := e.closed
+	e.stateMu.Unlock()
+	if closed {
+		return nil, ErrClosed
+	}
+	e.snapshotReads.Add(1)
+	return &Txn{e: e, id: e.txnSeq.Add(1), snap: s}, nil
 }
 
 // SnapshotReads returns how many snapshot (lock-free) transactions have
@@ -648,6 +673,7 @@ func (t *Txn) Commit() error {
 	for _, r := range t.recs {
 		t.e.applyRecord(r)
 	}
+	t.e.bumpVersionsLocked(t.recs)
 	t.e.mu.Unlock()
 	t.e.commitMu.RUnlock()
 	t.e.ship(t.recs)
@@ -727,6 +753,85 @@ func (e *Engine) SnapshotView(fn func(*Txn) error) error {
 	return errors.Join(fn(t), t.Abort())
 }
 
+// SnapshotViewAt is SnapshotView against a previously captured Snapshot —
+// the read side of the versioned-result-cache refresh path, which must
+// execute against exactly the state its version vector describes.
+func (e *Engine) SnapshotViewAt(s *Snapshot, fn func(*Txn) error) error {
+	t, err := e.BeginSnapshotAt(s)
+	if err != nil {
+		return err
+	}
+	defer t.Abort()
+	return errors.Join(fn(t), t.Abort())
+}
+
+// --- Keyspace data versions ---
+
+// bumpVersionsLocked advances the data version of every keyspace written by
+// a committed redo batch: one bump per keyspace per transaction, however many
+// records touched it. A drop deletes the entry outright — and un-marks the
+// keyspace as bumped, so a re-create later in the same batch restarts its
+// lineage at 1 rather than reusing the pre-drop bump. Caller holds e.mu.
+func (e *Engine) bumpVersionsLocked(recs []wal.Record) {
+	bumped := make([]string, 0, 8)
+	seen := func(ks string) bool {
+		for _, b := range bumped {
+			if b == ks {
+				return true
+			}
+		}
+		return false
+	}
+	for _, r := range recs {
+		switch r.Op {
+		case wal.OpSet, wal.OpDelete:
+			if !seen(r.Keyspace) {
+				e.versions[r.Keyspace]++
+				bumped = append(bumped, r.Keyspace)
+			}
+		case wal.OpDropKeyspace:
+			delete(e.versions, r.Keyspace)
+			for i, b := range bumped {
+				if b == r.Keyspace {
+					bumped = append(bumped[:i], bumped[i+1:]...)
+					break
+				}
+			}
+		case wal.OpCommit, wal.OpAbort:
+			// Control records carry no data.
+		}
+	}
+}
+
+// Versions returns a copy of the per-keyspace data version counters under
+// the same brief e.mu cut used by Snapshot. Keyspaces never written since
+// Open are absent (version 0). Versions are process-local: they restart at
+// zero on every Open, which is sound for in-process caches (empty at Open)
+// but not a cross-restart validity token.
+func (e *Engine) Versions() map[string]uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make(map[string]uint64, len(e.versions))
+	for ks, v := range e.versions {
+		out[ks] = v
+	}
+	return out
+}
+
+// VersionsFor returns the data versions of the given keyspaces, positionally,
+// under a single e.mu cut (absent keyspaces read 0). The vector is therefore
+// a consistent cut: no transaction's bumps can be half-visible in it, because
+// commits bump all their keyspaces under the same mutex hold.
+func (e *Engine) VersionsFor(keyspaces []string) []uint64 {
+	out := make([]uint64, len(keyspaces))
+	e.mu.Lock()
+	for i, ks := range keyspaces {
+		out[i] = e.versions[ks]
+	}
+	e.mu.Unlock()
+	return out
+}
+
 // --- MVCC snapshots ---
 
 // Snapshot is an immutable view of every keyspace at one commit boundary.
@@ -744,11 +849,34 @@ type Snapshot struct {
 func (e *Engine) Snapshot() *Snapshot {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	return e.snapshotLocked()
+}
+
+// snapshotLocked marks every tree root shared and returns the immutable
+// view. Caller holds e.mu.
+func (e *Engine) snapshotLocked() *Snapshot {
 	trees := make(map[string]*btree.Tree, len(e.keyspaces))
 	for ks, tr := range e.keyspaces {
 		trees[ks] = tr.Snapshot()
 	}
 	return &Snapshot{trees: trees}
+}
+
+// VersionedSnapshot publishes the current committed state together with the
+// data versions of the given keyspaces, captured in one e.mu critical
+// section. The pairing is exact: the returned vector describes precisely the
+// state the snapshot holds, with no window for a commit to land between the
+// two — which is what lets a result computed against the snapshot be cached
+// under the vector.
+func (e *Engine) VersionedSnapshot(keyspaces []string) (*Snapshot, []uint64) {
+	vers := make([]uint64, len(keyspaces))
+	e.mu.Lock()
+	snap := e.snapshotLocked()
+	for i, ks := range keyspaces {
+		vers[i] = e.versions[ks]
+	}
+	e.mu.Unlock()
+	return snap, vers
 }
 
 // Get returns the value under key in keyspace ks as of the snapshot.

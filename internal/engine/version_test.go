@@ -1,0 +1,230 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// These tests pin the per-keyspace data version counters that back the
+// cross-query result cache: one bump per keyspace per committing
+// transaction, drops delete the entry, and VersionedSnapshot pairs a
+// snapshot with exactly the vector describing it.
+
+func mustUpdate(t *testing.T, e *Engine, fn func(*Txn) error) {
+	t.Helper()
+	if err := e.Update(fn); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVersionsBumpOncePerTxnPerKeyspace(t *testing.T) {
+	e, err := Open(Options{Durability: Ephemeral})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	if vs := e.Versions(); len(vs) != 0 {
+		t.Fatalf("fresh engine Versions() = %v, want empty", vs)
+	}
+
+	// Many writes to one keyspace plus one write to another, in one txn:
+	// each keyspace bumps exactly once.
+	mustUpdate(t, e, func(tx *Txn) error {
+		for i := 0; i < 5; i++ {
+			if err := tx.Put("a", []byte(fmt.Sprintf("k%d", i)), []byte("v")); err != nil {
+				return err
+			}
+		}
+		if err := tx.Delete("a", []byte("k0")); err != nil {
+			return err
+		}
+		return tx.Put("b", []byte("k"), []byte("v"))
+	})
+	vs := e.Versions()
+	if vs["a"] != 1 || vs["b"] != 1 {
+		t.Fatalf("Versions() = %v, want a=1 b=1", vs)
+	}
+
+	// A second txn touching only "a" bumps only "a".
+	mustUpdate(t, e, func(tx *Txn) error {
+		return tx.Put("a", []byte("x"), []byte("y"))
+	})
+	vs = e.Versions()
+	if vs["a"] != 2 || vs["b"] != 1 {
+		t.Fatalf("Versions() = %v, want a=2 b=1", vs)
+	}
+
+	// Read-only and aborted transactions bump nothing.
+	if err := e.View(func(tx *Txn) error {
+		_, _, err := tx.Get("a", []byte("x"))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	tx, err := e.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Put("a", []byte("doomed"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	if vs := e.Versions(); vs["a"] != 2 || vs["b"] != 1 {
+		t.Fatalf("Versions() after view+abort = %v, want a=2 b=1", vs)
+	}
+}
+
+func TestVersionsDropDeletesEntry(t *testing.T) {
+	e, err := Open(Options{Durability: Ephemeral})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	mustUpdate(t, e, func(tx *Txn) error {
+		return tx.Put("a", []byte("k"), []byte("v"))
+	})
+	mustUpdate(t, e, func(tx *Txn) error {
+		return tx.Put("a", []byte("k2"), []byte("v"))
+	})
+	if vs := e.Versions(); vs["a"] != 2 {
+		t.Fatalf("Versions() = %v, want a=2", vs)
+	}
+	mustUpdate(t, e, func(tx *Txn) error {
+		return tx.DropKeyspace("a")
+	})
+	if vs := e.Versions(); len(vs) != 0 {
+		t.Fatalf("Versions() after drop = %v, want empty", vs)
+	}
+	// Re-create: the lineage restarts at 1, not 3.
+	mustUpdate(t, e, func(tx *Txn) error {
+		return tx.Put("a", []byte("k"), []byte("v"))
+	})
+	if vs := e.Versions(); vs["a"] != 1 {
+		t.Fatalf("Versions() after re-create = %v, want a=1", vs)
+	}
+}
+
+func TestVersionsWriteThenDropThenWriteSameTxn(t *testing.T) {
+	e, err := Open(Options{Durability: Ephemeral})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	// Put, drop, and re-put the same keyspace in one transaction: the drop
+	// un-marks the earlier bump, so the re-create lands at version 1.
+	mustUpdate(t, e, func(tx *Txn) error {
+		if err := tx.Put("a", []byte("k"), []byte("v")); err != nil {
+			return err
+		}
+		if err := tx.DropKeyspace("a"); err != nil {
+			return err
+		}
+		return tx.Put("a", []byte("k2"), []byte("v2"))
+	})
+	if vs := e.Versions(); vs["a"] != 1 {
+		t.Fatalf("Versions() = %v, want a=1", vs)
+	}
+}
+
+func TestVersionsForAbsentReadsZero(t *testing.T) {
+	e, err := Open(Options{Durability: Ephemeral})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	mustUpdate(t, e, func(tx *Txn) error {
+		return tx.Put("a", []byte("k"), []byte("v"))
+	})
+	got := e.VersionsFor([]string{"a", "nope", "a"})
+	if got[0] != 1 || got[1] != 0 || got[2] != 1 {
+		t.Fatalf("VersionsFor = %v, want [1 0 1]", got)
+	}
+}
+
+func TestVersionedSnapshotPairsVectorWithState(t *testing.T) {
+	e, err := Open(Options{Durability: Ephemeral})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	mustUpdate(t, e, func(tx *Txn) error {
+		return tx.Put("a", []byte("k"), []byte("1"))
+	})
+
+	// Hammer commits while repeatedly taking versioned snapshots; each
+	// snapshot's observed value index must equal its reported version.
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 2; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			v := []byte(fmt.Sprintf("%d", i))
+			if err := e.Update(func(tx *Txn) error {
+				return tx.Put("a", []byte("k"), v)
+			}); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		snap, vers := e.VersionedSnapshot([]string{"a"})
+		v, ok := snap.Get("a", []byte("k"))
+		if !ok {
+			t.Fatal("key missing in snapshot")
+		}
+		if want := fmt.Sprintf("%d", vers[0]); string(v) != want {
+			t.Fatalf("snapshot value %q does not match version %d", v, vers[0])
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestSnapshotViewAtReadsCapturedState(t *testing.T) {
+	e, err := Open(Options{Durability: Ephemeral})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	mustUpdate(t, e, func(tx *Txn) error {
+		return tx.Put("a", []byte("k"), []byte("old"))
+	})
+	snap, vers := e.VersionedSnapshot([]string{"a"})
+	if vers[0] != 1 {
+		t.Fatalf("version = %d, want 1", vers[0])
+	}
+	mustUpdate(t, e, func(tx *Txn) error {
+		return tx.Put("a", []byte("k"), []byte("new"))
+	})
+	before := e.SnapshotReads()
+	err = e.SnapshotViewAt(snap, func(tx *Txn) error {
+		v, ok, err := tx.Get("a", []byte("k"))
+		if err != nil {
+			return err
+		}
+		if !ok || string(v) != "old" {
+			return fmt.Errorf("SnapshotViewAt read %q/%v, want old", v, ok)
+		}
+		if err := tx.Put("a", []byte("k"), []byte("x")); err != ErrReadOnlyTxn {
+			return fmt.Errorf("Put on SnapshotViewAt txn = %v, want ErrReadOnlyTxn", err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e.SnapshotReads(); got != before+1 {
+		t.Fatalf("SnapshotReads() = %d, want %d", got, before+1)
+	}
+}

@@ -26,6 +26,10 @@ package lint
 //	               snapshots and must never be mutated in place; every
 //	               writer path goes through mutable(), and the shared flag
 //	               only ever moves false→true.
+//	cachekey     — the result cache's key construction and the compiler's
+//	               read-set computation: both must be pure (no map ranges,
+//	               wall-clock reads, or randomness), or identical queries
+//	               silently stop sharing cache entries.
 func DefaultAnalyzers() []Analyzer {
 	return []Analyzer{
 		LockCheck{},
@@ -55,7 +59,7 @@ func DefaultAnalyzers() []Analyzer {
 		}},
 		TxnEnd{
 			Packages:   []string{"repro/internal/core", "repro/internal/query"},
-			BeginNames: []string{"Begin", "BeginSnapshot"},
+			BeginNames: []string{"Begin", "BeginSnapshot", "BeginSnapshotAt"},
 			EndNames:   []string{"Commit", "Abort"},
 		},
 		SyncBarrier{
@@ -70,6 +74,10 @@ func DefaultAnalyzers() []Analyzer {
 			MintFuncs:   []string{"mutable"},
 			WriterFuncs: []string{"insert", "split", "remove"},
 		},
+		CacheKey{Scope: []ScopeRef{
+			{Pkg: "repro/internal/core", Files: []string{"resultcache.go"}},
+			{Pkg: "repro/internal/query", Files: []string{"readset.go"}},
+		}},
 	}
 }
 

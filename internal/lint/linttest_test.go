@@ -135,6 +135,12 @@ func TestCowSafeFixtures(t *testing.T) {
 	}, "cowsafe")
 }
 
+func TestCacheKeyFixtures(t *testing.T) {
+	runFixture(t, CacheKey{
+		Scope: []ScopeRef{{Pkg: "fixture/cachekey", Files: []string{"fixture.go", "rand.go"}}},
+	}, "cachekey")
+}
+
 func TestTxnEndFixtures(t *testing.T) {
 	runFixture(t, TxnEnd{
 		BeginNames: []string{"Begin"},

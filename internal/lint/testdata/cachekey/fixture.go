@@ -1,0 +1,42 @@
+// Package fixture seeds cachekey violations and clean counterparts.
+package fixture
+
+import (
+	"sort"
+	"time"
+)
+
+func okSortedNames(params map[string]int) []string {
+	names := make([]string, 0, len(params))
+	//unidblint:ignore cachekey collect-then-sort is iteration-order independent
+	for name := range params {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func okRangeSlice(parts []string) string {
+	key := ""
+	for _, p := range parts {
+		key += "\x00" + p
+	}
+	return key
+}
+
+func okSuppliedInstant(now time.Time, freshNano int64) time.Duration {
+	// Validity decisions on a caller-supplied instant stay pure.
+	return now.Sub(time.Unix(0, freshNano))
+}
+
+func badMapRangeKey(params map[string]int) string {
+	key := ""
+	for name := range params { // want `range over a map in a cache-key path`
+		key += name
+	}
+	return key
+}
+
+func badFreshness() int64 {
+	return time.Now().UnixNano() // want `time\.Now in a cache-key path`
+}

@@ -1,0 +1,9 @@
+package fixture
+
+import (
+	"math/rand" // want `import of math/rand in a cache-key path`
+)
+
+func badJitter() int {
+	return rand.Intn(3)
+}

@@ -10,6 +10,8 @@ package query
 //     and ReturnClause: whether the stage's expressions may be evaluated
 //     concurrently by the parallel executor (no subqueries — they run whole
 //     pipelines against shared executor state).
+//   - readSet / cacheable: which stores the pipeline can read and whether a
+//     materialized result may be reused across queries (readset.go).
 //
 // analyze is idempotent and cheap (one tree walk); both parsers call it on
 // the top-level pipeline, and it recurses into every SubqueryExpr so nested
@@ -71,6 +73,10 @@ func (p *Pipeline) analyze() {
 			annotateCollectAggs(col, p.Clauses[i+1:])
 		}
 	}
+	// Third pass: derive the read-set and cacheability for the cross-query
+	// result cache (readset.go). Runs after the clause walk so every nested
+	// subquery pipeline is already analyzed.
+	p.computeReadSet()
 }
 
 // HasMutation reports whether the pipeline contains DML (directly or in a

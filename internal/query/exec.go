@@ -62,6 +62,11 @@ type Options struct {
 	// chose the transaction kind — and no effect on pipelines containing
 	// DML, which always need a read-write transaction.
 	SnapshotReads bool
+	// NoResultCache opts this call out of core's cross-query result cache:
+	// the query executes even when a valid cached materialization exists,
+	// and its result is not stored. Execute itself never consults the cache;
+	// the flag is honored by the auto-transaction entry points.
+	NoResultCache bool
 }
 
 // Stats reports what the optimizer did — benches assert on these.

@@ -18,6 +18,8 @@
 package unidb
 
 import (
+	"time"
+
 	"repro/internal/binenc"
 	"repro/internal/catalog"
 	"repro/internal/core"
@@ -68,6 +70,21 @@ type Options struct {
 	// Mutating statements keep the locked read-write path either way. The
 	// same switch exists per call on QueryOptions.
 	SnapshotReads bool
+	// ResultCacheBytes enables the cross-query result cache with the given
+	// byte budget (0 disables it). Read-only queries whose read-set the
+	// compiler can resolve are materialized once and served from memory
+	// until DDL or DML touches a keyspace they depend on; entries are keyed
+	// by (dialect, query text, bound parameters) and validated against a
+	// per-keyspace data version vector, so a hit is always byte-identical
+	// to re-executing the query.
+	ResultCacheBytes int
+	// MaxResultStaleness relaxes the result cache's freshness rule: an
+	// entry invalidated by DML may still be served for up to this duration
+	// past the last instant it was verified current, while a single-flight
+	// background goroutine recomputes it from an MVCC snapshot. 0 (the
+	// default) keeps strict freshness — version mismatches recompute in the
+	// foreground. Only meaningful with ResultCacheBytes > 0.
+	MaxResultStaleness time.Duration
 }
 
 // Database is a multi-model database handle.
@@ -78,10 +95,12 @@ type Database struct {
 // Open creates or recovers a database.
 func Open(opts Options) (*Database, error) {
 	db, err := core.Open(core.Options{
-		Dir:               opts.Dir,
-		Durability:        opts.Durability,
-		GroupCommitWindow: opts.GroupCommitWindow,
-		SnapshotReads:     opts.SnapshotReads,
+		Dir:                opts.Dir,
+		Durability:         opts.Durability,
+		GroupCommitWindow:  opts.GroupCommitWindow,
+		SnapshotReads:      opts.SnapshotReads,
+		ResultCacheBytes:   opts.ResultCacheBytes,
+		MaxResultStaleness: opts.MaxResultStaleness,
 	})
 	if err != nil {
 		return nil, err
@@ -182,8 +201,24 @@ func (st *Statement) ExecIn(t *Txn, params map[string]Value) (*Result, error) {
 type PlanCacheStats = core.PlanCacheStats
 
 // PlanCacheStats reports hits, misses, size, and the DDL epoch of the
-// compiled-plan cache.
+// compiled-plan cache. PlanCacheStats.HitRate summarizes the counters.
 func (d *Database) PlanCacheStats() PlanCacheStats { return d.db.PlanCacheStats() }
+
+// ResultCacheStats re-exports the result cache snapshot type.
+type ResultCacheStats = core.ResultCacheStats
+
+// ResultCacheStats reports the cross-query result cache's counters: hits,
+// misses, stale serves, background refreshes, invalidations, and the bytes
+// held against the configured budget. All zeros when ResultCacheBytes is 0.
+func (d *Database) ResultCacheStats() ResultCacheStats { return d.db.ResultCacheStats() }
+
+// KeyspaceVersions snapshots the engine's per-keyspace data version
+// counters: each committed transaction advances the counter of every
+// keyspace it wrote, and dropping a keyspace deletes its entry. The result
+// cache validates entries against these counters; they are exposed here for
+// observability and tests. Versions are process-local (they restart at zero
+// on Open), so compare them only within one process lifetime.
+func (d *Database) KeyspaceVersions() map[string]uint64 { return d.db.KeyspaceVersions() }
 
 // WALStats re-exports the WAL's cumulative activity counters.
 type WALStats = wal.Stats
