@@ -1,0 +1,46 @@
+// Package fixturemod is the CLI golden-test module: a tiny package with one
+// real lockcheck violation, one ignore-suppressed violation, and a lock
+// nesting between two mutexes the default order table has never heard of —
+// which the whole-program lockorder analyzer must flag as unranked.
+package fixturemod
+
+import "sync"
+
+type S struct{ mu sync.Mutex }
+
+type T struct{ mu sync.Mutex }
+
+var (
+	gs S
+	gt T
+)
+
+// leak forgets the unlock on the early-return path.
+func leak(cond bool) bool {
+	gs.mu.Lock()
+	if cond {
+		return true
+	}
+	gs.mu.Unlock()
+	return false
+}
+
+// acknowledged has the same bug but carries a suppression comment; the CLI
+// listing must not contain it.
+func acknowledged(cond bool) bool {
+	//unidblint:ignore lockcheck golden-test suppression
+	gs.mu.Lock()
+	if cond {
+		return true
+	}
+	gs.mu.Unlock()
+	return false
+}
+
+// nested nests two mutexes that are not in the declared lock order.
+func nested() {
+	gs.mu.Lock()
+	gt.mu.Lock()
+	gt.mu.Unlock()
+	gs.mu.Unlock()
+}

@@ -1,0 +1,12 @@
+// Package demo lives under examples/, which the default configuration
+// path-suppresses: its violation must not appear in the CLI listing.
+package demo
+
+import "sync"
+
+var mu sync.Mutex
+
+// Broken leaks the lock on every path — suppressed by the /examples/ rule.
+func Broken() {
+	mu.Lock()
+}

@@ -81,10 +81,114 @@ func DefaultAnalyzers() []Analyzer {
 	}
 }
 
+// DefaultLockClasses is the one table naming every mutex the engine cares
+// about. A lock that participates in nesting but is missing here gets a
+// lockorder diagnostic telling you to add it — declaring a new lock means
+// adding a row here and ranking its class in DefaultLockOrder.
+func DefaultLockClasses() LockClasses {
+	return LockClasses{Refs: []LockClassRef{
+		{Pkg: "repro/internal/engine", Type: "Engine", Field: "cpMu", Class: "engine.cpMu"},
+		{Pkg: "repro/internal/engine", Type: "Engine", Field: "stateMu", Class: "engine.stateMu"},
+		{Pkg: "repro/internal/engine", Type: "Engine", Field: "commitMu", Class: "engine.commitMu"},
+		{Pkg: "repro/internal/engine", Type: "Engine", Field: "mu", Class: "engine.mu"},
+		{Pkg: "repro/internal/engine", Type: "Engine", Field: "subMu", Class: "engine.subMu"},
+		{Pkg: "repro/internal/engine", Type: "lockManager", Field: "mu", Class: "engine.lockmgr.mu"},
+		{Pkg: "repro/internal/engine", Type: "Replica", Field: "mu", Class: "engine.replica.mu"},
+		{Pkg: "repro/internal/wal", Type: "committer", Field: "mu", Class: "wal.commit.mu"},
+		{Pkg: "repro/internal/wal", Type: "Log", Field: "mu", Class: "wal.log.mu"},
+		{Pkg: "repro/internal/core", Type: "DB", Field: "viewMu", Class: "core.viewMu"},
+		{Pkg: "repro/internal/core", Type: "planCache", Field: "mu", Class: "core.plans.mu"},
+		{Pkg: "repro/internal/core", Type: "resultCache", Field: "mu", Class: "core.results.mu"},
+		{Pkg: "repro/internal/binenc", Type: "dcShard", Field: "mu", Class: "binenc.deccache.mu"},
+		{Pkg: "repro/internal/mmindex", Type: "JoinIndex", Field: "mu", Class: "mmindex.join.mu"},
+		{Pkg: "repro/internal/sinew", Type: "Relation", Field: "mu", Class: "sinew.rel.mu"},
+	}}
+}
+
+// DefaultLockOrder is the canonical global acquisition order, outermost lock
+// first: every nesting edge in the whole program must go strictly downward
+// in this list. The top of the list is the checkpoint serialization chain
+// (cpMu cuts while holding commitMu; commit publication holds commitMu
+// across the WAL append and the tree apply under engine.mu), the middle is
+// the WAL group-commit pair and the 2PL lock manager, and the tail is the
+// read-side cache/view mutexes, which are leaves that never hold anything
+// engine-side.
+func DefaultLockOrder() []string {
+	return []string{
+		"engine.cpMu",
+		"engine.stateMu",
+		"engine.commitMu",
+		"engine.mu",
+		"wal.commit.mu",
+		"wal.log.mu",
+		"engine.lockmgr.mu",
+		"engine.subMu",
+		"engine.replica.mu",
+		"core.viewMu",
+		"core.plans.mu",
+		"core.results.mu",
+		"binenc.deccache.mu",
+		"mmindex.join.mu",
+		"sinew.rel.mu",
+	}
+}
+
+// DefaultSnapshotRoots lists the entry points of the snapshot read path:
+// every Engine/Txn/Snapshot method a snapshot-mode caller can reach. Txn
+// mutators are included deliberately — their locked-path lock traffic sits
+// behind `t.snap == nil` guards the summary walker proves, so what remains
+// reachable is exactly what a snapshot transaction can execute.
+func DefaultSnapshotRoots() []FuncRef {
+	const eng = "repro/internal/engine"
+	names := []string{
+		"Engine.BeginSnapshot", "Engine.BeginSnapshotAt",
+		"Engine.SnapshotView", "Engine.SnapshotViewAt",
+		"Engine.Snapshot", "Engine.VersionedSnapshot",
+		"Txn.Get", "Txn.Scan", "Txn.ScanReverse", "Txn.collect",
+		"Txn.KeyspaceNonEmpty", "Txn.Commit", "Txn.Abort", "Txn.finish",
+		"Snapshot.Get", "Snapshot.Len", "Snapshot.Keyspaces",
+		"Snapshot.Scan", "Snapshot.ScanReverse", "Snapshot.collect",
+	}
+	refs := make([]FuncRef, len(names))
+	for i, n := range names {
+		refs[i] = FuncRef{Pkg: eng, Name: n}
+	}
+	return refs
+}
+
+// DefaultProgramAnalyzers returns the whole-program suite:
+//
+//	lockorder    — the interprocedural lock-nesting graph must follow
+//	               DefaultLockOrder and be acyclic (no potential deadlock).
+//	snapshotpure — nothing reachable from the snapshot read roots touches
+//	               the lock manager or a write-side mutex; PR 5's "zero
+//	               lock-manager traffic for readers" as a checked invariant.
+func DefaultProgramAnalyzers() []ProgramAnalyzer {
+	return []ProgramAnalyzer{
+		LockOrder{Order: DefaultLockOrder()},
+		SnapshotPure{
+			Roots: DefaultSnapshotRoots(),
+			Forbidden: []string{
+				"engine.lockmgr.mu",
+				"engine.commitMu",
+				"engine.cpMu",
+				"wal.commit.mu",
+				"wal.log.mu",
+			},
+			ForbiddenRecv: []TypeRef{
+				{Pkg: "repro/internal/engine", Name: "lockManager"},
+			},
+		},
+	}
+}
+
 // DefaultRunner returns the suite plus the repository's path suppressions.
 func DefaultRunner() *Runner {
 	return &Runner{
-		Analyzers: DefaultAnalyzers(),
+		Analyzers:        DefaultAnalyzers(),
+		ProgramAnalyzers: DefaultProgramAnalyzers(),
+		LockClasses:      DefaultLockClasses(),
+		GuardField:       "snap",
 		SuppressPaths: map[string][]string{
 			// Examples are narrative code; they share the binary's module
 			// but not the engine's invariants.

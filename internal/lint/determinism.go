@@ -80,12 +80,69 @@ func (dt Determinism) Run(pass *Pass) {
 						pass.Reportf(t.Pos(), "time.Now in a deterministic executor path")
 					}
 				}
+			case *ast.CallExpr:
+				dt.checkTaintedCall(pass, t)
 			case *ast.RangeStmt:
 				dt.checkMapRange(pass, t)
 			}
 			return true
 		})
 	}
+}
+
+// checkTaintedCall consults the interprocedural summaries one level deep: a
+// call from a scoped file into a function outside the scope that itself
+// reads time.Now makes the caller nondeterministic just as surely as a
+// direct read. In-scope callees are skipped — their own body is already
+// flagged directly, so the intraprocedural diagnostics stay unchanged.
+func (dt Determinism) checkTaintedCall(pass *Pass, call *ast.CallExpr) {
+	if pass.Prog == nil {
+		return
+	}
+	fn := resolvedCallee(pass.Pkg, call)
+	if fn == nil {
+		return
+	}
+	fi := pass.Prog.Funcs[fn]
+	if fi == nil || !fi.CallsTimeNow || dt.inScopeFunc(pass, fi) {
+		return
+	}
+	pass.Reportf(call.Pos(), "call to %s reads the wall clock (time.Now at %s) in a deterministic executor path",
+		fi.Name(), pass.Prog.shortPos(fi.TimeNowPos))
+}
+
+// inScopeFunc reports whether fi's declaration falls inside the analyzer's
+// configured scope (and is therefore checked directly).
+func (dt Determinism) inScopeFunc(pass *Pass, fi *FuncInfo) bool {
+	for _, ref := range dt.Scope {
+		if ref.Pkg != fi.Pkg.Path {
+			continue
+		}
+		if len(ref.Files) == 0 {
+			return true
+		}
+		base := filepath.Base(pass.Fset.Position(fi.Decl.Pos()).Filename)
+		for _, want := range ref.Files {
+			if base == want {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// resolvedCallee statically resolves a call expression to the declared
+// function it invokes, or nil (interface calls, func values, builtins).
+func resolvedCallee(pkg *Package, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = pkg.Info.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = pkg.Info.Uses[fun.Sel]
+	}
+	fn, _ := obj.(*types.Func)
+	return fn
 }
 
 // checkMapRange flags appends into an outer slice from inside a range over a

@@ -47,8 +47,11 @@ func (ed ErrDrop) Run(pass *Pass) {
 		}
 	}
 	for _, file := range pass.Pkg.Files {
+		deferred := map[*ast.CallExpr]bool{}
 		ast.Inspect(file, func(n ast.Node) bool {
 			switch t := n.(type) {
+			case *ast.DeferStmt:
+				deferred[t.Call] = true
 			case *ast.ExprStmt:
 				if call, ok := t.X.(*ast.CallExpr); ok {
 					if idx := errResultIndex(pass, call); idx >= 0 {
@@ -57,10 +60,42 @@ func (ed ErrDrop) Run(pass *Pass) {
 				}
 			case *ast.AssignStmt:
 				ed.checkAssign(pass, t)
+			case *ast.CallExpr:
+				if !deferred[t] {
+					ed.checkTaintedCall(pass, t)
+				}
 			}
 			return true
 		})
 	}
+}
+
+// checkTaintedCall consults the interprocedural summaries one level deep: a
+// call into a helper outside the checked packages that internally discards
+// an error hides the drop from the intraprocedural scan, so it is reported
+// at the call site here. Callees inside the checked packages are skipped —
+// their drop is flagged directly in their own body, keeping the existing
+// intraprocedural diagnostics unchanged. Deferred calls stay exempt, same
+// as the direct-drop rule.
+func (ed ErrDrop) checkTaintedCall(pass *Pass, call *ast.CallExpr) {
+	if pass.Prog == nil || len(ed.Packages) == 0 {
+		return
+	}
+	fn := resolvedCallee(pass.Pkg, call)
+	if fn == nil {
+		return
+	}
+	fi := pass.Prog.Funcs[fn]
+	if fi == nil || !fi.DropsError {
+		return
+	}
+	for _, p := range ed.Packages {
+		if fi.Pkg.Path == p {
+			return
+		}
+	}
+	pass.Reportf(call.Pos(), "call to %s discards an error internally (at %s), outside errdrop's checked packages",
+		fi.Name(), pass.Prog.shortPos(fi.DropPos))
 }
 
 // checkAssign flags `_ = call()` / `v, _ := call()` where the blank slot is

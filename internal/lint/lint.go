@@ -20,10 +20,25 @@ type Analyzer interface {
 	Run(pass *Pass)
 }
 
+// ProgramAnalyzer is an invariant checker that needs the whole program: the
+// call graph and per-function summaries over every loaded package, rather
+// than one package at a time.
+type ProgramAnalyzer interface {
+	Name() string
+	Doc() string
+	// RunProgram inspects the whole program and reports findings through
+	// the pass (whose Pkg field is nil — diagnostics may land anywhere).
+	RunProgram(prog *Program, pass *Pass)
+}
+
 // Pass hands one package to one analyzer.
 type Pass struct {
-	Pkg      *Package
-	Fset     *token.FileSet
+	Pkg  *Package
+	Fset *token.FileSet
+	// Prog is the whole-program view (call graph + summaries) when the
+	// runner built one; per-package analyzers may consult it for
+	// interprocedural facts. Nil in bare single-analyzer harnesses.
+	Prog     *Program
 	analyzer string
 	sink     func(Diagnostic)
 }
@@ -51,23 +66,64 @@ func (d Diagnostic) String() string {
 // Runner applies a set of analyzers over loaded packages with suppression.
 type Runner struct {
 	Analyzers []Analyzer
+	// ProgramAnalyzers run once over the whole loaded program (all packages
+	// of a Run call together) instead of per package.
+	ProgramAnalyzers []ProgramAnalyzer
+	// LockClasses names the mutexes the interprocedural summaries track.
+	LockClasses LockClasses
+	// GuardField is the struct field whose nil-ness separates the snapshot
+	// read path from the locked path ("snap"); "" disables guard tracking.
+	GuardField string
 	// SuppressPaths maps analyzer name (or "*" for all) to slash-separated
-	// path fragments; a diagnostic whose file path contains a fragment is
-	// dropped. This is the per-path suppression layer: e.g. generated code
-	// or a package that intentionally trades an invariant away.
+	// path fragments; a diagnostic whose file path contains the fragment as
+	// a run of complete, slash-bounded segments is dropped. This is the
+	// per-path suppression layer: e.g. generated code or a package that
+	// intentionally trades an invariant away.
 	SuppressPaths map[string][]string
 }
 
 // Run loads each import path and applies every analyzer, returning the
 // surviving diagnostics sorted by position.
 func (r *Runner) Run(l *Loader, paths []string) ([]Diagnostic, error) {
-	var diags []Diagnostic
+	var pkgs []*Package
 	for _, path := range paths {
 		pkg, err := l.Load(path)
 		if err != nil {
 			return nil, err
 		}
-		diags = append(diags, r.RunPackage(l, pkg)...)
+		pkgs = append(pkgs, pkg)
+	}
+	return r.RunPackages(l, pkgs), nil
+}
+
+// RunPackages applies every analyzer to the given already-loaded packages:
+// per-package analyzers to each in turn, program analyzers once over the
+// whole set, all sharing one interprocedural Program.
+func (r *Runner) RunPackages(l *Loader, pkgs []*Package) []Diagnostic {
+	prog := BuildProgram(l.Fset, pkgs, r.LockClasses, r.GuardField)
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		diags = append(diags, r.runPackage(l, pkg, prog)...)
+	}
+	if len(r.ProgramAnalyzers) > 0 {
+		var files []*ast.File
+		for _, pkg := range pkgs {
+			files = append(files, pkg.Files...)
+		}
+		ignores := collectIgnores(l.Fset, files)
+		for _, pa := range r.ProgramAnalyzers {
+			pass := &Pass{
+				Fset:     l.Fset,
+				Prog:     prog,
+				analyzer: pa.Name(),
+				sink: func(d Diagnostic) {
+					if !r.suppressed(d, ignores) {
+						diags = append(diags, d)
+					}
+				},
+			}
+			pa.RunProgram(prog, pass)
+		}
 	}
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
@@ -82,17 +138,24 @@ func (r *Runner) Run(l *Loader, paths []string) ([]Diagnostic, error) {
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return diags, nil
+	return diags
 }
 
-// RunPackage applies every analyzer to one already-loaded package.
+// RunPackage applies every per-package analyzer to one already-loaded
+// package, building a single-package program for interprocedural facts.
 func (r *Runner) RunPackage(l *Loader, pkg *Package) []Diagnostic {
+	prog := BuildProgram(l.Fset, []*Package{pkg}, r.LockClasses, r.GuardField)
+	return r.runPackage(l, pkg, prog)
+}
+
+func (r *Runner) runPackage(l *Loader, pkg *Package, prog *Program) []Diagnostic {
 	ignores := collectIgnores(l.Fset, pkg.Files)
 	var diags []Diagnostic
 	for _, a := range r.Analyzers {
 		pass := &Pass{
 			Pkg:      pkg,
 			Fset:     l.Fset,
+			Prog:     prog,
 			analyzer: a.Name(),
 			sink: func(d Diagnostic) {
 				if !r.suppressed(d, ignores) {
@@ -155,10 +218,48 @@ func (r *Runner) suppressed(d Diagnostic, ignores map[ignoreKey]bool) bool {
 	slashed := filepath.ToSlash(d.Pos.Filename)
 	for _, key := range []string{d.Analyzer, "*"} {
 		for _, frag := range r.SuppressPaths[key] {
-			if strings.Contains(slashed, frag) {
+			if pathHasSegments(slashed, frag) {
 				return true
 			}
 		}
 	}
 	return false
+}
+
+// pathHasSegments reports whether the slash-separated path contains the
+// fragment as a run of complete path segments: fragment "core" matches
+// "internal/core/core.go" but not "internal/colstore/colstore.go", and
+// "examples/basic" matches only those two adjacent segments. A plain
+// substring match would conflate "core" with every path merely containing
+// those letters. The final segment (the file name) participates like any
+// other, so a fragment can also pin a specific file.
+func pathHasSegments(path, fragment string) bool {
+	want := splitSegments(fragment)
+	if len(want) == 0 {
+		return false
+	}
+	have := splitSegments(path)
+	for i := 0; i+len(want) <= len(have); i++ {
+		match := true
+		for j, seg := range want {
+			if have[i+j] != seg {
+				match = false
+				break
+			}
+		}
+		if match {
+			return true
+		}
+	}
+	return false
+}
+
+func splitSegments(p string) []string {
+	var out []string
+	for _, seg := range strings.Split(p, "/") {
+		if seg != "" {
+			out = append(out, seg)
+		}
+	}
+	return out
 }

@@ -1,0 +1,221 @@
+package lint
+
+import (
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// LockOrder derives the whole-program lock-acquisition graph from the
+// interprocedural summaries and checks it against the one declared order:
+// an edge A → B exists when some function acquires B while holding A, either
+// directly or by calling (with A held) into a function that may acquire B
+// transitively. Three things get reported:
+//
+//  1. a nesting edge touching a mutex that is not declared in the order
+//     table — every lock that participates in nesting must be ranked;
+//  2. an edge that contradicts the declared order (B ranked before A);
+//  3. a cycle in the acquisition graph — the classic deadlock shape, which
+//     can exist even when no single edge contradicts the declared order
+//     (e.g. when undeclared locks are involved).
+//
+// Self-edges (re-acquiring a class already held) are excluded: the may-hold
+// analysis unions branches, so A-held-acquire-A frequently means "two
+// exclusive branches each lock A", which lockcheck's pairing analysis
+// already polices more precisely.
+type LockOrder struct {
+	// Order is the canonical acquisition order, outermost lock first. Any
+	// nesting edge must go strictly left-to-right in this list.
+	Order []string
+}
+
+// Name implements ProgramAnalyzer.
+func (LockOrder) Name() string { return "lockorder" }
+
+// Doc implements ProgramAnalyzer.
+func (LockOrder) Doc() string {
+	return "every interprocedural lock-nesting edge follows the declared global acquisition order and the graph is acyclic"
+}
+
+// lockEdge is one nesting fact: to is acquired while from is held.
+type lockEdge struct {
+	from, to string
+	pos      token.Pos // the acquire or call site creating the edge
+	fn       string    // function containing pos
+	viaCall  string    // non-empty: callee display name for held-across-call edges
+}
+
+// RunProgram implements ProgramAnalyzer.
+func (lo LockOrder) RunProgram(prog *Program, pass *Pass) {
+	edges := collectLockEdges(prog)
+
+	// 1. Undeclared participants: report once per class, at its first edge.
+	reported := map[string]bool{}
+	for _, e := range edges {
+		for _, class := range []string{e.from, e.to} {
+			if classIndex(lo.Order, class) >= 0 || reported[class] {
+				continue
+			}
+			reported[class] = true
+			pass.Reportf(e.pos,
+				"mutex %s participates in lock nesting (%s → %s in %s) but is not ranked in the declared lock order; add it to the order table in internal/lint/config.go",
+				class, e.from, e.to, e.fn)
+		}
+	}
+
+	// 2. Order contradictions between ranked classes.
+	for _, e := range edges {
+		fi, ti := classIndex(lo.Order, e.from), classIndex(lo.Order, e.to)
+		if fi < 0 || ti < 0 || fi < ti {
+			continue
+		}
+		if e.viaCall != "" {
+			pass.Reportf(e.pos,
+				"call to %s may acquire %s while %s is held: contradicts declared lock order (%s ranks before %s)",
+				e.viaCall, e.to, e.from, e.to, e.from)
+		} else {
+			pass.Reportf(e.pos,
+				"acquires %s while holding %s: contradicts declared lock order (%s ranks before %s)",
+				e.to, e.from, e.to, e.from)
+		}
+	}
+
+	// 3. Cycles, declared or not: any strongly connected component of the
+	// class graph with more than one node is a potential deadlock.
+	for _, scc := range lockSCCs(edges) {
+		in := map[string]bool{}
+		for _, c := range scc {
+			in[c] = true
+		}
+		// Anchor the diagnostic at the first order-contradicting edge of the
+		// cycle when one exists (that is where the fix goes); otherwise at
+		// the last edge in collection order — the acquisition that closed
+		// the cycle.
+		var anchor *lockEdge
+		for i := range edges {
+			e := &edges[i]
+			if !in[e.from] || !in[e.to] {
+				continue
+			}
+			anchor = e
+			fi, ti := classIndex(lo.Order, e.from), classIndex(lo.Order, e.to)
+			if fi >= 0 && ti >= 0 && fi > ti {
+				break
+			}
+		}
+		if anchor == nil {
+			continue
+		}
+		pass.Reportf(anchor.pos, "lock-order cycle %s: potential deadlock", strings.Join(scc, " → "))
+	}
+}
+
+// collectLockEdges walks every function summary and materializes the nesting
+// edges, deduplicated by (from, to) keeping the first (deterministic: the
+// function list is position-sorted and sites are in syntactic order).
+func collectLockEdges(prog *Program) []lockEdge {
+	var edges []lockEdge
+	seen := map[[2]string]bool{}
+	add := func(e lockEdge) {
+		if e.from == e.to {
+			return
+		}
+		key := [2]string{e.from, e.to}
+		if seen[key] {
+			return
+		}
+		seen[key] = true
+		edges = append(edges, e)
+	}
+	for _, fi := range prog.funcList {
+		for _, a := range fi.Acquires {
+			for _, h := range a.held {
+				add(lockEdge{from: h.class, to: a.class, pos: a.pos, fn: fi.Name()})
+			}
+		}
+		for _, c := range fi.Calls {
+			if len(c.held) == 0 {
+				continue
+			}
+			callee := prog.Funcs[c.callee]
+			if callee == nil {
+				continue
+			}
+			for _, class := range callee.mayAcquireClasses() {
+				for _, h := range c.held {
+					add(lockEdge{from: h.class, to: class, pos: c.pos, fn: fi.Name(), viaCall: callee.Name()})
+				}
+			}
+		}
+	}
+	return edges
+}
+
+// lockSCCs returns the strongly connected components of the edge graph with
+// more than one member, each sorted alphabetically, components ordered by
+// their first class name. (Self-edges are already excluded, so single-node
+// components are never cyclic.)
+func lockSCCs(edges []lockEdge) [][]string {
+	adj := map[string][]string{}
+	nodes := map[string]bool{}
+	for _, e := range edges {
+		adj[e.from] = append(adj[e.from], e.to)
+		nodes[e.from] = true
+		nodes[e.to] = true
+	}
+	order := make([]string, 0, len(nodes))
+	for n := range nodes {
+		order = append(order, n)
+	}
+	sort.Strings(order)
+
+	// Tarjan's algorithm, iterative over the sorted node list.
+	index := map[string]int{}
+	low := map[string]int{}
+	onStack := map[string]bool{}
+	var stack []string
+	var out [][]string
+	next := 0
+
+	var strongconnect func(v string)
+	strongconnect = func(v string) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range adj[v] {
+			if _, ok := index[w]; !ok {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var scc []string
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				scc = append(scc, w)
+				if w == v {
+					break
+				}
+			}
+			if len(scc) > 1 {
+				sort.Strings(scc)
+				out = append(out, scc)
+			}
+		}
+	}
+	for _, n := range order {
+		if _, ok := index[n]; !ok {
+			strongconnect(n)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}

@@ -1,0 +1,148 @@
+package lint
+
+import (
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// computeMayAcquire propagates lock-acquisition facts bottom-up through the
+// call graph until a fixed point: a function may acquire everything it
+// acquires directly plus everything any resolved callee may acquire. The
+// iteration handles recursion and mutual recursion (SCCs) by simply
+// re-running until no set grows — the lattice (sets of lock classes) is
+// finite and the transfer function monotone, so this terminates.
+//
+// Witness positions point inside the function itself: the acquire site for a
+// direct acquisition, or the call site that leads (transitively) to one, so
+// diagnostics can show a chain the reader can follow one hop at a time.
+func (p *Program) computeMayAcquire() {
+	for _, fi := range p.funcList {
+		for _, a := range fi.Acquires {
+			if _, ok := fi.mayAcquire[a.class]; !ok {
+				fi.mayAcquire[a.class] = a.pos
+			}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fi := range p.funcList {
+			for _, c := range fi.Calls {
+				callee := p.Funcs[c.callee]
+				if callee == nil {
+					continue
+				}
+				for class := range callee.mayAcquire {
+					if _, ok := fi.mayAcquire[class]; !ok {
+						fi.mayAcquire[class] = c.pos
+						changed = true
+					}
+				}
+			}
+		}
+	}
+}
+
+// MayAcquire reports whether fi may (transitively) acquire class, with a
+// witness position inside fi.
+func (fi *FuncInfo) MayAcquire(class string) (token.Pos, bool) {
+	pos, ok := fi.mayAcquire[class]
+	return pos, ok
+}
+
+// mayAcquireClasses returns fi's transitive acquisition set, sorted.
+func (fi *FuncInfo) mayAcquireClasses() []string {
+	out := make([]string, 0, len(fi.mayAcquire))
+	for c := range fi.mayAcquire {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// acquireChain reconstructs a call chain from fi to a direct acquisition of
+// class, following the witness positions recorded by the fixed point. Each
+// element is "Pkg.Func (file:line)"; the final element acquires the lock
+// directly. Returns nil if fi cannot acquire class.
+func (p *Program) acquireChain(fi *FuncInfo, class string) []string {
+	var chain []string
+	seen := map[*FuncInfo]bool{}
+	for fi != nil && !seen[fi] {
+		seen[fi] = true
+		pos, ok := fi.mayAcquire[class]
+		if !ok {
+			return nil
+		}
+		chain = append(chain, fi.Name()+" ("+p.shortPos(pos)+")")
+		// Direct acquisition in fi?
+		direct := false
+		for _, a := range fi.Acquires {
+			if a.class == class && a.pos == pos {
+				direct = true
+				break
+			}
+		}
+		if direct {
+			return chain
+		}
+		// Otherwise pos is a call site: follow it.
+		var next *FuncInfo
+		for _, c := range fi.Calls {
+			if c.pos == pos {
+				next = p.Funcs[c.callee]
+				break
+			}
+		}
+		fi = next
+	}
+	return chain
+}
+
+func (p *Program) shortPos(pos token.Pos) string {
+	position := p.Fset.Position(pos)
+	file := position.Filename
+	for i := len(file) - 1; i >= 0; i-- {
+		if file[i] == '/' {
+			file = file[i+1:]
+			break
+		}
+	}
+	return file + ":" + itoa(position.Line)
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [12]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+// methodsOf returns the FuncInfos of all methods declared on the named type
+// in pkg path, for root-set construction.
+func (p *Program) methodsOf(pkgPath, typeName string) []*FuncInfo {
+	var out []*FuncInfo
+	for _, fi := range p.funcList {
+		if fi.Pkg.Path != pkgPath {
+			continue
+		}
+		sig, ok := fi.Obj.Type().(*types.Signature)
+		if !ok || sig.Recv() == nil {
+			continue
+		}
+		t := sig.Recv().Type()
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		if named, ok := t.(*types.Named); ok && named.Obj().Name() == typeName {
+			out = append(out, fi)
+		}
+	}
+	return out
+}

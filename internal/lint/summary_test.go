@@ -1,0 +1,103 @@
+package lint
+
+import (
+	"testing"
+)
+
+// loadRepoProgram loads the module's engine-side packages and builds the
+// whole-program summary view the default runner would see.
+func loadRepoProgram(t *testing.T, paths ...string) *Program {
+	t.Helper()
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pkgs []*Package
+	for _, p := range paths {
+		pkg, err := l.Load(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return BuildProgram(l.Fset, pkgs, DefaultLockClasses(), "snap")
+}
+
+// TestDefaultSnapshotRootsResolve pins the snapshotpure configuration to the
+// real engine: every declared root must resolve to a declared function, so a
+// rename can never silently turn the analyzer into a no-op.
+func TestDefaultSnapshotRootsResolve(t *testing.T) {
+	prog := loadRepoProgram(t, "repro/internal/engine")
+	for _, ref := range DefaultSnapshotRoots() {
+		if prog.FuncNamed(ref) == nil {
+			t.Errorf("snapshotpure root %s.%s does not resolve to any declared function", ref.Pkg, ref.Name)
+		}
+	}
+}
+
+// TestRepoLockEdges pins the summary engine to the real code: the documented
+// nesting facts (checkpoint holds commitMu while cutting the WAL; commit
+// publication holds commitMu across the tree apply under engine.mu) must
+// show up as interprocedural edges, so an analyzer that finds nothing is
+// demonstrably looking at a real graph rather than an empty one.
+func TestRepoLockEdges(t *testing.T) {
+	prog := loadRepoProgram(t, "repro/internal/engine", "repro/internal/wal")
+	edges := collectLockEdges(prog)
+	if len(edges) == 0 {
+		t.Fatal("no lock-nesting edges found in engine+wal: summary extraction is broken")
+	}
+	want := [][2]string{
+		{"engine.commitMu", "engine.mu"},     // Txn.Commit applies under e.mu with commitMu held
+		{"engine.commitMu", "wal.log.mu"},    // checkpoint cut / commit append under commitMu
+		{"engine.cpMu", "engine.commitMu"},   // Checkpoint serializes the cut
+		{"engine.commitMu", "wal.commit.mu"}, // group-commit enqueue during publication
+	}
+	have := map[[2]string]bool{}
+	for _, e := range edges {
+		have[[2]string{e.from, e.to}] = true
+	}
+	for _, w := range want {
+		if !have[w] {
+			t.Errorf("expected lock-nesting edge %s -> %s not found; edges: %v", w[0], w[1], edgeList(edges))
+		}
+	}
+	// And the declared order must admit every edge between ranked classes.
+	order := DefaultLockOrder()
+	for _, e := range edges {
+		fi, ti := classIndex(order, e.from), classIndex(order, e.to)
+		if fi >= 0 && ti >= 0 && fi >= ti {
+			t.Errorf("edge %s -> %s contradicts DefaultLockOrder", e.from, e.to)
+		}
+	}
+}
+
+// TestSnapshotPureTraversesRealEngine is the negative control for the guard
+// pruning: engine.mu IS legitimately acquired on the snapshot path (the O(1)
+// root-pointer cut in BeginSnapshot), so forbidding it must produce
+// diagnostics. If this fails, the BFS is pruning everything and the clean
+// run of the real configuration proves nothing.
+func TestSnapshotPureTraversesRealEngine(t *testing.T) {
+	prog := loadRepoProgram(t, "repro/internal/engine")
+	var got []Diagnostic
+	pass := &Pass{
+		Fset:     prog.Fset,
+		Prog:     prog,
+		analyzer: "snapshotpure",
+		sink:     func(d Diagnostic) { got = append(got, d) },
+	}
+	SnapshotPure{
+		Roots:     DefaultSnapshotRoots(),
+		Forbidden: []string{"engine.mu"},
+	}.RunProgram(prog, pass)
+	if len(got) == 0 {
+		t.Fatal("forbidding engine.mu on the snapshot path reported nothing: BFS or guard pruning is broken")
+	}
+}
+
+func edgeList(edges []lockEdge) []string {
+	var out []string
+	for _, e := range edges {
+		out = append(out, e.from+"->"+e.to)
+	}
+	return out
+}

@@ -1,0 +1,12 @@
+package determtaint
+
+import "time"
+
+// nowMillis is outside the analyzer scope, so its time.Now is not reported
+// directly — but callers in scoped files are tainted by it.
+func nowMillis() int64 {
+	return time.Now().UnixMilli()
+}
+
+// stamp is deterministic: calling it from scope is fine.
+func stamp(v int64) int64 { return v * 2 }

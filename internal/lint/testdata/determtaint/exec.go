@@ -1,0 +1,15 @@
+// Package determtaint exercises the one-level interprocedural upgrade of
+// the determinism analyzer: only exec.go is in scope, and clock.go hides a
+// time.Now behind a helper. The direct diagnostics in scope must behave as
+// before; the call into the out-of-scope helper must now be flagged too.
+package determtaint
+
+import "time"
+
+// merge is the scoped executor path.
+func merge(items []int) int64 {
+	direct := time.Now().UnixNano() // want `time\.Now in a deterministic executor path`
+	tainted := nowMillis()          // want `call to nowMillis reads the wall clock \(time\.Now at clock\.go:\d+\) in a deterministic executor path`
+	clean := stamp(int64(len(items)))
+	return direct + tainted + clean
+}

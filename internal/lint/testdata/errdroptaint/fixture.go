@@ -1,0 +1,31 @@
+// Package errdroptaint exercises the one-level interprocedural upgrade of
+// the errdrop analyzer: this package is in the checked set, the helper
+// package is not. Direct drops here keep their intraprocedural diagnostics;
+// a call routed through the helper's internal drop is now flagged at the
+// call site.
+package errdroptaint
+
+import "fixture/errdroptaint/helper"
+
+func commit() {
+	helper.Flush() // want `call to Flush discards an error internally \(at helper\.go:\d+\), outside errdrop's checked packages`
+	localDrop()
+}
+
+// localDrop is in-package: its drop is reported directly, exactly as the
+// intraprocedural analyzer always did, and the call above is NOT tainted.
+func localDrop() {
+	mkErr() // want `result of mkErr includes an error that is discarded`
+}
+
+func mkErr() error { return nil }
+
+// closer defers through the tainted helper: deferred calls stay exempt.
+func closer() {
+	defer helper.Flush()
+}
+
+// relay propagates properly: no diagnostic.
+func relay() error {
+	return helper.Sync()
+}

@@ -1,0 +1,18 @@
+// Package helper sits outside errdrop's checked packages: its own dropped
+// error is not reported directly, but checked callers that route through it
+// must be tainted.
+package helper
+
+import "errors"
+
+// Flush discards its inner error — the drop the caller-side taint points at.
+func Flush() {
+	write()
+}
+
+func write() error { return errors.New("disk full") }
+
+// Sync is clean: it propagates the error.
+func Sync() error {
+	return write()
+}

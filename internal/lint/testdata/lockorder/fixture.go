@@ -1,0 +1,106 @@
+// Package lockorder exercises the whole-program lock-acquisition-order
+// analyzer: a declared order over classes A < B < D < E, one direct
+// inversion, one inversion reached through a callee's summary, a cycle
+// between two undeclared mutexes, and a deliberately suppressed inversion.
+package lockorder
+
+import "sync"
+
+type A struct{ mu sync.Mutex }
+type B struct{ mu sync.Mutex }
+type D struct{ mu sync.Mutex }
+type E struct{ mu sync.Mutex }
+
+// X and Y are deliberately NOT declared in the order table.
+type X struct{ mu sync.Mutex }
+type Y struct{ mu sync.Mutex }
+
+var (
+	ga A
+	gb B
+	gd D
+	ge E
+	gx X
+	gy Y
+)
+
+// good nests in the declared order: no diagnostic.
+func good() {
+	ga.mu.Lock()
+	gb.mu.Lock()
+	gb.mu.Unlock()
+	ga.mu.Unlock()
+}
+
+// bad acquires A while holding D — D ranks after A.
+func bad() {
+	gd.mu.Lock()
+	ga.mu.Lock() // want `acquires fix\.A while holding fix\.D: contradicts declared lock order`
+	ga.mu.Unlock()
+	gd.mu.Unlock()
+}
+
+// acquiresB is a leaf helper; on its own it creates no nesting edge.
+func acquiresB() {
+	gb.mu.Lock()
+	gb.mu.Unlock()
+}
+
+// acquiresE is a leaf helper ranked last; outerOK calling it under A is fine.
+func acquiresE() {
+	ge.mu.Lock()
+	ge.mu.Unlock()
+}
+
+// outerOK holds A across a call that may acquire E: A < E, no diagnostic.
+func outerOK() {
+	ga.mu.Lock()
+	acquiresE()
+	ga.mu.Unlock()
+}
+
+// outerBad holds E across a call that may acquire B — only the summary walk
+// can see this inversion; there is no direct E/B nesting anywhere.
+func outerBad() {
+	ge.mu.Lock()
+	acquiresB() // want `call to acquiresB may acquire fix\.B while fix\.E is held`
+	ge.mu.Unlock()
+}
+
+// cycleOne and cycleTwo nest two undeclared mutexes in opposite orders: both
+// participants are reported as unranked, and the second acquisition closes a
+// cycle. Neither edge can contradict the declared order (the classes are not
+// in it), so only the cycle check catches the deadlock shape.
+func cycleOne() {
+	gx.mu.Lock()
+	gy.mu.Lock() // want `mutex lockorder\.[XY]\.mu participates in lock nesting`
+	gy.mu.Unlock()
+	gx.mu.Unlock()
+}
+
+func cycleTwo() {
+	gy.mu.Lock()
+	gx.mu.Lock() // want `lock-order cycle lockorder\.X\.mu → lockorder\.Y\.mu: potential deadlock`
+	gx.mu.Unlock()
+	gy.mu.Unlock()
+}
+
+// suppressed inverts D under B but is annotated: the diagnostic must not
+// survive the ignore comment.
+func suppressed() {
+	gd.mu.Lock()
+	//unidblint:ignore lockorder fixture: intentional inversion
+	gb.mu.Lock()
+	gb.mu.Unlock()
+	gd.mu.Unlock()
+}
+
+// localOnly uses a function-local mutex: locals cannot participate in a
+// global order and must be excluded entirely.
+func localOnly() {
+	var mu sync.Mutex
+	ga.mu.Lock()
+	mu.Lock()
+	mu.Unlock()
+	ga.mu.Unlock()
+}

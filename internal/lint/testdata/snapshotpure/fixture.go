@@ -1,0 +1,81 @@
+// Package snapshotpure exercises the interprocedural snapshot-purity
+// analyzer: a miniature engine whose transaction type serves both a locked
+// path and a snapshot path behind a `snap == nil` guard. The analyzer must
+// prune everything the guard proves unreachable for snapshot transactions
+// (the false-positive half) and still catch an unguarded write-side
+// acquisition and a lock-manager call reached through a helper (the
+// true-positive half).
+package snapshotpure
+
+import "sync"
+
+type lockMgr struct{ mu sync.Mutex }
+
+func (m *lockMgr) acquire() {
+	m.mu.Lock()
+	m.mu.Unlock()
+}
+
+func (m *lockMgr) releaseAll() {
+	m.mu.Lock()
+	m.mu.Unlock()
+}
+
+type Snapshot struct{ v int }
+
+type Engine struct {
+	mu       sync.Mutex
+	commitMu sync.Mutex
+	locks    lockMgr
+}
+
+type Txn struct {
+	e    *Engine
+	snap *Snapshot
+}
+
+// Get is the well-behaved root: its lock-manager traffic sits behind the
+// snap == nil guard (by negation: the snapshot branch returns), so the
+// analyzer must not report it.
+func (t *Txn) Get() int {
+	if t.snap != nil {
+		return snapRead(t.snap)
+	}
+	t.e.locks.acquire()
+	t.e.mu.Lock()
+	t.e.mu.Unlock()
+	return 0
+}
+
+// finish is reached from Commit; its lock-manager call is guarded the other
+// way around (explicit snap == nil branch) and must also be pruned.
+func (t *Txn) finish() {
+	if t.snap == nil {
+		t.e.locks.releaseAll()
+	}
+}
+
+func snapRead(s *Snapshot) int { return s.v }
+
+// Commit forgets the guard: the commit barrier is acquired on every path,
+// snapshot transactions included, and a helper drags in the lock manager.
+func (t *Txn) Commit() {
+	t.e.commitMu.Lock() // want `snapshot read path acquires write-side mutex fix\.commitMu`
+	t.e.commitMu.Unlock()
+	publish(t.e)
+	t.finish()
+}
+
+// publish is only reachable through Commit; the diagnostic must name the
+// path that got here.
+func publish(e *Engine) {
+	e.locks.acquire() // want `snapshot read path calls lock-manager method lockMgr\.acquire \(reached via Txn\.Commit → publish\)`
+}
+
+// Abort takes the barrier unguarded too, but the site is annotated as
+// intentional: the ignore comment must suppress it.
+func (t *Txn) Abort() {
+	//unidblint:ignore snapshotpure fixture: intentional unguarded barrier
+	t.e.commitMu.Lock()
+	t.e.commitMu.Unlock()
+}

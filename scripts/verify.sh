@@ -19,8 +19,14 @@ if [ -n "$unformatted" ]; then
   exit 1
 fi
 
-echo "== unidblint"
-go run ./cmd/unidblint ./...
+echo "== unidblint (per-package + whole-program lockorder/snapshotpure)"
+if [ -n "${UNIDBLINT_JSON:-}" ]; then
+  # Emit the machine-readable listing too (CI uploads it as an artifact).
+  mkdir -p "$(dirname "$UNIDBLINT_JSON")"
+  go run ./cmd/unidblint -json ./... | tee "$UNIDBLINT_JSON"
+else
+  go run ./cmd/unidblint ./...
+fi
 
 echo "== go test"
 go test ./...
