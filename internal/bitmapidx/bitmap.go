@@ -51,7 +51,10 @@ func (b *Bitset) Count() int {
 	return n
 }
 
-// And returns the intersection of b and other.
+// And returns the intersection of b and other. The result is truncated to
+// the shorter operand's word length: words past the shorter operand are all
+// zero in the intersection, and truncating (rather than indexing into the
+// longer slice) means neither operand is ever read past its own length.
 func (b *Bitset) And(other *Bitset) *Bitset {
 	n := len(b.words)
 	if len(other.words) < n {
@@ -62,6 +65,107 @@ func (b *Bitset) And(other *Bitset) *Bitset {
 		out.words[i] = b.words[i] & other.words[i]
 	}
 	return out
+}
+
+// AndCount returns the popcount of the intersection of b and other without
+// allocating the intersection.
+func (b *Bitset) AndCount(other *Bitset) int {
+	n := len(b.words)
+	if len(other.words) < n {
+		n = len(other.words)
+	}
+	count := 0
+	for i := 0; i < n; i++ {
+		count += bits.OnesCount64(b.words[i] & other.words[i])
+	}
+	return count
+}
+
+// AndWith intersects b with other in place. Words of b past other's length
+// are zeroed (other holds no bits there), so mismatched lengths never read
+// past either operand.
+func (b *Bitset) AndWith(other *Bitset) {
+	n := len(b.words)
+	if len(other.words) < n {
+		n = len(other.words)
+	}
+	for i := 0; i < n; i++ {
+		b.words[i] &= other.words[i]
+	}
+	for i := n; i < len(b.words); i++ {
+		b.words[i] = 0
+	}
+}
+
+// OrWith unions other into b in place, growing b as needed.
+func (b *Bitset) OrWith(other *Bitset) {
+	for len(b.words) < len(other.words) {
+		b.words = append(b.words, 0)
+	}
+	for i, w := range other.words {
+		b.words[i] |= w
+	}
+}
+
+// AndNotWith clears the bits of other from b in place. Bits of b past
+// other's length are untouched (other holds no bits there), and bits of
+// other past b's length are ignored — no out-of-range reads either way.
+func (b *Bitset) AndNotWith(other *Bitset) {
+	n := len(b.words)
+	if len(other.words) < n {
+		n = len(other.words)
+	}
+	for i := 0; i < n; i++ {
+		b.words[i] &^= other.words[i]
+	}
+}
+
+// PopcountRange returns the number of marked rows in [lo, hi).
+func (b *Bitset) PopcountRange(lo, hi int) int {
+	if lo < 0 {
+		lo = 0
+	}
+	if max := len(b.words) << 6; hi > max {
+		hi = max
+	}
+	if lo >= hi {
+		return 0
+	}
+	loW, hiW := lo>>6, (hi-1)>>6
+	loMask := ^uint64(0) << (uint(lo) & 63)
+	hiMask := ^uint64(0) >> (63 - (uint(hi-1) & 63))
+	if loW == hiW {
+		return bits.OnesCount64(b.words[loW] & loMask & hiMask)
+	}
+	count := bits.OnesCount64(b.words[loW] & loMask)
+	for i := loW + 1; i < hiW; i++ {
+		count += bits.OnesCount64(b.words[i])
+	}
+	count += bits.OnesCount64(b.words[hiW] & hiMask)
+	return count
+}
+
+// Clone returns a copy of b.
+func (b *Bitset) Clone() *Bitset {
+	out := &Bitset{words: make([]uint64, len(b.words))}
+	copy(out.words, b.words)
+	return out
+}
+
+// SetRange marks every row in [0, n) — the full-universe bitset of an
+// n-row batch.
+func (b *Bitset) SetRange(n int) {
+	if n <= 0 {
+		return
+	}
+	words := (n + 63) >> 6
+	for len(b.words) < words {
+		b.words = append(b.words, 0)
+	}
+	for i := 0; i < words-1; i++ {
+		b.words[i] = ^uint64(0)
+	}
+	b.words[words-1] = ^uint64(0) >> (63 - (uint(n-1) & 63))
 }
 
 // Or returns the union of b and other.
@@ -183,21 +287,48 @@ func NewBitslice() *Bitslice {
 // layer offsets signed columns before indexing).
 func (bs *Bitslice) Add(i int, value uint64) {
 	bs.rows.Set(i)
-	for b := 0; b < 64; b++ {
-		if value&(1<<uint(b)) != 0 {
-			bs.slices[b].Set(i)
-		}
+	for value != 0 {
+		b := bits.TrailingZeros64(value)
+		bs.slices[b].Set(i)
+		value &^= 1 << uint(b)
 	}
 }
 
 // Remove forgets row i (the caller supplies the value it held).
 func (bs *Bitslice) Remove(i int, value uint64) {
 	bs.rows.Clear(i)
-	for b := 0; b < 64; b++ {
-		if value&(1<<uint(b)) != 0 {
-			bs.slices[b].Clear(i)
+	for value != 0 {
+		b := bits.TrailingZeros64(value)
+		bs.slices[b].Clear(i)
+		value &^= 1 << uint(b)
+	}
+}
+
+// CompareConst partitions the indexed rows against constant c, returning the
+// bitsets of rows whose value is equal to, less than, and greater than c.
+// This is the classic bit-sliced comparison (O'Neil/Quass): walk the slices
+// from the most significant bit down, maintaining the rows still tied with c
+// (eq); where c has the bit and a tied row does not, that row drops below;
+// where c lacks the bit and a tied row has it, the row rises above.
+func (bs *Bitslice) CompareConst(c uint64) (eq, lt, gt *Bitset) {
+	eq = bs.rows.Clone()
+	lt, gt = NewBitset(), NewBitset()
+	for b := 63; b >= 0; b-- {
+		slice := bs.slices[b]
+		if c&(1<<uint(b)) != 0 {
+			lt.OrWith(eq.AndNot(slice))
+			eq.AndWith(slice)
+		} else {
+			gt.OrWith(eq.And(slice))
+			eq.AndNotWith(slice)
+		}
+		if eq.Count() == 0 && b > 0 {
+			// Every row already classified; the remaining slices can
+			// move nothing.
+			break
 		}
 	}
+	return eq, lt, gt
 }
 
 // Sum returns Σ value(row) over rows in sel, using only popcounts of masked

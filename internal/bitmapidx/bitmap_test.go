@@ -217,6 +217,184 @@ func TestPropertyBitsetAlgebra(t *testing.T) {
 	}
 }
 
+func TestBitsetInPlaceOps(t *testing.T) {
+	mk := func(rows ...int) *Bitset {
+		b := NewBitset()
+		for _, i := range rows {
+			b.Set(i)
+		}
+		return b
+	}
+	a := mk(1, 2, 3, 200)
+	a.OrWith(mk(2, 4, 500))
+	for _, i := range []int{1, 2, 3, 4, 200, 500} {
+		if !a.Has(i) {
+			t.Fatalf("OrWith missing %d", i)
+		}
+	}
+	if a.Count() != 6 {
+		t.Fatalf("OrWith count = %d", a.Count())
+	}
+
+	a = mk(1, 2, 3, 200)
+	a.AndWith(mk(2, 3, 4))
+	if a.Count() != 2 || !a.Has(2) || !a.Has(3) {
+		t.Fatalf("AndWith wrong: count=%d", a.Count())
+	}
+	if a.Has(200) {
+		t.Fatal("AndWith must clear bits beyond the shorter operand")
+	}
+
+	a = mk(1, 2, 3, 200)
+	a.AndNotWith(mk(2, 3, 4))
+	if a.Count() != 2 || !a.Has(1) || !a.Has(200) {
+		t.Fatalf("AndNotWith wrong: count=%d", a.Count())
+	}
+	// Bits of other past a's length are ignored.
+	a = mk(1)
+	a.AndNotWith(mk(1, 900))
+	if a.Count() != 0 {
+		t.Fatal("AndNotWith over longer operand wrong")
+	}
+}
+
+// TestBitsetLengthMismatch pins the word-length-mismatch contract: every
+// binary op over operands of differing word lengths must behave as if the
+// shorter operand were zero-padded, and must never index past either slice.
+func TestBitsetLengthMismatch(t *testing.T) {
+	short := NewBitset()
+	short.Set(3) // 1 word
+	long := NewBitset()
+	long.Set(3)
+	long.Set(700) // 11 words
+
+	if got := short.And(long); got.Count() != 1 || !got.Has(3) {
+		t.Fatalf("short.And(long) = %d", got.Count())
+	}
+	if got := long.And(short); got.Count() != 1 || !got.Has(3) {
+		t.Fatalf("long.And(short) = %d", got.Count())
+	}
+	if got := long.And(short); got.Has(700) {
+		t.Fatal("And result leaked a bit beyond the shorter operand")
+	}
+	if got := short.AndCount(long); got != 1 {
+		t.Fatalf("short.AndCount(long) = %d", got)
+	}
+	if got := long.AndCount(short); got != 1 {
+		t.Fatalf("long.AndCount(short) = %d", got)
+	}
+	if got := long.AndNot(short); got.Count() != 1 || !got.Has(700) {
+		t.Fatalf("long.AndNot(short) = %d", got.Count())
+	}
+	if got := short.AndNot(long); got.Count() != 0 {
+		t.Fatalf("short.AndNot(long) = %d", got.Count())
+	}
+	if got := short.Or(long); got.Count() != 2 || !got.Has(700) {
+		t.Fatalf("short.Or(long) = %d", got.Count())
+	}
+
+	cp := long.Clone()
+	cp.AndWith(short)
+	if cp.Count() != 1 || cp.Has(700) {
+		t.Fatal("AndWith left bits beyond the shorter operand")
+	}
+	cp = short.Clone()
+	cp.AndWith(long)
+	if cp.Count() != 1 || !cp.Has(3) {
+		t.Fatal("short.AndWith(long) wrong")
+	}
+}
+
+func TestBitsetPopcountRange(t *testing.T) {
+	b := NewBitset()
+	rows := []int{0, 5, 63, 64, 127, 128, 300}
+	for _, i := range rows {
+		b.Set(i)
+	}
+	cases := []struct{ lo, hi, want int }{
+		{0, 0, 0},
+		{0, 1, 1},
+		{0, 64, 3},
+		{0, 65, 4},
+		{5, 64, 2},
+		{64, 128, 2},
+		{0, 301, 7},
+		{0, 1 << 20, 7}, // hi beyond words clamps
+		{-5, 6, 2},      // lo below zero clamps
+		{301, 300, 0},   // inverted range
+		{127, 128, 1},
+		{128, 129, 1},
+	}
+	for _, c := range cases {
+		if got := b.PopcountRange(c.lo, c.hi); got != c.want {
+			t.Fatalf("PopcountRange(%d,%d) = %d, want %d", c.lo, c.hi, got, c.want)
+		}
+	}
+}
+
+func TestBitsetSetRangeClone(t *testing.T) {
+	b := NewBitset()
+	b.SetRange(70)
+	if b.Count() != 70 || !b.Has(0) || !b.Has(69) || b.Has(70) {
+		t.Fatalf("SetRange(70): count=%d", b.Count())
+	}
+	b = NewBitset()
+	b.SetRange(64)
+	if b.Count() != 64 || b.Has(64) {
+		t.Fatalf("SetRange(64): count=%d", b.Count())
+	}
+	b.SetRange(0) // no-op
+	cp := b.Clone()
+	cp.Clear(0)
+	if !b.Has(0) {
+		t.Fatal("Clone aliased the original's words")
+	}
+}
+
+func TestBitsliceCompareConst(t *testing.T) {
+	bs := NewBitslice()
+	vals := []uint64{0, 1, 41, 42, 43, 100, 1 << 40, ^uint64(0)}
+	for i, v := range vals {
+		bs.Add(i, v)
+	}
+	for _, c := range []uint64{0, 1, 42, 99, 1 << 40, ^uint64(0)} {
+		eq, lt, gt := bs.CompareConst(c)
+		for i, v := range vals {
+			if eq.Has(i) != (v == c) || lt.Has(i) != (v < c) || gt.Has(i) != (v > c) {
+				t.Fatalf("CompareConst(%d) row %d (val %d): eq=%v lt=%v gt=%v",
+					c, i, v, eq.Has(i), lt.Has(i), gt.Has(i))
+			}
+		}
+		if eq.Count()+lt.Count()+gt.Count() != len(vals) {
+			t.Fatalf("CompareConst(%d) partitions overlap or leak", c)
+		}
+	}
+}
+
+func TestPropertyBitsliceCompareConst(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		bs := NewBitslice()
+		n := 1 + r.Intn(200)
+		vals := make([]uint64, n)
+		for i := range vals {
+			vals[i] = uint64(r.Intn(1 << 16))
+			bs.Add(i, vals[i])
+		}
+		c := uint64(r.Intn(1 << 16))
+		eq, lt, gt := bs.CompareConst(c)
+		for i, v := range vals {
+			if eq.Has(i) != (v == c) || lt.Has(i) != (v < c) || gt.Has(i) != (v > c) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func BenchmarkBitsliceSum(b *testing.B) {
 	bs := NewBitslice()
 	r := rand.New(rand.NewSource(1))

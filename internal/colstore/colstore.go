@@ -67,11 +67,39 @@ func (s *Store) PutItem(tx *engine.Txn, table string, part, sort mmvalue.Value, 
 }
 
 // GetItem reconstructs the item at (part, sort) as a document — the
-// paper's `SELECT JSON *` round trip.
+// paper's `SELECT JSON *` round trip. The field slice is sized exactly
+// from a counting pre-pass over the prefix scan, so reconstruction does
+// one allocation instead of one per attribute append-growth step.
 func (s *Store) GetItem(tx *engine.Txn, table string, part, sort mmvalue.Value) (mmvalue.Value, bool, error) {
 	prefix := itemPrefix(part, sort)
 	hi := keyenc.AppendMax(append([]byte{}, prefix...))
-	var fields []mmvalue.Field
+	n := 0
+	if err := tx.Scan(Keyspace(table), prefix, hi, func(_, _ []byte) bool {
+		n++
+		return true
+	}); err != nil {
+		return mmvalue.Null, false, err
+	}
+	if n == 0 {
+		return mmvalue.Null, false, nil
+	}
+	fields, ok, err := s.GetItemAppend(tx, table, part, sort, make([]mmvalue.Field, 0, n))
+	if err != nil || !ok {
+		return mmvalue.Null, false, err
+	}
+	return mmvalue.ObjectOf(fields), true, nil
+}
+
+// GetItemAppend decodes the item at (part, sort) into buf (reset to
+// length 0, capacity reused), returning the fields in attribute-key
+// order. Callers that reconstruct many items — the batch reader's row
+// fallback among them — amortize the per-item field allocation this way.
+// Note mmvalue.ObjectOf takes ownership of its argument, so a reused buf
+// must not be passed to it directly.
+func (s *Store) GetItemAppend(tx *engine.Txn, table string, part, sort mmvalue.Value, buf []mmvalue.Field) ([]mmvalue.Field, bool, error) {
+	prefix := itemPrefix(part, sort)
+	hi := keyenc.AppendMax(append([]byte{}, prefix...))
+	buf = buf[:0]
 	var decErr error
 	err := tx.Scan(Keyspace(table), prefix, hi, func(k, v []byte) bool {
 		parts, err := keyenc.Decode(k)
@@ -84,19 +112,16 @@ func (s *Store) GetItem(tx *engine.Txn, table string, part, sort mmvalue.Value) 
 			decErr = err
 			return false
 		}
-		fields = append(fields, mmvalue.F(parts[2].AsString(), val))
+		buf = append(buf, mmvalue.F(parts[2].AsString(), val))
 		return true
 	})
 	if err != nil {
-		return mmvalue.Null, false, err
+		return buf, false, err
 	}
 	if decErr != nil {
-		return mmvalue.Null, false, decErr
+		return buf, false, decErr
 	}
-	if len(fields) == 0 {
-		return mmvalue.Null, false, nil
-	}
-	return mmvalue.ObjectOf(fields), true, nil
+	return buf, len(buf) > 0, nil
 }
 
 // GetAttr reads one attribute of an item — the column-store advantage: a

@@ -54,6 +54,11 @@ type Options struct {
 	// default) disables stale serving — any version mismatch recomputes in
 	// the foreground.
 	MaxResultStaleness time.Duration
+	// Vectorized makes the auto-transaction query entry points run eligible
+	// scan→filter→aggregate pipelines over column tables batch-at-a-time
+	// (see internal/query's vector.go). Results are byte-identical to the
+	// row path; per-call query.Options can still opt in explicitly.
+	Vectorized bool
 }
 
 // DB is a multi-model database instance.
@@ -95,6 +100,8 @@ type DB struct {
 	// auto-transaction query entry points (per-call query.Options can still
 	// opt in explicitly).
 	snapshotReads bool
+	// vectorized is the Options.Vectorized default, applied the same way.
+	vectorized bool
 }
 
 // Open creates or recovers a database.
@@ -123,6 +130,7 @@ func Open(opts Options) (*DB, error) {
 		plans:  newPlanCache(defaultPlanCacheCap),
 
 		snapshotReads: opts.SnapshotReads,
+		vectorized:    opts.Vectorized,
 		maxStale:      opts.MaxResultStaleness,
 	}
 	if opts.ResultCacheBytes > 0 {
@@ -423,6 +431,14 @@ func (db *DB) queryAuto(dialect, text string, params map[string]mmvalue.Value,
 // cacheable pipelines, then the snapshot-read fast path for proven
 // read-only ones, then the 2PL auto-commit path.
 func (db *DB) execPipeline(dialect, text string, pipe *query.Pipeline, opts query.Options) (*query.Result, error) {
+	// Apply the database-level vectorization default before either execution
+	// path (cached or not) so both observe the same options. Like the
+	// parallelism knobs, Vectorized is excluded from resultKey: the
+	// vectorized executor is byte-identical to the row path, so cached and
+	// recomputed results agree regardless of the flag.
+	if db.vectorized {
+		opts.Vectorized = true
+	}
 	if db.results != nil && !opts.NoResultCache && pipe.Cacheable() {
 		res, handled, err := db.execCached(dialect, text, pipe, opts)
 		if handled {

@@ -210,7 +210,10 @@ func (rc *resultCache) statsSnapshot() ResultCacheStats {
 // option that changes result order (DisableIndexes — index-range order vs
 // scan order), and every bound parameter in sorted name order with its
 // canonical binary encoding. Parallelism options are deliberately excluded:
-// the executor guarantees byte-identical results at any MaxParallel.
+// the executor guarantees byte-identical results at any MaxParallel. The
+// Vectorized/VectorBatchSize options are excluded for the same reason: the
+// batch-at-a-time columnar executor is byte-identical to the row path, so a
+// cached row-path result may serve a vectorized call and vice versa.
 func resultKey(dialect, text string, disableIndexes bool, params map[string]mmvalue.Value) string {
 	var sb strings.Builder
 	sb.WriteString(dialect)

@@ -160,17 +160,24 @@ func appendEscaped(dst, payload []byte) []byte {
 // through the float64 image and are rejected at Append time by design: unidb
 // primary keys are strings or small ints).
 func Decode(key []byte) ([]mmvalue.Value, error) {
-	var out []mmvalue.Value
+	return DecodeAppend(nil, key)
+}
+
+// DecodeAppend decodes all elements of an encoded key, appending them to dst,
+// and returns the extended slice. Tight scan loops pass a reused scratch
+// slice (dst[:0]) to keep key decoding allocation-free; the appended values
+// own their payloads, so callers may copy them out before the next reuse.
+func DecodeAppend(dst []mmvalue.Value, key []byte) ([]mmvalue.Value, error) {
 	rest := key
 	for len(rest) > 0 {
 		v, n, err := decodeOne(rest)
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, v)
+		dst = append(dst, v)
 		rest = rest[n:]
 	}
-	return out, nil
+	return dst, nil
 }
 
 func decodeOne(b []byte) (mmvalue.Value, int, error) {

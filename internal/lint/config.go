@@ -52,6 +52,7 @@ func DefaultAnalyzers() []Analyzer {
 		Determinism{Scope: []ScopeRef{
 			{Pkg: "repro/internal/query", Files: []string{
 				"exec.go", "eval.go", "parallel.go", "compile.go", "optimize.go",
+				"vector.go",
 			}},
 		}},
 		ParallelMerge{Scope: []ScopeRef{
@@ -76,7 +77,7 @@ func DefaultAnalyzers() []Analyzer {
 		},
 		CacheKey{Scope: []ScopeRef{
 			{Pkg: "repro/internal/core", Files: []string{"resultcache.go"}},
-			{Pkg: "repro/internal/query", Files: []string{"readset.go"}},
+			{Pkg: "repro/internal/query", Files: []string{"readset.go", "vector.go"}},
 		}},
 	}
 }

@@ -250,4 +250,10 @@ type Pipeline struct {
 	// data-version vector.
 	readSet   []ReadRef
 	cacheable bool
+	// vec is the compile-time vectorization plan (see the vectorizable
+	// analysis in compile.go and the runtime in vector.go): non-nil when the
+	// pipeline opens with a FOR over a named source whose fused filters are
+	// expressible over column vectors. Execution still requires
+	// Options.Vectorized and a column-backed ("coltable") source.
+	vec *vecPlan
 }

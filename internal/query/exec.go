@@ -67,6 +67,16 @@ type Options struct {
 	// and its result is not stored. Execute itself never consults the cache;
 	// the flag is honored by the auto-transaction entry points.
 	NoResultCache bool
+	// Vectorized enables the batch-at-a-time executor (vector.go) for
+	// pipelines whose compiled plan carries a vectorization plan and whose
+	// source is column-backed. Results are byte-identical to the row path —
+	// like the parallelism options, this is an execution strategy, not a
+	// semantic switch — so core's result-cache key ignores it.
+	Vectorized bool
+	// VectorBatchSize caps the rows per column batch on the vectorized
+	// path. 0 means colstore.DefaultBatchSize; tests force small odd sizes
+	// to exercise batch boundaries.
+	VectorBatchSize int
 }
 
 // Stats reports what the optimizer did — benches assert on these.
@@ -93,6 +103,10 @@ type Stats struct {
 	// SnapshotReads is 1 when this execution ran on a lock-free snapshot
 	// transaction (zero lock-manager traffic) and 0 on the 2PL path.
 	SnapshotReads int
+	// Vectorized-execution counters (see vector.go).
+	VectorizedBatches      int // column batches processed batch-at-a-time
+	BatchesSkippedByBitmap int // batches pruned by bitset/zone/bitslice alone
+	VectorizedAggs         int // per-batch aggregates answered from column vectors
 }
 
 // Result is a completed execution.
@@ -134,6 +148,20 @@ func (c *execCtx) runPipeline(pipe *Pipeline, start *env) ([]mmvalue.Value, erro
 	prevPipe := c.curPipe
 	c.curPipe = pipe
 	defer func() { c.curPipe = prevPipe }()
+	// Whole-pipeline vectorized aggregation: when the compiled plan proved
+	// the pipeline is exactly scan→filter→keyless-aggregate, finish it from
+	// per-batch column partials without materializing a single row. Only
+	// from an empty starting environment — a subquery run per outer row has
+	// outer bindings its expressions may reference.
+	if c.opts.Vectorized && pipe.vec != nil && pipe.vec.agg != nil && start == nil {
+		vals, ok, err := c.execVecAgg(pipe)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			return vals, nil
+		}
+	}
 	rows := []*env{start}
 	clauses := pipe.Clauses
 	for i := 0; i < len(clauses); i++ {
@@ -559,6 +587,20 @@ type forPart struct {
 // Scanning itself stays serial — sources are read through the transaction —
 // but the per-element bind + residual filter evaluation is the hot loop.
 func (c *execCtx) execFor(cl *ForClause, filters []*FilterClause, rows []*env) ([]*env, error) {
+	// Vectorized scan+filter: the opening FOR of the current pipeline, run
+	// from the empty starting environment, with a compiled vectorization
+	// plan. execVecScan declines (ok=false) for non-column sources and
+	// non-vectorizable bindings, falling through to the row path below.
+	if c.opts.Vectorized && c.curPipe != nil && c.curPipe.vec != nil &&
+		c.curPipe.vec.forCl == cl && len(rows) == 1 && rows[0] == nil {
+		out, ok, err := c.execVecScan(cl, filters, rows)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			return out, nil
+		}
+	}
 	parts := make([]forPart, 0, len(rows))
 	total := 0
 	for _, r := range rows {
@@ -652,9 +694,10 @@ func (c *execCtx) sourceElems(cl *ForClause, filters []*FilterClause, r *env) ([
 	return nil, fmt.Errorf("query: bad source")
 }
 
-// scanNamed resolves a named source and iterates it, consulting indexes
-// first (see optimize.go).
-func (c *execCtx) scanNamed(loopVar, name string, filters []*FilterClause, r *env) ([]mmvalue.Value, error) {
+// resolveName classifies a named source ("collection", "table", "coltable",
+// "graph", "bucket", or "" when unknown), memoizing per execution — queries
+// cannot run DDL, so a name's kind cannot change mid-query.
+func (c *execCtx) resolveName(name string) string {
 	kind, memoized := c.resolved[name]
 	if !memoized {
 		if c.src.Resolve != nil {
@@ -665,6 +708,13 @@ func (c *execCtx) scanNamed(loopVar, name string, filters []*FilterClause, r *en
 		}
 		c.resolved[name] = kind
 	}
+	return kind
+}
+
+// scanNamed resolves a named source and iterates it, consulting indexes
+// first (see optimize.go).
+func (c *execCtx) scanNamed(loopVar, name string, filters []*FilterClause, r *env) ([]mmvalue.Value, error) {
+	kind := c.resolveName(name)
 	if kind == "" {
 		return nil, fmt.Errorf("query: unknown source %q", name)
 	}

@@ -19,10 +19,12 @@
 #                         timers measure disk sync latency and swing far
 #                         more run-to-run than the compute-bound benches,
 #                         60% for E21, whose locked arm measures lock
-#                         convoy wait times behind a think-time writer, and
+#                         convoy wait times behind a think-time writer,
 #                         40% for E22, whose cached arms are sub-µs serves
 #                         sensitive to scheduler noise and whose stale-serve
-#                         arm races a background writer
+#                         arm races a background writer, and 40% for E23,
+#                         whose row-path arms are GC-heavy full scans that
+#                         swing with heap state run-to-run
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -53,5 +55,5 @@ failflag=()
 if [ "${BENCHDIFF_FAIL:-0}" = "1" ]; then
   failflag=(-fail)
 fi
-per_bench="${BENCHDIFF_PER_BENCH:-E7WALDurability=40,E20GroupCommit=40,E21SnapshotReads=60,E22ResultCache=40}"
+per_bench="${BENCHDIFF_PER_BENCH:-E7WALDurability=40,E20GroupCommit=40,E21SnapshotReads=60,E22ResultCache=40,E23Vectorized=40}"
 go run ./cmd/benchdiff "${failflag[@]}" -per-bench "$per_bench" "$baseline" "$fresh" | tee "$report"

@@ -85,6 +85,13 @@ type Options struct {
 	// default) keeps strict freshness — version mismatches recompute in the
 	// foreground. Only meaningful with ResultCacheBytes > 0.
 	MaxResultStaleness time.Duration
+	// Vectorized makes Query/SQL run eligible scan→filter→aggregate
+	// statements over column tables batch-at-a-time: column vectors with
+	// presence bitmaps per ~1k-row batch, predicates as bitset algebra with
+	// zone/bitslice pruning, and aggregates finished from per-batch
+	// partials. Results are byte-identical to row-at-a-time execution. The
+	// same switch exists per call on QueryOptions.
+	Vectorized bool
 }
 
 // Database is a multi-model database handle.
@@ -101,6 +108,7 @@ func Open(opts Options) (*Database, error) {
 		SnapshotReads:      opts.SnapshotReads,
 		ResultCacheBytes:   opts.ResultCacheBytes,
 		MaxResultStaleness: opts.MaxResultStaleness,
+		Vectorized:         opts.Vectorized,
 	})
 	if err != nil {
 		return nil, err
@@ -138,7 +146,8 @@ func (d *Database) SQL(msql string, params map[string]Value) (*Result, error) {
 // default (1024), negative disables parallel execution entirely. MaxParallel
 // caps the worker goroutines (0 means GOMAXPROCS). Parallel and serial
 // execution produce byte-identical results; the knobs trade fan-out overhead
-// against multi-core scaling.
+// against multi-core scaling. Vectorized (with VectorBatchSize) opts one call
+// into the batch-at-a-time columnar executor — also byte-identical.
 type QueryOptions = query.Options
 
 // QueryOpts runs MMQL with explicit execution options.
