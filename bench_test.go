@@ -10,6 +10,7 @@ import (
 	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -29,6 +30,7 @@ import (
 	"repro/internal/query"
 	"repro/internal/rdfstore"
 	"repro/internal/relstore"
+	"repro/internal/shard"
 	"repro/internal/sinew"
 	"repro/internal/unibench"
 )
@@ -671,7 +673,7 @@ func BenchmarkE13MultiModelIndex(b *testing.B) {
 		{
 			Name:      "friends",
 			Keyspaces: []string{graphstore.OutKeyspace("social")},
-			Follow: func(tx *engine.Txn, in mmvalue.Value) ([]mmvalue.Value, error) {
+			Follow: func(tx engine.Tx, in mmvalue.Value) ([]mmvalue.Value, error) {
 				ns, err := db.Graphs.Neighbors(tx, "social", in.AsString(), graphstore.Outbound, "knows")
 				if err != nil {
 					return nil, err
@@ -686,7 +688,7 @@ func BenchmarkE13MultiModelIndex(b *testing.B) {
 		{
 			Name:      "cart",
 			Keyspaces: []string{kvstore.Keyspace("cart")},
-			Follow: func(tx *engine.Txn, in mmvalue.Value) ([]mmvalue.Value, error) {
+			Follow: func(tx engine.Tx, in mmvalue.Value) ([]mmvalue.Value, error) {
 				v, ok, err := db.KV.Get(tx, "cart", in.AsString())
 				if err != nil || !ok {
 					return nil, err
@@ -697,7 +699,7 @@ func BenchmarkE13MultiModelIndex(b *testing.B) {
 		{
 			Name:      "total",
 			Keyspaces: []string{kvstore.Keyspace("ordertotals")},
-			Follow: func(tx *engine.Txn, in mmvalue.Value) ([]mmvalue.Value, error) {
+			Follow: func(tx engine.Tx, in mmvalue.Value) ([]mmvalue.Value, error) {
 				v, ok, err := db.KV.Get(tx, "ordertotals", in.AsString())
 				if err != nil || !ok {
 					return nil, err
@@ -1554,5 +1556,97 @@ func BenchmarkE23Vectorized(b *testing.B) {
 				}
 			})
 		}
+	}
+}
+
+// BenchmarkE24ShardedScan measures the shard router (E24): scan+aggregate
+// throughput over a hash-partitioned keyspace at Shards ∈ {1, 2, 4} with
+// 1/4/16 concurrent snapshot readers, and commit throughput for
+// transactions whose write-set spans shards (the 2PC path). Shards=1 runs
+// the single-engine fast path — the zero-overhead baseline. The scatter
+// stage runs one goroutine per shard, so the scan speedup tracks available
+// cores; on a single-core host the fan-out is a wash and the numbers mainly
+// price the merge.
+func BenchmarkE24ShardedScan(b *testing.B) {
+	const rows = 50000
+	for _, shards := range []int{1, 2, 4} {
+		r, err := shard.Open(shard.Options{
+			Dir:        b.TempDir(),
+			Durability: engine.Buffered,
+			Shards:     shards,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		const chunk = 5000
+		for lo := 0; lo < rows; lo += chunk {
+			err := r.Update(func(tx engine.Tx) error {
+				for i := lo; i < lo+chunk; i++ {
+					if err := tx.Put("items", []byte(fmt.Sprintf("k%08d", i)),
+						[]byte(fmt.Sprintf("v%d", i))); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		for _, readers := range []int{1, 4, 16} {
+			b.Run(fmt.Sprintf("scan/shards=%d/readers=%d", shards, readers), func(b *testing.B) {
+				var next atomic.Int64
+				b.ResetTimer()
+				var wg sync.WaitGroup
+				for g := 0; g < readers; g++ {
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						for next.Add(1) <= int64(b.N) {
+							n := 0
+							err := r.SnapshotView(func(tx engine.Tx) error {
+								return tx.Scan("items", nil, nil, func(k, v []byte) bool {
+									n += len(v)
+									return true
+								})
+							})
+							if err != nil || n == 0 {
+								b.Errorf("scan: n=%d err=%v", n, err)
+								return
+							}
+						}
+					}()
+				}
+				wg.Wait()
+				b.ReportMetric(float64(b.N)*rows/b.Elapsed().Seconds(), "rows/s")
+			})
+		}
+		b.Run(fmt.Sprintf("commit/shards=%d", shards), func(b *testing.B) {
+			before := r.Stats().CrossShardTxns
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				err := r.Update(func(tx engine.Tx) error {
+					// Four keys per transaction: at Shards>1 the write-set
+					// almost surely spans shards, exercising prepare +
+					// decision + apply instead of the one-batch fast path.
+					for j := 0; j < 4; j++ {
+						if err := tx.Put("cc", []byte(fmt.Sprintf("c%08d-%d", i, j)),
+							[]byte("x")); err != nil {
+							return err
+						}
+					}
+					return nil
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			if shards > 1 {
+				frac := float64(r.Stats().CrossShardTxns-before) / float64(b.N)
+				b.ReportMetric(frac, "xshard-frac")
+			}
+		})
+		r.Close()
 	}
 }

@@ -2,10 +2,10 @@
 //
 // Usage:
 //
-//	unidb [-dir data] [-sql]
+//	unidb [-dir data] [-sql] [-shards N]
 //
 // Lines are MMQL by default (or MSQL with -sql / after ".sql"). Meta
-// commands: .help, .mmql, .sql, .keyspaces, .checkpoint, .quit.
+// commands: .help, .mmql, .sql, .keyspaces, .stats, .checkpoint, .quit.
 package main
 
 import (
@@ -21,9 +21,10 @@ import (
 func main() {
 	dir := flag.String("dir", "", "data directory (empty = in-memory)")
 	useSQL := flag.Bool("sql", false, "start in MSQL mode")
+	shards := flag.Int("shards", 0, "hash-partition keyspaces across N engine shards (0/1 = single engine)")
 	flag.Parse()
 
-	opts := unidb.Options{Dir: *dir}
+	opts := unidb.Options{Dir: *dir, Shards: *shards}
 	if *dir != "" {
 		opts.Durability = unidb.Buffered
 	}
@@ -62,15 +63,18 @@ func main() {
   .checkpoint  snapshot + truncate WAL (durable databases)
   .quit        exit
   .keyspaces   list engine keyspaces and sizes
+  .stats       WAL, plan/result cache, and shard counters
 anything else runs as a query in the current language`)
 		case line == ".mmql":
 			mode = "mmql"
 		case line == ".sql":
 			mode = "msql"
 		case line == ".keyspaces":
-			for _, ks := range db.Core().Engine.Keyspaces() {
-				fmt.Printf("  %-40s %d keys\n", ks, db.Core().Engine.KeyspaceLen(ks))
+			for _, ks := range db.Core().Keyspaces() {
+				fmt.Printf("  %-40s %d keys\n", ks, db.Core().KeyspaceLen(ks))
 			}
+		case line == ".stats":
+			printStats(db)
 		case line == ".checkpoint":
 			if err := db.Checkpoint(); err != nil {
 				fmt.Println("error:", err)
@@ -80,6 +84,23 @@ anything else runs as a query in the current language`)
 		default:
 			run(db, mode, line)
 		}
+	}
+}
+
+func printStats(db *unidb.Database) {
+	ws := db.WALStats()
+	fmt.Printf("wal: appends=%d batched=%d windows=%d group-commits=%d fsyncs=%d saved=%d\n",
+		ws.Appends, ws.BatchedAppends, ws.Windows, ws.GroupCommits, ws.Fsyncs, ws.FsyncsSaved)
+	ps := db.PlanCacheStats()
+	fmt.Printf("plans: hits=%d misses=%d size=%d epoch=%d\n", ps.Hits, ps.Misses, ps.Size, ps.Epoch)
+	rs := db.ResultCacheStats()
+	fmt.Printf("results: hits=%d misses=%d stale-serves=%d refreshes=%d bytes=%d\n",
+		rs.Hits, rs.Misses, rs.StaleServes, rs.BackgroundRefreshes, rs.Bytes)
+	ss := db.ShardStats()
+	fmt.Printf("shards: n=%d fanouts=%d cross-shard-txns=%d prepares=%d\n",
+		ss.Shards, ss.ShardFanouts, ss.CrossShardTxns, ss.PreparedTxns)
+	for i, vers := range ss.KeyspaceVersions {
+		fmt.Printf("  shard %d: %d keyspaces versioned\n", i, len(vers))
 	}
 }
 

@@ -150,7 +150,7 @@ func SchemaFromValue(v mmvalue.Value) Schema {
 // rewrote an entry sees its own version, and an aborted DDL leaves no
 // stale decode behind (the raw bytes won't match).
 type Catalog struct {
-	e  *engine.Engine
+	e  engine.Sizer
 	dc *binenc.DecodeCache
 }
 
@@ -159,7 +159,7 @@ type Catalog struct {
 const decodeCacheCap = 4096
 
 // New returns a catalog over the engine.
-func New(e *engine.Engine) *Catalog {
+func New(e engine.Sizer) *Catalog {
 	return &Catalog{e: e, dc: binenc.NewDecodeCache(decodeCacheCap)}
 }
 
@@ -174,7 +174,7 @@ type Entry struct {
 }
 
 // Create registers an object, failing if it exists.
-func (c *Catalog) Create(tx *engine.Txn, kind, name string, meta mmvalue.Value) error {
+func (c *Catalog) Create(tx engine.Tx, kind, name string, meta mmvalue.Value) error {
 	k := objKey(kind, name)
 	if _, ok, err := tx.Get(keyspace, k); err != nil {
 		return err
@@ -185,12 +185,12 @@ func (c *Catalog) Create(tx *engine.Txn, kind, name string, meta mmvalue.Value) 
 }
 
 // Put registers or replaces an object's metadata.
-func (c *Catalog) Put(tx *engine.Txn, kind, name string, meta mmvalue.Value) error {
+func (c *Catalog) Put(tx engine.Tx, kind, name string, meta mmvalue.Value) error {
 	return tx.Put(keyspace, objKey(kind, name), binenc.Encode(meta))
 }
 
 // Get fetches an object's metadata.
-func (c *Catalog) Get(tx *engine.Txn, kind, name string) (mmvalue.Value, error) {
+func (c *Catalog) Get(tx engine.Tx, kind, name string) (mmvalue.Value, error) {
 	raw, ok, err := tx.Get(keyspace, objKey(kind, name))
 	if err != nil {
 		return mmvalue.Null, err
@@ -202,19 +202,19 @@ func (c *Catalog) Get(tx *engine.Txn, kind, name string) (mmvalue.Value, error) 
 }
 
 // Exists reports whether the object is registered.
-func (c *Catalog) Exists(tx *engine.Txn, kind, name string) (bool, error) {
+func (c *Catalog) Exists(tx engine.Tx, kind, name string) (bool, error) {
 	_, ok, err := tx.Get(keyspace, objKey(kind, name))
 	return ok, err
 }
 
 // Delete unregisters an object.
-func (c *Catalog) Delete(tx *engine.Txn, kind, name string) error {
+func (c *Catalog) Delete(tx engine.Tx, kind, name string) error {
 	return tx.Delete(keyspace, objKey(kind, name))
 }
 
 // List returns all entries of a kind in name order; empty kind lists
 // everything.
-func (c *Catalog) List(tx *engine.Txn, kind string) ([]Entry, error) {
+func (c *Catalog) List(tx engine.Tx, kind string) ([]Entry, error) {
 	var out []Entry
 	var decodeErr error
 	err := tx.Scan(keyspace, nil, nil, func(k, v []byte) bool {
@@ -248,13 +248,13 @@ func (c *Catalog) List(tx *engine.Txn, kind string) ([]Entry, error) {
 }
 
 // CreateWithSchema registers an object whose metadata is (only) a schema.
-func (c *Catalog) CreateWithSchema(tx *engine.Txn, kind, name string, schema Schema) error {
+func (c *Catalog) CreateWithSchema(tx engine.Tx, kind, name string, schema Schema) error {
 	return c.Create(tx, kind, name, schemaToValue(schema))
 }
 
 // GetSchema fetches a schema stored by CreateWithSchema, or the schema
 // under the "schema" field of a larger metadata document.
-func (c *Catalog) GetSchema(tx *engine.Txn, kind, name string) (Schema, error) {
+func (c *Catalog) GetSchema(tx engine.Tx, kind, name string) (Schema, error) {
 	meta, err := c.Get(tx, kind, name)
 	if err != nil {
 		return Schema{}, err

@@ -185,7 +185,7 @@ func (b *Batch) seal() {
 // the engine snapshot — items are never split across batches. A non-nil
 // project keeps only the named attributes' values (keys are still decoded
 // for item boundaries); projected batches cannot reconstruct documents.
-func (s *Store) ReadBatches(tx *engine.Txn, table string, batchSize int, project []string) ([]*Batch, error) {
+func (s *Store) ReadBatches(tx engine.Tx, table string, batchSize int, project []string) ([]*Batch, error) {
 	if batchSize <= 0 {
 		batchSize = DefaultBatchSize
 	}

@@ -31,11 +31,11 @@ var ErrNotFound = errors.New("colstore: item not found")
 
 // Store provides wide-column operations within engine transactions.
 type Store struct {
-	e *engine.Engine
+	e engine.Sizer
 }
 
 // New returns a wide-column store over the engine.
-func New(e *engine.Engine) *Store { return &Store{e: e} }
+func New(e engine.Sizer) *Store { return &Store{e: e} }
 
 // Keyspace returns the engine keyspace of a table.
 func Keyspace(table string) string { return "col:" + table }
@@ -54,7 +54,7 @@ func itemPrefix(part, sort mmvalue.Value) []byte {
 // PutItem stores (or extends) the item at (part, sort) with the attributes
 // of attrs — items in the same table may carry entirely different
 // attribute sets (the "sparse table" property).
-func (s *Store) PutItem(tx *engine.Txn, table string, part, sort mmvalue.Value, attrs mmvalue.Value) error {
+func (s *Store) PutItem(tx engine.Tx, table string, part, sort mmvalue.Value, attrs mmvalue.Value) error {
 	if attrs.Kind() != mmvalue.KindObject {
 		return fmt.Errorf("colstore: attributes must be an object, got %v", attrs.Kind())
 	}
@@ -70,7 +70,7 @@ func (s *Store) PutItem(tx *engine.Txn, table string, part, sort mmvalue.Value, 
 // paper's `SELECT JSON *` round trip. The field slice is sized exactly
 // from a counting pre-pass over the prefix scan, so reconstruction does
 // one allocation instead of one per attribute append-growth step.
-func (s *Store) GetItem(tx *engine.Txn, table string, part, sort mmvalue.Value) (mmvalue.Value, bool, error) {
+func (s *Store) GetItem(tx engine.Tx, table string, part, sort mmvalue.Value) (mmvalue.Value, bool, error) {
 	prefix := itemPrefix(part, sort)
 	hi := keyenc.AppendMax(append([]byte{}, prefix...))
 	n := 0
@@ -96,7 +96,7 @@ func (s *Store) GetItem(tx *engine.Txn, table string, part, sort mmvalue.Value) 
 // fallback among them — amortize the per-item field allocation this way.
 // Note mmvalue.ObjectOf takes ownership of its argument, so a reused buf
 // must not be passed to it directly.
-func (s *Store) GetItemAppend(tx *engine.Txn, table string, part, sort mmvalue.Value, buf []mmvalue.Field) ([]mmvalue.Field, bool, error) {
+func (s *Store) GetItemAppend(tx engine.Tx, table string, part, sort mmvalue.Value, buf []mmvalue.Field) ([]mmvalue.Field, bool, error) {
 	prefix := itemPrefix(part, sort)
 	hi := keyenc.AppendMax(append([]byte{}, prefix...))
 	buf = buf[:0]
@@ -126,7 +126,7 @@ func (s *Store) GetItemAppend(tx *engine.Txn, table string, part, sort mmvalue.V
 
 // GetAttr reads one attribute of an item — the column-store advantage: a
 // single column read touches one entry, never the whole item.
-func (s *Store) GetAttr(tx *engine.Txn, table string, part, sort mmvalue.Value, attr string) (mmvalue.Value, bool, error) {
+func (s *Store) GetAttr(tx engine.Tx, table string, part, sort mmvalue.Value, attr string) (mmvalue.Value, bool, error) {
 	raw, ok, err := tx.Get(Keyspace(table), attrKey(part, sort, attr))
 	if err != nil || !ok {
 		return mmvalue.Null, false, err
@@ -139,13 +139,13 @@ func (s *Store) GetAttr(tx *engine.Txn, table string, part, sort mmvalue.Value, 
 }
 
 // DeleteAttr removes one attribute of an item.
-func (s *Store) DeleteAttr(tx *engine.Txn, table string, part, sort mmvalue.Value, attr string) error {
+func (s *Store) DeleteAttr(tx engine.Tx, table string, part, sort mmvalue.Value, attr string) error {
 	return tx.Delete(Keyspace(table), attrKey(part, sort, attr))
 }
 
 // DeleteItem removes every attribute of an item, reporting whether any
 // existed.
-func (s *Store) DeleteItem(tx *engine.Txn, table string, part, sort mmvalue.Value) (bool, error) {
+func (s *Store) DeleteItem(tx engine.Tx, table string, part, sort mmvalue.Value) (bool, error) {
 	prefix := itemPrefix(part, sort)
 	hi := keyenc.AppendMax(append([]byte{}, prefix...))
 	var keys [][]byte
@@ -174,7 +174,7 @@ type Item struct {
 
 // QueryPartition returns every item of one partition in sort-key order —
 // DynamoDB's Query over (partition key, sort key).
-func (s *Store) QueryPartition(tx *engine.Txn, table string, part mmvalue.Value) ([]Item, error) {
+func (s *Store) QueryPartition(tx engine.Tx, table string, part mmvalue.Value) ([]Item, error) {
 	prefix := keyenc.Append(nil, part)
 	hi := keyenc.AppendMax(append([]byte{}, prefix...))
 	var items []Item
@@ -207,7 +207,7 @@ func (s *Store) QueryPartition(tx *engine.Txn, table string, part mmvalue.Value)
 
 // QuerySortRange returns the items of one partition with lo <= sort < hi
 // (nil bounds open) — DynamoDB sort-key condition expressions.
-func (s *Store) QuerySortRange(tx *engine.Txn, table string, part mmvalue.Value, lo, hi mmvalue.Value, loOpen, hiOpen bool) ([]Item, error) {
+func (s *Store) QuerySortRange(tx engine.Tx, table string, part mmvalue.Value, lo, hi mmvalue.Value, loOpen, hiOpen bool) ([]Item, error) {
 	items, err := s.QueryPartition(tx, table, part)
 	if err != nil {
 		return nil, err
@@ -228,7 +228,7 @@ func (s *Store) QuerySortRange(tx *engine.Txn, table string, part mmvalue.Value,
 // ScanJSON reconstructs every item of the table as a document carrying
 // `_part` and `_sort` — the Cassandra `SELECT JSON * FROM t` of the paper,
 // and the shape the unified query layer iterates.
-func (s *Store) ScanJSON(tx *engine.Txn, table string, fn func(doc mmvalue.Value) bool) error {
+func (s *Store) ScanJSON(tx engine.Tx, table string, fn func(doc mmvalue.Value) bool) error {
 	var cur mmvalue.Value
 	var curPart, curSort mmvalue.Value
 	started := false

@@ -22,6 +22,7 @@ import (
 	"repro/internal/query"
 	"repro/internal/rdfstore"
 	"repro/internal/relstore"
+	"repro/internal/shard"
 	"repro/internal/wal"
 	"repro/internal/xmlstore"
 )
@@ -59,11 +60,26 @@ type Options struct {
 	// (see internal/query's vector.go). Results are byte-identical to the
 	// row path; per-call query.Options can still opt in explicitly.
 	Vectorized bool
+	// Shards hash-partitions every keyspace across this many in-process
+	// engine shards (internal/shard): point operations route by key hash,
+	// scans fan out and merge, and transactions spanning shards commit via
+	// two-phase commit over the group-commit WAL. 0 or 1 keeps today's
+	// single-engine path with zero added overhead. The count is fixed at
+	// first open of a directory.
+	Shards int
 }
 
 // DB is a multi-model database instance.
 type DB struct {
+	// Engine is the storage engine when the database is unsharded
+	// (Options.Shards <= 1); it is nil under a shard router. Code that must
+	// work over both goes through the DB's backend wrappers (Update, View,
+	// SnapshotView, Checkpoint, …); Engine stays exported for tests and
+	// benches that poke single-engine internals.
 	Engine *engine.Engine
+	// be is the storage backend every path actually uses: a shard.Single
+	// over Engine, or a shard.Router fanning across N engines.
+	be     shard.Backend
 	Cat    *catalog.Catalog
 	Docs   *docstore.Store
 	Rels   *relstore.Store
@@ -110,21 +126,39 @@ func Open(opts Options) (*DB, error) {
 	if opts.Dir == "" {
 		durability = engine.Ephemeral
 	}
-	e, err := engine.Open(engine.Options{Dir: opts.Dir, Durability: durability, GroupCommitWindow: opts.GroupCommitWindow})
-	if err != nil {
-		return nil, err
+	var be shard.Backend
+	var single *engine.Engine
+	if opts.Shards > 1 {
+		r, err := shard.Open(shard.Options{
+			Dir:               opts.Dir,
+			Durability:        durability,
+			GroupCommitWindow: opts.GroupCommitWindow,
+			Shards:            opts.Shards,
+		})
+		if err != nil {
+			return nil, err
+		}
+		be = r
+	} else {
+		e, err := engine.Open(engine.Options{Dir: opts.Dir, Durability: durability, GroupCommitWindow: opts.GroupCommitWindow})
+		if err != nil {
+			return nil, err
+		}
+		single = e
+		be = shard.NewSingle(e)
 	}
-	cat := catalog.New(e)
+	cat := catalog.New(be)
 	db := &DB{
-		Engine: e,
+		Engine: single,
+		be:     be,
 		Cat:    cat,
-		Docs:   docstore.New(e, cat),
-		Rels:   relstore.New(e, cat),
-		KV:     kvstore.New(e),
-		Graphs: graphstore.New(e),
-		Cols:   colstore.New(e),
-		XML:    xmlstore.New(e, cat),
-		RDF:    rdfstore.New(e),
+		Docs:   docstore.New(be, cat),
+		Rels:   relstore.New(be, cat),
+		KV:     kvstore.New(be),
+		Graphs: graphstore.New(be),
+		Cols:   colstore.New(be),
+		XML:    xmlstore.New(be, cat),
+		RDF:    rdfstore.New(be),
 		gins:   map[string]*inverted.GIN{},
 		fts:    map[string]*inverted.FullText{},
 		plans:  newPlanCache(defaultPlanCacheCap),
@@ -137,7 +171,6 @@ func Open(opts Options) (*DB, error) {
 		db.results = newResultCache(opts.ResultCacheBytes)
 	}
 	db.sources = &query.Sources{
-		Engine: e,
 		Cols:   db.Cols,
 		Docs:   db.Docs,
 		Rels:   db.Rels,
@@ -165,10 +198,55 @@ func Open(opts Options) (*DB, error) {
 		},
 		Resolve: db.resolve,
 	}
-	e.Subscribe(db.applyToViews)
-	e.Subscribe(db.invalidatePlans)
+	be.Subscribe(db.applyToViews)
+	be.Subscribe(db.invalidatePlans)
 	return db, nil
 }
+
+// --- Backend wrappers ---
+//
+// Every path that used to reach through db.Engine goes through these, so
+// the same code serves one engine and N shards.
+
+// BeginTx starts a read-write transaction on the backend (single-engine 2PL
+// transaction, or a router transaction spanning every shard).
+func (db *DB) BeginTx() (engine.Tx, error) { return db.be.BeginTx() }
+
+// Update runs fn in a read-write transaction, committing on nil and
+// aborting on error, with bounded deadlock retry.
+func (db *DB) Update(fn func(tx engine.Tx) error) error { return db.be.Update(fn) }
+
+// View runs fn read-only over the live locked trees.
+func (db *DB) View(fn func(tx engine.Tx) error) error { return db.be.View(fn) }
+
+// SnapshotView runs fn against a lock-free MVCC snapshot (a consistent
+// cross-shard cut under a router).
+func (db *DB) SnapshotView(fn func(tx engine.Tx) error) error { return db.be.SnapshotView(fn) }
+
+// Checkpoint snapshots the store and truncates covered WAL prefixes (every
+// shard, under a router).
+func (db *DB) Checkpoint() error { return db.be.Checkpoint() }
+
+// WALStats aggregates WAL activity counters across the backend's logs.
+func (db *DB) WALStats() wal.Stats { return db.be.WALStats() }
+
+// EngineSnapshotReads counts snapshot (lock-free) transactions started on
+// the backend.
+func (db *DB) EngineSnapshotReads() uint64 { return db.be.SnapshotReads() }
+
+// NewReplica attaches a WAL-shipping read replica with the given apply lag.
+func (db *DB) NewReplica(lagTxns int) shard.ReplicaView { return db.be.NewReplica(lagTxns) }
+
+// ShardStats reports partition count, fan-out and cross-shard commit
+// counters, and per-shard keyspace versions.
+func (db *DB) ShardStats() shard.Stats { return db.be.Stats() }
+
+// Keyspaces lists keyspace names across the whole backend.
+func (db *DB) Keyspaces() []string { return db.be.Keyspaces() }
+
+// KeyspaceLen reports a keyspace's committed cardinality (summed across
+// shards under a router).
+func (db *DB) KeyspaceLen(ks string) int { return db.be.KeyspaceLen(ks) }
 
 // invalidatePlans is the commit-log subscriber behind the plan cache's
 // invalidation contract: any committed write to the catalog keyspace (all
@@ -198,17 +276,17 @@ func (db *DB) ResultCacheStats() ResultCacheStats {
 
 // KeyspaceVersions returns the engine's per-keyspace data version counters —
 // the validity half of every result-cache key — under one consistent cut.
-func (db *DB) KeyspaceVersions() map[string]uint64 { return db.Engine.Versions() }
+func (db *DB) KeyspaceVersions() map[string]uint64 { return db.be.Versions() }
 
 // Close shuts the database down, draining in-flight background result-cache
 // refreshes first so no goroutine races engine shutdown.
 func (db *DB) Close() error {
 	db.refreshWG.Wait()
-	return db.Engine.Close()
+	return db.be.Close()
 }
 
 // resolve classifies a name for the query layer.
-func (db *DB) resolve(tx *engine.Txn, name string) string {
+func (db *DB) resolve(tx engine.Tx, name string) string {
 	for _, kind := range []string{"collection", "table", "graph", "coltable"} {
 		ok, err := db.Cat.Exists(tx, kind, name)
 		if err == nil && ok {
@@ -223,13 +301,13 @@ func (db *DB) resolve(tx *engine.Txn, name string) string {
 
 // CreateGraph registers a named graph in the catalog so queries can resolve
 // it as a FOR source.
-func (db *DB) CreateGraph(tx *engine.Txn, name string) error {
+func (db *DB) CreateGraph(tx engine.Tx, name string) error {
 	return db.Cat.Create(tx, "graph", name, mmvalue.Object())
 }
 
 // CreateColTable registers a wide-column table (Cassandra/DynamoDB model)
 // so queries can resolve it as a FOR source.
-func (db *DB) CreateColTable(tx *engine.Txn, name string) error {
+func (db *DB) CreateColTable(tx engine.Tx, name string) error {
 	return db.Cat.Create(tx, "coltable", name, mmvalue.Object())
 }
 
@@ -239,7 +317,7 @@ func (db *DB) CreateColTable(tx *engine.Txn, name string) error {
 // keeps it maintained from the commit log.
 func (db *DB) CreateGIN(coll string, mode inverted.Mode) error {
 	g := inverted.NewGIN(mode)
-	err := db.Engine.View(func(tx *engine.Txn) error {
+	err := db.be.View(func(tx engine.Tx) error {
 		return db.Docs.Scan(tx, coll, func(key string, doc mmvalue.Value) bool {
 			g.Add(key, doc)
 			return true
@@ -275,7 +353,7 @@ func (db *DB) GINItems(coll string) int {
 // leaf of every document is tokenized into one posting space per document.
 func (db *DB) CreateFullText(coll string) error {
 	ft := inverted.NewFullText()
-	err := db.Engine.View(func(tx *engine.Txn) error {
+	err := db.be.View(func(tx engine.Tx) error {
 		return db.Docs.Scan(tx, coll, func(key string, doc mmvalue.Value) bool {
 			ft.Add(key, docText(doc))
 			return true
@@ -365,7 +443,7 @@ func (db *DB) applyToViews(batch []wal.Record) {
 			if ft != nil {
 				db.fts[coll] = inverted.NewFullText()
 			}
-		case wal.OpCommit, wal.OpAbort:
+		case wal.OpCommit, wal.OpAbort, wal.OpPrepare:
 			// Control records carry no document data to index.
 		}
 	}
@@ -450,14 +528,14 @@ func (db *DB) execPipeline(dialect, text string, pipe *query.Pipeline, opts quer
 	if (opts.SnapshotReads || db.snapshotReads) && pipe.ReadOnly() {
 		// Proven read-only: run on a lock-free MVCC snapshot. No locks are
 		// taken, no deadlock retry loop is needed, and nothing is committed.
-		err = db.Engine.SnapshotView(func(tx *engine.Txn) error {
+		err = db.be.SnapshotView(func(tx engine.Tx) error {
 			var qerr error
 			res, qerr = query.Execute(tx, db.sources, pipe, opts)
 			return qerr
 		})
 		return res, err
 	}
-	err = db.Engine.Update(func(tx *engine.Txn) error {
+	err = db.be.Update(func(tx engine.Tx) error {
 		var qerr error
 		res, qerr = query.Execute(tx, db.sources, pipe, opts)
 		return qerr
@@ -475,7 +553,7 @@ func (db *DB) execCached(dialect, text string, pipe *query.Pipeline, opts query.
 	now := time.Now()
 	epoch := db.plans.epoch.Load()
 	if ent := db.results.lookup(key, epoch); ent != nil {
-		cur := db.Engine.VersionsFor(ent.keyspaces)
+		cur := db.be.VersionsFor(ent.keyspaces)
 		if versionsEqual(cur, ent.vers) {
 			ent.markFresh(now)
 			db.results.hits.Add(1)
@@ -514,9 +592,9 @@ func (db *DB) computeResultEntry(key string, epoch uint64, pipe *query.Pipeline,
 	if err != nil || !resolved {
 		return nil, nil, err
 	}
-	snap, vers := db.Engine.VersionedSnapshot(keyspaces)
+	snap, vers := db.be.VersionedSnapshot(keyspaces)
 	var res *query.Result
-	err = db.Engine.SnapshotViewAt(snap, func(tx *engine.Txn) error {
+	err = db.be.SnapshotViewAt(snap, func(tx engine.Tx) error {
 		var qerr error
 		res, qerr = query.Execute(tx, db.sources, pipe, opts)
 		return qerr
@@ -602,7 +680,7 @@ func (db *DB) readSetKeyspaces(refs []query.ReadRef) (keyspaces []string, resolv
 		add(graphstore.InKeyspace(name))
 	}
 	resolved = true
-	err = db.Engine.SnapshotView(func(tx *engine.Txn) error {
+	err = db.be.SnapshotView(func(tx engine.Tx) error {
 		for _, r := range refs {
 			switch r.Kind {
 			case query.ReadSource:
@@ -643,7 +721,7 @@ func (db *DB) readSetKeyspaces(refs []query.ReadRef) (keyspaces []string, resolv
 
 // QueryTx runs MMQL inside an existing transaction (for cross-model
 // transactions mixing queries and store calls).
-func (db *DB) QueryTx(tx *engine.Txn, mmql string, params map[string]mmvalue.Value) (*query.Result, error) {
+func (db *DB) QueryTx(tx engine.Tx, mmql string, params map[string]mmvalue.Value) (*query.Result, error) {
 	pipe, err := db.parseCached(dialectMMQL, mmql)
 	if err != nil {
 		return nil, err
@@ -652,7 +730,7 @@ func (db *DB) QueryTx(tx *engine.Txn, mmql string, params map[string]mmvalue.Val
 }
 
 // SQLTx runs MSQL inside an existing transaction.
-func (db *DB) SQLTx(tx *engine.Txn, msql string, params map[string]mmvalue.Value) (*query.Result, error) {
+func (db *DB) SQLTx(tx engine.Tx, msql string, params map[string]mmvalue.Value) (*query.Result, error) {
 	pipe, err := db.parseCached(dialectMSQL, msql)
 	if err != nil {
 		return nil, err

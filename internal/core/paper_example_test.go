@@ -21,7 +21,7 @@ import (
 // seedPaperExample loads the exact data of slides 26–27.
 func seedPaperExample(t testing.TB, db *core.DB) {
 	t.Helper()
-	err := db.Engine.Update(func(tx *engine.Txn) error {
+	err := db.Update(func(tx engine.Tx) error {
 		// Customer relation: Customer_ID, Name, Credit_limit.
 		if err := db.Rels.CreateTable(tx, "customers", relstore.TableSchema{
 			Columns: []relstore.Column{
@@ -177,7 +177,7 @@ func TestFrontEndEquivalence(t *testing.T) {
 func TestRecommendationWithIndex(t *testing.T) {
 	db := openDB(t)
 	seedPaperExample(t, db)
-	err := db.Engine.Update(func(tx *engine.Txn) error {
+	err := db.Update(func(tx engine.Tx) error {
 		return db.Rels.CreateIndex(tx, "customers", "by_credit", "credit_limit")
 	})
 	if err != nil {

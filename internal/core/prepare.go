@@ -83,7 +83,7 @@ func (s *Stmt) ExecOpts(params map[string]mmvalue.Value, opts query.Options) (*q
 }
 
 // ExecTx runs the statement inside an existing transaction.
-func (s *Stmt) ExecTx(tx *engine.Txn, params map[string]mmvalue.Value) (*query.Result, error) {
+func (s *Stmt) ExecTx(tx engine.Tx, params map[string]mmvalue.Value) (*query.Result, error) {
 	pipe, err := s.pipeline()
 	if err != nil {
 		return nil, err

@@ -15,7 +15,7 @@ import (
 // seedStore loads a small product/customer dataset used across query tests.
 func seedStore(t testing.TB, db *core.DB) {
 	t.Helper()
-	err := db.Engine.Update(func(tx *engine.Txn) error {
+	err := db.Update(func(tx engine.Tx) error {
 		if err := db.Docs.CreateCollection(tx, "products", catalogSchemaless()); err != nil {
 			return err
 		}
@@ -357,7 +357,7 @@ func TestMSQLJSONOperators(t *testing.T) {
 	db := openDB(t)
 	// The paper's PostgreSQL example (slide 73): a relational table with a
 	// JSONB orders column queried with ->> and #>.
-	err := db.Engine.Update(func(tx *engine.Txn) error {
+	err := db.Update(func(tx engine.Tx) error {
 		if err := db.Rels.CreateTable(tx, "customer", relstore.TableSchema{
 			Columns: []relstore.Column{
 				{Name: "id", Type: relstore.TInt, NotNull: true},
@@ -457,7 +457,7 @@ func TestMSQLDistinctAndLimitOffset(t *testing.T) {
 
 func TestKVBucketAsSource(t *testing.T) {
 	db := openDB(t)
-	err := db.Engine.Update(func(tx *engine.Txn) error {
+	err := db.Update(func(tx engine.Tx) error {
 		db.KV.Set(tx, "sessions", "s1", mmvalue.MustParseJSON(`{"user":"mary"}`))
 		return db.KV.Set(tx, "sessions", "s2", mmvalue.MustParseJSON(`{"user":"john"}`))
 	})
@@ -530,7 +530,7 @@ func TestOptimizerPrimaryKeyLookup(t *testing.T) {
 func TestOptimizerSecondaryIndexRangeDoc(t *testing.T) {
 	db := openDB(t)
 	seedStore(t, db)
-	err := db.Engine.Update(func(tx *engine.Txn) error {
+	err := db.Update(func(tx engine.Tx) error {
 		return db.Docs.CreateIndex(tx, "products", docstore.IndexDef{Name: "by_price", Path: "price"})
 	})
 	if err != nil {
@@ -576,7 +576,7 @@ func TestOptimizerCorrelatedOuterBinding(t *testing.T) {
 
 func TestTraversalDepthTwo(t *testing.T) {
 	db := openDB(t)
-	err := db.Engine.Update(func(tx *engine.Txn) error {
+	err := db.Update(func(tx engine.Tx) error {
 		if err := db.CreateGraph(tx, "net"); err != nil {
 			return err
 		}
@@ -618,7 +618,7 @@ func TestTraversalDepthTwo(t *testing.T) {
 
 func TestCrossModelFunctionsInQuery(t *testing.T) {
 	db := openDB(t)
-	err := db.Engine.Update(func(tx *engine.Txn) error {
+	err := db.Update(func(tx engine.Tx) error {
 		if err := db.XML.LoadXML(tx, "prod.xml", []byte(`<product no="3424g"><name>Book</name></product>`)); err != nil {
 			return err
 		}

@@ -52,7 +52,7 @@ type IndexDef struct {
 
 // Store provides document operations within engine transactions.
 type Store struct {
-	e      *engine.Engine
+	e      engine.Sizer
 	cat    *catalog.Catalog
 	keySeq atomic.Uint64
 	// dc memoizes decoded documents on the point-lookup path (DOCUMENT()
@@ -62,7 +62,7 @@ type Store struct {
 }
 
 // New returns a document store over the engine.
-func New(e *engine.Engine, cat *catalog.Catalog) *Store {
+func New(e engine.Sizer, cat *catalog.Catalog) *Store {
 	return &Store{e: e, cat: cat, dc: binenc.NewDecodeCache(8192)}
 }
 
@@ -75,7 +75,7 @@ func IndexKeyspace(coll, idx string) string { return "idx:doc:" + coll + ":" + i
 const catKind = "collection"
 
 // CreateCollection registers a collection with a schema.
-func (s *Store) CreateCollection(tx *engine.Txn, name string, schema catalog.Schema) error {
+func (s *Store) CreateCollection(tx engine.Tx, name string, schema catalog.Schema) error {
 	meta := mmvalue.Object(
 		mmvalue.F("schema", catalog.SchemaValue(schema)),
 		mmvalue.F("indexes", mmvalue.Array()),
@@ -84,7 +84,7 @@ func (s *Store) CreateCollection(tx *engine.Txn, name string, schema catalog.Sch
 }
 
 // DropCollection removes a collection, its data, and its indexes.
-func (s *Store) DropCollection(tx *engine.Txn, name string) error {
+func (s *Store) DropCollection(tx engine.Tx, name string) error {
 	meta, err := s.meta(tx, name)
 	if err != nil {
 		return err
@@ -101,7 +101,7 @@ func (s *Store) DropCollection(tx *engine.Txn, name string) error {
 }
 
 // Collections lists collection names.
-func (s *Store) Collections(tx *engine.Txn) ([]string, error) {
+func (s *Store) Collections(tx engine.Tx) ([]string, error) {
 	entries, err := s.cat.List(tx, catKind)
 	if err != nil {
 		return nil, err
@@ -113,7 +113,7 @@ func (s *Store) Collections(tx *engine.Txn) ([]string, error) {
 	return names, nil
 }
 
-func (s *Store) meta(tx *engine.Txn, coll string) (mmvalue.Value, error) {
+func (s *Store) meta(tx engine.Tx, coll string) (mmvalue.Value, error) {
 	meta, err := s.cat.Get(tx, catKind, coll)
 	if errors.Is(err, catalog.ErrNotFound) {
 		return mmvalue.Null, fmt.Errorf("%w: %q", ErrNoCollection, coll)
@@ -150,7 +150,7 @@ func (s *Store) GenerateKey() string {
 
 // Insert stores a new document. The key comes from doc's _key field or is
 // generated; the stored document always carries _key. Returns the key.
-func (s *Store) Insert(tx *engine.Txn, coll string, doc mmvalue.Value) (string, error) {
+func (s *Store) Insert(tx engine.Tx, coll string, doc mmvalue.Value) (string, error) {
 	meta, err := s.meta(tx, coll)
 	if err != nil {
 		return "", err
@@ -180,7 +180,7 @@ func (s *Store) Insert(tx *engine.Txn, coll string, doc mmvalue.Value) (string, 
 }
 
 // Put upserts a document under an explicit key.
-func (s *Store) Put(tx *engine.Txn, coll, key string, doc mmvalue.Value) error {
+func (s *Store) Put(tx engine.Tx, coll, key string, doc mmvalue.Value) error {
 	meta, err := s.meta(tx, coll)
 	if err != nil {
 		return err
@@ -213,7 +213,7 @@ func (s *Store) Put(tx *engine.Txn, coll, key string, doc mmvalue.Value) error {
 }
 
 // Get fetches a document by key.
-func (s *Store) Get(tx *engine.Txn, coll, key string) (mmvalue.Value, bool, error) {
+func (s *Store) Get(tx engine.Tx, coll, key string) (mmvalue.Value, bool, error) {
 	raw, ok, err := tx.Get(Keyspace(coll), keyenc.AppendString(nil, key))
 	if err != nil || !ok {
 		return mmvalue.Null, false, err
@@ -227,7 +227,7 @@ func (s *Store) Get(tx *engine.Txn, coll, key string) (mmvalue.Value, bool, erro
 
 // Update merges patch into the existing document (shallow merge, AQL UPDATE
 // semantics). Fails if the document does not exist.
-func (s *Store) Update(tx *engine.Txn, coll, key string, patch mmvalue.Value) error {
+func (s *Store) Update(tx engine.Tx, coll, key string, patch mmvalue.Value) error {
 	old, ok, err := s.Get(tx, coll, key)
 	if err != nil {
 		return err
@@ -239,7 +239,7 @@ func (s *Store) Update(tx *engine.Txn, coll, key string, patch mmvalue.Value) er
 }
 
 // Delete removes a document, reporting whether it existed.
-func (s *Store) Delete(tx *engine.Txn, coll, key string) (bool, error) {
+func (s *Store) Delete(tx engine.Tx, coll, key string) (bool, error) {
 	meta, err := s.meta(tx, coll)
 	if err != nil {
 		return false, err
@@ -260,7 +260,7 @@ func (s *Store) Delete(tx *engine.Txn, coll, key string) (bool, error) {
 }
 
 // Scan iterates every document of a collection in key order.
-func (s *Store) Scan(tx *engine.Txn, coll string, fn func(key string, doc mmvalue.Value) bool) error {
+func (s *Store) Scan(tx engine.Tx, coll string, fn func(key string, doc mmvalue.Value) bool) error {
 	var decodeErr error
 	err := tx.Scan(Keyspace(coll), nil, nil, func(k, v []byte) bool {
 		doc, err := binenc.Decode(v)
@@ -287,7 +287,7 @@ func (s *Store) Count(coll string) int { return s.e.KeyspaceLen(Keyspace(coll)) 
 // --- Secondary indexes ---
 
 // CreateIndex registers and backfills a B+tree secondary index over a path.
-func (s *Store) CreateIndex(tx *engine.Txn, coll string, def IndexDef) error {
+func (s *Store) CreateIndex(tx engine.Tx, coll string, def IndexDef) error {
 	meta, err := s.meta(tx, coll)
 	if err != nil {
 		return err
@@ -323,7 +323,7 @@ func (s *Store) CreateIndex(tx *engine.Txn, coll string, def IndexDef) error {
 }
 
 // DropIndex removes an index and its data.
-func (s *Store) DropIndex(tx *engine.Txn, coll, name string) error {
+func (s *Store) DropIndex(tx engine.Tx, coll, name string) error {
 	meta, err := s.meta(tx, coll)
 	if err != nil {
 		return err
@@ -348,7 +348,7 @@ func (s *Store) DropIndex(tx *engine.Txn, coll, name string) error {
 }
 
 // Indexes returns the index definitions of a collection.
-func (s *Store) Indexes(tx *engine.Txn, coll string) ([]IndexDef, error) {
+func (s *Store) Indexes(tx engine.Tx, coll string) ([]IndexDef, error) {
 	meta, err := s.meta(tx, coll)
 	if err != nil {
 		return nil, err
@@ -373,7 +373,7 @@ func indexEntryKey(v mmvalue.Value, docKey string) []byte {
 	return keyenc.AppendString(k, docKey)
 }
 
-func (s *Store) indexAdd(tx *engine.Txn, coll string, defs []IndexDef, key string, doc mmvalue.Value) error {
+func (s *Store) indexAdd(tx engine.Tx, coll string, defs []IndexDef, key string, doc mmvalue.Value) error {
 	for _, def := range defs {
 		if err := s.indexAddOne(tx, coll, def, key, doc); err != nil {
 			return err
@@ -382,7 +382,7 @@ func (s *Store) indexAdd(tx *engine.Txn, coll string, defs []IndexDef, key strin
 	return nil
 }
 
-func (s *Store) indexAddOne(tx *engine.Txn, coll string, def IndexDef, key string, doc mmvalue.Value) error {
+func (s *Store) indexAddOne(tx engine.Tx, coll string, def IndexDef, key string, doc mmvalue.Value) error {
 	ks := IndexKeyspace(coll, def.Name)
 	for _, v := range indexedValues(def, doc) {
 		if def.Unique {
@@ -407,7 +407,7 @@ func (s *Store) indexAddOne(tx *engine.Txn, coll string, def IndexDef, key strin
 	return nil
 }
 
-func (s *Store) indexRemove(tx *engine.Txn, coll string, defs []IndexDef, key string, doc mmvalue.Value) error {
+func (s *Store) indexRemove(tx engine.Tx, coll string, defs []IndexDef, key string, doc mmvalue.Value) error {
 	for _, def := range defs {
 		ks := IndexKeyspace(coll, def.Name)
 		for _, v := range indexedValues(def, doc) {
@@ -420,7 +420,7 @@ func (s *Store) indexRemove(tx *engine.Txn, coll string, defs []IndexDef, key st
 }
 
 // LookupEq returns the keys of documents whose indexed value equals v.
-func (s *Store) LookupEq(tx *engine.Txn, coll, idx string, v mmvalue.Value) ([]string, error) {
+func (s *Store) LookupEq(tx engine.Tx, coll, idx string, v mmvalue.Value) ([]string, error) {
 	lo := keyenc.Append(nil, v)
 	hi := keyenc.AppendMax(keyenc.Append(nil, v))
 	return s.lookupRangeRaw(tx, IndexKeyspace(coll, idx), lo, hi)
@@ -436,7 +436,7 @@ type Bound struct {
 // LookupRange returns document keys with lo <= value <= hi per the bounds
 // (B+tree indexes support ranges; this is the capability hash indexes lack
 // in E4).
-func (s *Store) LookupRange(tx *engine.Txn, coll, idx string, lo, hi Bound) ([]string, error) {
+func (s *Store) LookupRange(tx engine.Tx, coll, idx string, lo, hi Bound) ([]string, error) {
 	var loKey, hiKey []byte
 	switch {
 	case lo.Unbounded:
@@ -457,7 +457,7 @@ func (s *Store) LookupRange(tx *engine.Txn, coll, idx string, lo, hi Bound) ([]s
 	return s.lookupRangeRaw(tx, IndexKeyspace(coll, idx), loKey, hiKey)
 }
 
-func (s *Store) lookupRangeRaw(tx *engine.Txn, ks string, lo, hi []byte) ([]string, error) {
+func (s *Store) lookupRangeRaw(tx engine.Tx, ks string, lo, hi []byte) ([]string, error) {
 	var keys []string
 	var decodeErr error
 	err := tx.Scan(ks, lo, hi, func(k, _ []byte) bool {

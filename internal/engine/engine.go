@@ -31,6 +31,7 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -64,6 +65,44 @@ type Options struct {
 	// one WAL fsync (group commit). 0 selects wal.DefaultCommitWindow; 1
 	// restores per-commit fsync.
 	GroupCommitWindow int
+	// Locks, when non-nil, makes the engine acquire its 2PL locks from a
+	// lock manager shared with other engines (the shard router's fleet).
+	// nil keeps a private manager — the single-engine default.
+	Locks *Locks
+	// TxnSeq, when non-nil, is a shared transaction-id sequence. Engines
+	// opened over one sequence never collide on ids, which BeginWith relies
+	// on to run one logical transaction across several engines.
+	TxnSeq *atomic.Uint64
+	// DecidePrepared resolves in-doubt prepares found during recovery: it
+	// reports whether the 2PC coordinator committed the given global
+	// transaction id. nil presumes abort for every undecided prepare.
+	DecidePrepared func(txn uint64) bool
+}
+
+// Sizer reports committed keyspace cardinality — the only non-transactional
+// engine surface the model stores need, satisfied by both *Engine and the
+// shard router.
+type Sizer interface {
+	KeyspaceLen(ks string) int
+}
+
+// Tx is the transaction surface shared by *Txn and the shard router's
+// fan-out transaction: every model store and the query executor work
+// against it, so one code path serves both the single engine and N shards.
+// The concurrency contract matches Txn: any number of concurrent readers
+// between writes, one goroutine at a time otherwise.
+type Tx interface {
+	ID() uint64
+	SnapshotRead() bool
+	Get(ks string, key []byte) ([]byte, bool, error)
+	Put(ks string, key, value []byte) error
+	Delete(ks string, key []byte) error
+	Scan(ks string, lo, hi []byte, fn func(key, value []byte) bool) error
+	ScanReverse(ks string, lo, hi []byte, fn func(key, value []byte) bool) error
+	DropKeyspace(ks string) error
+	KeyspaceNonEmpty(ks string) bool
+	Commit() error
+	Abort() error
 }
 
 // ErrClosed is returned by operations on a closed engine.
@@ -103,6 +142,15 @@ type Engine struct {
 	log    *wal.Log
 	dir    string
 	txnSeq atomic.Uint64
+	// seq is the id source Begin* draws from: &txnSeq normally, or the
+	// shared sequence from Options.TxnSeq under a shard router.
+	seq *atomic.Uint64
+
+	// prepared counts transactions that are past Prepare but not yet past
+	// CommitPrepared/AbortPrepared. Checkpoint refuses to cut while it is
+	// non-zero: a cut between a prepare and its decision could truncate the
+	// prepare record that recovery needs to resolve the transaction.
+	prepared atomic.Int64
 
 	// snapshotReads counts snapshot (lock-free MVCC) transactions begun.
 	snapshotReads atomic.Uint64
@@ -135,6 +183,13 @@ func Open(opts Options) (*Engine, error) {
 		locks:     newLockManager(),
 		dir:       opts.Dir,
 	}
+	e.seq = &e.txnSeq
+	if opts.Locks != nil {
+		e.locks = opts.Locks.lm
+	}
+	if opts.TxnSeq != nil {
+		e.seq = opts.TxnSeq
+	}
 	if opts.Durability == Ephemeral {
 		return e, nil
 	}
@@ -144,7 +199,8 @@ func Open(opts Options) (*Engine, error) {
 	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
 		return nil, fmt.Errorf("engine: mkdir: %w", err)
 	}
-	// Recover: snapshot first, then committed WAL suffix.
+	// Recover: snapshot first, then the committed WAL suffix — including
+	// prepared transactions the 2PC coordinator decided to commit.
 	if err := e.loadSnapshot(wal.SnapshotPath(opts.Dir)); err != nil {
 		return nil, err
 	}
@@ -152,8 +208,18 @@ func Open(opts Options) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	for _, r := range wal.CommittedSets(recs) {
+	for _, r := range wal.ReplaySets(recs, opts.DecidePrepared) {
 		e.applyRecord(r)
+	}
+	// Advance the id sequence past every id in the log, so transactions
+	// begun after recovery can never collide with recovered ones.
+	for _, r := range recs {
+		for {
+			cur := e.seq.Load()
+			if r.Txn <= cur || e.seq.CompareAndSwap(cur, r.Txn) {
+				break
+			}
+		}
 	}
 	log, err := wal.OpenOptions(wal.LogPath(opts.Dir), wal.Options{
 		SyncEveryCommit: opts.Durability == Synced,
@@ -187,7 +253,7 @@ func (e *Engine) applyRecord(r wal.Record) {
 		}
 	case wal.OpDropKeyspace:
 		delete(e.keyspaces, r.Keyspace)
-	case wal.OpCommit, wal.OpAbort:
+	case wal.OpCommit, wal.OpAbort, wal.OpPrepare:
 		// Control records carry no data to apply.
 	}
 }
@@ -283,6 +349,11 @@ type Txn struct {
 	ws   map[string]*wsKeyspace
 	recs []wal.Record // redo batch for WAL + tree apply + replica shipping
 	done bool
+	// extLocks marks a sub-transaction of a router-level transaction: its
+	// locks live in a shared manager under a shared id, and the router —
+	// not this Txn's finish — releases them, once, after every shard
+	// applied. Early release here would expose torn cross-shard state.
+	extLocks bool
 }
 
 // Begin starts a read-write transaction (2PL).
@@ -292,7 +363,22 @@ func (e *Engine) Begin() (*Txn, error) {
 	if e.closed {
 		return nil, ErrClosed
 	}
-	return &Txn{e: e, id: e.txnSeq.Add(1)}, nil
+	return &Txn{e: e, id: e.seq.Add(1)}, nil
+}
+
+// BeginWith starts a read-write sub-transaction carrying an externally
+// assigned id — one shard's slice of a router-level transaction. The id must
+// come from the shared Options.TxnSeq sequence; lock acquisition under a
+// shared lock manager is idempotent per id, so every shard's sub-transaction
+// reuses the grants of its siblings instead of self-deadlocking. Lock
+// release is the caller's job (Locks.ReleaseAll), after all shards applied.
+func (e *Engine) BeginWith(id uint64) (*Txn, error) {
+	e.stateMu.Lock()
+	defer e.stateMu.Unlock()
+	if e.closed {
+		return nil, ErrClosed
+	}
+	return &Txn{e: e, id: id, extLocks: true}, nil
 }
 
 // BeginSnapshot starts a read-only transaction against an immutable
@@ -308,7 +394,7 @@ func (e *Engine) BeginSnapshot() (*Txn, error) {
 		return nil, ErrClosed
 	}
 	e.snapshotReads.Add(1)
-	return &Txn{e: e, id: e.txnSeq.Add(1), snap: e.Snapshot()}, nil
+	return &Txn{e: e, id: e.seq.Add(1), snap: e.Snapshot()}, nil
 }
 
 // BeginSnapshotAt starts a read-only transaction against a previously
@@ -323,7 +409,7 @@ func (e *Engine) BeginSnapshotAt(s *Snapshot) (*Txn, error) {
 		return nil, ErrClosed
 	}
 	e.snapshotReads.Add(1)
-	return &Txn{e: e, id: e.txnSeq.Add(1), snap: s}, nil
+	return &Txn{e: e, id: e.seq.Add(1), snap: s}, nil
 }
 
 // SnapshotReads returns how many snapshot (lock-free) transactions have
@@ -339,7 +425,9 @@ func (t *Txn) SnapshotRead() bool { return t.snap != nil }
 
 func (t *Txn) finish() {
 	if t.snap == nil {
-		t.e.locks.releaseAll(t.id)
+		if !t.extLocks {
+			t.e.locks.releaseAll(t.id)
+		}
 	}
 	t.done = true
 }
@@ -681,6 +769,93 @@ func (t *Txn) Commit() error {
 	return nil
 }
 
+// HasWrites reports whether the transaction staged any writes (and so must
+// participate in a cross-shard commit).
+func (t *Txn) HasWrites() bool { return len(t.recs) > 0 }
+
+// Prepare is phase one of a cross-shard commit: the transaction's redo
+// records plus a trailing prepare record are made durable through the same
+// group-commit barrier a commit uses, but nothing is applied, no locks are
+// released, and the transaction stays open awaiting CommitPrepared or
+// AbortPrepared. Until that decision the engine counts the transaction as
+// prepared, which parks Checkpoint — a cut must never truncate an undecided
+// prepare record. The transaction id doubles as the 2PC global id the
+// coordinator logs and recovery resolves.
+func (t *Txn) Prepare() error {
+	if t.done {
+		return ErrTxnDone
+	}
+	if t.snap != nil {
+		return ErrReadOnlyTxn
+	}
+	t.e.commitMu.RLock()
+	if t.e.log != nil {
+		batch := append(t.recs, wal.Record{Txn: t.id, Op: wal.OpPrepare})
+		if _, err := t.e.log.AppendBatch(batch); err != nil {
+			t.e.commitMu.RUnlock()
+			return fmt.Errorf("engine: prepare: %w", err)
+		}
+		t.recs = batch[:len(batch)-1]
+	}
+	t.e.prepared.Add(1)
+	t.e.commitMu.RUnlock()
+	return nil
+}
+
+// CommitPrepared is phase two of a cross-shard commit after the coordinator
+// logged the commit decision: a local commit marker is appended (so later
+// recoveries of this shard need no coordinator lookup), the write-set is
+// applied and versions bump under the commit barrier, and the batch ships to
+// subscribers. Locks are NOT released — the router releases the shared id
+// once every participant applied. A WAL error appending the marker is
+// reported but does not stop the apply: the coordinator's decision record
+// already made the transaction globally committed, and recovery would
+// re-apply it from the prepare record regardless.
+func (t *Txn) CommitPrepared() error {
+	if t.done {
+		return ErrTxnDone
+	}
+	var werr error
+	t.e.commitMu.RLock()
+	if t.e.log != nil {
+		if _, err := t.e.log.AppendBatch([]wal.Record{{Txn: t.id, Op: wal.OpCommit}}); err != nil {
+			werr = fmt.Errorf("engine: commit prepared: %w", err)
+		}
+	}
+	t.e.mu.Lock()
+	for _, r := range t.recs {
+		t.e.applyRecord(r)
+	}
+	t.e.bumpVersionsLocked(t.recs)
+	t.e.mu.Unlock()
+	t.e.prepared.Add(-1)
+	t.e.commitMu.RUnlock()
+	t.e.ship(t.recs)
+	t.finish()
+	return werr
+}
+
+// AbortPrepared is phase two of a cross-shard abort: a local abort marker
+// decides the prepare for future recoveries, the staged writes are
+// discarded, and — as with CommitPrepared — lock release stays with the
+// router.
+func (t *Txn) AbortPrepared() error {
+	if t.done {
+		return ErrTxnDone
+	}
+	var werr error
+	t.e.commitMu.RLock()
+	if t.e.log != nil {
+		if _, err := t.e.log.Append(wal.Record{Txn: t.id, Op: wal.OpAbort}); err != nil {
+			werr = fmt.Errorf("engine: abort prepared: %w", err)
+		}
+	}
+	t.e.prepared.Add(-1)
+	t.e.commitMu.RUnlock()
+	t.finish()
+	return werr
+}
+
 // Abort discards the transaction's staged writes and releases all locks,
 // reporting any WAL write failure (discarding itself cannot fail — the
 // shared trees were never touched). Safe to call on a finished transaction,
@@ -797,7 +972,7 @@ func (e *Engine) bumpVersionsLocked(recs []wal.Record) {
 					break
 				}
 			}
-		case wal.OpCommit, wal.OpAbort:
+		case wal.OpCommit, wal.OpAbort, wal.OpPrepare:
 			// Control records carry no data.
 		}
 	}
@@ -964,18 +1139,34 @@ func (e *Engine) Checkpoint() error {
 	}
 
 	// Cut: freeze tree versions and the WAL watermark atomically with
-	// respect to commit publication.
-	e.commitMu.Lock()
-	e.mu.Lock()
-	trees := make(map[string]*btree.Tree, len(e.keyspaces))
-	for ks, tr := range e.keyspaces {
-		trees[ks] = tr.Snapshot()
-	}
-	e.mu.Unlock()
-	cut, err := e.log.CheckpointCut()
-	e.commitMu.Unlock()
-	if err != nil {
-		return err
+	// respect to commit publication. The cut additionally waits out any
+	// prepared-but-undecided transactions: their prepare records sit below
+	// the watermark while their outcome is still unlogged, and truncating
+	// them would strand recovery without the record the coordinator's
+	// decision resolves. Prepare increments the counter under the shared
+	// commit barrier, so once we hold it exclusively and read zero, no new
+	// prepare can slip under this cut.
+	var trees map[string]*btree.Tree
+	var cut int64
+	for {
+		e.commitMu.Lock()
+		if e.prepared.Load() == 0 {
+			e.mu.Lock()
+			trees = make(map[string]*btree.Tree, len(e.keyspaces))
+			for ks, tr := range e.keyspaces {
+				trees[ks] = tr.Snapshot()
+			}
+			e.mu.Unlock()
+			var err error
+			cut, err = e.log.CheckpointCut()
+			e.commitMu.Unlock()
+			if err != nil {
+				return err
+			}
+			break
+		}
+		e.commitMu.Unlock()
+		runtime.Gosched()
 	}
 
 	// Serialize outside all engine locks — the stall the old stop-the-world
@@ -988,7 +1179,7 @@ func (e *Engine) Checkpoint() error {
 	// handle swaps underneath group-commit fsyncs that run outside the WAL
 	// mutex; commitMu is what orders those windows against the swap.
 	e.commitMu.Lock()
-	err = e.log.TruncatePrefix(cut)
+	err := e.log.TruncatePrefix(cut)
 	e.commitMu.Unlock()
 	return err
 }
@@ -1197,7 +1388,7 @@ func (r *Replica) applyFront() {
 			}
 		case wal.OpDropKeyspace:
 			delete(r.keyspaces, rec.Keyspace)
-		case wal.OpCommit, wal.OpAbort:
+		case wal.OpCommit, wal.OpAbort, wal.OpPrepare:
 			// Control records carry no data to apply.
 		}
 	}
@@ -1249,3 +1440,12 @@ func (r *Replica) Scan(ks string, lo, hi []byte, fn func(key, value []byte) bool
 
 // dataDir returns the engine directory (for tools).
 func (e *Engine) DataDir() string { return e.dir }
+
+// SetAfterFlushHook forwards to the WAL's after-flush test hook (no-op for
+// an Ephemeral engine) — crash-recovery tests capture the data directory in
+// the flushed-but-not-durable window it exposes.
+func (e *Engine) SetAfterFlushHook(fn func()) {
+	if e.log != nil {
+		e.log.SetAfterFlushHook(fn)
+	}
+}

@@ -10,6 +10,24 @@ import (
 // cycle in the waits-for graph. The victim should abort and may retry.
 var ErrDeadlock = errors.New("engine: deadlock detected")
 
+// Locks is an exported handle on a lock manager that several engines can
+// share. The shard router opens its N engines over one Locks (and one
+// transaction-id sequence): the sub-transactions of a cross-shard
+// transaction then carry one global id, so lock acquisition stays idempotent
+// across shards, waits-for deadlock detection sees the whole fleet, and the
+// router releases everything in one sweep after all shards applied.
+type Locks struct {
+	lm *lockManager
+}
+
+// NewLocks returns a lock manager shareable across engines (Options.Locks).
+func NewLocks() *Locks { return &Locks{lm: newLockManager()} }
+
+// ReleaseAll releases every lock held by txn and wakes eligible waiters.
+// The shard router calls it exactly once per cross-shard transaction, after
+// the last participant applied (strict 2PL at the router level).
+func (l *Locks) ReleaseAll(txn uint64) { l.lm.releaseAll(txn) }
+
 // LockMode is a multiple-granularity lock mode.
 type LockMode uint8
 

@@ -1,0 +1,153 @@
+package engine
+
+import (
+	"testing"
+	"time"
+)
+
+// The single-engine half of the 2PC contract: Prepare makes redo records
+// durable without applying them, CommitPrepared/AbortPrepared resolve the
+// prepare, recovery consults DecidePrepared for in-doubt prepares, and
+// Checkpoint refuses to cut while a prepare is undecided.
+
+func TestPrepareThenCommitPreparedApplies(t *testing.T) {
+	dir := t.TempDir()
+	e := durable(t, dir)
+	tx, err := e.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Put("a", []byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Prepare(); err != nil {
+		t.Fatal(err)
+	}
+	// Prepared but undecided: the write must not be visible. (Snapshot
+	// read — the prepared transaction still holds its X lock, so a locked
+	// read of the same key would block until the decision.)
+	e.SnapshotView(func(rt *Txn) error {
+		if _, ok, _ := rt.Get("a", []byte("k")); ok {
+			t.Fatal("prepared write visible before decision")
+		}
+		return nil
+	})
+	if err := tx.CommitPrepared(); err != nil {
+		t.Fatal(err)
+	}
+	e.View(func(rt *Txn) error {
+		if v, ok, _ := rt.Get("a", []byte("k")); !ok || string(v) != "v" {
+			t.Fatalf("prepared write not applied after decision: %q, %v", v, ok)
+		}
+		return nil
+	})
+}
+
+func TestAbortPreparedDiscards(t *testing.T) {
+	e := durable(t, t.TempDir())
+	tx, err := e.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx.Put("a", []byte("k"), []byte("v"))
+	if err := tx.Prepare(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.AbortPrepared(); err != nil {
+		t.Fatal(err)
+	}
+	e.View(func(rt *Txn) error {
+		if _, ok, _ := rt.Get("a", []byte("k")); ok {
+			t.Fatal("aborted prepare applied")
+		}
+		return nil
+	})
+	// Locks were released: a fresh writer can take the same key.
+	if err := e.Update(func(wt *Txn) error { return wt.Put("a", []byte("k"), []byte("w")) }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDecidePreparedRecovery crashes with a prepare in the log and no local
+// marker, then replays it both ways: a coordinator that says "committed"
+// must make the writes appear, one that says nothing must roll them back.
+func TestDecidePreparedRecovery(t *testing.T) {
+	for _, decide := range []bool{true, false} {
+		dir := t.TempDir()
+		e := durable(t, dir)
+		tx, err := e.Begin()
+		if err != nil {
+			t.Fatal(err)
+		}
+		tx.Put("a", []byte("k"), []byte("v"))
+		if err := tx.Prepare(); err != nil {
+			t.Fatal(err)
+		}
+		id := tx.ID()
+		e.Close() // crash: prepare durable, decision never recorded locally
+
+		e2, err := Open(Options{
+			Dir: dir, Durability: Buffered,
+			DecidePrepared: func(txn uint64) bool { return decide && txn == id },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		e2.View(func(rt *Txn) error {
+			_, ok, _ := rt.Get("a", []byte("k"))
+			if ok != decide {
+				t.Fatalf("decide=%v: in-doubt prepare visible=%v after recovery", decide, ok)
+			}
+			return nil
+		})
+		// The store stays writable either way.
+		if err := e2.Update(func(wt *Txn) error { return wt.Put("a", []byte("k2"), []byte("w")) }); err != nil {
+			t.Fatal(err)
+		}
+		e2.Close()
+	}
+}
+
+// TestCheckpointWaitsForPrepared pins the checkpoint gate: a cut taken
+// between prepare and decision would truncate the only durable copy of an
+// undecided transaction's redo records, so Checkpoint must block until the
+// prepare resolves.
+func TestCheckpointWaitsForPrepared(t *testing.T) {
+	e := durable(t, t.TempDir())
+	if err := e.Update(func(tx *Txn) error { return tx.Put("a", []byte("base"), []byte("x")) }); err != nil {
+		t.Fatal(err)
+	}
+	tx, err := e.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx.Put("a", []byte("k"), []byte("v"))
+	if err := tx.Prepare(); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- e.Checkpoint() }()
+	select {
+	case err := <-done:
+		t.Fatalf("checkpoint completed across an undecided prepare (err=%v)", err)
+	case <-time.After(50 * time.Millisecond):
+		// Still gated — as required.
+	}
+	if err := tx.CommitPrepared(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("checkpoint failed after decision: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("checkpoint still blocked after the prepare resolved")
+	}
+	e.View(func(rt *Txn) error {
+		if v, ok, _ := rt.Get("a", []byte("k")); !ok || string(v) != "v" {
+			t.Fatalf("prepared write lost across checkpoint: %q %v", v, ok)
+		}
+		return nil
+	})
+}

@@ -31,7 +31,7 @@ type Migrator struct {
 // (new) collection — the paper's "relational table (legacy data) → JSON
 // document (new data)" arrow. The primary key becomes _key (joined with
 // '/' for composite keys).
-func (m *Migrator) TableToCollection(tx *engine.Txn, table, coll string) (int, error) {
+func (m *Migrator) TableToCollection(tx engine.Tx, table, coll string) (int, error) {
 	schema, err := m.Rels.Schema(tx, table)
 	if err != nil {
 		return 0, err
@@ -73,7 +73,7 @@ func stringifyKey(v mmvalue.Value) string {
 // Sinew-style: the table schema is inferred as the union of top-level keys;
 // nested values land in JSONB columns. The _key becomes a `_key` string
 // primary-key column.
-func (m *Migrator) CollectionToTable(tx *engine.Txn, coll, table string) (int, error) {
+func (m *Migrator) CollectionToTable(tx engine.Tx, coll, table string) (int, error) {
 	// Pass 1: infer schema from the union of top-level keys.
 	colKinds := map[string]map[mmvalue.Kind]int{}
 	var order []string
@@ -161,7 +161,7 @@ func inferColType(kinds map[mmvalue.Kind]int) relstore.ColType {
 // CollectionToGraph maps each document to a vertex and each document
 // reference (a field whose value is the _key of another document, declared
 // via refField) to a labeled edge — document data becoming graph data.
-func (m *Migrator) CollectionToGraph(tx *engine.Txn, coll, graph, refField, label string) (vertices, edges int, err error) {
+func (m *Migrator) CollectionToGraph(tx engine.Tx, coll, graph, refField, label string) (vertices, edges int, err error) {
 	type ref struct{ from, to string }
 	var refs []ref
 	err = m.Docs.Scan(tx, coll, func(key string, doc mmvalue.Value) bool {
@@ -202,7 +202,7 @@ func (m *Migrator) CollectionToGraph(tx *engine.Txn, coll, graph, refField, labe
 
 // CollectionToTriples maps every document to RDF triples (subject = the
 // document key under a prefix, predicate = flattened path, object = leaf).
-func (m *Migrator) CollectionToTriples(tx *engine.Txn, coll, graph, subjectPrefix string) (int, error) {
+func (m *Migrator) CollectionToTriples(tx engine.Tx, coll, graph, subjectPrefix string) (int, error) {
 	n := 0
 	var convErr error
 	err := m.Docs.Scan(tx, coll, func(key string, doc mmvalue.Value) bool {
@@ -275,7 +275,7 @@ func (v *Versioned) upgrade(doc mmvalue.Value) (mmvalue.Value, bool, error) {
 
 // Get reads a document, lazily upgrading (and persisting) it if it predates
 // the target version.
-func (v *Versioned) Get(tx *engine.Txn, key string) (mmvalue.Value, bool, error) {
+func (v *Versioned) Get(tx engine.Tx, key string) (mmvalue.Value, bool, error) {
 	doc, ok, err := v.Docs.Get(tx, v.Coll, key)
 	if err != nil || !ok {
 		return mmvalue.Null, ok, err
@@ -293,13 +293,13 @@ func (v *Versioned) Get(tx *engine.Txn, key string) (mmvalue.Value, bool, error)
 }
 
 // Put writes a document stamped with the target version.
-func (v *Versioned) Put(tx *engine.Txn, key string, doc mmvalue.Value) error {
+func (v *Versioned) Put(tx engine.Tx, key string, doc mmvalue.Value) error {
 	return v.Docs.Put(tx, v.Coll, key, doc.Set(VersionField, mmvalue.Int(int64(v.Target))))
 }
 
 // MigrateAll eagerly upgrades every document (the offline alternative to
 // lazy migration); returns how many were rewritten.
-func (v *Versioned) MigrateAll(tx *engine.Txn) (int, error) {
+func (v *Versioned) MigrateAll(tx engine.Tx) (int, error) {
 	type pending struct {
 		key string
 		doc mmvalue.Value

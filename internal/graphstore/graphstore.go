@@ -65,7 +65,7 @@ func (d Direction) String() string {
 
 // Store provides graph operations within engine transactions.
 type Store struct {
-	e      *engine.Engine
+	e      engine.Sizer
 	keySeq atomic.Uint64
 	// dc memoizes decoded vertex documents on the point-lookup path
 	// (traversals fetch each visited vertex); entries are validated
@@ -74,7 +74,7 @@ type Store struct {
 }
 
 // New returns a graph store over the engine.
-func New(e *engine.Engine) *Store {
+func New(e engine.Sizer) *Store {
 	return &Store{e: e, dc: binenc.NewDecodeCache(8192)}
 }
 
@@ -100,7 +100,7 @@ func (s *Store) genKey(prefix string) string {
 
 // AddVertex stores a vertex document. Key from _key or generated; returns
 // the key.
-func (s *Store) AddVertex(tx *engine.Txn, graph string, doc mmvalue.Value) (string, error) {
+func (s *Store) AddVertex(tx engine.Tx, graph string, doc mmvalue.Value) (string, error) {
 	if doc.Kind() != mmvalue.KindObject {
 		doc = mmvalue.Object(mmvalue.F("value", doc))
 	}
@@ -119,13 +119,13 @@ func (s *Store) AddVertex(tx *engine.Txn, graph string, doc mmvalue.Value) (stri
 }
 
 // PutVertex upserts a vertex under an explicit key.
-func (s *Store) PutVertex(tx *engine.Txn, graph, key string, doc mmvalue.Value) error {
+func (s *Store) PutVertex(tx engine.Tx, graph, key string, doc mmvalue.Value) error {
 	doc = doc.Set(KeyField, mmvalue.String(key))
 	return tx.Put(vKS(graph), keyenc.AppendString(nil, key), binenc.Encode(doc))
 }
 
 // Vertex fetches a vertex document.
-func (s *Store) Vertex(tx *engine.Txn, graph, key string) (mmvalue.Value, bool, error) {
+func (s *Store) Vertex(tx engine.Tx, graph, key string) (mmvalue.Value, bool, error) {
 	raw, ok, err := tx.Get(vKS(graph), keyenc.AppendString(nil, key))
 	if err != nil || !ok {
 		return mmvalue.Null, false, err
@@ -135,7 +135,7 @@ func (s *Store) Vertex(tx *engine.Txn, graph, key string) (mmvalue.Value, bool, 
 }
 
 // RemoveVertex deletes a vertex and every incident edge.
-func (s *Store) RemoveVertex(tx *engine.Txn, graph, key string) error {
+func (s *Store) RemoveVertex(tx engine.Tx, graph, key string) error {
 	pk := keyenc.AppendString(nil, key)
 	if _, ok, err := tx.Get(vKS(graph), pk); err != nil {
 		return err
@@ -159,7 +159,7 @@ func (s *Store) RemoveVertex(tx *engine.Txn, graph, key string) error {
 
 // AddEdge stores an edge document; it must carry _from and _to (vertex
 // keys). _label is optional. Returns the edge key.
-func (s *Store) AddEdge(tx *engine.Txn, graph string, doc mmvalue.Value) (string, error) {
+func (s *Store) AddEdge(tx engine.Tx, graph string, doc mmvalue.Value) (string, error) {
 	from := doc.GetOr(FromField).AsString()
 	to := doc.GetOr(ToField).AsString()
 	if from == "" || to == "" {
@@ -196,7 +196,7 @@ func (s *Store) AddEdge(tx *engine.Txn, graph string, doc mmvalue.Value) (string
 }
 
 // Connect is AddEdge with positional endpoints and an optional label.
-func (s *Store) Connect(tx *engine.Txn, graph, from, to, label string, props mmvalue.Value) (string, error) {
+func (s *Store) Connect(tx engine.Tx, graph, from, to, label string, props mmvalue.Value) (string, error) {
 	doc := props
 	if doc.Kind() != mmvalue.KindObject {
 		doc = mmvalue.Object()
@@ -209,7 +209,7 @@ func (s *Store) Connect(tx *engine.Txn, graph, from, to, label string, props mmv
 }
 
 // Edge fetches an edge document.
-func (s *Store) Edge(tx *engine.Txn, graph, key string) (mmvalue.Value, bool, error) {
+func (s *Store) Edge(tx engine.Tx, graph, key string) (mmvalue.Value, bool, error) {
 	raw, ok, err := tx.Get(eKS(graph), keyenc.AppendString(nil, key))
 	if err != nil || !ok {
 		return mmvalue.Null, false, err
@@ -219,7 +219,7 @@ func (s *Store) Edge(tx *engine.Txn, graph, key string) (mmvalue.Value, bool, er
 }
 
 // RemoveEdge deletes an edge and its index entries.
-func (s *Store) RemoveEdge(tx *engine.Txn, graph, key string) error {
+func (s *Store) RemoveEdge(tx engine.Tx, graph, key string) error {
 	pk := keyenc.AppendString(nil, key)
 	raw, ok, err := tx.Get(eKS(graph), pk)
 	if err != nil {
@@ -245,7 +245,7 @@ func (s *Store) RemoveEdge(tx *engine.Txn, graph, key string) error {
 
 // incidentEdgeKeys lists edge keys incident to v in one direction using the
 // edge index.
-func (s *Store) incidentEdgeKeys(tx *engine.Txn, graph, v string, dir Direction) ([]string, error) {
+func (s *Store) incidentEdgeKeys(tx engine.Tx, graph, v string, dir Direction) ([]string, error) {
 	ks := OutKeyspace(graph)
 	if dir == Inbound {
 		ks = InKeyspace(graph)
@@ -278,7 +278,7 @@ type Neighbor struct {
 
 // Neighbors expands one step from v. label filters edges by _label when
 // non-empty.
-func (s *Store) Neighbors(tx *engine.Txn, graph, v string, dir Direction, label string) ([]Neighbor, error) {
+func (s *Store) Neighbors(tx engine.Tx, graph, v string, dir Direction, label string) ([]Neighbor, error) {
 	var out []Neighbor
 	dirs := []Direction{dir}
 	if dir == Any {
@@ -313,7 +313,7 @@ func (s *Store) Neighbors(tx *engine.Txn, graph, v string, dir Direction, label 
 // Traverse performs the AQL `FOR v IN min..max <dir> start <label>` BFS
 // expansion, returning each reached vertex key at depth min..max (inclusive)
 // exactly once (first reach wins), excluding the start unless min == 0.
-func (s *Store) Traverse(tx *engine.Txn, graph, start string, min, max int, dir Direction, label string) ([]string, error) {
+func (s *Store) Traverse(tx engine.Tx, graph, start string, min, max int, dir Direction, label string) ([]string, error) {
 	if min < 0 || max < min {
 		return nil, fmt.Errorf("graphstore: bad depth range %d..%d", min, max)
 	}
@@ -348,7 +348,7 @@ func (s *Store) Traverse(tx *engine.Txn, graph, start string, min, max int, dir 
 
 // ShortestPath returns the vertex keys of an unweighted shortest path from
 // start to goal (inclusive), or ErrNoSuchPath.
-func (s *Store) ShortestPath(tx *engine.Txn, graph, start, goal string, dir Direction, label string) ([]string, error) {
+func (s *Store) ShortestPath(tx engine.Tx, graph, start, goal string, dir Direction, label string) ([]string, error) {
 	if start == goal {
 		return []string{start}, nil
 	}
@@ -393,16 +393,16 @@ func buildPath(parent map[string]string, start, goal string) []string {
 }
 
 // Vertices iterates every vertex in key order.
-func (s *Store) Vertices(tx *engine.Txn, graph string, fn func(key string, doc mmvalue.Value) bool) error {
+func (s *Store) Vertices(tx engine.Tx, graph string, fn func(key string, doc mmvalue.Value) bool) error {
 	return s.scanDocs(tx, vKS(graph), fn)
 }
 
 // Edges iterates every edge in key order.
-func (s *Store) Edges(tx *engine.Txn, graph string, fn func(key string, doc mmvalue.Value) bool) error {
+func (s *Store) Edges(tx engine.Tx, graph string, fn func(key string, doc mmvalue.Value) bool) error {
 	return s.scanDocs(tx, eKS(graph), fn)
 }
 
-func (s *Store) scanDocs(tx *engine.Txn, ks string, fn func(key string, doc mmvalue.Value) bool) error {
+func (s *Store) scanDocs(tx engine.Tx, ks string, fn func(key string, doc mmvalue.Value) bool) error {
 	var decErr error
 	err := tx.Scan(ks, nil, nil, func(k, v []byte) bool {
 		parts, err := keyenc.Decode(k)
@@ -424,7 +424,7 @@ func (s *Store) scanDocs(tx *engine.Txn, ks string, fn func(key string, doc mmva
 }
 
 // Degree returns the number of edges incident to v in the given direction.
-func (s *Store) Degree(tx *engine.Txn, graph, v string, dir Direction) (int, error) {
+func (s *Store) Degree(tx engine.Tx, graph, v string, dir Direction) (int, error) {
 	if dir == Any {
 		out, err := s.Degree(tx, graph, v, Outbound)
 		if err != nil {

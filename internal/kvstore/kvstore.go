@@ -16,7 +16,7 @@ import (
 
 // Store provides bucket operations within engine transactions.
 type Store struct {
-	e *engine.Engine
+	e engine.Sizer
 	// dc memoizes decoded values on the point-lookup path (KV() in
 	// queries); entries are validated against the raw bytes each read
 	// returns, so transactional visibility is unchanged.
@@ -24,7 +24,7 @@ type Store struct {
 }
 
 // New returns a key/value store over the engine.
-func New(e *engine.Engine) *Store {
+func New(e engine.Sizer) *Store {
 	return &Store{e: e, dc: binenc.NewDecodeCache(8192)}
 }
 
@@ -33,12 +33,12 @@ func New(e *engine.Engine) *Store {
 func Keyspace(bucket string) string { return "kv:" + bucket }
 
 // Set stores value under key in bucket.
-func (s *Store) Set(tx *engine.Txn, bucket, key string, value mmvalue.Value) error {
+func (s *Store) Set(tx engine.Tx, bucket, key string, value mmvalue.Value) error {
 	return tx.Put(Keyspace(bucket), []byte(key), binenc.Encode(value))
 }
 
 // Get returns the value under key.
-func (s *Store) Get(tx *engine.Txn, bucket, key string) (mmvalue.Value, bool, error) {
+func (s *Store) Get(tx engine.Tx, bucket, key string) (mmvalue.Value, bool, error) {
 	raw, ok, err := tx.Get(Keyspace(bucket), []byte(key))
 	if err != nil || !ok {
 		return mmvalue.Null, false, err
@@ -51,7 +51,7 @@ func (s *Store) Get(tx *engine.Txn, bucket, key string) (mmvalue.Value, bool, er
 }
 
 // Delete removes key from bucket, reporting whether it existed.
-func (s *Store) Delete(tx *engine.Txn, bucket, key string) (bool, error) {
+func (s *Store) Delete(tx engine.Tx, bucket, key string) (bool, error) {
 	_, ok, err := tx.Get(Keyspace(bucket), []byte(key))
 	if err != nil || !ok {
 		return false, err
@@ -60,7 +60,7 @@ func (s *Store) Delete(tx *engine.Txn, bucket, key string) (bool, error) {
 }
 
 // Scan iterates all pairs of a bucket in key order.
-func (s *Store) Scan(tx *engine.Txn, bucket string, fn func(key string, value mmvalue.Value) bool) error {
+func (s *Store) Scan(tx engine.Tx, bucket string, fn func(key string, value mmvalue.Value) bool) error {
 	var decodeErr error
 	err := tx.Scan(Keyspace(bucket), nil, nil, func(k, v []byte) bool {
 		val, err := binenc.Decode(v)
@@ -77,7 +77,7 @@ func (s *Store) Scan(tx *engine.Txn, bucket string, fn func(key string, value mm
 }
 
 // ScanPrefix iterates pairs whose key starts with prefix.
-func (s *Store) ScanPrefix(tx *engine.Txn, bucket, prefix string, fn func(key string, value mmvalue.Value) bool) error {
+func (s *Store) ScanPrefix(tx engine.Tx, bucket, prefix string, fn func(key string, value mmvalue.Value) bool) error {
 	lo := []byte(prefix)
 	hi := prefixEnd(lo)
 	var decodeErr error

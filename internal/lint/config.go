@@ -88,6 +88,7 @@ func DefaultAnalyzers() []Analyzer {
 // adding a row here and ranking its class in DefaultLockOrder.
 func DefaultLockClasses() LockClasses {
 	return LockClasses{Refs: []LockClassRef{
+		{Pkg: "repro/internal/shard", Type: "Router", Field: "cutMu", Class: "shard.cutMu"},
 		{Pkg: "repro/internal/engine", Type: "Engine", Field: "cpMu", Class: "engine.cpMu"},
 		{Pkg: "repro/internal/engine", Type: "Engine", Field: "stateMu", Class: "engine.stateMu"},
 		{Pkg: "repro/internal/engine", Type: "Engine", Field: "commitMu", Class: "engine.commitMu"},
@@ -108,7 +109,11 @@ func DefaultLockClasses() LockClasses {
 
 // DefaultLockOrder is the canonical global acquisition order, outermost lock
 // first: every nesting edge in the whole program must go strictly downward
-// in this list. The top of the list is the checkpoint serialization chain
+// in this list. The shard router's cut barrier is outermost — it is held
+// (shared) across the whole second phase of a cross-shard commit, which
+// reaches every engine-side lock below it, and held exclusively while a
+// consistent cut snapshots each shard. Below it sits the checkpoint
+// serialization chain
 // (cpMu cuts while holding commitMu; commit publication holds commitMu
 // across the WAL append and the tree apply under engine.mu), the middle is
 // the WAL group-commit pair and the 2PL lock manager, and the tail is the
@@ -116,6 +121,7 @@ func DefaultLockClasses() LockClasses {
 // engine-side.
 func DefaultLockOrder() []string {
 	return []string{
+		"shard.cutMu",
 		"engine.cpMu",
 		"engine.stateMu",
 		"engine.commitMu",

@@ -71,6 +71,40 @@ func TestRepoLockEdges(t *testing.T) {
 	}
 }
 
+// TestRepoShardLockEdges pins the sharding layer's place in the lock order:
+// the router's cut barrier is held (shared) across phase two of a
+// cross-shard commit, which drives each participant's CommitPrepared through
+// the engine's commit path, and held exclusively while Cut snapshots every
+// shard. Those nestings must surface as interprocedural edges, and every
+// ranked edge the shard package introduces must go strictly downward in
+// DefaultLockOrder — i.e. shard.cutMu stays outermost.
+func TestRepoShardLockEdges(t *testing.T) {
+	prog := loadRepoProgram(t, "repro/internal/shard", "repro/internal/engine", "repro/internal/wal")
+	edges := collectLockEdges(prog)
+	want := [][2]string{
+		{"shard.cutMu", "engine.commitMu"},   // CommitPrepared publishes under commitMu
+		{"shard.cutMu", "engine.mu"},         // prepared batch applies to the tree
+		{"shard.cutMu", "wal.log.mu"},        // decision/commit markers hit the shard WALs
+		{"shard.cutMu", "engine.lockmgr.mu"}, // router releases 2PL locks after apply
+	}
+	have := map[[2]string]bool{}
+	for _, e := range edges {
+		have[[2]string{e.from, e.to}] = true
+	}
+	for _, w := range want {
+		if !have[w] {
+			t.Errorf("expected lock-nesting edge %s -> %s not found; edges: %v", w[0], w[1], edgeList(edges))
+		}
+	}
+	order := DefaultLockOrder()
+	for _, e := range edges {
+		fi, ti := classIndex(order, e.from), classIndex(order, e.to)
+		if fi >= 0 && ti >= 0 && fi >= ti {
+			t.Errorf("edge %s -> %s contradicts DefaultLockOrder", e.from, e.to)
+		}
+	}
+}
+
 // TestSnapshotPureTraversesRealEngine is the negative control for the guard
 // pruning: engine.mu IS legitimately acquired on the snapshot path (the O(1)
 // root-pointer cut in BeginSnapshot), so forbidding it must produce

@@ -30,7 +30,7 @@ type Hop struct {
 	// Keyspaces lists engine keyspaces whose mutation invalidates this hop.
 	Keyspaces []string
 	// Follow maps each input value to zero or more outputs.
-	Follow func(tx *engine.Txn, in mmvalue.Value) ([]mmvalue.Value, error)
+	Follow func(tx engine.Tx, in mmvalue.Value) ([]mmvalue.Value, error)
 }
 
 // JoinIndex is a materialized inter-model path.
@@ -44,9 +44,16 @@ type JoinIndex struct {
 	keyspaceSet map[string]bool
 }
 
+// Subscriber is the commit-log registration surface New needs — satisfied
+// by *engine.Engine and by the shard router (which fans the subscription
+// over every shard).
+type Subscriber interface {
+	Subscribe(fn func(batch []wal.Record))
+}
+
 // New builds a join index over the hop chain and subscribes it to the
 // engine's commit log for invalidation.
-func New(e *engine.Engine, hops []Hop) *JoinIndex {
+func New(e Subscriber, hops []Hop) *JoinIndex {
 	idx := &JoinIndex{
 		entries:     map[string][]mmvalue.Value{},
 		dirty:       map[string]bool{},
@@ -78,7 +85,7 @@ func (idx *JoinIndex) onCommit(batch []wal.Record) {
 }
 
 // Put precomputes and stores the path endpoints for one anchor.
-func (idx *JoinIndex) Put(tx *engine.Txn, anchorKey string, anchorValue mmvalue.Value) error {
+func (idx *JoinIndex) Put(tx engine.Tx, anchorKey string, anchorValue mmvalue.Value) error {
 	endpoints, err := idx.follow(tx, anchorValue)
 	if err != nil {
 		return err
@@ -91,7 +98,7 @@ func (idx *JoinIndex) Put(tx *engine.Txn, anchorKey string, anchorValue mmvalue.
 }
 
 // follow runs the hop chain from one starting value.
-func (idx *JoinIndex) follow(tx *engine.Txn, start mmvalue.Value) ([]mmvalue.Value, error) {
+func (idx *JoinIndex) follow(tx engine.Tx, start mmvalue.Value) ([]mmvalue.Value, error) {
 	current := []mmvalue.Value{start}
 	for _, hop := range idx.hops {
 		var next []mmvalue.Value
@@ -113,7 +120,7 @@ func (idx *JoinIndex) follow(tx *engine.Txn, start mmvalue.Value) ([]mmvalue.Val
 // Lookup returns the materialized endpoints for an anchor, recomputing if
 // the entry is stale. The second result reports whether the anchor is
 // indexed at all. anchorValue is needed only for recomputation.
-func (idx *JoinIndex) Lookup(tx *engine.Txn, anchorKey string, anchorValue mmvalue.Value) ([]mmvalue.Value, bool, error) {
+func (idx *JoinIndex) Lookup(tx engine.Tx, anchorKey string, anchorValue mmvalue.Value) ([]mmvalue.Value, bool, error) {
 	idx.mu.RLock()
 	endpoints, ok := idx.entries[anchorKey]
 	stale := idx.allDirty || idx.dirty[anchorKey]
@@ -135,7 +142,7 @@ func (idx *JoinIndex) Lookup(tx *engine.Txn, anchorKey string, anchorValue mmval
 
 // Refresh recomputes every indexed anchor (clearing the dirty state) using
 // the provided anchor enumerator.
-func (idx *JoinIndex) Refresh(tx *engine.Txn, anchors func(fn func(key string, value mmvalue.Value) bool) error) error {
+func (idx *JoinIndex) Refresh(tx engine.Tx, anchors func(fn func(key string, value mmvalue.Value) bool) error) error {
 	fresh := map[string][]mmvalue.Value{}
 	var hopErr error
 	err := anchors(func(key string, value mmvalue.Value) bool {

@@ -40,7 +40,7 @@ func buildFixture(t *testing.T) (*engine.Engine, *graphstore.Store, *kvstore.Sto
 		{
 			Name:      "friends",
 			Keyspaces: []string{graphstore.OutKeyspace("social"), graphstore.EdgeKeyspace("social")},
-			Follow: func(tx *engine.Txn, in mmvalue.Value) ([]mmvalue.Value, error) {
+			Follow: func(tx engine.Tx, in mmvalue.Value) ([]mmvalue.Value, error) {
 				ns, err := g.Neighbors(tx, "social", in.AsString(), graphstore.Outbound, "knows")
 				if err != nil {
 					return nil, err
@@ -55,7 +55,7 @@ func buildFixture(t *testing.T) (*engine.Engine, *graphstore.Store, *kvstore.Sto
 		{
 			Name:      "cart",
 			Keyspaces: []string{kvstore.Keyspace("cart")},
-			Follow: func(tx *engine.Txn, in mmvalue.Value) ([]mmvalue.Value, error) {
+			Follow: func(tx engine.Tx, in mmvalue.Value) ([]mmvalue.Value, error) {
 				v, ok, err := kv.Get(tx, "cart", in.AsString())
 				if err != nil || !ok {
 					return nil, err
@@ -66,7 +66,7 @@ func buildFixture(t *testing.T) (*engine.Engine, *graphstore.Store, *kvstore.Sto
 		{
 			Name:      "order-total",
 			Keyspaces: []string{kvstore.Keyspace("orders")},
-			Follow: func(tx *engine.Txn, in mmvalue.Value) ([]mmvalue.Value, error) {
+			Follow: func(tx engine.Tx, in mmvalue.Value) ([]mmvalue.Value, error) {
 				v, ok, err := kv.Get(tx, "orders", in.AsString())
 				if err != nil || !ok {
 					return nil, err

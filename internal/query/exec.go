@@ -19,7 +19,6 @@ import (
 // Sources wires the query layer to every model store plus the auxiliary
 // (log-subscriber-maintained) indexes owned by core.
 type Sources struct {
-	Engine *engine.Engine
 	Cols   *colstore.Store
 	Docs   *docstore.Store
 	Rels   *relstore.Store
@@ -37,7 +36,7 @@ type Sources struct {
 	FullText func(coll, terms string) []string
 	// Resolve reports what kind of source a name is: "collection",
 	// "table", "graph", "bucket", or "" when unknown.
-	Resolve func(tx *engine.Txn, name string) string
+	Resolve func(tx engine.Tx, name string) string
 }
 
 // Options tunes one execution.
@@ -116,7 +115,7 @@ type Result struct {
 }
 
 type execCtx struct {
-	tx    *engine.Txn
+	tx    engine.Tx
 	src   *Sources
 	opts  Options
 	stats Stats
@@ -130,7 +129,7 @@ type execCtx struct {
 }
 
 // Execute runs a pipeline inside a transaction.
-func Execute(tx *engine.Txn, src *Sources, pipe *Pipeline, opts Options) (*Result, error) {
+func Execute(tx engine.Tx, src *Sources, pipe *Pipeline, opts Options) (*Result, error) {
 	c := &execCtx{tx: tx, src: src, opts: opts}
 	if tx.SnapshotRead() {
 		c.stats.SnapshotReads = 1

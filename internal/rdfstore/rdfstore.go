@@ -38,11 +38,11 @@ var ErrBadPattern = errors.New("rdfstore: invalid pattern")
 
 // Store provides triple operations within engine transactions.
 type Store struct {
-	e *engine.Engine
+	e engine.Sizer
 }
 
 // New returns an RDF store over the engine.
-func New(e *engine.Engine) *Store { return &Store{e: e} }
+func New(e engine.Sizer) *Store { return &Store{e: e} }
 
 func dictKS(g string) string  { return "rdf:" + g + ":dict" }
 func rdictKS(g string) string { return "rdf:" + g + ":rdict" }
@@ -66,7 +66,7 @@ func idKey(id uint64) []byte {
 }
 
 // termID returns (allocating if needed) the dictionary id of a term.
-func (s *Store) termID(tx *engine.Txn, g, term string, create bool) (uint64, bool, error) {
+func (s *Store) termID(tx engine.Tx, g, term string, create bool) (uint64, bool, error) {
 	raw, ok, err := tx.Get(dictKS(g), []byte(term))
 	if err != nil {
 		return 0, false, err
@@ -97,7 +97,7 @@ func (s *Store) termID(tx *engine.Txn, g, term string, create bool) (uint64, boo
 	return id, true, nil
 }
 
-func (s *Store) term(tx *engine.Txn, g string, id uint64) (string, error) {
+func (s *Store) term(tx engine.Tx, g string, id uint64) (string, error) {
 	raw, ok, err := tx.Get(rdictKS(g), idKey(id))
 	if err != nil {
 		return "", err
@@ -115,7 +115,7 @@ func tripleKey(a, b, c uint64) []byte {
 }
 
 // Insert adds a triple (idempotent).
-func (s *Store) Insert(tx *engine.Txn, g string, t Triple) error {
+func (s *Store) Insert(tx engine.Tx, g string, t Triple) error {
 	si, _, err := s.termID(tx, g, t.S, true)
 	if err != nil {
 		return err
@@ -138,7 +138,7 @@ func (s *Store) Insert(tx *engine.Txn, g string, t Triple) error {
 }
 
 // Delete removes a triple, reporting whether it was present.
-func (s *Store) Delete(tx *engine.Txn, g string, t Triple) (bool, error) {
+func (s *Store) Delete(tx engine.Tx, g string, t Triple) (bool, error) {
 	si, ok, err := s.termID(tx, g, t.S, false)
 	if err != nil || !ok {
 		return false, err
@@ -189,7 +189,7 @@ type Triple2 struct{ S, P, O uint64 }
 //	O bound, S free -> OPS (reverse primary)
 //	P bound only    -> POS
 //	nothing bound   -> SPO full scan
-func (s *Store) Match(tx *engine.Txn, g string, pat Pattern) ([]Triple, error) {
+func (s *Store) Match(tx engine.Tx, g string, pat Pattern) ([]Triple, error) {
 	perm, bound, err := s.chooseIndex(tx, g, pat)
 	if err != nil {
 		return nil, err
@@ -265,7 +265,7 @@ func permTriple(perm string, a, b, c uint64) Triple2 {
 // chooseIndex resolves the bound terms of the pattern to ids and picks the
 // permutation with the longest bound prefix. Empty perm means a bound term
 // is unknown (no results possible).
-func (s *Store) chooseIndex(tx *engine.Txn, g string, pat Pattern) (string, []uint64, error) {
+func (s *Store) chooseIndex(tx engine.Tx, g string, pat Pattern) (string, []uint64, error) {
 	resolve := func(term string) (uint64, bool, error) {
 		if term == "" {
 			return 0, true, nil // wildcard
@@ -326,7 +326,7 @@ func IndexFor(pat Pattern) string {
 	}
 }
 
-func (s *Store) decode(tx *engine.Txn, g string, t Triple2) (Triple, error) {
+func (s *Store) decode(tx engine.Tx, g string, t Triple2) (Triple, error) {
 	sub, err := s.term(tx, g, t.S)
 	if err != nil {
 		return Triple{}, err
@@ -359,7 +359,7 @@ type Binding map[string]string
 // MatchBGP evaluates a conjunctive basic graph pattern, returning all
 // variable bindings, via binding-propagating nested-loop join in pattern
 // order.
-func (s *Store) MatchBGP(tx *engine.Txn, g string, patterns []BGPPattern) ([]Binding, error) {
+func (s *Store) MatchBGP(tx engine.Tx, g string, patterns []BGPPattern) ([]Binding, error) {
 	bindings := []Binding{{}}
 	for _, pat := range patterns {
 		var next []Binding
@@ -423,14 +423,14 @@ func extend(b Binding, pat BGPPattern, m Triple) Binding {
 func (s *Store) Terms(g string) int { return s.e.KeyspaceLen(rdictKS(g)) }
 
 // All returns every triple in the graph (SPO order).
-func (s *Store) All(tx *engine.Txn, g string) ([]Triple, error) {
+func (s *Store) All(tx engine.Tx, g string) ([]Triple, error) {
 	return s.Match(tx, g, Pattern{})
 }
 
 // FromValue ingests an mmvalue object as triples about a subject —
 // the paper's "model evolution" direction document→RDF (each scalar leaf
 // becomes subject —path→ value).
-func (s *Store) FromValue(tx *engine.Txn, g, subject string, v mmvalue.Value) error {
+func (s *Store) FromValue(tx engine.Tx, g, subject string, v mmvalue.Value) error {
 	for _, entry := range mmvalue.FlattenPaths(v) {
 		t := Triple{S: subject, P: entry.Path, O: entry.Leaf.String()}
 		if err := s.Insert(tx, g, t); err != nil {

@@ -59,7 +59,7 @@ var (
 
 // Store provides relational operations within engine transactions.
 type Store struct {
-	e   *engine.Engine
+	e   engine.Sizer
 	cat *catalog.Catalog
 	// dc memoizes row decoding (content-addressed); repeated scans of hot
 	// tables skip the per-row decode entirely.
@@ -67,7 +67,7 @@ type Store struct {
 }
 
 // New returns a relational store over the engine.
-func New(e *engine.Engine, cat *catalog.Catalog) *Store {
+func New(e engine.Sizer, cat *catalog.Catalog) *Store {
 	return &Store{e: e, cat: cat, dc: binenc.NewDecodeCache(8192)}
 }
 
@@ -155,7 +155,7 @@ func checkType(c Column, v mmvalue.Value) error {
 }
 
 // CreateTable registers a table.
-func (s *Store) CreateTable(tx *engine.Txn, name string, schema TableSchema) error {
+func (s *Store) CreateTable(tx engine.Tx, name string, schema TableSchema) error {
 	if len(schema.PrimaryKey) == 0 {
 		return fmt.Errorf("relstore: table %q needs a primary key", name)
 	}
@@ -168,7 +168,7 @@ func (s *Store) CreateTable(tx *engine.Txn, name string, schema TableSchema) err
 }
 
 // DropTable removes a table, its rows, and its indexes.
-func (s *Store) DropTable(tx *engine.Txn, name string) error {
+func (s *Store) DropTable(tx engine.Tx, name string) error {
 	meta, err := s.meta(tx, name)
 	if err != nil {
 		return err
@@ -185,7 +185,7 @@ func (s *Store) DropTable(tx *engine.Txn, name string) error {
 }
 
 // Tables lists table names.
-func (s *Store) Tables(tx *engine.Txn) ([]string, error) {
+func (s *Store) Tables(tx engine.Tx) ([]string, error) {
 	entries, err := s.cat.List(tx, catKind)
 	if err != nil {
 		return nil, err
@@ -198,7 +198,7 @@ func (s *Store) Tables(tx *engine.Txn) ([]string, error) {
 }
 
 // Schema returns a table's schema.
-func (s *Store) Schema(tx *engine.Txn, table string) (TableSchema, error) {
+func (s *Store) Schema(tx engine.Tx, table string) (TableSchema, error) {
 	meta, err := s.meta(tx, table)
 	if err != nil {
 		return TableSchema{}, err
@@ -206,7 +206,7 @@ func (s *Store) Schema(tx *engine.Txn, table string) (TableSchema, error) {
 	return schemaFromValue(meta), nil
 }
 
-func (s *Store) meta(tx *engine.Txn, table string) (mmvalue.Value, error) {
+func (s *Store) meta(tx engine.Tx, table string) (mmvalue.Value, error) {
 	meta, err := s.cat.Get(tx, catKind, table)
 	if errors.Is(err, catalog.ErrNotFound) {
 		return mmvalue.Null, fmt.Errorf("%w: %q", ErrNoTable, table)
@@ -271,7 +271,7 @@ func validate(schema TableSchema, row mmvalue.Value) error {
 }
 
 // Insert adds a row, failing on duplicate primary key.
-func (s *Store) Insert(tx *engine.Txn, table string, row mmvalue.Value) error {
+func (s *Store) Insert(tx engine.Tx, table string, row mmvalue.Value) error {
 	meta, err := s.meta(tx, table)
 	if err != nil {
 		return err
@@ -296,7 +296,7 @@ func (s *Store) Insert(tx *engine.Txn, table string, row mmvalue.Value) error {
 }
 
 // Get fetches a row by primary key values (in PK column order).
-func (s *Store) Get(tx *engine.Txn, table string, pk ...mmvalue.Value) (mmvalue.Value, bool, error) {
+func (s *Store) Get(tx engine.Tx, table string, pk ...mmvalue.Value) (mmvalue.Value, bool, error) {
 	raw, ok, err := tx.Get(Keyspace(table), keyenc.Encode(pk...))
 	if err != nil || !ok {
 		return mmvalue.Null, false, err
@@ -310,7 +310,7 @@ func (s *Store) Get(tx *engine.Txn, table string, pk ...mmvalue.Value) (mmvalue.
 
 // Update merges patch into the row with the given primary key. Changing PK
 // columns is rejected.
-func (s *Store) Update(tx *engine.Txn, table string, patch mmvalue.Value, pk ...mmvalue.Value) error {
+func (s *Store) Update(tx engine.Tx, table string, patch mmvalue.Value, pk ...mmvalue.Value) error {
 	meta, err := s.meta(tx, table)
 	if err != nil {
 		return err
@@ -344,7 +344,7 @@ func (s *Store) Update(tx *engine.Txn, table string, patch mmvalue.Value, pk ...
 }
 
 // Delete removes a row by primary key, reporting whether it existed.
-func (s *Store) Delete(tx *engine.Txn, table string, pk ...mmvalue.Value) (bool, error) {
+func (s *Store) Delete(tx engine.Tx, table string, pk ...mmvalue.Value) (bool, error) {
 	meta, err := s.meta(tx, table)
 	if err != nil {
 		return false, err
@@ -365,7 +365,7 @@ func (s *Store) Delete(tx *engine.Txn, table string, pk ...mmvalue.Value) (bool,
 }
 
 // Scan iterates all rows in primary key order.
-func (s *Store) Scan(tx *engine.Txn, table string, fn func(row mmvalue.Value) bool) error {
+func (s *Store) Scan(tx engine.Tx, table string, fn func(row mmvalue.Value) bool) error {
 	var decodeErr error
 	err := tx.Scan(Keyspace(table), nil, nil, func(k, v []byte) bool {
 		row, err := s.dc.Decode(v)
@@ -387,7 +387,7 @@ func (s *Store) Count(table string) int { return s.e.KeyspaceLen(Keyspace(table)
 // --- Secondary indexes ---
 
 // CreateIndex registers and backfills a single-column B+tree index.
-func (s *Store) CreateIndex(tx *engine.Txn, table, name, column string) error {
+func (s *Store) CreateIndex(tx engine.Tx, table, name, column string) error {
 	meta, err := s.meta(tx, table)
 	if err != nil {
 		return err
@@ -441,7 +441,7 @@ func (s *Store) CreateIndex(tx *engine.Txn, table, name, column string) error {
 }
 
 // IndexedColumns returns column -> index name for the table.
-func (s *Store) IndexedColumns(tx *engine.Txn, table string) (map[string]string, error) {
+func (s *Store) IndexedColumns(tx engine.Tx, table string) (map[string]string, error) {
 	meta, err := s.meta(tx, table)
 	if err != nil {
 		return nil, err
@@ -453,7 +453,7 @@ func (s *Store) IndexedColumns(tx *engine.Txn, table string) (map[string]string,
 	return out, nil
 }
 
-func (s *Store) indexAdd(tx *engine.Txn, table string, defs []idxDef, rowKey []byte, row mmvalue.Value) error {
+func (s *Store) indexAdd(tx engine.Tx, table string, defs []idxDef, rowKey []byte, row mmvalue.Value) error {
 	for _, d := range defs {
 		entry := keyenc.Append(nil, row.GetOr(d.column))
 		entry = append(entry, rowKey...)
@@ -464,7 +464,7 @@ func (s *Store) indexAdd(tx *engine.Txn, table string, defs []idxDef, rowKey []b
 	return nil
 }
 
-func (s *Store) indexRemove(tx *engine.Txn, table string, defs []idxDef, rowKey []byte, row mmvalue.Value) error {
+func (s *Store) indexRemove(tx engine.Tx, table string, defs []idxDef, rowKey []byte, row mmvalue.Value) error {
 	for _, d := range defs {
 		entry := keyenc.Append(nil, row.GetOr(d.column))
 		entry = append(entry, rowKey...)
@@ -476,7 +476,7 @@ func (s *Store) indexRemove(tx *engine.Txn, table string, defs []idxDef, rowKey 
 }
 
 // LookupEq returns rows whose indexed column equals v.
-func (s *Store) LookupEq(tx *engine.Txn, table, idx string, v mmvalue.Value) ([]mmvalue.Value, error) {
+func (s *Store) LookupEq(tx engine.Tx, table, idx string, v mmvalue.Value) ([]mmvalue.Value, error) {
 	lo := keyenc.Append(nil, v)
 	hi := keyenc.AppendMax(keyenc.Append(nil, v))
 	return s.lookupRange(tx, table, idx, lo, hi)
@@ -486,7 +486,7 @@ func (s *Store) LookupEq(tx *engine.Txn, table, idx string, v mmvalue.Value) ([]
 // nil bounds are open. Bounds are Values; inclusivity follows B+tree scan
 // semantics (lo inclusive, hi exclusive) with AppendMax available for
 // inclusive upper bounds at the caller.
-func (s *Store) LookupRange(tx *engine.Txn, table, idx string, lo, hi mmvalue.Value, loOpen, hiOpen bool) ([]mmvalue.Value, error) {
+func (s *Store) LookupRange(tx engine.Tx, table, idx string, lo, hi mmvalue.Value, loOpen, hiOpen bool) ([]mmvalue.Value, error) {
 	var loKey, hiKey []byte
 	if !loOpen {
 		loKey = keyenc.Append(nil, lo)
@@ -497,7 +497,7 @@ func (s *Store) LookupRange(tx *engine.Txn, table, idx string, lo, hi mmvalue.Va
 	return s.lookupRange(tx, table, idx, loKey, hiKey)
 }
 
-func (s *Store) lookupRange(tx *engine.Txn, table, idx string, lo, hi []byte) ([]mmvalue.Value, error) {
+func (s *Store) lookupRange(tx engine.Tx, table, idx string, lo, hi []byte) ([]mmvalue.Value, error) {
 	// Collect row keys from the index, then fetch rows.
 	var rowKeys [][]byte
 	var scanErr error

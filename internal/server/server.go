@@ -99,7 +99,7 @@ func (s *srv) handleCollections(w http.ResponseWriter, r *http.Request) {
 	case http.MethodGet:
 		var doc mmvalue.Value
 		var found bool
-		err := s.db.Engine.View(func(tx *engine.Txn) error {
+		err := s.db.View(func(tx engine.Tx) error {
 			var err error
 			doc, found, err = s.db.Docs.Get(tx, coll, key)
 			return err
@@ -116,7 +116,7 @@ func (s *srv) handleCollections(w http.ResponseWriter, r *http.Request) {
 			writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 			return
 		}
-		err = s.db.Engine.Update(func(tx *engine.Txn) error {
+		err = s.db.Update(func(tx engine.Tx) error {
 			return s.db.Docs.Put(tx, coll, key, doc)
 		})
 		if err != nil {
@@ -126,7 +126,7 @@ func (s *srv) handleCollections(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"key": key})
 	case http.MethodDelete:
 		var existed bool
-		err := s.db.Engine.Update(func(tx *engine.Txn) error {
+		err := s.db.Update(func(tx engine.Tx) error {
 			var err error
 			existed, err = s.db.Docs.Delete(tx, coll, key)
 			return err
@@ -156,7 +156,7 @@ func (s *srv) handleKV(w http.ResponseWriter, r *http.Request) {
 	case http.MethodGet:
 		var v mmvalue.Value
 		var found bool
-		err := s.db.Engine.View(func(tx *engine.Txn) error {
+		err := s.db.View(func(tx engine.Tx) error {
 			var err error
 			v, found, err = s.db.KV.Get(tx, bucket, key)
 			return err
@@ -173,7 +173,7 @@ func (s *srv) handleKV(w http.ResponseWriter, r *http.Request) {
 			writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 			return
 		}
-		err = s.db.Engine.Update(func(tx *engine.Txn) error {
+		err = s.db.Update(func(tx engine.Tx) error {
 			return s.db.KV.Set(tx, bucket, key, v)
 		})
 		if err != nil {

@@ -1,0 +1,296 @@
+package shard
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/wal"
+)
+
+// Crash-point tests for cross-shard two-phase commit. The after-flush hook
+// fires after each WAL flush reaches the OS and before fsync — exactly the
+// boundary a crash tears at. Copying the whole data directory at every
+// firing yields one simulated crash image per durability point; recovering
+// each image must show every cross-shard transaction either fully applied
+// (its coordinator decision is durable) or fully rolled back (it is not),
+// never half of one.
+
+// copyTree clones a directory recursively (regular files only).
+func copyTree(t *testing.T, src, dst string) {
+	t.Helper()
+	err := filepath.Walk(src, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(src, path)
+		if err != nil {
+			return err
+		}
+		target := filepath.Join(dst, rel)
+		if info.IsDir() {
+			return os.MkdirAll(target, 0o755)
+		}
+		in, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer in.Close()
+		out, err := os.Create(target)
+		if err != nil {
+			return err
+		}
+		if _, err := io.Copy(out, in); err != nil {
+			out.Close()
+			return err
+		}
+		return out.Close()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// prepareParticipants runs phase one of 2PC by hand on every shard slice
+// holding writes and returns them, leaving the transaction parked between
+// prepare and decision — the in-doubt window.
+func prepareParticipants(t *testing.T, tx *Txn) []*engine.Txn {
+	t.Helper()
+	var parts []*engine.Txn
+	for _, sub := range tx.subs {
+		if sub.HasWrites() {
+			parts = append(parts, sub)
+		}
+	}
+	if len(parts) < 2 {
+		t.Fatalf("workload produced %d participants, want >= 2", len(parts))
+	}
+	for _, p := range parts {
+		if err := p.Prepare(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return parts
+}
+
+func TestCrashMatrixCrossShardAtomicity(t *testing.T) {
+	root := t.TempDir()
+	data := filepath.Join(root, "data")
+	const shards = 3
+	// Synced: every commit runs the group-commit durability barrier, whose
+	// after-flush hook is the crash-point injection site.
+	r, err := Open(Options{Dir: data, Durability: engine.Synced, Shards: shards})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Build the workload up front: per transaction, two keys on distinct
+	// shards sharing one value.
+	const txns = 5
+	type pairTxn struct {
+		a, b []byte
+		id   uint64
+	}
+	work := make([]pairTxn, txns)
+	for i := range work {
+		ks := "pairs"
+		a := []byte(fmt.Sprintf("t%d-a", i))
+		home := r.shardFor(ks, a)
+		var b []byte
+		for j := 0; ; j++ {
+			cand := []byte(fmt.Sprintf("t%d-b%d", i, j))
+			if r.shardFor(ks, cand) != home {
+				b = cand
+				break
+			}
+		}
+		work[i] = pairTxn{a: a, b: b}
+	}
+
+	// Snapshot the directory at every flush boundary.
+	copies := 0
+	r.SetAfterFlushHook(func() {
+		dst := filepath.Join(root, fmt.Sprintf("crash-%03d", copies))
+		copies++
+		copyTree(t, data, dst)
+	})
+	for i := range work {
+		tx, err := r.Begin()
+		if err != nil {
+			t.Fatal(err)
+		}
+		v := []byte(fmt.Sprintf("v%d", i))
+		tx.Put("pairs", work[i].a, v)
+		tx.Put("pairs", work[i].b, v)
+		work[i].id = tx.ID()
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.SetAfterFlushHook(nil)
+	r.Close()
+	// Every transaction contributes at least its two prepare flushes and
+	// the coordinator decision flush, so the matrix must cover the
+	// in-doubt window of each — anything thinner means the hook detached.
+	if copies < txns*3 {
+		t.Fatalf("only %d crash images for %d cross-shard txns; matrix is not covering the 2PC windows", copies, txns)
+	}
+	t.Logf("checked %d crash images", copies)
+
+	for c := 0; c < copies; c++ {
+		img := filepath.Join(root, fmt.Sprintf("crash-%03d", c))
+		// The coordinator's durable decisions at this crash point define
+		// which transactions must survive recovery.
+		decided := map[uint64]bool{}
+		if recs, err := wal.ReadAll(coordPath(img)); err == nil {
+			for _, rec := range recs {
+				if rec.Op == wal.OpCommit {
+					decided[rec.Txn] = true
+				}
+			}
+		}
+		rr := openDurable(t, img, shards)
+		rr.View(func(tx engine.Tx) error {
+			for i, w := range work {
+				_, okA, _ := tx.Get("pairs", w.a)
+				_, okB, _ := tx.Get("pairs", w.b)
+				if okA != okB {
+					t.Fatalf("image %d: txn %d half-applied (a=%v b=%v)", c, i, okA, okB)
+				}
+				if decided[w.id] && !okA {
+					t.Fatalf("image %d: txn %d decided committed but lost", c, i)
+				}
+				if !decided[w.id] && okA {
+					t.Fatalf("image %d: txn %d applied without a durable decision", c, i)
+				}
+			}
+			return nil
+		})
+		// Every recovered image stays writable.
+		if err := rr.Update(func(tx engine.Tx) error {
+			return tx.Put("pairs", []byte("post-recovery"), []byte("ok"))
+		}); err != nil {
+			t.Fatalf("image %d: not writable after recovery: %v", c, err)
+		}
+		rr.Close()
+	}
+}
+
+// TestPreparedWithoutDecisionPresumedAbort crashes in the in-doubt window —
+// every participant's prepare is durable, no decision exists — and checks
+// recovery rolls the transaction back on every shard. The torn variant
+// additionally rips bytes off one participant's WAL tail (a prepare that
+// never finished reaching disk), which must recover the same way.
+func TestPreparedWithoutDecisionPresumedAbort(t *testing.T) {
+	root := t.TempDir()
+	data := filepath.Join(root, "data")
+	const shards = 2
+	r := openDurable(t, data, shards)
+	a, b := distinctShardKeys(t, r, "p")
+
+	tx, err := r.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx.Put("p", a, []byte("v"))
+	tx.Put("p", b, []byte("v"))
+	parts := prepareParticipants(t, tx)
+
+	indoubt := filepath.Join(root, "indoubt")
+	copyTree(t, data, indoubt)
+	torn := filepath.Join(root, "torn")
+	copyTree(t, data, torn)
+
+	// Resolve the live store cleanly so Close is orderly.
+	for _, p := range parts {
+		p.AbortPrepared()
+	}
+	tx.abortRemaining()
+	r.locks.ReleaseAll(tx.id)
+	tx.done = true
+	r.Close()
+
+	// Tear the tail of shard 0's log in the torn image: its prepare (or
+	// part of the redo batch) becomes unreadable.
+	tornLog := wal.LogPath(filepath.Join(torn, "shard-0"))
+	info, err := os.Stat(tornLog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(tornLog, info.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, img := range []string{indoubt, torn} {
+		rr := openDurable(t, img, shards)
+		rr.View(func(rt engine.Tx) error {
+			for _, k := range [][]byte{a, b} {
+				if _, ok, _ := rt.Get("p", k); ok {
+					t.Fatalf("%s: undecided prepare %q applied on recovery", filepath.Base(img), k)
+				}
+			}
+			return nil
+		})
+		if err := rr.Update(func(wt engine.Tx) error {
+			wt.Put("p", a, []byte("fresh"))
+			wt.Put("p", b, []byte("fresh"))
+			return nil
+		}); err != nil {
+			t.Fatalf("%s: not writable after recovery: %v", filepath.Base(img), err)
+		}
+		rr.Close()
+	}
+}
+
+// TestInDoubtResolvedCommitOnRecovery crashes after the coordinator's
+// decision record is durable but before any participant applied: recovery
+// must resolve every in-doubt prepare to committed.
+func TestInDoubtResolvedCommitOnRecovery(t *testing.T) {
+	root := t.TempDir()
+	data := filepath.Join(root, "data")
+	const shards = 2
+	r := openDurable(t, data, shards)
+	a, b := distinctShardKeys(t, r, "p")
+
+	tx, err := r.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx.Put("p", a, []byte("v"))
+	tx.Put("p", b, []byte("v"))
+	parts := prepareParticipants(t, tx)
+	if _, err := r.coord.AppendBatch([]wal.Record{{Txn: tx.id, Op: wal.OpCommit}}); err != nil {
+		t.Fatal(err)
+	}
+
+	decidedImg := filepath.Join(root, "decided")
+	copyTree(t, data, decidedImg)
+
+	for _, p := range parts {
+		if err := p.CommitPrepared(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tx.abortRemaining()
+	r.locks.ReleaseAll(tx.id)
+	tx.done = true
+	r.Close()
+
+	rr := openDurable(t, decidedImg, shards)
+	defer rr.Close()
+	rr.View(func(rt engine.Tx) error {
+		for _, k := range [][]byte{a, b} {
+			if v, ok, _ := rt.Get("p", k); !ok || string(v) != "v" {
+				t.Fatalf("decided transaction lost on recovery: %q = %q, %v", k, v, ok)
+			}
+		}
+		return nil
+	})
+	// The resolved transaction must survive a checkpoint + further restart.
+	if err := rr.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+}

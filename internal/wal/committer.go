@@ -140,7 +140,7 @@ func (l *Log) appendBatchDirect(recs []Record) (uint64, error) {
 		l.nextLSN++
 		last = recs[i].LSN
 		buf = frameRecord(buf, recs[i])
-		if recs[i].Op == OpCommit || recs[i].Op == OpAbort {
+		if recs[i].Op == OpCommit || recs[i].Op == OpAbort || recs[i].Op == OpPrepare {
 			control = true
 		}
 	}

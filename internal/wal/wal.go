@@ -38,6 +38,12 @@ const (
 	OpCommit
 	OpAbort
 	OpDropKeyspace
+	// OpPrepare marks a transaction's records durable but undecided: the
+	// first phase of a cross-shard commit. The decision lives elsewhere (the
+	// shard coordinator's log); replay treats a prepared transaction as
+	// committed only when the decider says so, and a later OpCommit/OpAbort
+	// in the same log supersedes the prepare locally.
+	OpPrepare
 )
 
 func (o Op) String() string {
@@ -52,6 +58,8 @@ func (o Op) String() string {
 		return "abort"
 	case OpDropKeyspace:
 		return "drop"
+	case OpPrepare:
+		return "prepare"
 	default:
 		return fmt.Sprintf("Op(%d)", uint8(o))
 	}
@@ -157,7 +165,7 @@ func (l *Log) Append(rec Record) (uint64, error) {
 		return 0, fmt.Errorf("wal: write: %w", err)
 	}
 	l.stats.appends.Add(1)
-	if rec.Op == OpCommit || rec.Op == OpAbort {
+	if rec.Op == OpCommit || rec.Op == OpAbort || rec.Op == OpPrepare {
 		if err := l.w.Flush(); err != nil {
 			return 0, fmt.Errorf("wal: flush: %w", err)
 		}
@@ -421,11 +429,39 @@ func scan(path string) ([]Record, int64, error) {
 
 // CommittedSets filters records down to the Set/Delete/Drop operations of
 // committed transactions, in LSN order — exactly what recovery must replay.
+// Prepared-but-undecided transactions are treated as aborted (presumed
+// abort); use ReplaySets with a decider to resolve them from a coordinator.
 func CommittedSets(recs []Record) []Record {
+	return ReplaySets(recs, nil)
+}
+
+// ReplaySets filters records down to the Set/Delete/Drop operations recovery
+// must replay, in LSN order. A transaction replays when its OpCommit record
+// is in the log, or when it reached OpPrepare without a local decision and
+// the decider — consulted with the transaction id, which doubles as the
+// global 2PC transaction id — reports the coordinator committed it. A nil
+// decider presumes abort for every in-doubt prepare.
+func ReplaySets(recs []Record, decide func(txn uint64) bool) []Record {
 	committed := map[uint64]bool{}
+	prepared := map[uint64]bool{}
 	for _, r := range recs {
-		if r.Op == OpCommit {
+		switch r.Op {
+		case OpCommit:
 			committed[r.Txn] = true
+		case OpPrepare:
+			prepared[r.Txn] = true
+		case OpAbort:
+			// A local abort decides a prepare: never replay.
+			delete(prepared, r.Txn)
+		case OpSet, OpDelete, OpDropKeyspace:
+			// Data records are filtered below.
+		}
+	}
+	if decide != nil {
+		for txn := range prepared {
+			if !committed[txn] && decide(txn) {
+				committed[txn] = true
+			}
 		}
 	}
 	var out []Record
@@ -435,12 +471,17 @@ func CommittedSets(recs []Record) []Record {
 			if committed[r.Txn] {
 				out = append(out, r)
 			}
-		case OpCommit, OpAbort:
+		case OpCommit, OpAbort, OpPrepare:
 			// Control records are consumed above; replay applies data only.
 		}
 	}
 	return out
 }
+
+// SetAfterFlushHook installs fn to run after a commit window's buffered
+// write+flush and before its fsync — the gap where a crash leaves bytes in
+// the OS but not durable. Crash-recovery tests capture the file image there.
+func (l *Log) SetAfterFlushHook(fn func()) { l.testAfterFlush = fn }
 
 // SnapshotPath returns the conventional snapshot file path next to a WAL.
 func SnapshotPath(dir string) string { return filepath.Join(dir, "snapshot.db") }

@@ -20,7 +20,7 @@ type UniversalIndex struct {
 }
 
 // BuildUniversalIndex indexes every node of a stored document.
-func (s *Store) BuildUniversalIndex(tx *engine.Txn, doc string) (*UniversalIndex, error) {
+func (s *Store) BuildUniversalIndex(tx engine.Tx, doc string) (*UniversalIndex, error) {
 	nodes, err := s.Nodes(tx, doc)
 	if err != nil {
 		return nil, err

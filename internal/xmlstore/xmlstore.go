@@ -71,12 +71,12 @@ var (
 
 // Store provides tree-document operations within engine transactions.
 type Store struct {
-	e   *engine.Engine
+	e   engine.Sizer
 	cat *catalog.Catalog
 }
 
 // New returns an XML/JSON tree store over the engine.
-func New(e *engine.Engine, cat *catalog.Catalog) *Store { return &Store{e: e, cat: cat} }
+func New(e engine.Sizer, cat *catalog.Catalog) *Store { return &Store{e: e, cat: cat} }
 
 // Keyspace returns the node keyspace of a document.
 func Keyspace(doc string) string { return "xml:" + doc }
@@ -222,7 +222,7 @@ func FromJSON(v mmvalue.Value) []Node {
 
 // LoadXML parses and stores an XML document under name, replacing any
 // previous content, and builds the path index.
-func (s *Store) LoadXML(tx *engine.Txn, name string, data []byte) error {
+func (s *Store) LoadXML(tx engine.Tx, name string, data []byte) error {
 	nodes, err := ParseXML(data)
 	if err != nil {
 		return err
@@ -232,11 +232,11 @@ func (s *Store) LoadXML(tx *engine.Txn, name string, data []byte) error {
 
 // LoadJSON stores a JSON value as a tree document (MarkLogic's unified
 // model), replacing any previous content.
-func (s *Store) LoadJSON(tx *engine.Txn, name string, v mmvalue.Value) error {
+func (s *Store) LoadJSON(tx engine.Tx, name string, v mmvalue.Value) error {
 	return s.store(tx, name, FromJSON(v))
 }
 
-func (s *Store) store(tx *engine.Txn, name string, nodes []Node) error {
+func (s *Store) store(tx engine.Tx, name string, nodes []Node) error {
 	if ok, err := s.cat.Exists(tx, catKind, name); err != nil {
 		return err
 	} else if ok {
@@ -308,7 +308,7 @@ func buildPaths(nodes []Node) []pathEntry {
 }
 
 // Remove deletes a document and its indexes.
-func (s *Store) Remove(tx *engine.Txn, name string) error {
+func (s *Store) Remove(tx engine.Tx, name string) error {
 	if err := tx.DropKeyspace(Keyspace(name)); err != nil {
 		return err
 	}
@@ -319,7 +319,7 @@ func (s *Store) Remove(tx *engine.Txn, name string) error {
 }
 
 // Documents lists loaded document names.
-func (s *Store) Documents(tx *engine.Txn) ([]string, error) {
+func (s *Store) Documents(tx engine.Tx) ([]string, error) {
 	entries, err := s.cat.List(tx, catKind)
 	if err != nil {
 		return nil, err
@@ -332,7 +332,7 @@ func (s *Store) Documents(tx *engine.Txn) ([]string, error) {
 }
 
 // Nodes returns every node of the document in document order.
-func (s *Store) Nodes(tx *engine.Txn, name string) ([]Node, error) {
+func (s *Store) Nodes(tx engine.Tx, name string) ([]Node, error) {
 	if ok, err := s.cat.Exists(tx, catKind, name); err != nil {
 		return nil, err
 	} else if !ok {
@@ -362,7 +362,7 @@ func (s *Store) Nodes(tx *engine.Txn, name string) ([]Node, error) {
 
 // Subtree returns the node at label and all its descendants in document
 // order, using the ORDPATH subtree range (no tree walk).
-func (s *Store) Subtree(tx *engine.Txn, name string, label ordpath.Label) ([]Node, error) {
+func (s *Store) Subtree(tx engine.Tx, name string, label ordpath.Label) ([]Node, error) {
 	lo := label.Key()
 	end := label.Clone()
 	end[len(end)-1]++
@@ -390,7 +390,7 @@ func (s *Store) Subtree(tx *engine.Txn, name string, label ordpath.Label) ([]Nod
 }
 
 // Children returns the direct children of label in order.
-func (s *Store) Children(tx *engine.Txn, name string, label ordpath.Label) ([]Node, error) {
+func (s *Store) Children(tx engine.Tx, name string, label ordpath.Label) ([]Node, error) {
 	sub, err := s.Subtree(tx, name, label)
 	if err != nil {
 		return nil, err
@@ -406,7 +406,7 @@ func (s *Store) Children(tx *engine.Txn, name string, label ordpath.Label) ([]No
 
 // Text returns the concatenated text content of the subtree at label (the
 // XPath string value of an element).
-func (s *Store) Text(tx *engine.Txn, name string, label ordpath.Label) (string, error) {
+func (s *Store) Text(tx engine.Tx, name string, label ordpath.Label) (string, error) {
 	sub, err := s.Subtree(tx, name, label)
 	if err != nil {
 		return "", err
@@ -426,7 +426,7 @@ func (s *Store) Text(tx *engine.Txn, name string, label ordpath.Label) (string, 
 
 // ScalarValue returns the typed scalar of an element that wraps exactly one
 // text node, else the string value.
-func (s *Store) ScalarValue(tx *engine.Txn, name string, label ordpath.Label) (mmvalue.Value, error) {
+func (s *Store) ScalarValue(tx engine.Tx, name string, label ordpath.Label) (mmvalue.Value, error) {
 	children, err := s.Children(tx, name, label)
 	if err != nil {
 		return mmvalue.Null, err
@@ -440,7 +440,7 @@ func (s *Store) ScalarValue(tx *engine.Txn, name string, label ordpath.Label) (m
 
 // PathLookup uses the path range index to find the labels of nodes at the
 // given slash path whose value equals v (E14's indexed side).
-func (s *Store) PathLookup(tx *engine.Txn, name, path string, v mmvalue.Value) ([]ordpath.Label, error) {
+func (s *Store) PathLookup(tx engine.Tx, name, path string, v mmvalue.Value) ([]ordpath.Label, error) {
 	prefix := keyenc.AppendString(nil, path)
 	prefix = keyenc.Append(prefix, v)
 	hi := keyenc.AppendMax(append([]byte{}, prefix...))
@@ -463,7 +463,7 @@ func (s *Store) PathLookup(tx *engine.Txn, name, path string, v mmvalue.Value) (
 
 // PathRange uses the path index for a value range query on one path
 // (MarkLogic's "range indices" row).
-func (s *Store) PathRange(tx *engine.Txn, name, path string, lo, hi mmvalue.Value) ([]ordpath.Label, error) {
+func (s *Store) PathRange(tx engine.Tx, name, path string, lo, hi mmvalue.Value) ([]ordpath.Label, error) {
 	loKey := keyenc.Append(keyenc.AppendString(nil, path), lo)
 	hiKey := keyenc.AppendMax(keyenc.Append(keyenc.AppendString(nil, path), hi))
 	var out []ordpath.Label

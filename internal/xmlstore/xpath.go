@@ -26,7 +26,7 @@ import (
 // This covers the paper's MarkLogic examples (e.g.
 // /product/@no, //name, /root/Orderlines/Product_no) and the E14/E15
 // experiments.
-func (s *Store) XPath(tx *engine.Txn, doc, expr string) ([]Node, error) {
+func (s *Store) XPath(tx engine.Tx, doc, expr string) ([]Node, error) {
 	steps, err := parseXPath(expr)
 	if err != nil {
 		return nil, err
@@ -82,7 +82,7 @@ func (s *Store) XPath(tx *engine.Txn, doc, expr string) ([]Node, error) {
 
 // XPathValues evaluates an expression and returns the typed scalar value of
 // each result node.
-func (s *Store) XPathValues(tx *engine.Txn, doc, expr string) ([]mmvalue.Value, error) {
+func (s *Store) XPathValues(tx engine.Tx, doc, expr string) ([]mmvalue.Value, error) {
 	nodes, err := s.XPath(tx, doc, expr)
 	if err != nil {
 		return nil, err
@@ -473,7 +473,7 @@ func compareForPredicate(v, lit mmvalue.Value, op string) bool {
 }
 
 // XPathFirstLabel is a convenience returning the label of the first match.
-func (s *Store) XPathFirstLabel(tx *engine.Txn, doc, expr string) (ordpath.Label, bool, error) {
+func (s *Store) XPathFirstLabel(tx engine.Tx, doc, expr string) (ordpath.Label, bool, error) {
 	nodes, err := s.XPath(tx, doc, expr)
 	if err != nil || len(nodes) == 0 {
 		return nil, false, err

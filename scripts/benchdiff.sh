@@ -55,5 +55,5 @@ failflag=()
 if [ "${BENCHDIFF_FAIL:-0}" = "1" ]; then
   failflag=(-fail)
 fi
-per_bench="${BENCHDIFF_PER_BENCH:-E7WALDurability=40,E20GroupCommit=40,E21SnapshotReads=60,E22ResultCache=40,E23Vectorized=40}"
+per_bench="${BENCHDIFF_PER_BENCH:-E7WALDurability=40,E20GroupCommit=40,E21SnapshotReads=60,E22ResultCache=40,E23Vectorized=40,E24ShardedScan=60}"
 go run ./cmd/benchdiff "${failflag[@]}" -per-bench "$per_bench" "$baseline" "$fresh" | tee "$report"

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Extended verification: build, vet, formatting, full tests, and the race
 # detector over the packages with concurrent execution paths (parallel
-# query executor, engine lock manager, plan cache).
+# query executor, engine lock manager, plan cache, shard router).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -31,8 +31,8 @@ fi
 echo "== go test"
 go test ./...
 
-echo "== go test -race (query, engine, core)"
-go test -race ./internal/query/... ./internal/engine/... ./internal/core/...
+echo "== go test -race (query, engine, core, shard)"
+go test -race ./internal/query/... ./internal/engine/... ./internal/core/... ./internal/shard/...
 
 echo "== fuzz smoke (parsers)"
 go test -run=^$ -fuzz=FuzzParseMMQL -fuzztime=5s ./internal/query

@@ -31,6 +31,7 @@ import (
 	"repro/internal/query"
 	"repro/internal/rdfstore"
 	"repro/internal/relstore"
+	"repro/internal/shard"
 	"repro/internal/wal"
 )
 
@@ -92,6 +93,15 @@ type Options struct {
 	// partials. Results are byte-identical to row-at-a-time execution. The
 	// same switch exists per call on QueryOptions.
 	Vectorized bool
+	// Shards hash-partitions every keyspace across this many in-process
+	// engine shards, each with its own WAL and lock-free snapshot trees.
+	// Point reads and writes route to one shard; scans fan out across all
+	// shards concurrently and merge back in key order, byte-identical to the
+	// unsharded result. Transactions that write several shards commit
+	// atomically through a two-phase protocol over the per-shard
+	// group-commit WALs. 0 or 1 keeps the single-engine path with zero
+	// overhead; the count is fixed at the first open of a directory.
+	Shards int
 }
 
 // Database is a multi-model database handle.
@@ -109,6 +119,7 @@ func Open(opts Options) (*Database, error) {
 		ResultCacheBytes:   opts.ResultCacheBytes,
 		MaxResultStaleness: opts.MaxResultStaleness,
 		Vectorized:         opts.Vectorized,
+		Shards:             opts.Shards,
 	})
 	if err != nil {
 		return nil, err
@@ -121,7 +132,7 @@ func (d *Database) Close() error { return d.db.Close() }
 
 // Checkpoint snapshots all keyspaces and truncates the WAL (durable
 // databases only).
-func (d *Database) Checkpoint() error { return d.db.Engine.Checkpoint() }
+func (d *Database) Checkpoint() error { return d.db.Checkpoint() }
 
 // Query runs an MMQL (AQL-flavored) query. Params bind @name parameters.
 func (d *Database) Query(mmql string, params map[string]Value) (*Result, error) {
@@ -235,19 +246,29 @@ type WALStats = wal.Stats
 // WALStats reports the write-ahead log's counters: per-record appends,
 // batched appends, commit windows, group commits, fsyncs issued, and
 // fsyncs saved by committers sharing another committer's barrier. All
-// zeros for an in-memory database.
-func (d *Database) WALStats() WALStats { return d.db.Engine.WALStats() }
+// zeros for an in-memory database. Under sharding the counters aggregate
+// every shard's log plus the 2PC coordinator log.
+func (d *Database) WALStats() WALStats { return d.db.WALStats() }
+
+// ShardStats re-exports the shard router's activity snapshot.
+type ShardStats = shard.Stats
+
+// ShardStats reports the partition count, scatter-gather fan-outs,
+// cross-shard (two-phase) commits, cumulative prepares, and each shard's
+// per-keyspace data versions. For an unsharded database Shards is 1 and the
+// cross-shard counters are structurally zero.
+func (d *Database) ShardStats() ShardStats { return d.db.ShardStats() }
 
 // Txn is a cross-model transaction: every operation performed through it —
 // on any model — commits or aborts atomically.
 type Txn struct {
-	tx *engine.Txn
+	tx engine.Tx
 	db *core.DB
 }
 
 // Begin starts a cross-model transaction.
 func (d *Database) Begin() (*Txn, error) {
-	tx, err := d.db.Engine.Begin()
+	tx, err := d.db.BeginTx()
 	if err != nil {
 		return nil, err
 	}
@@ -275,14 +296,14 @@ func (t *Txn) SQL(msql string, params map[string]Value) (*Result, error) {
 // Update runs fn in a transaction with automatic deadlock retry, committing
 // on nil error.
 func (d *Database) Update(fn func(*Txn) error) error {
-	return d.db.Engine.Update(func(tx *engine.Txn) error {
+	return d.db.Update(func(tx engine.Tx) error {
 		return fn(&Txn{tx: tx, db: d.db})
 	})
 }
 
 // View runs fn read-only (any writes are rolled back).
 func (d *Database) View(fn func(*Txn) error) error {
-	return d.db.Engine.View(func(tx *engine.Txn) error {
+	return d.db.View(func(tx engine.Tx) error {
 		return fn(&Txn{tx: tx, db: d.db})
 	})
 }
@@ -293,7 +314,7 @@ func (d *Database) View(fn func(*Txn) error) error {
 // many transactions commit meanwhile. Any write inside fn fails with the
 // engine's read-only-transaction error.
 func (d *Database) SnapshotView(fn func(*Txn) error) error {
-	return d.db.Engine.SnapshotView(func(tx *engine.Txn) error {
+	return d.db.SnapshotView(func(tx engine.Tx) error {
 		return fn(&Txn{tx: tx, db: d.db})
 	})
 }
@@ -301,7 +322,7 @@ func (d *Database) SnapshotView(fn func(*Txn) error) error {
 // SnapshotReads reports how many lock-free snapshot transactions this
 // database has served (both SnapshotView calls and read-only queries routed
 // to snapshots by the SnapshotReads option).
-func (d *Database) SnapshotReads() uint64 { return d.db.Engine.SnapshotReads() }
+func (d *Database) SnapshotReads() uint64 { return d.db.EngineSnapshotReads() }
 
 // --- Model handles (usable standalone or inside a Txn) ---
 
@@ -533,13 +554,13 @@ func (t *Txn) CreateTableIndex(table, name, column string) error {
 // Replica is an eventually-consistent read endpoint fed by WAL shipping
 // with a configurable lag (measured in committed transactions).
 type Replica struct {
-	r  *engine.Replica
+	r  shard.ReplicaView
 	db *core.DB
 }
 
 // NewReplica attaches a replica lagging the primary by lagTxns commits.
 func (d *Database) NewReplica(lagTxns int) *Replica {
-	return &Replica{r: d.db.Engine.NewReplica(lagTxns), db: d.db}
+	return &Replica{r: d.db.NewReplica(lagTxns), db: d.db}
 }
 
 // KVGet reads a key/value pair at EVENTUAL consistency (no locks, possibly
