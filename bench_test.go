@@ -1650,3 +1650,127 @@ func BenchmarkE24ShardedScan(b *testing.B) {
 		r.Close()
 	}
 }
+
+// BenchmarkE25CSRTraversal measures graph traversal over a CSR adjacency
+// snapshot (E25): depth-2/3 frontier BFS from the highest-degree hub of a
+// preferential-attachment (power-law) graph with ~56k edges, probe path
+// (NoCSR) vs CSR path, plus a ColdBuild variant that invalidates the cached
+// CSR before every iteration so the number also amortizes the build. The
+// warm CSR runs assert the cache reports zero rebuilds across iterations —
+// the version-vector validation must recognize the unchanged graph.
+func BenchmarkE25CSRTraversal(b *testing.B) {
+	const (
+		verts = 8000
+		mEdge = 7 // out-degree per joining vertex => ~7*verts edges
+	)
+	db := openDB(b)
+	rng := rand.New(rand.NewSource(25))
+	if err := db.Update(func(tx engine.Tx) error {
+		return db.CreateGraph(tx, "pl")
+	}); err != nil {
+		b.Fatal(err)
+	}
+	// Preferential attachment: each joining vertex connects to mEdge
+	// distinct earlier vertices sampled proportionally to current degree
+	// (the repeated-slot trick), so early vertices become hubs and the
+	// degree distribution is power-law. v00000 ends up the top hub.
+	slots := []int{0}
+	edges := 0
+	const chunk = 500
+	for lo := 0; lo < verts; lo += chunk {
+		hi := lo + chunk
+		if hi > verts {
+			hi = verts
+		}
+		err := db.Update(func(tx engine.Tx) error {
+			for i := lo; i < hi; i++ {
+				key := fmt.Sprintf("v%05d", i)
+				if err := db.Graphs.PutVertex(tx, "pl", key, mmvalue.Object()); err != nil {
+					return err
+				}
+				if i == 0 {
+					continue
+				}
+				want := mEdge
+				if i < want {
+					want = i
+				}
+				seen := map[int]bool{}
+				for len(seen) < want {
+					t := slots[rng.Intn(len(slots))]
+					if seen[t] {
+						continue
+					}
+					seen[t] = true
+					if _, err := db.Graphs.Connect(tx, "pl", key,
+						fmt.Sprintf("v%05d", t), "x", mmvalue.Null); err != nil {
+						return err
+					}
+					slots = append(slots, t)
+					edges++
+				}
+				slots = append(slots, i)
+			}
+			return nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if edges < 50000 {
+		b.Fatalf("power-law graph too small: %d edges", edges)
+	}
+	for _, depth := range []struct{ name, q string }{
+		{"depth=2", `FOR v IN 1..2 ANY 'v00000' pl RETURN v._key`},
+		{"depth=3", `FOR v IN 1..3 ANY 'v00000' pl RETURN v._key`},
+	} {
+		probeRes, err := db.QueryOpts(depth.q, nil,
+			query.Options{SnapshotReads: true, NoCSR: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, mode := range []struct {
+			name string
+			opts query.Options
+			cold bool
+		}{
+			{"Probe", query.Options{SnapshotReads: true, NoCSR: true}, false},
+			{"CSR", query.Options{SnapshotReads: true}, false},
+			{"ColdBuild", query.Options{SnapshotReads: true}, true},
+		} {
+			b.Run(mode.name+"/"+depth.name, func(b *testing.B) {
+				res, err := db.QueryOpts(depth.q, nil, mode.opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Values) != len(probeRes.Values) {
+					b.Fatalf("CSR/probe disagree: %d vs %d vertices",
+						len(res.Values), len(probeRes.Values))
+				}
+				if mode.name == "Probe" && res.Stats.CSRTraversals != 0 {
+					b.Fatalf("probe mode used CSR: %+v", res.Stats)
+				}
+				if mode.name != "Probe" && res.Stats.CSRTraversals == 0 {
+					b.Fatalf("CSR mode fell back to probes: %+v", res.Stats)
+				}
+				before := db.CSRStats()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if mode.cold {
+						db.Graphs.InvalidateCSR("pl")
+					}
+					if _, err := db.QueryOpts(depth.q, nil, mode.opts); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				after := db.CSRStats()
+				if mode.name == "CSR" && after.Rebuilds != before.Rebuilds {
+					b.Fatalf("warm CSR run rebuilt %d times on an unchanged graph",
+						after.Rebuilds-before.Rebuilds)
+				}
+				b.ReportMetric(float64(len(res.Values)), "vertices")
+			})
+		}
+	}
+}

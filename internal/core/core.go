@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/catalog"
 	"repro/internal/colstore"
+	"repro/internal/csr"
 	"repro/internal/docstore"
 	"repro/internal/engine"
 	"repro/internal/graphstore"
@@ -67,6 +68,11 @@ type Options struct {
 	// single-engine path with zero added overhead. The count is fixed at
 	// first open of a directory.
 	Shards int
+	// DisableGraphCSR turns off the CSR adjacency-snapshot traversal path:
+	// every graph traversal runs per-edge B+tree probes, as before PR 10.
+	// Results are byte-identical either way; the switch exists for
+	// ablation and as an escape hatch.
+	DisableGraphCSR bool
 }
 
 // DB is a multi-model database instance.
@@ -169,6 +175,9 @@ func Open(opts Options) (*DB, error) {
 	}
 	if opts.ResultCacheBytes > 0 {
 		db.results = newResultCache(opts.ResultCacheBytes)
+	}
+	if opts.DisableGraphCSR {
+		db.Graphs.SetCSREnabled(false)
 	}
 	db.sources = &query.Sources{
 		Cols:   db.Cols,
@@ -277,6 +286,13 @@ func (db *DB) ResultCacheStats() ResultCacheStats {
 // KeyspaceVersions returns the engine's per-keyspace data version counters —
 // the validity half of every result-cache key — under one consistent cut.
 func (db *DB) KeyspaceVersions() map[string]uint64 { return db.be.Versions() }
+
+// CSRStats re-exports the CSR adjacency-snapshot cache counters type.
+type CSRStats = csr.Stats
+
+// CSRStats snapshots the graph store's CSR cache counters: builds,
+// version-mismatch rebuilds, reuses, and resident size.
+func (db *DB) CSRStats() CSRStats { return db.Graphs.CSRStats() }
 
 // Close shuts the database down, draining in-flight background result-cache
 // refreshes first so no goroutine races engine shutdown.

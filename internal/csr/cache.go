@@ -1,0 +1,138 @@
+package csr
+
+import (
+	"sync"
+
+	"repro/internal/engine"
+)
+
+// versioned is the slice of the transaction surface the cache validates
+// against: the per-keyspace data-version vector and keyspace-drop epoch
+// captured at the transaction's snapshot cut. Both engine.Txn and the
+// shard router's Txn implement it (the router sums per-shard values, which
+// stays collision-free because versions only ever increase). Locked
+// transactions report ok == false and never hit the cache.
+type versioned interface {
+	SnapshotVersionsFor(keyspaces []string) ([]uint64, bool)
+	SnapshotDropEpoch() (uint64, bool)
+}
+
+// entry pairs one built Graph with the validity token it was built at.
+type entry struct {
+	epoch uint64
+	vers  [4]uint64
+	g     *Graph
+}
+
+// Cache holds one CSR snapshot per graph, validated by the snapshot's
+// version vector: a Get whose transaction observes the same (drop epoch,
+// 4-keyspace versions) token reuses the cached Graph without touching the
+// engine at all, so an unchanged graph rebuilds zero times across any
+// number of queries.
+//
+// c.mu guards only the entries map and counters — it is a leaf lock, held
+// for map operations only, never across a Build (which scans keyspaces).
+// Two transactions racing on a cold graph may both build; the later store
+// wins, which is harmless since both snapshots observed identical content.
+type Cache struct {
+	mu      sync.Mutex
+	entries map[string]*entry
+	bytes   int // sum of entry Graph footprints, maintained incrementally
+
+	builds   int // cold builds (no entry existed)
+	rebuilds int // version-mismatch builds (entry existed, token changed)
+	reuses   int // cache hits
+}
+
+// NewCache returns an empty CSR cache.
+func NewCache() *Cache {
+	return &Cache{entries: map[string]*entry{}}
+}
+
+// Stats is a point-in-time snapshot of cache effectiveness counters.
+type Stats struct {
+	Builds   int // CSR constructions for graphs with no cached snapshot
+	Rebuilds int // CSR constructions replacing a stale snapshot
+	Reuses   int // traversals served from a cached snapshot
+	Graphs   int // graphs currently cached
+	Bytes    int // approximate resident size of all cached snapshots
+}
+
+// Stats returns current counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Builds:   c.builds,
+		Rebuilds: c.rebuilds,
+		Reuses:   c.reuses,
+		Graphs:   len(c.entries),
+		Bytes:    c.bytes,
+	}
+}
+
+// Invalidate drops the cached snapshot for one graph (used on graph drop,
+// and by benchmarks to measure cold-build amortization).
+func (c *Cache) Invalidate(name string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[name]; ok {
+		c.bytes -= e.g.Bytes()
+		delete(c.entries, name)
+	}
+}
+
+// Get returns the CSR snapshot for the named graph as seen by tx's
+// snapshot, building (and caching) it if the cached one is missing or
+// stale. ok is false — with no error — when tx is not a snapshot
+// transaction; the caller falls back to the probe path.
+func (c *Cache) Get(tx engine.Tx, name string, spec Spec) (*Graph, bool, error) {
+	vt, okIface := tx.(versioned)
+	if !okIface {
+		return nil, false, nil
+	}
+	vers, ok := vt.SnapshotVersionsFor([]string{spec.Vertex, spec.Edge, spec.Out, spec.In})
+	if !ok {
+		return nil, false, nil
+	}
+	epoch, ok := vt.SnapshotDropEpoch()
+	if !ok {
+		return nil, false, nil
+	}
+	var token [4]uint64
+	copy(token[:], vers)
+
+	c.mu.Lock()
+	e, had := c.entries[name]
+	if had && e.epoch == epoch && e.vers == token {
+		c.reuses++
+		g := e.g
+		c.mu.Unlock()
+		return g, true, nil
+	}
+	c.mu.Unlock()
+
+	// Build outside the mutex: the scans may be large and must not block
+	// cache hits for other graphs.
+	g, err := Build(tx, spec)
+	if err != nil {
+		return nil, false, err
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	switch prev, ok := c.entries[name]; {
+	case !ok:
+		c.builds++
+	case prev.epoch == epoch && prev.vers == token:
+		// A concurrent transaction built the same snapshot while we did;
+		// not a staleness rebuild.
+		c.bytes -= prev.g.Bytes()
+	default:
+		c.bytes -= prev.g.Bytes()
+		c.rebuilds++
+	}
+	c.entries[name] = &entry{epoch: epoch, vers: token, g: g}
+	c.bytes += g.Bytes()
+	return g, true, nil
+}

@@ -127,6 +127,10 @@ type Engine struct {
 	// reads as 0), so version numbers restart after a drop — consumers that
 	// cache across DDL must pair the vector with a DDL epoch.
 	versions map[string]uint64
+	// dropEpoch counts committed keyspace drops, under the same e.mu cut
+	// as versions. It disambiguates version vectors across a drop+recreate
+	// of the same keyspace, whose per-keyspace counter restarts at 1.
+	dropEpoch uint64
 
 	// commitMu orders commit publication against the checkpoint cut. Every
 	// committer holds it shared across its WAL append *and* tree apply (and
@@ -422,6 +426,29 @@ func (t *Txn) ID() uint64 { return t.id }
 // SnapshotRead reports whether this transaction reads from an immutable
 // snapshot (lock-free MVCC) rather than the live 2PL-locked trees.
 func (t *Txn) SnapshotRead() bool { return t.snap != nil }
+
+// SnapshotVersionsFor returns the data versions of the given keyspaces as of
+// this transaction's snapshot cut, positionally, or ok=false for a locked
+// (non-snapshot) transaction — whose view moves as it acquires locks, so no
+// single vector describes it. Derived read-only structures (the graph CSR
+// cache) key their validity on this vector: equal vectors imply
+// byte-identical keyspace content.
+func (t *Txn) SnapshotVersionsFor(keyspaces []string) ([]uint64, bool) {
+	if t.snap == nil {
+		return nil, false
+	}
+	return t.snap.VersionsFor(keyspaces), true
+}
+
+// SnapshotDropEpoch returns the keyspace-drop counter as of this
+// transaction's snapshot cut, or ok=false for a locked transaction. It is
+// the other half of the validity token SnapshotVersionsFor starts.
+func (t *Txn) SnapshotDropEpoch() (uint64, bool) {
+	if t.snap == nil {
+		return 0, false
+	}
+	return t.snap.DropEpoch(), true
+}
 
 func (t *Txn) finish() {
 	if t.snap == nil {
@@ -966,6 +993,12 @@ func (e *Engine) bumpVersionsLocked(recs []wal.Record) {
 			}
 		case wal.OpDropKeyspace:
 			delete(e.versions, r.Keyspace)
+			// A drop restarts the keyspace's version lineage, so vectors
+			// from before and after a drop+recreate can collide. The drop
+			// epoch disambiguates: any consumer validating cached state by
+			// version vector pairs it with this counter (the result cache
+			// uses core's DDL epoch the same way).
+			e.dropEpoch++
 			for i, b := range bumped {
 				if b == r.Keyspace {
 					bumped = append(bumped[:i], bumped[i+1:]...)
@@ -1016,6 +1049,17 @@ func (e *Engine) VersionsFor(keyspaces []string) []uint64 {
 // any number of goroutines and stays valid indefinitely.
 type Snapshot struct {
 	trees map[string]*btree.Tree
+	// vers is the per-keyspace data version vector captured in the same
+	// e.mu critical section as the tree roots. It describes exactly the
+	// state this snapshot holds: two snapshots with equal versions for a
+	// set of keyspaces hold byte-identical content for them, which is what
+	// lets derived structures (the CSR adjacency cache, cached results) be
+	// validated against a snapshot without consulting the live engine.
+	vers map[string]uint64
+	// dropEpoch is the engine's keyspace-drop counter at the cut; paired
+	// with vers it makes the snapshot's validity token unambiguous across
+	// drop+recreate cycles.
+	dropEpoch uint64
 }
 
 // Snapshot publishes the current committed state as an immutable view. The
@@ -1028,13 +1072,19 @@ func (e *Engine) Snapshot() *Snapshot {
 }
 
 // snapshotLocked marks every tree root shared and returns the immutable
-// view. Caller holds e.mu.
+// view, pairing it with a copy of the version counters. The cut stays
+// O(keyspaces): the version copy rides the same loop bound as the root
+// marking. Caller holds e.mu.
 func (e *Engine) snapshotLocked() *Snapshot {
 	trees := make(map[string]*btree.Tree, len(e.keyspaces))
 	for ks, tr := range e.keyspaces {
 		trees[ks] = tr.Snapshot()
 	}
-	return &Snapshot{trees: trees}
+	vers := make(map[string]uint64, len(e.versions))
+	for ks, v := range e.versions {
+		vers[ks] = v
+	}
+	return &Snapshot{trees: trees, vers: vers, dropEpoch: e.dropEpoch}
 }
 
 // VersionedSnapshot publishes the current committed state together with the
@@ -1044,15 +1094,30 @@ func (e *Engine) snapshotLocked() *Snapshot {
 // two — which is what lets a result computed against the snapshot be cached
 // under the vector.
 func (e *Engine) VersionedSnapshot(keyspaces []string) (*Snapshot, []uint64) {
-	vers := make([]uint64, len(keyspaces))
 	e.mu.Lock()
 	snap := e.snapshotLocked()
-	for i, ks := range keyspaces {
-		vers[i] = e.versions[ks]
-	}
 	e.mu.Unlock()
-	return snap, vers
+	// The snapshot carries the whole version map from the same cut, so the
+	// vector can be projected out after the mutex is released.
+	return snap, snap.VersionsFor(keyspaces)
 }
+
+// VersionsFor returns the data versions of the given keyspaces as of the
+// snapshot's cut, positionally (absent keyspaces read 0). No engine mutex is
+// taken: the vector was captured when the snapshot was cut, so this is a
+// pure read of immutable state — safe on the lock-free snapshot read path.
+func (s *Snapshot) VersionsFor(keyspaces []string) []uint64 {
+	out := make([]uint64, len(keyspaces))
+	for i, ks := range keyspaces {
+		out[i] = s.vers[ks]
+	}
+	return out
+}
+
+// DropEpoch returns the engine's keyspace-drop counter as of the snapshot's
+// cut. Consumers validating cached derived state by version vector pair the
+// vector with this counter, because a drop restarts a keyspace's versions.
+func (s *Snapshot) DropEpoch() uint64 { return s.dropEpoch }
 
 // Get returns the value under key in keyspace ks as of the snapshot.
 func (s *Snapshot) Get(ks string, key []byte) ([]byte, bool) {

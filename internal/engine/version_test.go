@@ -228,3 +228,51 @@ func TestSnapshotViewAtReadsCapturedState(t *testing.T) {
 		t.Fatalf("SnapshotReads() = %d, want %d", got, before+1)
 	}
 }
+
+func TestSnapshotVersionsForDescribeTheCut(t *testing.T) {
+	e, err := Open(Options{Durability: Ephemeral})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	mustUpdate(t, e, func(tx *Txn) error {
+		if err := tx.Put("a", []byte("k"), []byte("1")); err != nil {
+			return err
+		}
+		return tx.Put("b", []byte("k"), []byte("1"))
+	})
+	snap := e.Snapshot()
+	// Later commits must not move the snapshot's vector.
+	mustUpdate(t, e, func(tx *Txn) error {
+		return tx.Put("a", []byte("k"), []byte("2"))
+	})
+	if got := snap.VersionsFor([]string{"a", "b", "absent"}); got[0] != 1 || got[1] != 1 || got[2] != 0 {
+		t.Fatalf("snapshot VersionsFor = %v, want [1 1 0]", got)
+	}
+	if got := e.VersionsFor([]string{"a"}); got[0] != 2 {
+		t.Fatalf("live VersionsFor = %v, want [2]", got)
+	}
+
+	// Txn.SnapshotVersionsFor: snapshot transactions expose the cut's
+	// vector; locked transactions expose nothing.
+	tx, err := e.BeginSnapshotAt(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vers, ok := tx.SnapshotVersionsFor([]string{"a"}); !ok || vers[0] != 1 {
+		t.Fatalf("SnapshotVersionsFor = %v, %v, want [1] true", vers, ok)
+	}
+	if err := tx.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	locked, err := e.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := locked.SnapshotVersionsFor([]string{"a"}); ok {
+		t.Fatal("locked txn reported snapshot versions")
+	}
+	if err := locked.Abort(); err != nil {
+		t.Fatal(err)
+	}
+}

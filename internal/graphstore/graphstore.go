@@ -20,6 +20,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/binenc"
+	"repro/internal/csr"
 	"repro/internal/engine"
 	"repro/internal/keyenc"
 	"repro/internal/mmvalue"
@@ -71,11 +72,15 @@ type Store struct {
 	// (traversals fetch each visited vertex); entries are validated
 	// against the raw bytes each read returns.
 	dc *binenc.DecodeCache
+	// csr caches one immutable CSR adjacency snapshot per graph for the
+	// lock-free traversal path; csrOff falls everything back to probes.
+	csr    *csr.Cache
+	csrOff atomic.Bool
 }
 
 // New returns a graph store over the engine.
 func New(e engine.Sizer) *Store {
-	return &Store{e: e, dc: binenc.NewDecodeCache(8192)}
+	return &Store{e: e, dc: binenc.NewDecodeCache(8192), csr: csr.NewCache()}
 }
 
 func vKS(g string) string { return "g:" + g + ":v" }
@@ -277,12 +282,17 @@ type Neighbor struct {
 }
 
 // Neighbors expands one step from v. label filters edges by _label when
-// non-empty.
+// non-empty. For Any, a self-loop of v sits in both the outbound and
+// inbound incident lists; it is reported once (dedup by edge key).
 func (s *Store) Neighbors(tx engine.Tx, graph, v string, dir Direction, label string) ([]Neighbor, error) {
 	var out []Neighbor
 	dirs := []Direction{dir}
 	if dir == Any {
 		dirs = []Direction{Outbound, Inbound}
+	}
+	var seen map[string]struct{}
+	if dir == Any {
+		seen = map[string]struct{}{}
 	}
 	for _, d := range dirs {
 		keys, err := s.incidentEdgeKeys(tx, graph, v, d)
@@ -290,6 +300,12 @@ func (s *Store) Neighbors(tx engine.Tx, graph, v string, dir Direction, label st
 			return nil, err
 		}
 		for _, ek := range keys {
+			if seen != nil {
+				if _, dup := seen[ek]; dup {
+					continue
+				}
+				seen[ek] = struct{}{}
+			}
 			edge, ok, err := s.Edge(tx, graph, ek)
 			if err != nil {
 				return nil, err
@@ -321,7 +337,15 @@ func (s *Store) Traverse(tx engine.Tx, graph, start string, min, max int, dir Di
 	frontier := []string{start}
 	var out []string
 	if min == 0 {
-		out = append(out, start)
+		// Depth 0 emits the start vertex — but only if it exists; a
+		// traversal from a vertex not in the graph reaches nothing.
+		ok, err := s.vertexExists(tx, graph, start)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out = append(out, start)
+		}
 	}
 	for depth := 1; depth <= max && len(frontier) > 0; depth++ {
 		var next []string
@@ -350,6 +374,14 @@ func (s *Store) Traverse(tx engine.Tx, graph, start string, min, max int, dir Di
 // start to goal (inclusive), or ErrNoSuchPath.
 func (s *Store) ShortestPath(tx engine.Tx, graph, start, goal string, dir Direction, label string) ([]string, error) {
 	if start == goal {
+		// The trivial path exists only if the vertex itself does.
+		ok, err := s.vertexExists(tx, graph, start)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return nil, fmt.Errorf("%w: %s -> %s", ErrNoSuchPath, start, goal)
+		}
 		return []string{start}, nil
 	}
 	parent := map[string]string{start: ""}

@@ -309,3 +309,88 @@ func TestParallelEdges(t *testing.T) {
 		return nil
 	})
 }
+
+// TestNeighborsAnySelfLoopOnce pins the ANY-direction dedup: a self-loop
+// edge sits in both the outbound and inbound incident lists but must be
+// reported once.
+func TestNeighborsAnySelfLoopOnce(t *testing.T) {
+	e, s := setup(t)
+	e.Update(func(tx *engine.Txn) error {
+		s.PutVertex(tx, "g", "a", mmvalue.Object())
+		s.PutVertex(tx, "g", "b", mmvalue.Object())
+		s.Connect(tx, "g", "a", "a", "loop", mmvalue.Null)
+		s.Connect(tx, "g", "a", "b", "x", mmvalue.Null)
+		s.Connect(tx, "g", "b", "a", "y", mmvalue.Null)
+		return nil
+	})
+	e.View(func(tx *engine.Txn) error {
+		ns, err := s.Neighbors(tx, "g", "a", Any, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		// a->a once, a->b once, b->a once.
+		if len(ns) != 3 {
+			keys := make([]string, len(ns))
+			for i, n := range ns {
+				keys[i] = n.VertexKey
+			}
+			t.Fatalf("Any neighbors = %v, want 3 entries (self-loop once)", keys)
+		}
+		loops := 0
+		for _, n := range ns {
+			if n.VertexKey == "a" {
+				loops++
+			}
+		}
+		if loops != 1 {
+			t.Fatalf("self-loop reported %d times, want 1", loops)
+		}
+		// Directed views are unaffected by the dedup.
+		out, _ := s.Neighbors(tx, "g", "a", Outbound, "")
+		in, _ := s.Neighbors(tx, "g", "a", Inbound, "")
+		if len(out) != 2 || len(in) != 2 {
+			t.Fatalf("out=%d in=%d, want 2/2", len(out), len(in))
+		}
+		return nil
+	})
+}
+
+// TestTraverseMissingStart pins the min == 0 existence check: traversing
+// from a vertex not in the graph reaches nothing, not [start].
+func TestTraverseMissingStart(t *testing.T) {
+	e, s := setup(t)
+	seedSocial(t, e, s)
+	e.View(func(tx *engine.Txn) error {
+		for _, r := range [][2]int{{0, 0}, {0, 2}, {1, 2}} {
+			out, err := s.Traverse(tx, "social", "ghost", r[0], r[1], Outbound, "")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(out) != 0 {
+				t.Fatalf("Traverse(ghost, %d..%d) = %v, want empty", r[0], r[1], out)
+			}
+		}
+		// An existing start still emits itself at depth 0.
+		out, err := s.Traverse(tx, "social", "mary", 0, 0, Outbound, "")
+		if err != nil || len(out) != 1 || out[0] != "mary" {
+			t.Fatalf("Traverse(mary, 0..0) = %v, %v", out, err)
+		}
+		return nil
+	})
+}
+
+// TestShortestPathMissingStart pins the start == goal existence check.
+func TestShortestPathMissingStart(t *testing.T) {
+	e, s := setup(t)
+	seedSocial(t, e, s)
+	e.View(func(tx *engine.Txn) error {
+		if _, err := s.ShortestPath(tx, "social", "ghost", "ghost", Outbound, ""); !errors.Is(err, ErrNoSuchPath) {
+			t.Fatalf("ShortestPath(ghost, ghost) err = %v, want ErrNoSuchPath", err)
+		}
+		p, err := s.ShortestPath(tx, "social", "mary", "mary", Outbound, "")
+		if err != nil || !reflect.DeepEqual(p, []string{"mary"}) {
+			t.Fatalf("ShortestPath(mary, mary) = %v, %v", p, err)
+		}
+		return nil
+	})
+}

@@ -52,8 +52,12 @@ func DefaultAnalyzers() []Analyzer {
 		Determinism{Scope: []ScopeRef{
 			{Pkg: "repro/internal/query", Files: []string{
 				"exec.go", "eval.go", "parallel.go", "compile.go", "optimize.go",
-				"vector.go",
+				"vector.go", "csrroute.go",
 			}},
+			// The whole CSR package: its parallel frontier expansion must be
+			// byte-identical to the serial walk, and its build scans feed a
+			// cache keyed by version vectors.
+			{Pkg: "repro/internal/csr"},
 		}},
 		ParallelMerge{Scope: []ScopeRef{
 			{Pkg: "repro/internal/query", Files: []string{"parallel.go"}},
@@ -78,6 +82,9 @@ func DefaultAnalyzers() []Analyzer {
 		CacheKey{Scope: []ScopeRef{
 			{Pkg: "repro/internal/core", Files: []string{"resultcache.go"}},
 			{Pkg: "repro/internal/query", Files: []string{"readset.go", "vector.go"}},
+			// The CSR cache's validity token (drop epoch + version vector)
+			// must be constructed purely, like the result cache's key.
+			{Pkg: "repro/internal/csr", Files: []string{"cache.go"}},
 		}},
 	}
 }
@@ -101,6 +108,7 @@ func DefaultLockClasses() LockClasses {
 		{Pkg: "repro/internal/core", Type: "DB", Field: "viewMu", Class: "core.viewMu"},
 		{Pkg: "repro/internal/core", Type: "planCache", Field: "mu", Class: "core.plans.mu"},
 		{Pkg: "repro/internal/core", Type: "resultCache", Field: "mu", Class: "core.results.mu"},
+		{Pkg: "repro/internal/csr", Type: "Cache", Field: "mu", Class: "csr.cache.mu"},
 		{Pkg: "repro/internal/binenc", Type: "dcShard", Field: "mu", Class: "binenc.deccache.mu"},
 		{Pkg: "repro/internal/mmindex", Type: "JoinIndex", Field: "mu", Class: "mmindex.join.mu"},
 		{Pkg: "repro/internal/sinew", Type: "Relation", Field: "mu", Class: "sinew.rel.mu"},
@@ -134,6 +142,7 @@ func DefaultLockOrder() []string {
 		"core.viewMu",
 		"core.plans.mu",
 		"core.results.mu",
+		"csr.cache.mu",
 		"binenc.deccache.mu",
 		"mmindex.join.mu",
 		"sinew.rel.mu",
@@ -155,6 +164,8 @@ func DefaultSnapshotRoots() []FuncRef {
 		"Txn.KeyspaceNonEmpty", "Txn.Commit", "Txn.Abort", "Txn.finish",
 		"Snapshot.Get", "Snapshot.Len", "Snapshot.Keyspaces",
 		"Snapshot.Scan", "Snapshot.ScanReverse", "Snapshot.collect",
+		"Txn.SnapshotVersionsFor", "Txn.SnapshotDropEpoch",
+		"Snapshot.VersionsFor", "Snapshot.DropEpoch",
 	}
 	refs := make([]FuncRef, len(names))
 	for i, n := range names {

@@ -135,3 +135,44 @@ func edgeList(edges []lockEdge) []string {
 	}
 	return out
 }
+
+// TestRepoCSRCacheLockLeaf pins the CSR cache mutex's place in the lock
+// order: it is a pure leaf. Cache.Get acquires it for map operations only
+// and releases it before Build scans any keyspace, so no nesting edge may
+// ever leave csr.cache.mu — a Build (or any engine call) under the mutex
+// would serialize every graph's cache hit behind one graph's cold build and
+// drag engine-side lock classes under a read-side leaf.
+func TestRepoCSRCacheLockLeaf(t *testing.T) {
+	prog := loadRepoProgram(t, "repro/internal/csr", "repro/internal/engine", "repro/internal/wal")
+	// The class must actually resolve to acquisition sites — a renamed
+	// field would silently turn this test (and lockorder) into a no-op.
+	sites := 0
+	for _, fi := range prog.funcList {
+		for _, a := range fi.Acquires {
+			if a.class == "csr.cache.mu" {
+				sites++
+			}
+		}
+	}
+	if sites == 0 {
+		t.Fatal("no acquisition sites of csr.cache.mu found: LockClasses row does not resolve")
+	}
+	edges := collectLockEdges(prog)
+	for _, e := range edges {
+		if e.from == "csr.cache.mu" {
+			t.Errorf("csr.cache.mu is held across an acquisition of %s in %s: the CSR cache mutex must stay a leaf", e.to, e.fn)
+		}
+	}
+	// And every ranked edge the csr package introduces must respect the
+	// canonical order.
+	order := DefaultLockOrder()
+	if classIndex(order, "csr.cache.mu") < 0 {
+		t.Fatal("csr.cache.mu is not ranked in DefaultLockOrder")
+	}
+	for _, e := range edges {
+		fi, ti := classIndex(order, e.from), classIndex(order, e.to)
+		if fi >= 0 && ti >= 0 && fi >= ti {
+			t.Errorf("edge %s -> %s contradicts DefaultLockOrder", e.from, e.to)
+		}
+	}
+}

@@ -704,7 +704,7 @@ func (c *execCtx) evalFunc(t *FuncCall, en *env) (mmvalue.Value, error) {
 		if err := need(3); err != nil {
 			return mmvalue.Null, err
 		}
-		path, err := c.src.Graphs.ShortestPath(c.tx, stringify(args[0]),
+		path, err := c.graphShortestPath(stringify(args[0]),
 			stringify(args[1]), stringify(args[2]), graphstore.Outbound, "")
 		if err != nil {
 			return mmvalue.Array(), nil //nolint:nilerr — no path is a value, not an error
@@ -802,13 +802,13 @@ func (c *execCtx) evalGraphNav(name string, args []mmvalue.Value, en *env) (mmva
 	case "BOTH":
 		dir = graphstore.Any
 	}
-	ns, err := c.src.Graphs.Neighbors(c.tx, graph, start, dir, label)
+	keys, err := c.graphNeighborKeys(graph, start, dir, label)
 	if err != nil {
 		return mmvalue.Null, err
 	}
 	var out []mmvalue.Value
-	for _, n := range ns {
-		doc, ok, err := c.src.Graphs.Vertex(c.tx, graph, n.VertexKey)
+	for _, k := range keys {
+		doc, ok, err := c.src.Graphs.Vertex(c.tx, graph, k)
 		if err != nil {
 			return mmvalue.Null, err
 		}

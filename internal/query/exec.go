@@ -76,6 +76,12 @@ type Options struct {
 	// path. 0 means colstore.DefaultBatchSize; tests force small odd sizes
 	// to exercise batch boundaries.
 	VectorBatchSize int
+	// NoCSR opts this execution out of the CSR traversal path: graph
+	// traversals and navigation functions run per-edge B+tree probes even
+	// on a snapshot transaction. Results are byte-identical either way —
+	// an execution strategy, not a semantic switch — so core's result-cache
+	// key ignores it (the ablation switch for E25).
+	NoCSR bool
 }
 
 // Stats reports what the optimizer did — benches assert on these.
@@ -106,6 +112,9 @@ type Stats struct {
 	VectorizedBatches      int // column batches processed batch-at-a-time
 	BatchesSkippedByBitmap int // batches pruned by bitset/zone/bitslice alone
 	VectorizedAggs         int // per-batch aggregates answered from column vectors
+	// CSRTraversals counts traversal clauses and graph functions served by
+	// the CSR adjacency snapshot instead of per-edge probes (csrroute.go).
+	CSRTraversals int
 }
 
 // Result is a completed execution.
@@ -671,7 +680,7 @@ func (c *execCtx) sourceElems(cl *ForClause, filters []*FilterClause, r *env) ([
 		if start.Kind() == mmvalue.KindObject {
 			startKey = start.GetOr("_key").AsString()
 		}
-		keys, err := c.src.Graphs.Traverse(c.tx, s.Graph, startKey, s.Min, s.Max, s.Direction, s.Label)
+		keys, err := c.graphTraverse(s.Graph, startKey, s.Min, s.Max, s.Direction, s.Label)
 		if err != nil {
 			return nil, err
 		}

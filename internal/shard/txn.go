@@ -75,6 +75,45 @@ func (t *Txn) ID() uint64 { return t.id }
 // rather than the live locked trees.
 func (t *Txn) SnapshotRead() bool { return t.snap }
 
+// SnapshotVersionsFor returns the given keyspaces' data versions as of this
+// transaction's consistent cut, summed positionally across shards — the same
+// aggregation Router.VersionsFor uses, so vectors from cuts and from the
+// live router compare directly. ok=false for a locked transaction.
+func (t *Txn) SnapshotVersionsFor(keyspaces []string) ([]uint64, bool) {
+	if !t.snap {
+		return nil, false
+	}
+	sum := make([]uint64, len(keyspaces))
+	for _, sub := range t.subs {
+		vers, ok := sub.SnapshotVersionsFor(keyspaces)
+		if !ok {
+			return nil, false
+		}
+		for i, v := range vers {
+			sum[i] += v
+		}
+	}
+	return sum, true
+}
+
+// SnapshotDropEpoch sums the per-shard keyspace-drop counters as of the cut
+// (a drop is staged on every shard, so the sum moves whenever any shard
+// dropped). ok=false for a locked transaction.
+func (t *Txn) SnapshotDropEpoch() (uint64, bool) {
+	if !t.snap {
+		return 0, false
+	}
+	var sum uint64
+	for _, sub := range t.subs {
+		e, ok := sub.SnapshotDropEpoch()
+		if !ok {
+			return 0, false
+		}
+		sum += e
+	}
+	return sum, true
+}
+
 // sub returns the shard slice owning (ks, key).
 func (t *Txn) sub(ks string, key []byte) *engine.Txn {
 	return t.subs[t.r.shardFor(ks, key)]

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Run the full E1–E19 benchmark suite and emit machine-readable results.
+# Run the full E1–E25 benchmark suite and emit machine-readable results.
 #
 # Usage: scripts/bench.sh [output.json] [benchtime]
 #   output.json  defaults to BENCH_1.json

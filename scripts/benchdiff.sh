@@ -22,9 +22,12 @@
 #                         convoy wait times behind a think-time writer,
 #                         40% for E22, whose cached arms are sub-µs serves
 #                         sensitive to scheduler noise and whose stale-serve
-#                         arm races a background writer, and 40% for E23,
+#                         arm races a background writer, 40% for E23,
 #                         whose row-path arms are GC-heavy full scans that
-#                         swing with heap state run-to-run
+#                         swing with heap state run-to-run, and 40% for E25,
+#                         whose CSR arms are tens-of-ms traversals sensitive
+#                         to GC pacing and whose ColdBuild arm re-interns a
+#                         56k-edge dictionary per iteration
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -55,5 +58,5 @@ failflag=()
 if [ "${BENCHDIFF_FAIL:-0}" = "1" ]; then
   failflag=(-fail)
 fi
-per_bench="${BENCHDIFF_PER_BENCH:-E7WALDurability=40,E20GroupCommit=40,E21SnapshotReads=60,E22ResultCache=40,E23Vectorized=40,E24ShardedScan=60}"
+per_bench="${BENCHDIFF_PER_BENCH:-E7WALDurability=40,E20GroupCommit=40,E21SnapshotReads=60,E22ResultCache=40,E23Vectorized=40,E24ShardedScan=60,E25CSRTraversal=40}"
 go run ./cmd/benchdiff "${failflag[@]}" -per-bench "$per_bench" "$baseline" "$fresh" | tee "$report"

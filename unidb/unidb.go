@@ -102,6 +102,14 @@ type Options struct {
 	// group-commit WALs. 0 or 1 keeps the single-engine path with zero
 	// overhead; the count is fixed at the first open of a directory.
 	Shards int
+	// DisableGraphCSR turns off the CSR adjacency-snapshot traversal path.
+	// By default, graph traversals and navigation functions in queries that
+	// run on an MVCC snapshot execute over a cached immutable CSR image of
+	// the graph (rebuilt only when the graph's keyspaces change) instead of
+	// per-edge B+tree probes. Results are byte-identical either way; this
+	// switch is the ablation / escape hatch. The same opt-out exists per
+	// call as QueryOptions.NoCSR.
+	DisableGraphCSR bool
 }
 
 // Database is a multi-model database handle.
@@ -120,6 +128,7 @@ func Open(opts Options) (*Database, error) {
 		MaxResultStaleness: opts.MaxResultStaleness,
 		Vectorized:         opts.Vectorized,
 		Shards:             opts.Shards,
+		DisableGraphCSR:    opts.DisableGraphCSR,
 	})
 	if err != nil {
 		return nil, err
@@ -258,6 +267,15 @@ type ShardStats = shard.Stats
 // per-keyspace data versions. For an unsharded database Shards is 1 and the
 // cross-shard counters are structurally zero.
 func (d *Database) ShardStats() ShardStats { return d.db.ShardStats() }
+
+// CSRStats re-exports the CSR adjacency-snapshot cache counters.
+type CSRStats = core.CSRStats
+
+// CSRStats reports the graph CSR cache's counters: cold builds,
+// version-mismatch rebuilds, cache reuses, graphs held, and approximate
+// resident bytes. Rebuilds staying at zero across repeated traversals of
+// an unchanged graph is the cache's design invariant.
+func (d *Database) CSRStats() CSRStats { return d.db.CSRStats() }
 
 // Txn is a cross-model transaction: every operation performed through it —
 // on any model — commits or aborts atomically.
